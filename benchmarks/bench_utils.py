@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's figures or quantitative claims
+(see DESIGN.md, "Experiments to reproduce").  Benchmarks print the series they
+measure so that EXPERIMENTS.md can be checked against `pytest benchmarks/
+--benchmark-only -s` output, and they assert the *shape* the paper reports
+(who wins, roughly by how much) rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, EngineConfig
+
+
+@pytest.fixture
+def fresh_db() -> Database:
+    return Database()
+
+
+def make_db(scheme: str = "compact", propagate_outdated: bool = True) -> Database:
+    return Database(config=EngineConfig(default_annotation_scheme=scheme,
+                                        propagate_outdated=propagate_outdated))
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Print a small aligned table under a title (shown with pytest -s)."""
+    print(f"\n== {title} ==")
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+              for i, h in enumerate(headers)]
+    print("  " + " | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  " + " | ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,108 @@
+"""E10 — Ablation: where does the compact rectangle scheme stop winning?
+
+Section 3.1 argues for the compact scheme on the grounds that annotations
+usually cover contiguous regions (whole columns, whole tuples, blocks of
+cells).  This ablation varies annotation *locality* — from one contiguous
+block per annotation to fully scattered cells — and reports the linkage
+record count of both schemes, locating the crossover the design choice
+depends on.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from bench_utils import make_db, print_table
+from repro.annotations.storage import create_linkage_store
+
+NUM_TUPLES = 300
+NUM_COLUMNS = 4
+CELLS_PER_ANNOTATION = 60
+NUM_ANNOTATIONS = 20
+#: Fraction of each annotation's cells that are scattered at random instead of
+#: forming one contiguous block.
+SCATTER_LEVELS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def cells_with_scatter(rng: random.Random, scatter: float):
+    scattered_count = int(CELLS_PER_ANNOTATION * scatter)
+    block_count = CELLS_PER_ANNOTATION - scattered_count
+    column = rng.randrange(NUM_COLUMNS)
+    start = rng.randrange(NUM_TUPLES - block_count) if block_count else 0
+    cells = {(start + offset, column) for offset in range(block_count)}
+    while len(cells) < CELLS_PER_ANNOTATION:
+        cells.add((rng.randrange(NUM_TUPLES), rng.randrange(NUM_COLUMNS)))
+    return cells
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    results = []
+    for scatter in SCATTER_LEVELS:
+        rng = random.Random(int(scatter * 100) + 1)
+        db = make_db()
+        naive = create_linkage_store("naive", db.catalog, f"__abl_naive_{int(scatter*100)}")
+        compact = create_linkage_store("compact", db.catalog, f"__abl_compact_{int(scatter*100)}")
+        for ann_id in range(NUM_ANNOTATIONS):
+            cells = cells_with_scatter(rng, scatter)
+            naive.attach(ann_id, cells)
+            compact.attach(ann_id, cells)
+        results.append({
+            "scatter": scatter,
+            "naive_records": naive.record_count(),
+            "compact_records": compact.record_count(),
+            "naive_pages": naive.num_pages(),
+            "compact_pages": compact.num_pages(),
+        })
+    return results
+
+
+def test_locality_sweep_shape(sweep_results):
+    rows = [[f"{r['scatter']:.0%}", r["naive_records"], r["compact_records"],
+             r["naive_pages"], r["compact_pages"],
+             f"{r['naive_records'] / r['compact_records']:.1f}x"]
+            for r in sweep_results]
+    print_table(
+        "E10 — annotation locality ablation "
+        f"({NUM_ANNOTATIONS} annotations x {CELLS_PER_ANNOTATION} cells)",
+        ["scattered cells", "naive records", "compact records",
+         "naive pages", "compact pages", "compact advantage"], rows)
+    # The naive scheme always stores one record per cell.
+    assert all(r["naive_records"] == NUM_ANNOTATIONS * CELLS_PER_ANNOTATION
+               for r in sweep_results)
+    # With fully contiguous annotations the compact scheme wins by a large
+    # factor; with fully scattered cells it degrades to roughly per-cell cost.
+    contiguous, scattered = sweep_results[0], sweep_results[-1]
+    assert contiguous["compact_records"] <= NUM_ANNOTATIONS * 2
+    assert scattered["compact_records"] > contiguous["compact_records"] * 5
+    # The advantage shrinks monotonically (allowing small noise).
+    advantages = [r["naive_records"] / r["compact_records"] for r in sweep_results]
+    assert advantages[0] > advantages[-1]
+
+
+def test_bench_compact_attach_contiguous(benchmark):
+    rng = random.Random(1)
+    db = make_db()
+    store = create_linkage_store("compact", db.catalog, "__bench_attach_block")
+    counter = {"i": 0}
+
+    def run():
+        counter["i"] += 1
+        store.attach(counter["i"], cells_with_scatter(rng, 0.0))
+
+    benchmark(run)
+
+
+def test_bench_compact_attach_scattered(benchmark):
+    rng = random.Random(1)
+    db = make_db()
+    store = create_linkage_store("compact", db.catalog, "__bench_attach_scatter")
+    counter = {"i": 0}
+
+    def run():
+        counter["i"] += 1
+        store.attach(counter["i"], cells_with_scatter(rng, 1.0))
+
+    benchmark(run)

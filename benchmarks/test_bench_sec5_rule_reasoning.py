@@ -1,0 +1,93 @@
+"""E9 — Section 5 reasoning claims: procedure closure, derived rules, cycles.
+
+Builds synthetic procedural-dependency rule sets shaped like derivation
+chains (rule 1 + rule 2 => derived rule 4 in the paper) at a sweep of sizes
+and measures attribute closure, procedure closure, rule derivation, and cycle
+detection.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import print_table
+from repro.dependencies.rules import DependencyRule, Procedure, RuleSet
+
+CHAIN_LENGTHS = (5, 20, 50)
+
+
+def build_chain(length: int, fanout: int = 2) -> RuleSet:
+    """A layered rule set: column c{i} of table T{i} feeds ``fanout`` columns
+    of table T{i+1}, alternating executable tools and lab experiments."""
+    rules = RuleSet()
+    for layer in range(length):
+        executable = layer % 2 == 0
+        procedure = Procedure(
+            f"tool_{layer}" if executable else f"lab_{layer}",
+            executable=executable,
+            implementation=(lambda s, t: None) if executable else None,
+        )
+        for branch in range(fanout):
+            rules.add(DependencyRule.create(
+                name=f"r{layer}_{branch}",
+                sources=[(f"T{layer}", f"c{branch}")],
+                targets=[(f"T{layer + 1}", f"c{branch}")],
+                procedure=procedure,
+            ))
+    return rules
+
+
+def test_reasoning_sweep():
+    rows = []
+    for length in CHAIN_LENGTHS:
+        rules = build_chain(length)
+        closure = rules.attribute_closure([("T0", "c0")])
+        tool_closure = rules.procedure_closure("tool_0")
+        derived = rules.derive_chained_rules(max_depth=6)
+        rows.append([length, len(rules), len(closure), len(tool_closure), len(derived)])
+        # The closure of the first column reaches one column per downstream layer.
+        assert len(closure) == length + 1
+        # Everything downstream of tool_0 depends on it (both branches).
+        assert len(tool_closure) == 2 * length
+        # Chaining produces at least one derived rule per adjacent pair (bounded
+        # by the derivation depth).
+        assert derived
+        # Chains through any lab experiment are non-executable, like rule 4.
+        assert any(not rule.procedure.executable for rule in derived)
+    print_table("E9/Section 5 — rule reasoning sweep",
+                ["chain length", "rules", "attribute closure", "procedure closure",
+                 "derived rules"], rows)
+
+
+def test_cycle_detection_rejects_cyclic_rule_sets():
+    rules = build_chain(10)
+    with pytest.raises(Exception):
+        rules.add(DependencyRule.create(
+            name="back_edge",
+            sources=[("T10", "c0")],
+            targets=[("T0", "c0")],
+            procedure=Procedure("loop"),
+        ), check_cycles=True)
+
+
+def test_bench_attribute_closure(benchmark):
+    rules = build_chain(50)
+    result = benchmark(rules.attribute_closure, [("T0", "c0")])
+    assert len(result) == 51
+
+
+def test_bench_procedure_closure(benchmark):
+    rules = build_chain(50)
+    result = benchmark(rules.procedure_closure, "tool_0")
+    assert len(result) == 100
+
+
+def test_bench_rule_derivation(benchmark):
+    rules = build_chain(20)
+    result = benchmark(rules.derive_chained_rules, 4)
+    assert result
+
+
+def test_bench_cycle_check(benchmark):
+    rules = build_chain(50)
+    assert benchmark(rules.find_cycle) is None

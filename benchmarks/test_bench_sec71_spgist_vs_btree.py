@@ -1,0 +1,162 @@
+"""E7 — Section 7.1: SP-GiST instantiations vs the B+-tree (and R-tree).
+
+The paper cites experiments showing the performance potential of
+space-partitioning indexes over the B+-tree and R-tree for exact-match,
+prefix, regular-expression, and k-NN queries.  This benchmark indexes gene
+identifiers (strings) and protein-structure points under each access method,
+reports logical node accesses per operation, and asserts the qualitative
+shape: the trie serves prefix/regex queries the B+-tree must answer by a
+scan, and the kd-tree/quadtree serve box and k-NN queries a one-dimensional
+index cannot.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+
+import pytest
+
+from bench_utils import print_table
+from repro.index.btree import BPlusTree
+from repro.index.rtree import Rect, RTree
+from repro.index.spgist import (
+    BoxQuery,
+    KdTreeModule,
+    QuadtreeModule,
+    SpGistIndex,
+    TrieModule,
+)
+from repro.workloads import structure_points
+
+NUM_STRINGS = 2000
+NUM_POINTS = 2000
+
+
+@pytest.fixture(scope="module")
+def string_indexes():
+    keys = [f"JW{i:05d}" for i in range(NUM_STRINGS)]
+    random.Random(3).shuffle(keys)
+    trie = SpGistIndex(TrieModule(), leaf_capacity=8)
+    btree = BPlusTree(order=32)
+    for position, key in enumerate(keys):
+        trie.insert(key, position)
+        btree.insert(key, position)
+    return keys, trie, btree
+
+
+@pytest.fixture(scope="module")
+def point_indexes():
+    points = structure_points(NUM_POINTS, seed=8)
+    kd = SpGistIndex(KdTreeModule(2), leaf_capacity=8)
+    quad = SpGistIndex(QuadtreeModule(), leaf_capacity=8)
+    rtree = RTree(max_entries=16)
+    for position, point in enumerate(points):
+        kd.insert(point, position)
+        quad.insert(point, position)
+        rtree.insert_point(point[0], point[1], position)
+    return points, kd, quad, rtree
+
+
+def _delta(stats, before):
+    return stats.node_reads - before
+
+
+class TestStringWorkload:
+    def test_exact_prefix_regex_accesses(self, string_indexes):
+        keys, trie, btree = string_indexes
+        rows = []
+        # Exact match.
+        before_t, before_b = trie.stats.node_reads, btree.stats.node_reads
+        assert trie.search_equal("JW01234") == btree.search("JW01234")
+        rows.append(["exact match", _delta(trie.stats, before_t),
+                     _delta(btree.stats, before_b)])
+        # Prefix match: both can serve it from the index.
+        before_t, before_b = trie.stats.node_reads, btree.stats.node_reads
+        trie_result = {k for k, _ in trie.search_prefix("JW004")}
+        btree_result = {k for k, _ in btree.prefix_search("JW004")}
+        assert trie_result == btree_result and len(trie_result) == 100
+        rows.append(["prefix match", _delta(trie.stats, before_t),
+                     _delta(btree.stats, before_b)])
+        # Regular-expression match: the B+-tree has no pruning and must scan
+        # every entry; the trie prunes by the literal prefix.
+        pattern = r"JW000[0-4]\d"
+        before_t = trie.stats.node_reads
+        trie_matches = {k for k, _ in trie.search_regex(pattern)}
+        trie_reads = _delta(trie.stats, before_t)
+        before_b = btree.stats.node_reads
+        btree_matches = {k for k, _ in btree.range_search()
+                         if re.fullmatch(pattern, k)}
+        btree_reads = _delta(btree.stats, before_b)
+        assert trie_matches == btree_matches and len(trie_matches) == 50
+        rows.append(["regex match", trie_reads, btree_reads])
+        assert trie_reads < btree_reads
+        print_table(
+            f"E7/Section 7.1 — node accesses over {NUM_STRINGS} gene ids",
+            ["operation", "SP-GiST trie", "B+-tree"], rows,
+        )
+
+    def test_bench_trie_regex(self, benchmark, string_indexes):
+        _, trie, _ = string_indexes
+        benchmark(trie.search_regex, r"JW000[0-4]\d")
+
+    def test_bench_btree_regex_scan(self, benchmark, string_indexes):
+        _, _, btree = string_indexes
+        pattern = re.compile(r"JW000[0-4]\d")
+
+        def scan():
+            return [k for k, _ in btree.range_search() if pattern.fullmatch(k)]
+
+        benchmark(scan)
+
+
+class TestPointWorkload:
+    def test_box_and_knn_accesses(self, point_indexes):
+        points, kd, quad, rtree = point_indexes
+        # Centre the query box on an actual structure point so the box is
+        # guaranteed to be non-empty.
+        cx, cy = points[0]
+        low, high = (cx - 8.0, cy - 8.0), (cx + 8.0, cy + 8.0)
+        expected = sorted(i for i, (x, y) in enumerate(points)
+                          if low[0] <= x <= high[0] and low[1] <= y <= high[1])
+        rows = []
+        before = kd.stats.node_reads
+        assert sorted(v for _, v in kd.search_box(low, high)) == expected
+        rows.append(["box query", "kd-tree", _delta(kd.stats, before)])
+        before = quad.stats.node_reads
+        assert sorted(v for _, v in quad.search_box(low, high)) == expected
+        rows.append(["box query", "quadtree", _delta(quad.stats, before)])
+        before = rtree.stats.node_reads
+        assert sorted(v for _, v in rtree.range_search(Rect(*low, *high))) == expected
+        rows.append(["box query", "R-tree", _delta(rtree.stats, before)])
+
+        target = (cx, cy)
+        brute = sorted((((x - target[0]) ** 2 + (y - target[1]) ** 2) ** 0.5, i)
+                       for i, (x, y) in enumerate(points))[:10]
+        expected_knn = [i for _, i in brute]
+        before = kd.stats.node_reads
+        assert [v for _, _, v in kd.knn(target, 10)] == expected_knn
+        rows.append(["10-NN", "kd-tree", _delta(kd.stats, before)])
+        before = rtree.stats.node_reads
+        assert [v for _, v in rtree.knn(*target, 10)] == expected_knn
+        rows.append(["10-NN", "R-tree", _delta(rtree.stats, before)])
+        print_table(
+            f"E7/Section 7.1 — node accesses over {NUM_POINTS} structure points",
+            ["operation", "access method", "node reads"], rows,
+        )
+
+    def test_bench_kdtree_box(self, benchmark, point_indexes):
+        _, kd, _, _ = point_indexes
+        benchmark(kd.search_box, (20.0, 20.0), (45.0, 45.0))
+
+    def test_bench_quadtree_box(self, benchmark, point_indexes):
+        _, _, quad, _ = point_indexes
+        benchmark(quad.search_box, (20.0, 20.0), (45.0, 45.0))
+
+    def test_bench_rtree_box(self, benchmark, point_indexes):
+        _, _, _, rtree = point_indexes
+        benchmark(rtree.range_search, Rect(20.0, 20.0, 45.0, 45.0))
+
+    def test_bench_kdtree_knn(self, benchmark, point_indexes):
+        _, kd, _, _ = point_indexes
+        benchmark(kd.knn, (50.0, 50.0), 10)

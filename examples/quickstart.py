@@ -1,0 +1,109 @@
+"""Quickstart: annotations as first-class objects with A-SQL.
+
+Reproduces the paper's running example (Figures 2-3): two gene tables from
+different sources, annotated at several granularities, queried with the A-SQL
+SELECT extensions so that annotations travel with the answer.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Database
+from repro.annotations.xml_utils import annotation_text
+
+
+def main() -> None:
+    db = Database()
+
+    # -- schema and annotation tables -------------------------------------
+    db.execute_script("""
+        CREATE TABLE DB1_Gene (GID TEXT PRIMARY KEY, GName TEXT, GSequence SEQUENCE);
+        CREATE TABLE DB2_Gene (GID TEXT PRIMARY KEY, GName TEXT, GSequence SEQUENCE);
+        CREATE ANNOTATION TABLE GAnnotation ON DB1_Gene;
+        CREATE ANNOTATION TABLE GAnnotation ON DB2_Gene;
+    """)
+
+    # -- data (the genes of Figure 2) ---------------------------------------
+    db.execute_script("""
+        INSERT INTO DB1_Gene VALUES
+            ('JW0080', 'mraW', 'ATGATGGAAAA'),
+            ('JW0082', 'ftsI', 'ATGAAAGCAGC'),
+            ('JW0055', 'yabP', 'ATGAAAGTATC'),
+            ('JW0078', 'fruR', 'GTGAAACTGGA');
+        INSERT INTO DB2_Gene VALUES
+            ('JW0080', 'mraW', 'ATGATGGAAAA'),
+            ('JW0041', 'fixB', 'ATGAACACGTT'),
+            ('JW0037', 'caiB', 'ATGGATCATCT'),
+            ('JW0027', 'ispH', 'ATGCAGATCCT'),
+            ('JW0055', 'yabP', 'ATGAAAGTATC');
+    """)
+
+    # -- annotations at multiple granularities (A1-A3, B3, B5) ----------------
+    db.execute("""
+        ADD ANNOTATION TO DB1_Gene.GAnnotation
+        VALUE 'These genes are published in J. Bacteriology'
+        ON (SELECT G.GID, G.GName FROM DB1_Gene G WHERE G.GID IN ('JW0080', 'JW0055'))
+    """)
+    db.execute("""
+        ADD ANNOTATION TO DB1_Gene.GAnnotation
+        VALUE 'These genes were obtained from RegulonDB'
+        ON (SELECT G.* FROM DB1_Gene G)
+    """)
+    db.execute("""
+        ADD ANNOTATION TO DB1_Gene.GAnnotation
+        VALUE 'Involved in methyltransferase activity'
+        ON (SELECT G.GSequence FROM DB1_Gene G WHERE G.GID = 'JW0080')
+    """)
+    db.execute("""
+        ADD ANNOTATION TO DB2_Gene.GAnnotation
+        VALUE '<Annotation>obtained from GenoBase</Annotation>'
+        ON (SELECT G.GSequence FROM DB2_Gene G)
+    """)
+    db.execute("""
+        ADD ANNOTATION TO DB2_Gene.GAnnotation
+        VALUE 'This gene has an unknown function'
+        ON (SELECT G.* FROM DB2_Gene G WHERE GID = 'JW0080')
+    """)
+
+    # -- the paper's motivating query: common genes WITH their annotations ----
+    result = db.query("""
+        SELECT GID, GName, GSequence FROM DB1_Gene ANNOTATION(GAnnotation)
+        INTERSECT
+        SELECT GID, GName, GSequence FROM DB2_Gene ANNOTATION(GAnnotation)
+    """)
+    print("Genes common to DB1_Gene and DB2_Gene (one A-SQL statement):")
+    for index, row in enumerate(result.rows):
+        print(f"  {row.values[0]}  {row.values[1]}")
+        for body in sorted(annotation_text(a.body) for a in row.all_annotations()):
+            print(f"      - {body}")
+
+    # -- annotation-based selection and filtering -----------------------------
+    lineage = db.query("""
+        SELECT GID FROM DB2_Gene ANNOTATION(GAnnotation)
+        AWHERE annotation.value LIKE '%GenoBase%'
+    """)
+    print(f"\nGenes whose lineage mentions GenoBase: "
+          f"{[v[0] for v in lineage.values()]}")
+
+    promoted = db.query("""
+        SELECT GID PROMOTE (GSequence) FROM DB1_Gene ANNOTATION(GAnnotation)
+        WHERE GID = 'JW0080'
+    """)
+    print("\nPROMOTE copies the sequence annotations onto the projected GID:")
+    print(f"  {promoted.annotation_bodies(0, 'GID')}")
+
+    # -- archiving stale annotations -------------------------------------------
+    db.execute("""
+        ARCHIVE ANNOTATION FROM DB2_Gene.GAnnotation
+        ON (SELECT G.* FROM DB2_Gene G WHERE GID = 'JW0080')
+    """)
+    after = db.query(
+        "SELECT GID FROM DB2_Gene ANNOTATION(GAnnotation) WHERE GID = 'JW0080'"
+    )
+    print(f"\nAnnotations on JW0080 after archiving: "
+          f"{after.annotation_bodies(0) or '(none)'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so that editable installs work in offline environments whose setuptools lacks
+the ``wheel`` package (``pip install -e . --no-build-isolation`` falls back to
+the legacy ``setup.py develop`` path through this shim).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""repro: a reproduction of bdbms (CIDR 2007), a DBMS for biological data.
+
+The public API centres on :class:`repro.Database`:
+
+>>> from repro import Database
+>>> db = Database()
+>>> db.execute("CREATE TABLE Gene (GID TEXT PRIMARY KEY, GSequence SEQUENCE)")
+>>> db.execute("CREATE ANNOTATION TABLE GAnnotation ON Gene")
+>>> db.execute("INSERT INTO Gene VALUES ('JW0080', 'ATGATGGAAAA')")
+>>> db.execute(
+...     "ADD ANNOTATION TO Gene.GAnnotation "
+...     "VALUE '<Annotation>obtained from GenoBase</Annotation>' "
+...     "ON (SELECT G.GSequence FROM Gene G)"
+... )
+>>> result = db.query("SELECT GID FROM Gene ANNOTATION(GAnnotation)")
+
+Sub-packages mirror the paper's architecture: ``annotations``, ``provenance``,
+``dependencies``, ``authorization`` (the four bdbms pillars), ``index`` (the
+SP-GiST framework and the SBC-tree), and the relational substrate
+(``storage``, ``catalog``, ``sql``, ``planner``, ``executor``).
+"""
+
+from repro.core.database import Database, Session
+from repro.core.errors import BdbmsError
+from repro.executor.engine import EngineConfig, ExecutionSummary
+from repro.executor.row import ResultSet
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Database",
+    "Session",
+    "BdbmsError",
+    "EngineConfig",
+    "ExecutionSummary",
+    "ResultSet",
+    "__version__",
+]

@@ -1,0 +1,57 @@
+"""Annotation management: first-class annotations at multiple granularities."""
+
+from repro.annotations.manager import AnnotationManager, AnnotationTable, PropagationIndex
+from repro.annotations.model import (
+    Annotation,
+    CATEGORY_COMMENT,
+    CATEGORY_PROVENANCE,
+    CATEGORY_STATUS,
+    Cell,
+    Region,
+    cells_for_columns,
+    cells_for_table,
+    cells_for_tuples,
+    decompose_cells,
+)
+from repro.annotations.storage import (
+    SCHEME_COMPACT,
+    SCHEME_NAIVE,
+    AnnotationLinkageStore,
+    CompactRegionStore,
+    NaiveCellStore,
+)
+from repro.annotations.xml_utils import (
+    XmlSchema,
+    annotation_text,
+    body_fields,
+    extract_field,
+    is_xml,
+    wrap_annotation,
+)
+
+__all__ = [
+    "AnnotationManager",
+    "AnnotationTable",
+    "PropagationIndex",
+    "Annotation",
+    "CATEGORY_COMMENT",
+    "CATEGORY_PROVENANCE",
+    "CATEGORY_STATUS",
+    "Cell",
+    "Region",
+    "cells_for_columns",
+    "cells_for_table",
+    "cells_for_tuples",
+    "decompose_cells",
+    "SCHEME_COMPACT",
+    "SCHEME_NAIVE",
+    "AnnotationLinkageStore",
+    "CompactRegionStore",
+    "NaiveCellStore",
+    "XmlSchema",
+    "annotation_text",
+    "body_fields",
+    "extract_field",
+    "is_xml",
+    "wrap_annotation",
+]

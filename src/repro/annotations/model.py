@@ -1,0 +1,152 @@
+"""Annotation data model: annotations, cells, and rectangular regions.
+
+An annotation is extra information linked to data items (Section 3 of the
+paper): user comments, lineage/provenance, or system status.  Annotations are
+attached to *cells* — (tuple id, column) pairs — possibly many at once, which
+is how the multiple granularities of the paper (cell, group of cells, tuple,
+column, table) are represented uniformly.
+
+The compact storage scheme of Figure 5 views a table as a two-dimensional
+space (columns × tuples) and represents an annotation's extent as a set of
+rectangles; :func:`decompose_cells` performs that decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+#: A cell address: (tuple id, column position within the user table schema).
+Cell = Tuple[int, int]
+
+#: Category used for ordinary user comments.
+CATEGORY_COMMENT = "comment"
+#: Category used for provenance/lineage records (Section 4).
+CATEGORY_PROVENANCE = "provenance"
+#: Category used for system-generated status annotations (outdated items).
+CATEGORY_STATUS = "status"
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """A single annotation record.
+
+    Annotations are hashable and compared by identity key (annotation table,
+    id) so they can live in the per-column sets carried by annotated rows.
+    """
+
+    ann_id: int
+    annotation_table: str
+    body: str
+    curator: str = "unknown"
+    created_at: datetime = field(default_factory=datetime.now)
+    archived: bool = False
+    category: str = CATEGORY_COMMENT
+
+    def __hash__(self) -> int:
+        return hash((self.annotation_table, self.ann_id))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Annotation):
+            return NotImplemented
+        return (self.annotation_table, self.ann_id) == (other.annotation_table, other.ann_id)
+
+    def with_archived(self, archived: bool) -> "Annotation":
+        return Annotation(
+            ann_id=self.ann_id,
+            annotation_table=self.annotation_table,
+            body=self.body,
+            curator=self.curator,
+            created_at=self.created_at,
+            archived=archived,
+            category=self.category,
+        )
+
+
+@dataclass(frozen=True)
+class Region:
+    """A rectangle in the (column position, tuple id) plane, inclusive bounds."""
+
+    col_start: int
+    col_end: int
+    tid_start: int
+    tid_end: int
+
+    def __post_init__(self) -> None:
+        if self.col_start > self.col_end or self.tid_start > self.tid_end:
+            raise ValueError(f"degenerate region {self!r}")
+
+    def contains(self, column: int, tuple_id: int) -> bool:
+        return (self.col_start <= column <= self.col_end
+                and self.tid_start <= tuple_id <= self.tid_end)
+
+    def cell_count(self) -> int:
+        return (self.col_end - self.col_start + 1) * (self.tid_end - self.tid_start + 1)
+
+    def cells(self) -> Iterable[Cell]:
+        for tuple_id in range(self.tid_start, self.tid_end + 1):
+            for column in range(self.col_start, self.col_end + 1):
+                yield (tuple_id, column)
+
+
+def _contiguous_runs(sorted_values: Sequence[int]) -> List[Tuple[int, int]]:
+    """Split a sorted sequence of ints into inclusive (start, end) runs."""
+    runs: List[Tuple[int, int]] = []
+    start = prev = None
+    for value in sorted_values:
+        if start is None:
+            start = prev = value
+            continue
+        if value == prev + 1:
+            prev = value
+            continue
+        runs.append((start, prev))
+        start = prev = value
+    if start is not None:
+        runs.append((start, prev))
+    return runs
+
+
+def decompose_cells(cells: Iterable[Cell]) -> List[Region]:
+    """Decompose a set of cells into rectangular regions (Figure 5).
+
+    The decomposition groups tuples by the exact set of columns annotated on
+    them, then splits both the column set and the tuple-id set into
+    contiguous runs.  Coarse-granularity annotations (a whole column, a whole
+    tuple, a block of contiguous cells) therefore collapse into a single
+    region, which is exactly the storage saving the paper argues for; fully
+    scattered cells degrade gracefully to one region per cell.
+    """
+    by_tuple: Dict[int, Set[int]] = {}
+    for tuple_id, column in cells:
+        by_tuple.setdefault(tuple_id, set()).add(column)
+    # Group tuple ids by their annotated column signature.
+    by_signature: Dict[FrozenSet[int], List[int]] = {}
+    for tuple_id, columns in by_tuple.items():
+        by_signature.setdefault(frozenset(columns), []).append(tuple_id)
+    regions: List[Region] = []
+    for signature, tuple_ids in by_signature.items():
+        column_runs = _contiguous_runs(sorted(signature))
+        tuple_runs = _contiguous_runs(sorted(tuple_ids))
+        for col_start, col_end in column_runs:
+            for tid_start, tid_end in tuple_runs:
+                regions.append(Region(col_start, col_end, tid_start, tid_end))
+    regions.sort(key=lambda r: (r.tid_start, r.col_start, r.tid_end, r.col_end))
+    return regions
+
+
+def cells_for_tuples(tuple_ids: Iterable[int], num_columns: int) -> Set[Cell]:
+    """All cells of whole tuples (tuple-granularity annotation)."""
+    return {(tid, col) for tid in tuple_ids for col in range(num_columns)}
+
+
+def cells_for_columns(columns: Iterable[int], tuple_ids: Iterable[int]) -> Set[Cell]:
+    """All cells of whole columns over the given tuples (column granularity)."""
+    tids = list(tuple_ids)
+    return {(tid, col) for col in columns for tid in tids}
+
+
+def cells_for_table(tuple_ids: Iterable[int], num_columns: int) -> Set[Cell]:
+    """Every cell of the table (table-granularity annotation)."""
+    return cells_for_tuples(tuple_ids, num_columns)

@@ -1,0 +1,141 @@
+"""Helpers for XML-formatted annotation bodies.
+
+The paper proposes XML-formatted annotations (Section 3.2) so that users can
+semi-structure their annotations and query them, and so that provenance data
+can follow a predefined XML schema (Section 4).  These helpers wrap the
+standard-library ElementTree parser with tolerant behaviour for plain-text
+bodies: a body that is not well-formed XML is treated as an unstructured
+comment.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ElementTree
+from typing import Dict, List, Optional
+
+from repro.core.errors import AnnotationError
+
+
+def is_xml(body: str) -> bool:
+    """Return True when ``body`` parses as a well-formed XML document."""
+    text = body.strip()
+    if not text.startswith("<"):
+        return False
+    try:
+        ElementTree.fromstring(text)
+        return True
+    except ElementTree.ParseError:
+        return False
+
+
+def parse_body(body: str) -> Optional[ElementTree.Element]:
+    """Parse an annotation body, returning ``None`` for plain-text bodies."""
+    text = body.strip()
+    if not text.startswith("<"):
+        return None
+    try:
+        return ElementTree.fromstring(text)
+    except ElementTree.ParseError:
+        return None
+
+
+def wrap_annotation(text: str, tag: str = "Annotation") -> str:
+    """Wrap plain text in the ``<Annotation>`` element used by the paper."""
+    return f"<{tag}>{escape_text(text)}</{tag}>"
+
+
+def escape_text(text: str) -> str:
+    return (text.replace("&", "&amp;")
+                .replace("<", "&lt;")
+                .replace(">", "&gt;"))
+
+
+def annotation_text(body: str) -> str:
+    """Extract the human-readable text of an annotation body.
+
+    For XML bodies this is the concatenated text content; plain-text bodies
+    are returned unchanged.
+    """
+    root = parse_body(body)
+    if root is None:
+        return body
+    return "".join(root.itertext()).strip()
+
+
+def extract_field(body: str, path: str) -> Optional[str]:
+    """Return the text of the first element matching ``path`` (ElementPath)."""
+    root = parse_body(body)
+    if root is None:
+        return None
+    if root.tag == path or path in ("", "."):
+        return (root.text or "").strip()
+    element = root.find(path)
+    if element is None:
+        return None
+    return (element.text or "").strip()
+
+
+def body_fields(body: str) -> Dict[str, str]:
+    """Flatten an XML body into a {tag: text} dictionary (first occurrence wins)."""
+    root = parse_body(body)
+    if root is None:
+        return {}
+    fields: Dict[str, str] = {}
+    for element in root.iter():
+        if element is root:
+            continue
+        if element.tag not in fields:
+            fields[element.tag] = (element.text or "").strip()
+    return fields
+
+
+class XmlSchema:
+    """A minimal XML schema: a root tag plus required/optional child elements.
+
+    The provenance manager (Section 4) enforces that provenance records
+    follow a predefined structure; this class provides the validation without
+    pulling in a full XSD implementation.
+    """
+
+    def __init__(self, root_tag: str, required: List[str], optional: Optional[List[str]] = None):
+        self.root_tag = root_tag
+        self.required = list(required)
+        self.optional = list(optional or [])
+
+    def validate(self, body: str) -> None:
+        """Raise :class:`AnnotationError` when ``body`` violates the schema."""
+        root = parse_body(body)
+        if root is None:
+            raise AnnotationError(
+                f"body is not well-formed XML (expected <{self.root_tag}> document)"
+            )
+        if root.tag != self.root_tag:
+            raise AnnotationError(
+                f"expected root element <{self.root_tag}>, found <{root.tag}>"
+            )
+        present = {child.tag for child in root}
+        missing = [tag for tag in self.required if tag not in present]
+        if missing:
+            raise AnnotationError(
+                f"missing required element(s): {', '.join(missing)}"
+            )
+        allowed = set(self.required) | set(self.optional)
+        unexpected = sorted(tag for tag in present if tag not in allowed)
+        if unexpected:
+            raise AnnotationError(
+                f"unexpected element(s): {', '.join(unexpected)}"
+            )
+
+    def build(self, **fields: str) -> str:
+        """Render a document conforming to the schema from keyword fields."""
+        missing = [tag for tag in self.required if tag not in fields]
+        if missing:
+            raise AnnotationError(
+                f"missing required field(s): {', '.join(missing)}"
+            )
+        parts = [f"<{self.root_tag}>"]
+        for tag in self.required + self.optional:
+            if tag in fields:
+                parts.append(f"<{tag}>{escape_text(str(fields[tag]))}</{tag}>")
+        parts.append(f"</{self.root_tag}>")
+        return "".join(parts)

@@ -1,0 +1,23 @@
+"""Update authorization: GRANT/REVOKE plus content-based approval."""
+
+from repro.authorization.approval import (
+    ApprovalConfig,
+    ApprovalManager,
+    InverseStatement,
+    LoggedOperation,
+    OperationStatus,
+    OperationType,
+)
+from repro.authorization.grants import PRIVILEGES, AccessControl, GrantRecord
+
+__all__ = [
+    "ApprovalConfig",
+    "ApprovalManager",
+    "InverseStatement",
+    "LoggedOperation",
+    "OperationStatus",
+    "OperationType",
+    "PRIVILEGES",
+    "AccessControl",
+    "GrantRecord",
+]

@@ -1,0 +1,7 @@
+"""Catalog package: schemas, stored tables, and the system catalog."""
+
+from repro.catalog.catalog import SystemCatalog
+from repro.catalog.schema import Column, TableSchema
+from repro.catalog.table import Table
+
+__all__ = ["SystemCatalog", "Column", "TableSchema", "Table"]

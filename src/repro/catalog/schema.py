@@ -1,0 +1,147 @@
+"""Relational schema objects: columns and table schemas.
+
+The schema layer is intentionally small: named, typed columns with NOT NULL
+and PRIMARY KEY constraints, plus a DEFAULT value.  It also knows how to
+coerce an incoming row to the declared types, which is the single funnel all
+inserts and updates pass through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import CatalogError, TypeMismatchError
+from repro.types.datatypes import DataType, coerce
+
+
+@dataclass
+class Column:
+    """A single column declaration."""
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+    primary_key: bool = False
+    default: Any = None
+
+    def __post_init__(self) -> None:
+        if self.primary_key:
+            # Primary key columns are implicitly NOT NULL, as in SQL.
+            self.nullable = False
+
+    def coerce(self, value: Any) -> Any:
+        if value is None and self.default is not None:
+            value = self.default
+        return coerce(value, self.dtype, nullable=self.nullable)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "dtype": self.dtype.value,
+            "nullable": self.nullable,
+            "primary_key": self.primary_key,
+            "default": self.default,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Column":
+        return cls(
+            name=data["name"],
+            dtype=DataType(data["dtype"]),
+            nullable=data.get("nullable", True),
+            primary_key=data.get("primary_key", False),
+            default=data.get("default"),
+        )
+
+
+class TableSchema:
+    """An ordered collection of columns with name-based lookup."""
+
+    def __init__(self, name: str, columns: Sequence[Column]):
+        if not columns:
+            raise CatalogError(f"table {name!r} must have at least one column")
+        names = [column.name.lower() for column in columns]
+        if len(set(names)) != len(names):
+            raise CatalogError(f"table {name!r} has duplicate column names")
+        self.name = name
+        self.columns: List[Column] = list(columns)
+        self._index: Dict[str, int] = {c.name.lower(): i for i, c in enumerate(columns)}
+
+    # ------------------------------------------------------------------
+    @property
+    def column_names(self) -> List[str]:
+        return [column.name for column in self.columns]
+
+    @property
+    def primary_key_columns(self) -> List[str]:
+        return [column.name for column in self.columns if column.primary_key]
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def column(self, name: str) -> Column:
+        try:
+            return self.columns[self._index[name.lower()]]
+        except KeyError as exc:
+            raise CatalogError(f"table {self.name!r} has no column {name!r}") from exc
+
+    def column_position(self, name: str) -> int:
+        try:
+            return self._index[name.lower()]
+        except KeyError as exc:
+            raise CatalogError(f"table {self.name!r} has no column {name!r}") from exc
+
+    # ------------------------------------------------------------------
+    def coerce_row(self, values: Dict[str, Any]) -> Tuple[Any, ...]:
+        """Build a full positional row from a (possibly partial) dict of values."""
+        unknown = [key for key in values if key.lower() not in self._index]
+        if unknown:
+            raise CatalogError(
+                f"table {self.name!r} has no column(s): {', '.join(sorted(unknown))}"
+            )
+        lowered = {key.lower(): value for key, value in values.items()}
+        row: List[Any] = []
+        for column in self.columns:
+            provided = lowered.get(column.name.lower())
+            try:
+                row.append(column.coerce(provided))
+            except TypeMismatchError as exc:
+                raise TypeMismatchError(
+                    f"column {self.name}.{column.name}: {exc}"
+                ) from exc
+        return tuple(row)
+
+    def coerce_positional(self, values: Sequence[Any]) -> Tuple[Any, ...]:
+        if len(values) != len(self.columns):
+            raise TypeMismatchError(
+                f"table {self.name!r} expects {len(self.columns)} values, "
+                f"got {len(values)}"
+            )
+        row: List[Any] = []
+        for column, value in zip(self.columns, values):
+            try:
+                row.append(column.coerce(value))
+            except TypeMismatchError as exc:
+                raise TypeMismatchError(
+                    f"column {self.name}.{column.name}: {exc}"
+                ) from exc
+        return tuple(row)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "columns": [column.to_dict() for column in self.columns],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TableSchema":
+        return cls(data["name"], [Column.from_dict(c) for c in data["columns"]])
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name} {c.dtype.value}" for c in self.columns)
+        return f"TableSchema({self.name}: {cols})"

@@ -1,0 +1,162 @@
+"""The Table object: schema + heap file + primary-key directory.
+
+A table keeps a logical *tuple id* for every row.  Tuple ids are the stable
+handles used across the system:
+
+* the annotation manager addresses cells as ``(table, tuple_id, column)``,
+* the dependency tracker's outdated bitmaps are keyed by tuple id,
+* the approval log records inverse statements against tuple ids,
+* provenance records reference tuple ids.
+
+Physically, rows live in a heap file addressed by record ids; the table keeps
+the tuple-id -> record-id directory and an optional unique index on the
+primary key.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.catalog.schema import TableSchema
+from repro.core.errors import CatalogError, ConstraintViolationError
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.heap_file import HeapFile
+from repro.storage.page import RecordId
+from repro.types.values import values_equal
+
+
+class Table:
+    """A stored user relation."""
+
+    def __init__(self, schema: TableSchema, pool: BufferPool):
+        self.schema = schema
+        self.heap = HeapFile(pool)
+        #: tuple_id -> record id in the heap file
+        self._directory: Dict[int, RecordId] = {}
+        #: primary key value(s) -> tuple_id, maintained when a PK is declared
+        self._pk_index: Dict[Tuple[Any, ...], int] = {}
+        #: names of secondary indexes attached to this table (managed elsewhere)
+        self.secondary_indexes: List[str] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._directory)
+
+    @property
+    def tuple_ids(self) -> List[int]:
+        return sorted(self._directory)
+
+    def _pk_value(self, row: Sequence[Any]) -> Optional[Tuple[Any, ...]]:
+        pk_columns = self.schema.primary_key_columns
+        if not pk_columns:
+            return None
+        return tuple(row[self.schema.column_position(c)] for c in pk_columns)
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def insert_row(self, values: Dict[str, Any]) -> int:
+        """Insert a row given as a column->value mapping; returns the tuple id."""
+        row = self.schema.coerce_row(values)
+        return self._insert_coerced(row)
+
+    def insert_positional(self, values: Sequence[Any]) -> int:
+        row = self.schema.coerce_positional(values)
+        return self._insert_coerced(row)
+
+    def _insert_coerced(self, row: Tuple[Any, ...]) -> int:
+        pk = self._pk_value(row)
+        if pk is not None:
+            if pk in self._pk_index:
+                raise ConstraintViolationError(
+                    f"duplicate primary key {pk!r} in table {self.name!r}"
+                )
+        tuple_id, record_id = self.heap.insert(row)
+        self._directory[tuple_id] = record_id
+        if pk is not None:
+            self._pk_index[pk] = tuple_id
+        return tuple_id
+
+    def update_row(self, tuple_id: int, changes: Dict[str, Any]) -> Tuple[Any, ...]:
+        """Apply ``changes`` to the row with ``tuple_id``; returns the new row."""
+        old_row = self.read_row(tuple_id)
+        new_values = dict(zip(self.schema.column_names, old_row))
+        for key, value in changes.items():
+            self.schema.column(key)  # validates the column exists
+            new_values[key] = value
+        new_row = self.schema.coerce_row(new_values)
+        old_pk, new_pk = self._pk_value(old_row), self._pk_value(new_row)
+        if new_pk is not None and new_pk != old_pk and new_pk in self._pk_index:
+            raise ConstraintViolationError(
+                f"duplicate primary key {new_pk!r} in table {self.name!r}"
+            )
+        record_id = self._directory[tuple_id]
+        self._directory[tuple_id] = self.heap.update(record_id, new_row, tuple_id)
+        if old_pk != new_pk:
+            if old_pk is not None:
+                self._pk_index.pop(old_pk, None)
+            if new_pk is not None:
+                self._pk_index[new_pk] = tuple_id
+        return new_row
+
+    def delete_row(self, tuple_id: int) -> Tuple[Any, ...]:
+        """Delete the row with ``tuple_id``; returns the deleted row."""
+        row = self.read_row(tuple_id)
+        record_id = self._directory.pop(tuple_id)
+        self.heap.delete(record_id)
+        pk = self._pk_value(row)
+        if pk is not None:
+            self._pk_index.pop(pk, None)
+        return row
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def read_row(self, tuple_id: int) -> Tuple[Any, ...]:
+        if tuple_id not in self._directory:
+            raise CatalogError(f"table {self.name!r} has no tuple {tuple_id}")
+        stored_id, values = self.heap.read(self._directory[tuple_id])
+        if stored_id != tuple_id:
+            raise CatalogError(
+                f"directory corruption in table {self.name!r}: expected tuple "
+                f"{tuple_id}, found {stored_id}"
+            )
+        return values
+
+    def has_tuple(self, tuple_id: int) -> bool:
+        return tuple_id in self._directory
+
+    def read_cell(self, tuple_id: int, column: str) -> Any:
+        row = self.read_row(tuple_id)
+        return row[self.schema.column_position(column)]
+
+    def scan(self) -> Iterator[Tuple[int, Tuple[Any, ...]]]:
+        """Yield ``(tuple_id, row)`` in tuple-id order."""
+        for tuple_id in sorted(self._directory):
+            yield tuple_id, self.read_row(tuple_id)
+
+    def lookup_primary_key(self, key: Sequence[Any]) -> Optional[int]:
+        """Return the tuple id of the row with the given primary key, if any."""
+        if not self.schema.primary_key_columns:
+            return None
+        return self._pk_index.get(tuple(key))
+
+    def find_tuples(self, column: str, value: Any) -> List[int]:
+        """Return tuple ids whose ``column`` equals ``value`` (sequential scan)."""
+        position = self.schema.column_position(column)
+        matches = []
+        for tuple_id, row in self.scan():
+            if values_equal(row[position], value):
+                matches.append(tuple_id)
+        return matches
+
+    def rows_as_dicts(self) -> List[Dict[str, Any]]:
+        names = self.schema.column_names
+        return [dict(zip(names, row)) for _, row in self.scan()]
+
+    def num_pages(self) -> int:
+        return self.heap.num_pages()

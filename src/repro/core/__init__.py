@@ -1,0 +1,35 @@
+"""Core package: database facade, sessions, configuration, and errors."""
+
+from repro.core.errors import (
+    AnnotationError,
+    ApprovalError,
+    AuthorizationError,
+    BdbmsError,
+    CatalogError,
+    ConstraintViolationError,
+    DependencyError,
+    ExecutionError,
+    PlanningError,
+    ProvenanceError,
+    SqlSyntaxError,
+    StorageError,
+    TransactionError,
+    TypeMismatchError,
+)
+
+__all__ = [
+    "BdbmsError",
+    "StorageError",
+    "CatalogError",
+    "TypeMismatchError",
+    "SqlSyntaxError",
+    "PlanningError",
+    "ExecutionError",
+    "ConstraintViolationError",
+    "AnnotationError",
+    "ProvenanceError",
+    "DependencyError",
+    "AuthorizationError",
+    "ApprovalError",
+    "TransactionError",
+]

@@ -1,0 +1,144 @@
+"""The bdbms facade: one object wiring every subsystem together.
+
+:class:`Database` owns the storage engine, the catalog, and the four bdbms
+managers (annotations, provenance, dependencies, authorization), and exposes
+the A-SQL entry points (`execute`, `query`).  :class:`Session` binds a user
+identity so that authorization and approval logging attribute operations to
+the right principal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Union
+
+from repro.annotations.manager import AnnotationManager
+from repro.authorization.approval import ApprovalManager
+from repro.authorization.grants import AccessControl
+from repro.catalog.catalog import SystemCatalog
+from repro.core.errors import ExecutionError
+from repro.dependencies.tracker import DependencyTracker
+from repro.executor.engine import Engine, EngineConfig, ExecutionSummary
+from repro.executor.row import ResultSet
+from repro.index.manager import IndexManager
+from repro.provenance.manager import ProvenanceManager
+from repro.sql.parser import parse_script, parse_statement
+from repro.storage.buffer_pool import DEFAULT_POOL_SIZE
+from repro.storage.disk import IoStatistics, open_disk_manager
+from repro.storage.page import DEFAULT_PAGE_SIZE
+
+ExecutionResult = Union[ResultSet, ExecutionSummary]
+
+
+class Database:
+    """A bdbms database instance.
+
+    Parameters
+    ----------
+    path:
+        Path of the database file, or ``None`` / ``":memory:"`` for an
+        in-memory database (the default, used by tests and benchmarks).
+    page_size, pool_size:
+        Storage engine knobs: page size in bytes and buffer-pool capacity in
+        pages.
+    config:
+        Engine behaviour switches (see :class:`EngineConfig`).
+    """
+
+    def __init__(self, path: Optional[str] = None,
+                 page_size: int = DEFAULT_PAGE_SIZE,
+                 pool_size: int = DEFAULT_POOL_SIZE,
+                 config: Optional[EngineConfig] = None):
+        self.disk = open_disk_manager(path, page_size)
+        self.catalog = SystemCatalog(self.disk, pool_size)
+        self.access = AccessControl()
+        self.annotations = AnnotationManager(self.catalog)
+        self.tracker = DependencyTracker(self.catalog)
+        self.provenance = ProvenanceManager(self.annotations, self.access)
+        self.approval = ApprovalManager(self.catalog, self.access, self.tracker)
+        self.indexes = IndexManager(self.catalog)
+        self.config = config or EngineConfig()
+        self.engine = Engine(
+            catalog=self.catalog,
+            annotations=self.annotations,
+            provenance=self.provenance,
+            tracker=self.tracker,
+            approval=self.approval,
+            access=self.access,
+            indexes=self.indexes,
+            config=self.config,
+        )
+
+    # ------------------------------------------------------------------
+    # SQL entry points
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, user: str = "admin") -> ExecutionResult:
+        """Parse and execute a single SQL / A-SQL statement."""
+        return self.engine.execute(parse_statement(sql), user=user)
+
+    def execute_script(self, sql: str, user: str = "admin") -> List[ExecutionResult]:
+        """Execute a semicolon-separated script, returning one result each."""
+        return [self.engine.execute(statement, user=user)
+                for statement in parse_script(sql)]
+
+    def query(self, sql: str, user: str = "admin") -> ResultSet:
+        """Execute a statement that must be a query and return its result set."""
+        result = self.execute(sql, user=user)
+        if not isinstance(result, ResultSet):
+            raise ExecutionError(f"statement is not a query: {sql!r}")
+        return result
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    def table(self, name: str):
+        return self.catalog.table(name)
+
+    def table_names(self) -> List[str]:
+        return self.catalog.table_names()
+
+    def session(self, user: str) -> "Session":
+        return Session(self, user)
+
+    def io_statistics(self) -> IoStatistics:
+        return self.disk.stats
+
+    def reset_io_statistics(self) -> None:
+        self.disk.stats.reset()
+
+    def flush(self) -> None:
+        """Write every dirty buffered page back to the disk manager."""
+        self.catalog.pool.flush_all()
+
+    def close(self) -> None:
+        self.flush()
+        self.disk.close()
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"Database(tables={self.table_names()})"
+
+
+class Session:
+    """A connection-like handle bound to one user identity."""
+
+    def __init__(self, database: Database, user: str):
+        self.database = database
+        self.user = user
+
+    def execute(self, sql: str) -> ExecutionResult:
+        return self.database.execute(sql, user=self.user)
+
+    def execute_script(self, sql: str) -> List[ExecutionResult]:
+        return self.database.execute_script(sql, user=self.user)
+
+    def query(self, sql: str) -> ResultSet:
+        return self.database.query(sql, user=self.user)
+
+    def __repr__(self) -> str:
+        return f"Session(user={self.user!r})"

@@ -1,0 +1,82 @@
+"""Exception hierarchy for the bdbms reproduction.
+
+Every error raised by the library derives from :class:`BdbmsError` so that
+callers can catch a single exception type at the API boundary.  Sub-classes
+mirror the major subsystems described in the paper: the SQL/A-SQL front end,
+the catalog, the storage engine, the annotation manager, the dependency
+manager, and the authorization manager.
+"""
+
+from __future__ import annotations
+
+
+class BdbmsError(Exception):
+    """Base class for all errors raised by the bdbms reproduction."""
+
+
+class StorageError(BdbmsError):
+    """Raised for low-level storage failures (pages, heap files, buffer pool)."""
+
+
+class PageFullError(StorageError):
+    """Raised when a record does not fit into the target slotted page."""
+
+
+class CatalogError(BdbmsError):
+    """Raised for schema and catalog violations (unknown tables, duplicates)."""
+
+
+class TypeMismatchError(BdbmsError):
+    """Raised when a value cannot be coerced to the declared column type."""
+
+
+class SqlSyntaxError(BdbmsError):
+    """Raised by the tokenizer or parser on malformed SQL / A-SQL text."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class PlanningError(BdbmsError):
+    """Raised when a statement cannot be translated into an executable plan."""
+
+
+class ExecutionError(BdbmsError):
+    """Raised when a plan fails during execution (bad expressions, overflow)."""
+
+
+class ConstraintViolationError(ExecutionError):
+    """Raised on primary-key duplicates, NOT NULL violations, and the like."""
+
+
+class AnnotationError(BdbmsError):
+    """Raised by the annotation manager (unknown annotation tables, bad regions)."""
+
+
+class ProvenanceError(AnnotationError):
+    """Raised by the provenance manager (schema violations, write access)."""
+
+
+class DependencyError(BdbmsError):
+    """Raised by the dependency manager (conflicting or cyclic rules)."""
+
+
+class AuthorizationError(BdbmsError):
+    """Raised when an operation is rejected by GRANT/REVOKE or approval rules."""
+
+
+class ApprovalError(AuthorizationError):
+    """Raised for invalid approve/disapprove requests on the update log."""
+
+
+class IndexError_(BdbmsError):
+    """Raised by access methods (B+-tree, SP-GiST, SBC-tree) on invalid use.
+
+    The trailing underscore avoids shadowing the Python built-in
+    :class:`IndexError`, which has unrelated semantics.
+    """
+
+
+class TransactionError(BdbmsError):
+    """Raised for invalid transaction state transitions or undo failures."""

@@ -1,0 +1,32 @@
+"""Local dependency tracking: procedural dependencies, bitmaps, and the tracker."""
+
+from repro.dependencies.bitmap import OutdatedBitmap
+from repro.dependencies.graph import CellKey, DependencyEdge, DependencyGraph, cell_key
+from repro.dependencies.rules import (
+    ColumnKey,
+    DependencyRule,
+    Procedure,
+    RuleSet,
+    column_key,
+)
+from repro.dependencies.tracker import (
+    OUTDATED_ANNOTATION_TABLE,
+    DependencyTracker,
+    UpdateImpact,
+)
+
+__all__ = [
+    "OutdatedBitmap",
+    "CellKey",
+    "DependencyEdge",
+    "DependencyGraph",
+    "cell_key",
+    "ColumnKey",
+    "DependencyRule",
+    "Procedure",
+    "RuleSet",
+    "column_key",
+    "OUTDATED_ANNOTATION_TABLE",
+    "DependencyTracker",
+    "UpdateImpact",
+]

@@ -1,0 +1,305 @@
+"""Procedural dependencies (paper Section 5).
+
+The paper extends functional dependencies to *procedural dependencies*: a
+target column depends on one or more source columns **through a procedure**
+that is characterised by whether the database can execute it (a prediction
+tool wrapped as a function vs. a wet-lab experiment) and whether it is
+invertible.  The rule set supports the reasoning the paper calls out:
+
+* attribute closure — every column transitively affected by a column,
+* procedure closure — every column that depends on a given procedure,
+* rule derivation by chaining (rules 1 + 2 ⇒ rule 4 in the paper),
+* conflict and cycle detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import DependencyError
+
+#: A schema-level column reference: (table name, column name), lower-cased.
+ColumnKey = Tuple[str, str]
+
+
+def column_key(table: str, column: str) -> ColumnKey:
+    return (table.lower(), column.lower())
+
+
+@dataclass(frozen=True)
+class Procedure:
+    """The procedure through which a dependency holds.
+
+    ``implementation`` is the optional Python callable that re-computes the
+    target value; it is only meaningful for executable procedures.  Its
+    signature is ``implementation(source_row, target_row) -> new_value`` where
+    both rows are column-name -> value dictionaries.
+    """
+
+    name: str
+    executable: bool = False
+    invertible: bool = False
+    implementation: Optional[Callable[[Dict[str, Any], Dict[str, Any]], Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.implementation is not None and not self.executable:
+            raise DependencyError(
+                f"procedure {self.name!r} has an implementation but is marked "
+                f"non-executable"
+            )
+
+    def can_recompute(self) -> bool:
+        return self.executable and self.implementation is not None
+
+    def chain(self, other: "Procedure") -> "Procedure":
+        """Compose two procedures (used when deriving rules by transitivity).
+
+        The chain is executable only if both procedures are executable, and
+        invertible only if both are invertible — exactly the paper's rule 4
+        reasoning.  Chained implementations are not composed automatically
+        because the intermediate value lives in another table.
+        """
+        return Procedure(
+            name=f"{self.name} + {other.name}",
+            executable=self.executable and other.executable,
+            invertible=self.invertible and other.invertible,
+            implementation=None,
+        )
+
+
+@dataclass(frozen=True)
+class DependencyRule:
+    """A schema-level procedural dependency: sources --procedure--> targets.
+
+    ``source_key`` / ``target_key`` describe how to find the dependent rows of
+    the target table from a modified source row.  When the source and target
+    tables coincide they default to "same tuple"; across tables they name the
+    join columns (e.g. ``Gene.GID = Protein.GID``).
+    """
+
+    name: str
+    sources: Tuple[ColumnKey, ...]
+    targets: Tuple[ColumnKey, ...]
+    procedure: Procedure
+    source_key: Optional[str] = None
+    target_key: Optional[str] = None
+    derived: bool = False
+
+    @classmethod
+    def create(cls, name: str, sources: Sequence[Tuple[str, str]],
+               targets: Sequence[Tuple[str, str]], procedure: Procedure,
+               source_key: Optional[str] = None,
+               target_key: Optional[str] = None,
+               derived: bool = False) -> "DependencyRule":
+        return cls(
+            name=name,
+            sources=tuple(column_key(t, c) for t, c in sources),
+            targets=tuple(column_key(t, c) for t, c in targets),
+            procedure=procedure,
+            source_key=source_key.lower() if source_key else None,
+            target_key=target_key.lower() if target_key else None,
+            derived=derived,
+        )
+
+    @property
+    def source_tables(self) -> Set[str]:
+        return {table for table, _ in self.sources}
+
+    @property
+    def target_tables(self) -> Set[str]:
+        return {table for table, _ in self.targets}
+
+    def is_cross_table(self) -> bool:
+        return self.source_tables != self.target_tables
+
+    def affects(self, table: str, column: str) -> bool:
+        return column_key(table, column) in self.sources
+
+    def __str__(self) -> str:
+        sources = ", ".join(f"{t}.{c}" for t, c in self.sources)
+        targets = ", ".join(f"{t}.{c}" for t, c in self.targets)
+        traits = []
+        traits.append("executable" if self.procedure.executable else "non-executable")
+        traits.append("invertible" if self.procedure.invertible else "non-invertible")
+        return f"{sources} --[{self.procedure.name} ({', '.join(traits)})]--> {targets}"
+
+
+class RuleSet:
+    """A collection of procedural dependency rules with reasoning support."""
+
+    def __init__(self) -> None:
+        self._rules: List[DependencyRule] = []
+
+    # ------------------------------------------------------------------
+    def add(self, rule: DependencyRule, check_cycles: bool = False) -> DependencyRule:
+        for existing in self._rules:
+            if existing.name == rule.name:
+                raise DependencyError(f"duplicate rule name {rule.name!r}")
+        conflict = self.find_conflict(rule)
+        if conflict is not None:
+            raise DependencyError(
+                f"rule {rule.name!r} conflicts with {conflict.name!r}: both derive "
+                f"{sorted(set(rule.targets) & set(conflict.targets))} through "
+                f"different procedures"
+            )
+        self._rules.append(rule)
+        if check_cycles:
+            cycle = self.find_cycle()
+            if cycle is not None:
+                self._rules.pop()
+                raise DependencyError(
+                    "adding rule {0!r} creates a dependency cycle: {1}".format(
+                        rule.name, " -> ".join(f"{t}.{c}" for t, c in cycle)
+                    )
+                )
+        return rule
+
+    def remove(self, name: str) -> None:
+        before = len(self._rules)
+        self._rules = [rule for rule in self._rules if rule.name != name]
+        if len(self._rules) == before:
+            raise DependencyError(f"no rule named {name!r}")
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self):
+        return iter(self._rules)
+
+    @property
+    def rules(self) -> List[DependencyRule]:
+        return list(self._rules)
+
+    def rules_with_source(self, table: str, column: str) -> List[DependencyRule]:
+        return [rule for rule in self._rules if rule.affects(table, column)]
+
+    def rules_for_table(self, table: str) -> List[DependencyRule]:
+        key = table.lower()
+        return [
+            rule for rule in self._rules
+            if key in rule.source_tables or key in rule.target_tables
+        ]
+
+    # ------------------------------------------------------------------
+    # Reasoning
+    # ------------------------------------------------------------------
+    def find_conflict(self, candidate: DependencyRule) -> Optional[DependencyRule]:
+        """Two rules conflict when they derive the same target column through
+        different procedures from the same source set (ambiguous derivation)."""
+        for rule in self._rules:
+            if rule.derived or candidate.derived:
+                continue
+            shared_targets = set(rule.targets) & set(candidate.targets)
+            if not shared_targets:
+                continue
+            if set(rule.sources) == set(candidate.sources) and \
+                    rule.procedure.name != candidate.procedure.name:
+                return rule
+        return None
+
+    def find_cycle(self) -> Optional[List[ColumnKey]]:
+        """Return a column-level dependency cycle if one exists, else ``None``."""
+        graph: Dict[ColumnKey, Set[ColumnKey]] = {}
+        for rule in self._rules:
+            for source in rule.sources:
+                graph.setdefault(source, set()).update(rule.targets)
+        WHITE, GRAY, BLACK = 0, 1, 2
+        state: Dict[ColumnKey, int] = {node: WHITE for node in graph}
+        stack: List[ColumnKey] = []
+
+        def visit(node: ColumnKey) -> Optional[List[ColumnKey]]:
+            state[node] = GRAY
+            stack.append(node)
+            for succ in graph.get(node, ()):  # pragma: no branch
+                if state.get(succ, WHITE) == GRAY:
+                    start = stack.index(succ)
+                    return stack[start:] + [succ]
+                if state.get(succ, WHITE) == WHITE:
+                    cycle = visit(succ)
+                    if cycle is not None:
+                        return cycle
+            stack.pop()
+            state[node] = BLACK
+            return None
+
+        for node in list(graph):
+            if state.get(node, 0) == WHITE:
+                cycle = visit(node)
+                if cycle is not None:
+                    return cycle
+        return None
+
+    def attribute_closure(self, columns: Iterable[Tuple[str, str]]) -> Set[ColumnKey]:
+        """All columns transitively affected when ``columns`` change.
+
+        The result includes the starting columns themselves, mirroring the
+        classical closure of an attribute set under functional dependencies.
+        """
+        closure: Set[ColumnKey] = {column_key(t, c) for t, c in columns}
+        changed = True
+        while changed:
+            changed = False
+            for rule in self._rules:
+                if any(source in closure for source in rule.sources):
+                    for target in rule.targets:
+                        if target not in closure:
+                            closure.add(target)
+                            changed = True
+        return closure
+
+    def procedure_closure(self, procedure_name: str) -> Set[ColumnKey]:
+        """All columns that (transitively) depend on the named procedure.
+
+        This answers the paper's "closure of a procedure" question: if the
+        procedure changes (e.g. a new BLAST version), which data must be
+        re-evaluated or marked outdated.
+        """
+        direct: Set[ColumnKey] = set()
+        for rule in self._rules:
+            if rule.procedure.name == procedure_name or \
+                    procedure_name in rule.procedure.name.split(" + "):
+                direct.update(rule.targets)
+        if not direct:
+            return set()
+        return self.attribute_closure([(t, c) for t, c in direct])
+
+    def derive_chained_rules(self, max_depth: int = 4) -> List[DependencyRule]:
+        """Derive new rules by chaining existing ones (paper's rule 4).
+
+        A derived rule A --P--> C is produced whenever A --P1--> B and
+        B --P2--> C exist; the chained procedure is executable/invertible only
+        when both components are.  Derivation iterates until a fixed point or
+        ``max_depth`` chaining levels.
+        """
+        derived: List[DependencyRule] = []
+        known: Set[Tuple[FrozenSet[ColumnKey], FrozenSet[ColumnKey]]] = {
+            (frozenset(rule.sources), frozenset(rule.targets)) for rule in self._rules
+        }
+        frontier = list(self._rules)
+        for _ in range(max_depth):
+            new_rules: List[DependencyRule] = []
+            for first in frontier:
+                for second in self._rules:
+                    if first is second:
+                        continue
+                    if not set(first.targets) & set(second.sources):
+                        continue
+                    signature = (frozenset(first.sources), frozenset(second.targets))
+                    if signature in known:
+                        continue
+                    known.add(signature)
+                    new_rules.append(DependencyRule(
+                        name=f"{first.name}>>{second.name}",
+                        sources=first.sources,
+                        targets=second.targets,
+                        procedure=first.procedure.chain(second.procedure),
+                        source_key=first.source_key,
+                        target_key=second.target_key,
+                        derived=True,
+                    ))
+            if not new_rules:
+                break
+            derived.extend(new_rules)
+            frontier = new_rules
+        return derived

@@ -1,0 +1,14 @@
+"""Execution layer: annotated rows, physical operators, and the engine."""
+
+from repro.executor.engine import Engine, EngineConfig, ExecutionSummary
+from repro.executor.row import ColumnInfo, OutputSchema, ResultSet, Row
+
+__all__ = [
+    "Engine",
+    "EngineConfig",
+    "ExecutionSummary",
+    "ColumnInfo",
+    "OutputSchema",
+    "ResultSet",
+    "Row",
+]

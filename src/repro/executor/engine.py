@@ -1,0 +1,629 @@
+"""The statement execution engine.
+
+The engine dispatches parsed SQL / A-SQL statements to the storage layer and
+the bdbms managers:
+
+* queries run through the annotation-aware operator pipeline of
+  :mod:`repro.executor.operators`;
+* DML statements pass authorization checks, are logged by the content-based
+  approval manager when monitoring is active, and trigger the dependency
+  tracker;
+* A-SQL annotation statements (CREATE/DROP ANNOTATION TABLE, ADD, ARCHIVE,
+  RESTORE) are forwarded to the annotation manager after resolving which
+  cells the enclosed statement identifies;
+* authorization statements maintain GRANT/REVOKE state and the content
+  approval configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.annotations.manager import AnnotationManager
+from repro.annotations.model import Cell
+from repro.authorization.approval import ApprovalManager
+from repro.authorization.grants import AccessControl
+from repro.catalog.catalog import SystemCatalog
+from repro.catalog.schema import Column, TableSchema
+from repro.core.errors import (
+    AnnotationError,
+    AuthorizationError,
+    ExecutionError,
+    PlanningError,
+)
+from repro.dependencies.tracker import DependencyTracker, UpdateImpact
+from repro.executor import operators as ops
+from repro.executor.row import ColumnInfo, OutputSchema, ResultSet, Row
+from repro.index.manager import IndexManager
+from repro.planner.expressions import Evaluator, contains_aggregate
+from repro.planner.planner import combine_conjuncts, push_down_conjuncts
+from repro.provenance.manager import ProvenanceManager
+from repro.sql import ast
+from repro.types.datatypes import DataType, parse_timestamp
+
+
+@dataclass
+class EngineConfig:
+    """Behavioural switches of the engine."""
+
+    #: Attach system "outdated" annotations to scans of tables that have
+    #: outdated cells (Section 5, reporting outdated data in query answers).
+    propagate_outdated: bool = True
+    #: Enforce GRANT/REVOKE privileges on every statement.
+    check_privileges: bool = True
+    #: Storage scheme used by CREATE ANNOTATION TABLE ("compact" or "naive").
+    default_annotation_scheme: str = "compact"
+    #: Automatically record provenance for INSERT statements.
+    auto_provenance: bool = False
+
+
+@dataclass
+class ExecutionSummary:
+    """Result of a non-query statement."""
+
+    statement: str
+    rows_affected: int = 0
+    message: str = ""
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return f"ExecutionSummary({self.statement}, rows={self.rows_affected})"
+
+
+ExecutionResult = Union[ResultSet, ExecutionSummary]
+
+
+class Engine:
+    """Executes AST statements against the catalog and the bdbms managers."""
+
+    def __init__(self, catalog: SystemCatalog, annotations: AnnotationManager,
+                 provenance: ProvenanceManager, tracker: DependencyTracker,
+                 approval: ApprovalManager, access: AccessControl,
+                 indexes: Optional[IndexManager] = None,
+                 config: Optional[EngineConfig] = None):
+        self.catalog = catalog
+        self.annotations = annotations
+        self.provenance = provenance
+        self.tracker = tracker
+        self.approval = approval
+        self.access = access
+        self.indexes = indexes or IndexManager(catalog)
+        self.config = config or EngineConfig()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def execute(self, statement: Any, user: str = "admin") -> ExecutionResult:
+        if isinstance(statement, (ast.Select, ast.SetOperation)):
+            return self.execute_query(statement, user)
+        if isinstance(statement, ast.CreateTable):
+            return self._create_table(statement, user)
+        if isinstance(statement, ast.DropTable):
+            return self._drop_table(statement, user)
+        if isinstance(statement, ast.CreateIndex):
+            return self._create_index(statement, user)
+        if isinstance(statement, ast.DropIndex):
+            return self._drop_index(statement, user)
+        if isinstance(statement, ast.Insert):
+            return self._insert(statement, user)
+        if isinstance(statement, ast.Update):
+            return self._update(statement, user)
+        if isinstance(statement, ast.Delete):
+            return self._delete(statement, user)
+        if isinstance(statement, ast.CreateAnnotationTable):
+            return self._create_annotation_table(statement, user)
+        if isinstance(statement, ast.DropAnnotationTable):
+            return self._drop_annotation_table(statement, user)
+        if isinstance(statement, ast.AddAnnotation):
+            return self._add_annotation(statement, user)
+        if isinstance(statement, ast.ArchiveAnnotation):
+            return self._archive_restore(statement, user, archive=True)
+        if isinstance(statement, ast.RestoreAnnotation):
+            return self._archive_restore(statement, user, archive=False)
+        if isinstance(statement, ast.Grant):
+            return self._grant(statement, user)
+        if isinstance(statement, ast.Revoke):
+            return self._revoke(statement, user)
+        if isinstance(statement, ast.StartContentApproval):
+            return self._start_approval(statement, user)
+        if isinstance(statement, ast.StopContentApproval):
+            return self._stop_approval(statement, user)
+        raise ExecutionError(f"cannot execute statement of type {type(statement).__name__}")
+
+    # ------------------------------------------------------------------
+    # Privileges
+    # ------------------------------------------------------------------
+    def _check(self, user: str, privilege: str, table: str) -> None:
+        if self.config.check_privileges:
+            self.access.check(user, privilege, table)
+
+    def _check_admin(self, user: str, action: str) -> None:
+        if self.config.check_privileges and not self.access.is_superuser(user):
+            raise AuthorizationError(f"only a superuser may {action}")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def execute_query(self, node: Any, user: str = "admin") -> ResultSet:
+        relation = self._evaluate_query(node, user)
+        return ResultSet(relation[0], relation[1])
+
+    def _evaluate_query(self, node: Any, user: str) -> ops.Relation:
+        if isinstance(node, ast.SetOperation):
+            left = self._evaluate_query(node.left, user)
+            right = self._evaluate_query(node.right, user)
+            if node.op == "UNION":
+                return ops.union(left, right, keep_all=node.all)
+            if node.op == "INTERSECT":
+                return ops.intersect(left, right)
+            return ops.except_(left, right)
+        if isinstance(node, ast.Select):
+            return self._evaluate_select(node, user)
+        raise ExecutionError(f"not a query: {type(node).__name__}")
+
+    def _evaluate_select(self, select: ast.Select, user: str) -> ops.Relation:
+        # SELECT without FROM: evaluate the items against a single empty row.
+        if not select.from_tables:
+            relation: ops.Relation = (OutputSchema([]), [Row(())])
+            return ops.project(relation, select.items)
+
+        table_refs = list(select.from_tables) + [join.table for join in select.joins]
+        for ref in table_refs:
+            self._check(user, "SELECT", ref.name)
+
+        resolvable = {
+            ref.effective_name.lower(): {
+                name.lower() for name in self.catalog.table(ref.name).schema.column_names
+            }
+            for ref in table_refs
+        }
+        pushed, residual = push_down_conjuncts(select.where, table_refs, resolvable)
+
+        scans: Dict[str, ops.Relation] = {}
+        for ref in table_refs:
+            scans[ref.effective_name.lower()] = self._scan(ref, pushed.get(
+                ref.effective_name.lower(), []))
+
+        # FROM list (comma-separated) combined by cross product, then explicit joins.
+        relation = scans[select.from_tables[0].effective_name.lower()]
+        for ref in select.from_tables[1:]:
+            relation = ops.cross_join(relation, scans[ref.effective_name.lower()])
+        for join in select.joins:
+            right = scans[join.table.effective_name.lower()]
+            relation = ops.nested_loop_join(relation, right, join.condition,
+                                            join.join_type)
+
+        residual_expr = combine_conjuncts(residual)
+        if residual_expr is not None:
+            relation = ops.filter_rows(relation, residual_expr)
+        if select.awhere is not None:
+            relation = ops.awhere_filter(relation, select.awhere)
+
+        has_aggregates = bool(select.group_by) or any(
+            not isinstance(item.expr, ast.Star) and contains_aggregate(item.expr)
+            for item in select.items
+        )
+        if has_aggregates:
+            relation = ops.group_and_aggregate(relation, select.group_by,
+                                               select.items, select.having,
+                                               select.ahaving)
+            if select.filter is not None:
+                relation = ops.filter_annotations(relation, select.filter)
+        else:
+            if select.having is not None or select.ahaving is not None:
+                raise PlanningError("HAVING/AHAVING require GROUP BY or aggregates")
+            if select.filter is not None:
+                relation = ops.filter_annotations(relation, select.filter)
+            # ORDER BY may reference columns that are not projected (e.g.
+            # ``SELECT name ... ORDER BY score``): sort before projecting when
+            # the sort keys resolve against the full relation, and fall back
+            # to sorting the projected output (for aliases) otherwise.
+            ordered_early = False
+            if select.order_by:
+                try:
+                    relation = ops.order_by(relation, select.order_by)
+                    ordered_early = True
+                except PlanningError:
+                    ordered_early = False
+            relation = ops.project(relation, select.items)
+            if select.order_by and not ordered_early:
+                relation = ops.order_by(relation, select.order_by)
+            if select.distinct:
+                relation = ops.distinct(relation)
+            if select.limit is not None or select.offset is not None:
+                relation = ops.limit_offset(relation, select.limit, select.offset)
+            return relation
+
+        if select.distinct:
+            relation = ops.distinct(relation)
+        if select.order_by:
+            relation = ops.order_by(relation, select.order_by)
+        if select.limit is not None or select.offset is not None:
+            relation = ops.limit_offset(relation, select.limit, select.offset)
+        return relation
+
+    def _scan(self, ref: ast.TableRef,
+              pushed_conjuncts: Sequence[ast.Expression]) -> ops.Relation:
+        table = self.catalog.table(ref.name)
+        propagation_index = None
+        if ref.annotation_tables:
+            propagation_index = self.annotations.propagation_index(
+                table.name, ref.annotation_tables
+            )
+        status = None
+        if self.config.propagate_outdated:
+            status_map = self.tracker.status_annotations(table.name)
+            status = status_map if status_map else None
+        relation = ops.scan_table(table, ref.effective_name,
+                                  propagation_index, status)
+        pushdown = combine_conjuncts(list(pushed_conjuncts))
+        if pushdown is not None:
+            relation = ops.filter_rows(relation, pushdown)
+        return relation
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def _create_table(self, statement: ast.CreateTable, user: str) -> ExecutionSummary:
+        self._check_admin(user, "create tables")
+        columns = [
+            Column(
+                name=definition.name,
+                dtype=DataType.from_name(definition.type_name),
+                nullable=definition.nullable,
+                primary_key=definition.primary_key,
+                default=definition.default,
+            )
+            for definition in statement.columns
+        ]
+        self.catalog.create_table(TableSchema(statement.name, columns))
+        return ExecutionSummary("CREATE TABLE", message=f"table {statement.name} created")
+
+    def _drop_table(self, statement: ast.DropTable, user: str) -> ExecutionSummary:
+        self._check_admin(user, "drop tables")
+        self.annotations.drop_all_for(statement.name)
+        self.indexes.drop_indexes_for(statement.name)
+        self.catalog.drop_table(statement.name)
+        return ExecutionSummary("DROP TABLE", message=f"table {statement.name} dropped")
+
+    def _create_index(self, statement: ast.CreateIndex, user: str) -> ExecutionSummary:
+        self._check_admin(user, "create indexes")
+        self.indexes.create_index(statement.name, statement.table,
+                                  statement.columns, statement.method)
+        return ExecutionSummary(
+            "CREATE INDEX",
+            message=f"index {statement.name} ({statement.method}) created on "
+                    f"{statement.table}({', '.join(statement.columns)})",
+        )
+
+    def _drop_index(self, statement: ast.DropIndex, user: str) -> ExecutionSummary:
+        self._check_admin(user, "drop indexes")
+        self.indexes.drop_index(statement.name)
+        return ExecutionSummary("DROP INDEX", message=f"index {statement.name} dropped")
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+    def _literal_evaluator(self) -> Evaluator:
+        return Evaluator(OutputSchema([]))
+
+    def _insert(self, statement: ast.Insert, user: str) -> ExecutionSummary:
+        self._check(user, "INSERT", statement.table)
+        table = self.catalog.table(statement.table)
+        evaluator = self._literal_evaluator()
+        empty = Row(())
+        inserted: List[int] = []
+        logged: List[int] = []
+        for row_exprs in statement.rows:
+            values = [evaluator.compile(expr)(empty) for expr in row_exprs]
+            if statement.columns:
+                if len(values) != len(statement.columns):
+                    raise ExecutionError(
+                        "INSERT column list and VALUES arity do not match"
+                    )
+                row_dict = dict(zip(statement.columns, values))
+                tuple_id = table.insert_row(row_dict)
+            else:
+                tuple_id = table.insert_positional(values)
+                row_dict = dict(zip(table.schema.column_names,
+                                    table.read_row(tuple_id)))
+            inserted.append(tuple_id)
+            self.indexes.on_insert(table.name, tuple_id,
+                                   dict(zip(table.schema.column_names,
+                                            table.read_row(tuple_id))))
+            operation = self.approval.log_insert(user, table.name, tuple_id, row_dict)
+            if operation is not None:
+                logged.append(operation.op_id)
+            if self.config.auto_provenance:
+                cells = {(tuple_id, pos) for pos in range(len(table.schema))}
+                self.provenance.record(table.name, cells, source="local",
+                                       operation="insert", agent="system", user=user)
+        return ExecutionSummary(
+            "INSERT", rows_affected=len(inserted),
+            details={"tuple_ids": inserted, "logged_operations": logged},
+        )
+
+    def _matching_tuples(self, table_name: str,
+                         where: Optional[ast.Expression],
+                         qualifier: Optional[str] = None) -> List[Tuple[int, Row]]:
+        """Return (tuple_id, row) pairs of a table matching ``where``."""
+        table = self.catalog.table(table_name)
+        schema, rows = ops.scan_table(table, qualifier or table.name,
+                                      include_tuple_id=True)
+        if where is not None:
+            schema, rows = ops.filter_rows((schema, rows), where)
+        return [(row.values[0], row) for row in rows]
+
+    def _update(self, statement: ast.Update, user: str) -> ExecutionSummary:
+        self._check(user, "UPDATE", statement.table)
+        table = self.catalog.table(statement.table)
+        matches = self._matching_tuples(statement.table, statement.where)
+        schema, _ = ops.scan_table(table, table.name, include_tuple_id=True)
+        evaluator = Evaluator(schema)
+        compiled = [(column, evaluator.compile(expr))
+                    for column, expr in statement.assignments]
+        impact = UpdateImpact()
+        logged: List[int] = []
+        for tuple_id, row in matches:
+            old_row = dict(zip(table.schema.column_names, table.read_row(tuple_id)))
+            changes = {column: evaluate(row) for column, evaluate in compiled}
+            table.update_row(tuple_id, changes)
+            self.indexes.on_update(table.name, tuple_id, old_row,
+                                   dict(zip(table.schema.column_names,
+                                            table.read_row(tuple_id))))
+            old_subset = {column: old_row[table.schema.column(column).name]
+                          if table.schema.column(column).name in old_row
+                          else old_row.get(column)
+                          for column in changes}
+            operation = self.approval.log_update(user, table.name, tuple_id,
+                                                 old_subset, changes)
+            if operation is not None:
+                logged.append(operation.op_id)
+            impact.merge(self.tracker.handle_update(table.name, tuple_id,
+                                                    list(changes)))
+        return ExecutionSummary(
+            "UPDATE", rows_affected=len(matches),
+            details={
+                "tuple_ids": [tuple_id for tuple_id, _ in matches],
+                "changed_columns": [column for column, _ in statement.assignments],
+                "logged_operations": logged,
+                "recomputed": impact.recomputed,
+                "marked_outdated": impact.marked_outdated,
+            },
+        )
+
+    def _delete(self, statement: ast.Delete, user: str) -> ExecutionSummary:
+        self._check(user, "DELETE", statement.table)
+        table = self.catalog.table(statement.table)
+        matches = self._matching_tuples(statement.table, statement.where)
+        impact = UpdateImpact()
+        logged: List[int] = []
+        deleted_rows: List[Dict[str, Any]] = []
+        for tuple_id, _ in matches:
+            old_row = dict(zip(table.schema.column_names, table.read_row(tuple_id)))
+            impact.merge(self.tracker.handle_delete(table.name, tuple_id))
+            table.delete_row(tuple_id)
+            self.indexes.on_delete(table.name, tuple_id, old_row)
+            deleted_rows.append(old_row)
+            operation = self.approval.log_delete(user, table.name, tuple_id, old_row)
+            if operation is not None:
+                logged.append(operation.op_id)
+        return ExecutionSummary(
+            "DELETE", rows_affected=len(matches),
+            details={
+                "tuple_ids": [tuple_id for tuple_id, _ in matches],
+                "deleted_rows": deleted_rows,
+                "logged_operations": logged,
+                "marked_outdated": impact.marked_outdated,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # A-SQL: annotation DDL and DML
+    # ------------------------------------------------------------------
+    def _create_annotation_table(self, statement: ast.CreateAnnotationTable,
+                                 user: str) -> ExecutionSummary:
+        self._check(user, "ANNOTATE", statement.on_table)
+        self.annotations.create_annotation_table(
+            statement.on_table, statement.annotation_table,
+            scheme=self.config.default_annotation_scheme,
+        )
+        return ExecutionSummary(
+            "CREATE ANNOTATION TABLE",
+            message=f"annotation table {statement.on_table}.{statement.annotation_table} created",
+        )
+
+    def _drop_annotation_table(self, statement: ast.DropAnnotationTable,
+                               user: str) -> ExecutionSummary:
+        self._check(user, "ANNOTATE", statement.on_table)
+        self.annotations.drop_annotation_table(statement.on_table,
+                                               statement.annotation_table)
+        return ExecutionSummary(
+            "DROP ANNOTATION TABLE",
+            message=f"annotation table {statement.on_table}.{statement.annotation_table} dropped",
+        )
+
+    def _target_cells_from_select(self, select: ast.Select) -> Tuple[str, Set[Cell]]:
+        """Resolve the (user table, cells) an ADD/ARCHIVE/RESTORE target selects.
+
+        The enclosed SELECT must reference a single user table; the projected
+        columns determine the column granularity (``*`` selects whole tuples,
+        an explicit list selects those columns only), and the WHERE clause
+        determines which tuples are covered (no WHERE covers the whole table,
+        as in the paper's GSequence-column example).
+        """
+        if len(select.from_tables) != 1 or select.joins:
+            raise AnnotationError(
+                "the ON <statement> of an annotation command must select from "
+                "exactly one user table"
+            )
+        if select.group_by or select.having:
+            raise AnnotationError(
+                "the ON <statement> of an annotation command cannot use GROUP BY"
+            )
+        ref = select.from_tables[0]
+        table = self.catalog.table(ref.name)
+        schema = table.schema
+        # Which columns does the projection cover?
+        positions: List[int] = []
+        for item in select.items:
+            expr = item.expr
+            if isinstance(expr, ast.Star):
+                positions = list(range(len(schema)))
+                break
+            if isinstance(expr, ast.ColumnRef):
+                positions.append(schema.column_position(expr.name))
+            else:
+                raise AnnotationError(
+                    "annotation targets must project plain columns or *"
+                )
+        matches = self._matching_tuples(ref.name, select.where, ref.effective_name)
+        cells = {(tuple_id, position) for tuple_id, _ in matches for position in positions}
+        return table.name, cells
+
+    def _add_annotation(self, statement: ast.AddAnnotation, user: str) -> ExecutionSummary:
+        target = statement.target
+        if isinstance(target, ast.Select):
+            user_table, cells = self._target_cells_from_select(target)
+            dml_summary = None
+        elif isinstance(target, (ast.Insert, ast.Update)):
+            dml_summary = self.execute(target, user)
+            user_table = target.table
+            table = self.catalog.table(user_table)
+            tuple_ids = dml_summary.details.get("tuple_ids", [])
+            if isinstance(target, ast.Update):
+                columns = dml_summary.details.get("changed_columns", [])
+                positions = [table.schema.column_position(c) for c in columns]
+            else:
+                positions = list(range(len(table.schema)))
+            cells = {(tuple_id, position) for tuple_id in tuple_ids for position in positions}
+        elif isinstance(target, ast.Delete):
+            # Deleted tuples are preserved in a log table together with the
+            # annotation explaining the deletion (paper Section 3.2).
+            return self._annotate_delete(statement, target, user)
+        else:
+            raise AnnotationError(
+                "ADD ANNOTATION requires a SELECT, INSERT, UPDATE or DELETE target"
+            )
+        self._check(user, "ANNOTATE", user_table)
+        added = self.annotations.add_annotation(
+            statement.annotation_tables, statement.body, cells,
+            curator=user, user_table=user_table,
+        )
+        summary = ExecutionSummary(
+            "ADD ANNOTATION", rows_affected=len(added),
+            message=f"annotation added to {len(cells)} cell(s) of {user_table}",
+            details={"annotations": added, "cells": sorted(cells)},
+        )
+        if dml_summary is not None:
+            summary.details["dml"] = dml_summary
+        return summary
+
+    def _annotate_delete(self, statement: ast.AddAnnotation, target: ast.Delete,
+                         user: str) -> ExecutionSummary:
+        table = self.catalog.table(target.table)
+        log_table_name = f"{table.name}__deleted"
+        if not self.catalog.has_table(log_table_name):
+            columns = [
+                Column(column.name, column.dtype, nullable=True, primary_key=False)
+                for column in table.schema.columns
+            ]
+            self.catalog.create_table(TableSchema(log_table_name, columns))
+        log_table = self.catalog.table(log_table_name)
+        summary = self._delete(target, user)
+        new_tuple_ids = []
+        for row in summary.details["deleted_rows"]:
+            new_tuple_ids.append(log_table.insert_row(row))
+        # The annotation explaining the deletion is attached to the logged rows.
+        for spec in statement.annotation_tables:
+            name = spec.split(".")[-1]
+            if not self.annotations.has(log_table_name, name):
+                self.annotations.create_annotation_table(
+                    log_table_name, name,
+                    scheme=self.config.default_annotation_scheme,
+                )
+        cells = {(tuple_id, position)
+                 for tuple_id in new_tuple_ids
+                 for position in range(len(log_table.schema))}
+        added = []
+        if cells:
+            added = self.annotations.add_annotation(
+                [spec.split(".")[-1] for spec in statement.annotation_tables],
+                statement.body, cells, curator=user, user_table=log_table_name,
+            )
+        return ExecutionSummary(
+            "ADD ANNOTATION", rows_affected=summary.rows_affected,
+            message=(f"{summary.rows_affected} tuple(s) deleted from {table.name}; "
+                     f"logged to {log_table_name} with annotation"),
+            details={"dml": summary, "annotations": added,
+                     "log_table": log_table_name},
+        )
+
+    def _archive_restore(self, statement: Any, user: str, archive: bool) -> ExecutionSummary:
+        if not isinstance(statement.target, ast.Select):
+            raise AnnotationError(
+                "ARCHIVE/RESTORE ANNOTATION requires a SELECT target"
+            )
+        user_table, cells = self._target_cells_from_select(statement.target)
+        self._check(user, "ANNOTATE", user_table)
+        time_from = parse_timestamp(statement.time_from) if statement.time_from else None
+        time_to = parse_timestamp(statement.time_to) if statement.time_to else None
+        if archive:
+            changed = self.annotations.archive(statement.annotation_tables, cells,
+                                               time_from, time_to, user_table)
+            verb = "archived"
+        else:
+            changed = self.annotations.restore(statement.annotation_tables, cells,
+                                               time_from, time_to, user_table)
+            verb = "restored"
+        return ExecutionSummary(
+            "ARCHIVE ANNOTATION" if archive else "RESTORE ANNOTATION",
+            rows_affected=len(changed),
+            message=f"{len(changed)} annotation(s) {verb}",
+            details={"annotations": changed},
+        )
+
+    # ------------------------------------------------------------------
+    # Authorization statements
+    # ------------------------------------------------------------------
+    def _grant(self, statement: ast.Grant, user: str) -> ExecutionSummary:
+        self._check_admin(user, "grant privileges")
+        records = self.access.grant(statement.privileges, statement.table,
+                                    statement.grantee)
+        return ExecutionSummary(
+            "GRANT", rows_affected=len(records),
+            message=f"granted {', '.join(statement.privileges)} on "
+                    f"{statement.table} to {statement.grantee}",
+        )
+
+    def _revoke(self, statement: ast.Revoke, user: str) -> ExecutionSummary:
+        self._check_admin(user, "revoke privileges")
+        removed = self.access.revoke(statement.privileges, statement.table,
+                                     statement.grantee)
+        return ExecutionSummary(
+            "REVOKE", rows_affected=removed,
+            message=f"revoked {', '.join(statement.privileges)} on "
+                    f"{statement.table} from {statement.grantee}",
+        )
+
+    def _start_approval(self, statement: ast.StartContentApproval,
+                        user: str) -> ExecutionSummary:
+        self._check_admin(user, "start content approval")
+        config = self.approval.start_approval(statement.table, statement.approver,
+                                              statement.columns)
+        scope = ", ".join(config.columns) if config.columns else "all columns"
+        return ExecutionSummary(
+            "START CONTENT APPROVAL",
+            message=f"content approval ON for {config.table} ({scope}), "
+                    f"approved by {config.approver}",
+        )
+
+    def _stop_approval(self, statement: ast.StopContentApproval,
+                       user: str) -> ExecutionSummary:
+        self._check_admin(user, "stop content approval")
+        self.approval.stop_approval(statement.table, statement.columns)
+        return ExecutionSummary(
+            "STOP CONTENT APPROVAL",
+            message=f"content approval OFF for {statement.table}",
+        )

@@ -1,0 +1,490 @@
+"""Physical operators with annotation-aware propagation semantics.
+
+Every operator takes and returns ``(OutputSchema, list[Row])`` pairs.  The
+propagation rules follow Section 3.4 of the paper:
+
+* **scan** attaches to each column the annotations of that cell (from the
+  propagation index of the requested annotation tables) plus any system
+  status annotations for outdated cells;
+* **selection** (WHERE/HAVING) passes qualifying tuples *with all their
+  annotations*;
+* **projection** passes only the annotations attached to the projected
+  attributes; the ``PROMOTE`` clause additionally copies annotations from
+  other columns onto a projected column;
+* **duplicate elimination, GROUP BY, UNION, INTERSECT, EXCEPT** union the
+  annotations of the tuples they combine and attach them to the output tuple;
+* **AWHERE / AHAVING** pass a tuple only if some annotation satisfies the
+  condition; **FILTER** keeps all tuples but drops non-matching annotations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.catalog.table import Table
+from repro.core.errors import ExecutionError, PlanningError
+from repro.executor.row import (
+    ColumnInfo,
+    OutputSchema,
+    Row,
+    merge_annotation_vectors,
+)
+from repro.planner.expressions import (
+    AggregateState,
+    AnnotationPredicate,
+    Evaluator,
+    find_aggregates,
+    predicate_is_true,
+)
+from repro.planner.planner import referenced_columns
+from repro.sql import ast
+from repro.types.values import SortKey
+
+Relation = Tuple[OutputSchema, List[Row]]
+
+
+# ---------------------------------------------------------------------------
+# Scan
+# ---------------------------------------------------------------------------
+def scan_table(table: Table, qualifier: str,
+               propagation_index=None,
+               status_annotations: Optional[Dict[Tuple[int, int], Any]] = None,
+               include_tuple_id: bool = False) -> Relation:
+    """Scan a stored table, attaching annotations per cell.
+
+    ``propagation_index`` is a :class:`~repro.annotations.manager.PropagationIndex`
+    (or ``None`` for an unannotated scan); ``status_annotations`` maps
+    (tuple id, column position) to the synthetic outdated-status annotations
+    from the dependency tracker.  ``include_tuple_id`` exposes the tuple id as
+    a leading pseudo-column named ``__tid__`` (used internally by DML and by
+    ADD ANNOTATION target resolution).
+    """
+    names = table.schema.column_names
+    columns = [ColumnInfo(name, qualifier) for name in names]
+    if include_tuple_id:
+        columns = [ColumnInfo("__tid__", qualifier)] + columns
+    schema = OutputSchema(columns)
+    rows: List[Row] = []
+    for tuple_id, values in table.scan():
+        annotations: List[Set[Any]] = [set() for _ in names]
+        if propagation_index is not None and not propagation_index.is_empty():
+            for position in range(len(names)):
+                annotations[position] |= propagation_index.lookup(tuple_id, position)
+        if status_annotations:
+            for position in range(len(names)):
+                status = status_annotations.get((tuple_id, position))
+                if status is not None:
+                    annotations[position].add(status)
+        if include_tuple_id:
+            values = (tuple_id,) + tuple(values)
+            annotations = [set()] + annotations
+        rows.append(Row(tuple(values), annotations))
+    return schema, rows
+
+
+# ---------------------------------------------------------------------------
+# Selection (data predicates)
+# ---------------------------------------------------------------------------
+def filter_rows(relation: Relation, predicate: ast.Expression) -> Relation:
+    schema, rows = relation
+    evaluate = Evaluator(schema).compile(predicate)
+    kept = [row for row in rows if predicate_is_true(evaluate(row))]
+    return schema, kept
+
+
+# ---------------------------------------------------------------------------
+# Annotation predicates (AWHERE / FILTER)
+# ---------------------------------------------------------------------------
+def awhere_filter(relation: Relation, condition: ast.Expression) -> Relation:
+    """Pass a tuple (with all its annotations) when any annotation matches."""
+    schema, rows = relation
+    predicate = AnnotationPredicate(condition)
+    kept = [
+        row for row in rows
+        if any(predicate.matches(annotation) for annotation in row.all_annotations())
+    ]
+    return schema, kept
+
+
+def filter_annotations(relation: Relation, condition: ast.Expression) -> Relation:
+    """Keep every tuple but drop annotations that do not match the condition."""
+    schema, rows = relation
+    predicate = AnnotationPredicate(condition)
+    filtered: List[Row] = []
+    for row in rows:
+        new_annotations = [
+            {annotation for annotation in anns if predicate.matches(annotation)}
+            for anns in row.annotations
+        ]
+        filtered.append(Row(row.values, new_annotations))
+    return schema, filtered
+
+
+# ---------------------------------------------------------------------------
+# Joins
+# ---------------------------------------------------------------------------
+def cross_join(left: Relation, right: Relation) -> Relation:
+    left_schema, left_rows = left
+    right_schema, right_rows = right
+    schema = left_schema.concat(right_schema)
+    rows = [l.concat(r) for l in left_rows for r in right_rows]
+    return schema, rows
+
+
+def nested_loop_join(left: Relation, right: Relation,
+                     condition: Optional[ast.Expression],
+                     join_type: str = "INNER") -> Relation:
+    """Nested-loop join; supports INNER, CROSS, and LEFT outer joins."""
+    left_schema, left_rows = left
+    right_schema, right_rows = right
+    schema = left_schema.concat(right_schema)
+    evaluate = None
+    if condition is not None:
+        evaluate = Evaluator(schema).compile(condition)
+    rows: List[Row] = []
+    right_arity = len(right_schema)
+    for left_row in left_rows:
+        matched = False
+        for right_row in right_rows:
+            combined = left_row.concat(right_row)
+            if evaluate is None or predicate_is_true(evaluate(combined)):
+                rows.append(combined)
+                matched = True
+        if join_type == "LEFT" and not matched:
+            padding = Row(tuple([None] * right_arity))
+            rows.append(left_row.concat(padding))
+    return schema, rows
+
+
+# ---------------------------------------------------------------------------
+# Projection (with PROMOTE)
+# ---------------------------------------------------------------------------
+def _annotation_sources(expr: ast.Expression, schema: OutputSchema) -> List[int]:
+    """Positions whose annotations flow to the output column of ``expr``."""
+    positions = []
+    for ref in referenced_columns(expr):
+        position = schema.try_resolve(ref.name, ref.table)
+        if position is not None:
+            positions.append(position)
+    return positions
+
+
+def project(relation: Relation, items: Sequence[ast.SelectItem]) -> Relation:
+    """Projection: only annotations of projected (or PROMOTEd) columns survive."""
+    schema, rows = relation
+    evaluator = Evaluator(schema)
+
+    # Expand the projection list into (output column, value getter, annotation
+    # source positions) triples.
+    output_columns: List[ColumnInfo] = []
+    getters: List[Callable[[Row], Any]] = []
+    annotation_sources: List[List[int]] = []
+
+    for item in items:
+        expr = item.expr
+        if isinstance(expr, ast.Star):
+            positions = (range(len(schema))
+                         if expr.table is None
+                         else schema.positions_for_qualifier(expr.table))
+            positions = list(positions)
+            if expr.table is not None and not positions:
+                raise PlanningError(f"unknown table alias {expr.table!r} in projection")
+            for position in positions:
+                column = schema.columns[position]
+                if column.name == "__tid__":
+                    continue
+                output_columns.append(ColumnInfo(column.name, column.qualifier))
+                getters.append(lambda row, p=position: row.values[p])
+                annotation_sources.append([position])
+            continue
+        name = item.alias
+        if name is None:
+            name = expr.name if isinstance(expr, ast.ColumnRef) else f"expr_{len(output_columns) + 1}"
+        compiled = evaluator.compile(expr)
+        sources = _annotation_sources(expr, schema)
+        for promoted in item.promote:
+            position = schema.try_resolve(promoted.name, promoted.table)
+            if position is None:
+                raise PlanningError(
+                    f"PROMOTE references unknown column {promoted.display()!r}"
+                )
+            sources.append(position)
+        output_columns.append(ColumnInfo(name))
+        getters.append(compiled)
+        annotation_sources.append(sources)
+
+    output_schema = OutputSchema(output_columns)
+    output_rows: List[Row] = []
+    for row in rows:
+        values = tuple(getter(row) for getter in getters)
+        annotations = []
+        for sources in annotation_sources:
+            merged: Set[Any] = set()
+            for position in sources:
+                merged |= row.annotations[position]
+            annotations.append(merged)
+        output_rows.append(Row(values, annotations))
+    return output_schema, output_rows
+
+
+# ---------------------------------------------------------------------------
+# Grouping and aggregation
+# ---------------------------------------------------------------------------
+def group_and_aggregate(relation: Relation, group_by: Sequence[ast.Expression],
+                        items: Sequence[ast.SelectItem],
+                        having: Optional[ast.Expression] = None,
+                        ahaving: Optional[ast.Expression] = None) -> Relation:
+    """GROUP BY + aggregate evaluation with annotation union per group.
+
+    The output tuple of each group carries, on every output column, the union
+    of all annotations of the group's input rows (the paper's rule for
+    operators that combine multiple tuples into one).
+    """
+    schema, rows = relation
+    evaluator = Evaluator(schema)
+    group_keys = [evaluator.compile(expr) for expr in group_by]
+
+    groups: Dict[Tuple[Any, ...], List[Row]] = {}
+    order: List[Tuple[Any, ...]] = []
+    if group_keys:
+        for row in rows:
+            key = tuple(key(row) for key in group_keys)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+    else:
+        # A query with aggregates but no GROUP BY forms one global group.
+        key = ()
+        groups[key] = list(rows)
+        order.append(key)
+
+    # Column list of the output.
+    output_columns: List[ColumnInfo] = []
+    for index, item in enumerate(items):
+        if isinstance(item.expr, ast.Star):
+            raise PlanningError("'*' cannot be used together with GROUP BY / aggregates")
+        if item.alias:
+            name = item.alias
+        elif isinstance(item.expr, ast.ColumnRef):
+            name = item.expr.name
+        elif isinstance(item.expr, ast.FunctionCall):
+            name = item.expr.name.lower()
+        else:
+            name = f"expr_{index + 1}"
+        output_columns.append(ColumnInfo(name))
+    output_schema = OutputSchema(output_columns)
+
+    having_predicate = None
+    ahaving_predicate = AnnotationPredicate(ahaving) if ahaving is not None else None
+
+    output_rows: List[Row] = []
+    for key in order:
+        members = groups[key]
+        if not members and not group_keys:
+            members = []
+        representative = members[0] if members else None
+        values: List[Any] = []
+        for item in items:
+            values.append(_evaluate_group_expression(item.expr, evaluator, members,
+                                                     representative))
+        merged = merge_annotation_vectors(members, len(schema)) if members else []
+        union_all: Set[Any] = set()
+        for anns in merged:
+            union_all |= anns
+        annotations = [set(union_all) for _ in values]
+        candidate = Row(tuple(values), annotations)
+        if having is not None:
+            if not predicate_is_true(
+                _evaluate_group_expression(having, evaluator, members, representative)
+            ):
+                continue
+        if ahaving_predicate is not None:
+            if not any(ahaving_predicate.matches(a) for a in union_all):
+                continue
+        output_rows.append(candidate)
+    return output_schema, output_rows
+
+
+def _evaluate_group_expression(expr: ast.Expression, evaluator: Evaluator,
+                               members: List[Row],
+                               representative: Optional[Row]) -> Any:
+    """Evaluate an expression that may mix aggregates and group-by columns."""
+    aggregates = find_aggregates(expr)
+    if not aggregates:
+        if representative is None:
+            return None
+        return evaluator.compile(expr)(representative)
+    # Evaluate each aggregate over the group, then substitute the results.
+    results: Dict[int, Any] = {}
+    for aggregate in aggregates:
+        state = AggregateState(aggregate, evaluator)
+        for row in members:
+            state.add(row)
+        results[id(aggregate)] = state.result()
+    return _evaluate_with_aggregates(expr, evaluator, representative, results)
+
+
+def _evaluate_with_aggregates(expr: ast.Expression, evaluator: Evaluator,
+                              representative: Optional[Row],
+                              aggregate_results: Dict[int, Any]) -> Any:
+    if id(expr) in aggregate_results:
+        return aggregate_results[id(expr)]
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.ColumnRef):
+        if representative is None:
+            return None
+        return evaluator.compile(expr)(representative)
+    if isinstance(expr, ast.BinaryOp):
+        left = _evaluate_with_aggregates(expr.left, evaluator, representative,
+                                         aggregate_results)
+        right = _evaluate_with_aggregates(expr.right, evaluator, representative,
+                                          aggregate_results)
+        return _apply_binary(expr.op, left, right)
+    if isinstance(expr, ast.UnaryOp):
+        operand = _evaluate_with_aggregates(expr.operand, evaluator, representative,
+                                            aggregate_results)
+        if expr.op == "-":
+            return None if operand is None else -operand
+        if expr.op == "NOT":
+            return None if operand is None else (not bool(operand))
+        return operand
+    if isinstance(expr, ast.FunctionCall):
+        from repro.planner.expressions import SCALAR_FUNCTIONS
+        function = SCALAR_FUNCTIONS.get(expr.name.upper())
+        if function is None:
+            raise PlanningError(f"unknown function {expr.name}")
+        args = [
+            _evaluate_with_aggregates(arg, evaluator, representative, aggregate_results)
+            for arg in expr.args
+        ]
+        return function(*args)
+    raise PlanningError(
+        f"unsupported construct in aggregate expression: {type(expr).__name__}"
+    )
+
+
+def _apply_binary(op: str, left: Any, right: Any) -> Any:
+    from repro.types.values import compare_values
+    if op in ("AND", "OR"):
+        if left is None or right is None:
+            return None
+        return (bool(left) and bool(right)) if op == "AND" else (bool(left) or bool(right))
+    if op in ("=", "<>", "<", "<=", ">", ">="):
+        cmp = compare_values(left, right)
+        if cmp is None:
+            return None
+        return {"=": cmp == 0, "<>": cmp != 0, "<": cmp < 0,
+                "<=": cmp <= 0, ">": cmp > 0, ">=": cmp >= 0}[op]
+    if left is None or right is None:
+        return None
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise ExecutionError("division by zero")
+        return left / right
+    if op == "%":
+        return left % right
+    if op == "||":
+        return str(left) + str(right)
+    raise PlanningError(f"unsupported operator {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Duplicate elimination, ordering, limits
+# ---------------------------------------------------------------------------
+def distinct(relation: Relation) -> Relation:
+    """DISTINCT: equal value-tuples collapse; their annotations are unioned."""
+    schema, rows = relation
+    seen: Dict[Tuple[Any, ...], List[Row]] = {}
+    order: List[Tuple[Any, ...]] = []
+    for row in rows:
+        if row.values not in seen:
+            seen[row.values] = []
+            order.append(row.values)
+        seen[row.values].append(row)
+    output = []
+    for values in order:
+        members = seen[values]
+        annotations = merge_annotation_vectors(members, len(schema))
+        output.append(Row(values, annotations))
+    return schema, output
+
+
+def order_by(relation: Relation, order_items: Sequence[ast.OrderItem]) -> Relation:
+    schema, rows = relation
+    evaluator = Evaluator(schema)
+    compiled = [(evaluator.compile(item.expr), item.ascending) for item in order_items]
+    decorated = list(rows)
+    # Sort by the last key first so earlier keys take precedence (stable sort).
+    for evaluate, ascending in reversed(compiled):
+        decorated.sort(key=lambda row: SortKey(evaluate(row)), reverse=not ascending)
+    return schema, decorated
+
+
+def limit_offset(relation: Relation, limit: Optional[int],
+                 offset: Optional[int]) -> Relation:
+    schema, rows = relation
+    start = offset or 0
+    end = None if limit is None else start + limit
+    return schema, rows[start:end]
+
+
+# ---------------------------------------------------------------------------
+# Set operations
+# ---------------------------------------------------------------------------
+def _check_arity(left: Relation, right: Relation, op: str) -> None:
+    if len(left[0]) != len(right[0]):
+        raise ExecutionError(
+            f"{op} requires both sides to have the same number of columns "
+            f"({len(left[0])} vs {len(right[0])})"
+        )
+
+
+def union(left: Relation, right: Relation, keep_all: bool = False) -> Relation:
+    """UNION [ALL]: annotations of matching tuples from both sides are unioned."""
+    _check_arity(left, right, "UNION")
+    schema = left[0]
+    combined = list(left[1]) + [Row(row.values, row.annotations) for row in right[1]]
+    if keep_all:
+        return schema, combined
+    return distinct((schema, combined))
+
+
+def intersect(left: Relation, right: Relation) -> Relation:
+    """INTERSECT: data values must match; annotations from both sides merge.
+
+    This is the paper's motivating example (Section 3): the genes common to
+    DB1_Gene and DB2_Gene carry the annotations from *both* tables in the
+    answer, something plain SQL needs three statements to achieve.
+    """
+    _check_arity(left, right, "INTERSECT")
+    schema = left[0]
+    right_groups: Dict[Tuple[Any, ...], List[Row]] = {}
+    for row in right[1]:
+        right_groups.setdefault(row.values, []).append(row)
+    output: List[Row] = []
+    seen: Set[Tuple[Any, ...]] = set()
+    for row in left[1]:
+        if row.values in right_groups and row.values not in seen:
+            seen.add(row.values)
+            matching_left = [r for r in left[1] if r.values == row.values]
+            members = matching_left + right_groups[row.values]
+            annotations = merge_annotation_vectors(members, len(schema))
+            output.append(Row(row.values, annotations))
+    return schema, output
+
+
+def except_(left: Relation, right: Relation) -> Relation:
+    """EXCEPT: tuples of the left side absent from the right, annotations kept."""
+    _check_arity(left, right, "EXCEPT")
+    schema = left[0]
+    right_values = {row.values for row in right[1]}
+    kept = [row for row in left[1] if row.values not in right_values]
+    return distinct((schema, kept))

@@ -1,0 +1,187 @@
+"""Annotated rows and output schemas used by the physical operators.
+
+The paper's central observation (Section 3) is that users view annotations as
+metadata while the DBMS views them as data.  The reproduction's executor
+therefore carries annotations *next to* the data values: every row is a tuple
+of values plus, for each output column, a set of :class:`~repro.annotations.model.Annotation`
+objects attached to that column for this tuple.  Operators manipulate both
+parts according to the propagation semantics of Section 3.4.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import PlanningError
+
+
+class ColumnInfo:
+    """A column of an operator's output: an optional qualifier plus a name."""
+
+    __slots__ = ("qualifier", "name")
+
+    def __init__(self, name: str, qualifier: Optional[str] = None):
+        self.name = name
+        self.qualifier = qualifier
+
+    def matches(self, name: str, qualifier: Optional[str]) -> bool:
+        if self.name.lower() != name.lower():
+            return False
+        if qualifier is None:
+            return True
+        return (self.qualifier or "").lower() == qualifier.lower()
+
+    def display(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+    def __repr__(self) -> str:
+        return f"ColumnInfo({self.display()})"
+
+
+class OutputSchema:
+    """Ordered list of output columns with qualified name resolution."""
+
+    def __init__(self, columns: Sequence[ColumnInfo]):
+        self.columns = list(columns)
+
+    @classmethod
+    def from_names(cls, names: Sequence[str], qualifier: Optional[str] = None) -> "OutputSchema":
+        return cls([ColumnInfo(name, qualifier) for name in names])
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    @property
+    def names(self) -> List[str]:
+        return [column.name for column in self.columns]
+
+    def resolve(self, name: str, qualifier: Optional[str] = None) -> int:
+        """Return the position of the referenced column.
+
+        Raises :class:`PlanningError` when the reference is unknown or
+        ambiguous (same column name exposed by two unqualified tables).
+        """
+        matches = [
+            index for index, column in enumerate(self.columns)
+            if column.matches(name, qualifier)
+        ]
+        if not matches:
+            reference = f"{qualifier}.{name}" if qualifier else name
+            raise PlanningError(f"unknown column reference {reference!r}")
+        if len(matches) > 1 and qualifier is None:
+            # Ambiguity is tolerated when every match refers to the same
+            # position-equivalent column name of a single table (may happen
+            # after self-joins with aliases); otherwise report it.
+            raise PlanningError(f"ambiguous column reference {name!r}")
+        return matches[0]
+
+    def try_resolve(self, name: str, qualifier: Optional[str] = None) -> Optional[int]:
+        try:
+            return self.resolve(name, qualifier)
+        except PlanningError:
+            return None
+
+    def concat(self, other: "OutputSchema") -> "OutputSchema":
+        return OutputSchema(self.columns + other.columns)
+
+    def positions_for_qualifier(self, qualifier: str) -> List[int]:
+        return [
+            index for index, column in enumerate(self.columns)
+            if (column.qualifier or "").lower() == qualifier.lower()
+        ]
+
+
+class Row:
+    """A tuple of values plus per-column annotation sets."""
+
+    __slots__ = ("values", "annotations")
+
+    def __init__(self, values: Tuple[Any, ...],
+                 annotations: Optional[List[Set[Any]]] = None):
+        self.values = tuple(values)
+        if annotations is None:
+            annotations = [set() for _ in self.values]
+        if len(annotations) != len(self.values):
+            raise PlanningError("annotation vector length does not match row arity")
+        self.annotations = annotations
+
+    # ------------------------------------------------------------------
+    def all_annotations(self) -> Set[Any]:
+        """Union of the annotations attached to any column of this row."""
+        merged: Set[Any] = set()
+        for anns in self.annotations:
+            merged |= anns
+        return merged
+
+    def with_values(self, values: Tuple[Any, ...],
+                    annotations: Optional[List[Set[Any]]] = None) -> "Row":
+        return Row(values, annotations)
+
+    def copy(self) -> "Row":
+        return Row(self.values, [set(anns) for anns in self.annotations])
+
+    def concat(self, other: "Row") -> "Row":
+        return Row(self.values + other.values,
+                   [set(a) for a in self.annotations] + [set(a) for a in other.annotations])
+
+    def __repr__(self) -> str:
+        return f"Row({self.values!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Row) and self.values == other.values
+
+    def __hash__(self) -> int:
+        return hash(self.values)
+
+
+def merge_annotation_vectors(rows: Iterable[Row], arity: int) -> List[Set[Any]]:
+    """Column-wise union of the annotation vectors of ``rows``.
+
+    This is the propagation rule the paper assigns to operators that combine
+    several tuples into one (duplicate elimination, GROUP BY, UNION,
+    INTERSECT, difference): the output tuple carries the union of the
+    annotations of the tuples it represents.
+    """
+    merged: List[Set[Any]] = [set() for _ in range(arity)]
+    for row in rows:
+        for index in range(min(arity, len(row.annotations))):
+            merged[index] |= row.annotations[index]
+    return merged
+
+
+class ResultSet:
+    """Materialized result of a query: schema, rows, and helper accessors."""
+
+    def __init__(self, schema: OutputSchema, rows: List[Row]):
+        self.schema = schema
+        self.rows = rows
+
+    @property
+    def columns(self) -> List[str]:
+        return self.schema.names
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def values(self) -> List[Tuple[Any, ...]]:
+        return [row.values for row in self.rows]
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        names = self.columns
+        return [dict(zip(names, row.values)) for row in self.rows]
+
+    def annotations_of(self, row_index: int, column: Optional[str] = None) -> Set[Any]:
+        row = self.rows[row_index]
+        if column is None:
+            return row.all_annotations()
+        position = self.schema.resolve(column)
+        return set(row.annotations[position])
+
+    def annotation_bodies(self, row_index: int, column: Optional[str] = None) -> List[str]:
+        return sorted(a.body for a in self.annotations_of(row_index, column))
+
+    def __repr__(self) -> str:
+        return f"ResultSet(columns={self.columns}, rows={len(self.rows)})"

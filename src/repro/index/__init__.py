@@ -1,0 +1,16 @@
+"""Access methods: B+-tree, hash, R-tree, SP-GiST instantiations, SBC-tree."""
+
+from repro.index.btree import BPlusTree, IndexStatistics
+from repro.index.hash_index import HashIndex
+from repro.index.manager import IndexManager, SecondaryIndex
+from repro.index.rtree import Rect, RTree
+
+__all__ = [
+    "BPlusTree",
+    "IndexStatistics",
+    "HashIndex",
+    "IndexManager",
+    "SecondaryIndex",
+    "Rect",
+    "RTree",
+]

@@ -1,0 +1,290 @@
+"""An in-memory B+-tree used as the baseline one-dimensional access method.
+
+The paper compares its space-partitioning indexes against the B+-tree
+(Section 7.1) and builds the SBC-tree on top of a String B-tree, which this
+module also provides (a B+-tree whose keys are tuples of runs).  Node
+accesses are counted so that benchmarks can report I/O in the same units for
+every access method: one node touched == one logical page I/O.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generic, Iterator, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.core.errors import IndexError_
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+#: Default fan-out of a node.
+DEFAULT_ORDER = 32
+
+
+@dataclass
+class IndexStatistics:
+    """Logical I/O counters shared by the access-method implementations."""
+
+    node_reads: int = 0
+    node_writes: int = 0
+    node_splits: int = 0
+    nodes_allocated: int = 0
+
+    @property
+    def total_io(self) -> int:
+        return self.node_reads + self.node_writes
+
+    def snapshot(self) -> "IndexStatistics":
+        return IndexStatistics(self.node_reads, self.node_writes,
+                               self.node_splits, self.nodes_allocated)
+
+    def diff(self, earlier: "IndexStatistics") -> "IndexStatistics":
+        return IndexStatistics(
+            self.node_reads - earlier.node_reads,
+            self.node_writes - earlier.node_writes,
+            self.node_splits - earlier.node_splits,
+            self.nodes_allocated - earlier.nodes_allocated,
+        )
+
+    def reset(self) -> None:
+        self.node_reads = 0
+        self.node_writes = 0
+        self.node_splits = 0
+        self.nodes_allocated = 0
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next_leaf", "is_leaf")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.keys: List[Any] = []
+        self.children: List["_Node"] = []   # inner nodes only
+        self.values: List[List[Any]] = []   # leaf nodes only (one list per key)
+        self.next_leaf: Optional["_Node"] = None
+
+
+class BPlusTree(Generic[K, V]):
+    """A B+-tree mapping keys to lists of values (duplicates allowed)."""
+
+    def __init__(self, order: int = DEFAULT_ORDER):
+        if order < 3:
+            raise IndexError_("B+-tree order must be at least 3")
+        self.order = order
+        self.stats = IndexStatistics()
+        self._root = self._new_node(is_leaf=True)
+        self._size = 0
+        self._height = 1
+
+    # ------------------------------------------------------------------
+    def _new_node(self, is_leaf: bool) -> _Node:
+        self.stats.nodes_allocated += 1
+        return _Node(is_leaf)
+
+    def _touch_read(self, node: _Node) -> None:
+        self.stats.node_reads += 1
+
+    def _touch_write(self, node: _Node) -> None:
+        self.stats.node_writes += 1
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    @property
+    def num_nodes(self) -> int:
+        return self.stats.nodes_allocated
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+    def insert(self, key: K, value: V) -> None:
+        result = self._insert(self._root, key, value)
+        if result is not None:
+            separator, right = result
+            new_root = self._new_node(is_leaf=False)
+            new_root.keys = [separator]
+            new_root.children = [self._root, right]
+            self._root = new_root
+            self._height += 1
+            self._touch_write(new_root)
+        self._size += 1
+
+    def _insert(self, node: _Node, key: K, value: V) -> Optional[Tuple[Any, _Node]]:
+        self._touch_read(node)
+        if node.is_leaf:
+            index = bisect.bisect_left(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index].append(value)
+            else:
+                node.keys.insert(index, key)
+                node.values.insert(index, [value])
+            self._touch_write(node)
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+        index = bisect.bisect_right(node.keys, key)
+        result = self._insert(node.children[index], key, value)
+        if result is None:
+            return None
+        separator, right = result
+        node.keys.insert(index, separator)
+        node.children.insert(index + 1, right)
+        self._touch_write(node)
+        if len(node.keys) > self.order:
+            return self._split_inner(node)
+        return None
+
+    def _split_leaf(self, node: _Node) -> Tuple[Any, _Node]:
+        self.stats.node_splits += 1
+        middle = len(node.keys) // 2
+        right = self._new_node(is_leaf=True)
+        right.keys = node.keys[middle:]
+        right.values = node.values[middle:]
+        node.keys = node.keys[:middle]
+        node.values = node.values[:middle]
+        right.next_leaf = node.next_leaf
+        node.next_leaf = right
+        self._touch_write(node)
+        self._touch_write(right)
+        return right.keys[0], right
+
+    def _split_inner(self, node: _Node) -> Tuple[Any, _Node]:
+        self.stats.node_splits += 1
+        middle = len(node.keys) // 2
+        separator = node.keys[middle]
+        right = self._new_node(is_leaf=False)
+        right.keys = node.keys[middle + 1:]
+        right.children = node.children[middle + 1:]
+        node.keys = node.keys[:middle]
+        node.children = node.children[:middle + 1]
+        self._touch_write(node)
+        self._touch_write(right)
+        return separator, right
+
+    # ------------------------------------------------------------------
+    # Delete
+    # ------------------------------------------------------------------
+    def delete(self, key: K, value: Optional[V] = None) -> int:
+        """Remove ``value`` under ``key`` (or every value when ``value`` is None).
+
+        Underflowed nodes are not rebalanced (deletes are rare in the
+        workloads of the paper); lookups remain correct.
+        """
+        node = self._find_leaf(key)
+        index = bisect.bisect_left(node.keys, key)
+        if index >= len(node.keys) or node.keys[index] != key:
+            return 0
+        removed = 0
+        if value is None:
+            removed = len(node.values[index])
+            del node.keys[index]
+            del node.values[index]
+        else:
+            before = len(node.values[index])
+            node.values[index] = [v for v in node.values[index] if v != value]
+            removed = before - len(node.values[index])
+            if not node.values[index]:
+                del node.keys[index]
+                del node.values[index]
+        self._touch_write(node)
+        self._size -= removed
+        return removed
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def _find_leaf(self, key: K) -> _Node:
+        node = self._root
+        self._touch_read(node)
+        while not node.is_leaf:
+            index = bisect.bisect_right(node.keys, key)
+            node = node.children[index]
+            self._touch_read(node)
+        return node
+
+    def search(self, key: K) -> List[V]:
+        node = self._find_leaf(key)
+        index = bisect.bisect_left(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            return list(node.values[index])
+        return []
+
+    def range_search(self, low: Optional[K] = None, high: Optional[K] = None,
+                     include_low: bool = True, include_high: bool = True) -> List[Tuple[K, V]]:
+        """All (key, value) pairs with low <= key <= high (bounds optional)."""
+        results: List[Tuple[K, V]] = []
+        if low is not None:
+            node = self._find_leaf(low)
+        else:
+            node = self._root
+            self._touch_read(node)
+            while not node.is_leaf:
+                node = node.children[0]
+                self._touch_read(node)
+        while node is not None:
+            for key, values in zip(node.keys, node.values):
+                if low is not None:
+                    if key < low or (not include_low and key == low):
+                        continue
+                if high is not None:
+                    if key > high or (not include_high and key == high):
+                        return results
+                for value in values:
+                    results.append((key, value))
+            node = node.next_leaf
+            if node is not None:
+                self._touch_read(node)
+        return results
+
+    def prefix_search(self, prefix: K) -> List[Tuple[K, V]]:
+        """All entries whose key starts with ``prefix``.
+
+        Supported for string keys and tuple keys (component-wise prefix).
+        """
+        results: List[Tuple[K, V]] = []
+        node = self._find_leaf(prefix)
+        while node is not None:
+            advanced = False
+            for key, values in zip(node.keys, node.values):
+                if key < prefix:
+                    continue
+                if _has_prefix(key, prefix):
+                    for value in values:
+                        results.append((key, value))
+                    advanced = True
+                elif key > prefix:
+                    return results
+            node = node.next_leaf
+            if node is not None:
+                self._touch_read(node)
+            if not advanced and results:
+                return results
+        return results
+
+    def items(self) -> Iterator[Tuple[K, V]]:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        while node is not None:
+            for key, values in zip(node.keys, node.values):
+                for value in values:
+                    yield key, value
+            node = node.next_leaf
+
+    def keys(self) -> List[K]:
+        return [key for key, _ in self.items()]
+
+
+def _has_prefix(key: Any, prefix: Any) -> bool:
+    if isinstance(key, str) and isinstance(prefix, str):
+        return key.startswith(prefix)
+    if isinstance(key, tuple) and isinstance(prefix, tuple):
+        if len(prefix) > len(key):
+            return False
+        return key[:len(prefix)] == prefix
+    return key == prefix

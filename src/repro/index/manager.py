@@ -1,0 +1,115 @@
+"""Secondary-index registry used by the engine for CREATE INDEX / DROP INDEX.
+
+Indexes map a column value (or tuple of column values) to tuple ids of the
+indexed table.  The engine keeps them synchronised on INSERT/UPDATE/DELETE;
+applications and benchmarks use :meth:`IndexManager.lookup` for point queries
+and :meth:`IndexManager.get` for direct access to the underlying structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.catalog import SystemCatalog
+from repro.core.errors import IndexError_
+from repro.index.btree import BPlusTree
+from repro.index.hash_index import HashIndex
+
+#: Index methods accepted by CREATE INDEX ... USING <method>.
+SUPPORTED_METHODS = ("btree", "hash")
+
+
+@dataclass
+class SecondaryIndex:
+    """A named secondary index over one or more columns of a table."""
+
+    name: str
+    table: str
+    columns: Tuple[str, ...]
+    method: str
+    structure: Any
+
+    def key_of(self, row: Dict[str, Any]) -> Any:
+        values = tuple(row[column] for column in self.columns)
+        return values[0] if len(values) == 1 else values
+
+
+class IndexManager:
+    """Creates, maintains, and answers lookups on secondary indexes."""
+
+    def __init__(self, catalog: SystemCatalog):
+        self.catalog = catalog
+        self._indexes: Dict[str, SecondaryIndex] = {}
+
+    # ------------------------------------------------------------------
+    def create_index(self, name: str, table: str, columns: Sequence[str],
+                     method: str = "btree") -> SecondaryIndex:
+        key = name.lower()
+        if key in self._indexes:
+            raise IndexError_(f"index {name!r} already exists")
+        method = method.lower()
+        if method not in SUPPORTED_METHODS:
+            raise IndexError_(
+                f"unsupported index method {method!r}; supported: "
+                f"{', '.join(SUPPORTED_METHODS)}"
+            )
+        catalog_table = self.catalog.table(table)
+        resolved = [catalog_table.schema.column(column).name for column in columns]
+        structure = BPlusTree() if method == "btree" else HashIndex()
+        index = SecondaryIndex(name, catalog_table.name, tuple(resolved), method, structure)
+        # Bulk-build from the current contents.
+        names = catalog_table.schema.column_names
+        for tuple_id, row in catalog_table.scan():
+            index.structure.insert(index.key_of(dict(zip(names, row))), tuple_id)
+        self._indexes[key] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._indexes:
+            raise IndexError_(f"index {name!r} does not exist")
+        del self._indexes[key]
+
+    def drop_indexes_for(self, table: str) -> None:
+        doomed = [name for name, index in self._indexes.items()
+                  if index.table.lower() == table.lower()]
+        for name in doomed:
+            del self._indexes[name]
+
+    def get(self, name: str) -> SecondaryIndex:
+        try:
+            return self._indexes[name.lower()]
+        except KeyError as exc:
+            raise IndexError_(f"index {name!r} does not exist") from exc
+
+    def indexes_for(self, table: str) -> List[SecondaryIndex]:
+        return [index for index in self._indexes.values()
+                if index.table.lower() == table.lower()]
+
+    def index_names(self) -> List[str]:
+        return sorted(index.name for index in self._indexes.values())
+
+    # ------------------------------------------------------------------
+    # Maintenance hooks called by the engine
+    # ------------------------------------------------------------------
+    def on_insert(self, table: str, tuple_id: int, row: Dict[str, Any]) -> None:
+        for index in self.indexes_for(table):
+            index.structure.insert(index.key_of(row), tuple_id)
+
+    def on_delete(self, table: str, tuple_id: int, row: Dict[str, Any]) -> None:
+        for index in self.indexes_for(table):
+            index.structure.delete(index.key_of(row), tuple_id)
+
+    def on_update(self, table: str, tuple_id: int, old_row: Dict[str, Any],
+                  new_row: Dict[str, Any]) -> None:
+        for index in self.indexes_for(table):
+            old_key, new_key = index.key_of(old_row), index.key_of(new_row)
+            if old_key != new_key:
+                index.structure.delete(old_key, tuple_id)
+                index.structure.insert(new_key, tuple_id)
+
+    # ------------------------------------------------------------------
+    def lookup(self, index_name: str, key: Any) -> List[int]:
+        """Tuple ids whose indexed key equals ``key``."""
+        return list(self.get(index_name).structure.search(key))

@@ -1,0 +1,29 @@
+"""SBC-tree package: RLE compression and indexing of compressed sequences."""
+
+from repro.index.sbc.baseline import UncompressedSuffixIndex
+from repro.index.sbc.rle import (
+    RleSequence,
+    compression_ratio,
+    rle_decode,
+    rle_encode,
+    rle_encode_bits,
+    rle_encoded_length,
+    rle_from_string,
+    rle_to_string,
+)
+from repro.index.sbc.sbc_tree import SbcTree, SuffixEntry, compare_rle
+
+__all__ = [
+    "UncompressedSuffixIndex",
+    "RleSequence",
+    "compression_ratio",
+    "rle_decode",
+    "rle_encode",
+    "rle_encode_bits",
+    "rle_encoded_length",
+    "rle_from_string",
+    "rle_to_string",
+    "SbcTree",
+    "SuffixEntry",
+    "compare_rle",
+]

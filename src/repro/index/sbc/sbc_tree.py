@@ -1,0 +1,303 @@
+"""The SBC-tree: indexing RLE-compressed sequences without decompression.
+
+The paper (Section 7.2, [17]) describes the SBC-tree as a two-level index for
+Run-Length-Encoded sequences: a String B-tree over the (compressed) suffixes
+plus a 3-sided range structure, prototyped with an R-tree standing in for the
+3-sided structure.  It supports substring matching, prefix matching, and
+range search over the compressed sequences, and the paper reports roughly an
+order-of-magnitude storage reduction and up to 30% fewer insertion I/Os
+compared to indexing the uncompressed sequences.
+
+The reproduction mirrors that architecture:
+
+* suffixes are taken at *run boundaries* (that is what makes the index size
+  proportional to the number of runs rather than the number of characters);
+* the String B-tree is a B+-tree keyed by the run-level suffix;
+* the 3-sided structure is an R-tree per run character indexing
+  (run length, run index) points — it answers the "first/last run at least
+  this long" part of a match, exactly the role the 3-sided structure plays in
+  the paper's design;
+* all searches operate on runs only; sequences are never decompressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import IndexError_
+from repro.index.btree import BPlusTree, IndexStatistics
+from repro.index.rtree import Rect, RTree
+from repro.index.sbc.rle import RleSequence, Run, rle_encode
+
+#: Bytes charged per run when reporting compressed storage size (one byte for
+#: the character plus one byte for the run length, as in the paper's Figure 12
+#: textual form).
+BYTES_PER_RUN = 2
+#: A large coordinate standing in for +infinity in 3-sided queries.
+_INFINITY = float(2 ** 31)
+
+
+@dataclass(frozen=True)
+class SuffixEntry:
+    """Value stored in the String B-tree for one run-boundary suffix."""
+
+    seq_id: int
+    run_index: int
+    #: the run immediately before the suffix (None for the first run)
+    prev_char: Optional[str]
+    prev_length: int
+
+
+def compare_rle(left: Sequence[Run], right: Sequence[Run]) -> int:
+    """Lexicographically compare two sequences given only their runs.
+
+    Runs are consumed greedily (min of the two current counts), so the
+    comparison is O(number of runs) and never materialises the decoded
+    strings — the "operate on compressed data without decompressing it"
+    requirement of the paper.
+    """
+    i = j = 0
+    remaining_left = left[0][1] if left else 0
+    remaining_right = right[0][1] if right else 0
+    while i < len(left) and j < len(right):
+        char_left, char_right = left[i][0], right[j][0]
+        if char_left != char_right:
+            return -1 if char_left < char_right else 1
+        step = min(remaining_left, remaining_right)
+        remaining_left -= step
+        remaining_right -= step
+        if remaining_left == 0:
+            i += 1
+            remaining_left = left[i][1] if i < len(left) else 0
+        if remaining_right == 0:
+            j += 1
+            remaining_right = right[j][1] if j < len(right) else 0
+    if i < len(left):
+        return 1
+    if j < len(right):
+        return -1
+    return 0
+
+
+class SbcTree:
+    """Two-level index over RLE-compressed sequences."""
+
+    def __init__(self, btree_order: int = 32, rtree_max_entries: int = 16):
+        self._suffixes: BPlusTree = BPlusTree(order=btree_order)
+        self._three_sided: Dict[str, RTree] = {}
+        self._rtree_max_entries = rtree_max_entries
+        self._sequences: Dict[int, RleSequence] = {}
+        #: directory of sequences sorted by compressed lexicographic order,
+        #: used by range search; rebuilt lazily after inserts.
+        self._directory: List[Tuple[RleSequence, int]] = []
+        self._directory_dirty = False
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> IndexStatistics:
+        combined = IndexStatistics()
+        for source in [self._suffixes.stats] + [t.stats for t in self._three_sided.values()]:
+            combined.node_reads += source.node_reads
+            combined.node_writes += source.node_writes
+            combined.node_splits += source.node_splits
+            combined.nodes_allocated += source.nodes_allocated
+        return combined
+
+    def reset_stats(self) -> None:
+        self._suffixes.stats.reset()
+        for rtree in self._three_sided.values():
+            rtree.stats.reset()
+
+    @property
+    def num_sequences(self) -> int:
+        return len(self._sequences)
+
+    def total_runs(self) -> int:
+        return sum(seq.num_runs for seq in self._sequences.values())
+
+    def total_characters(self) -> int:
+        return sum(seq.original_length for seq in self._sequences.values())
+
+    def storage_bytes(self) -> int:
+        """Bytes of compressed sequence data held by the index."""
+        return self.total_runs() * BYTES_PER_RUN
+
+    def index_entries(self) -> int:
+        """Number of suffix entries (one per run, not one per character)."""
+        return len(self._suffixes)
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, seq_id: int, sequence: str) -> RleSequence:
+        """Compress ``sequence`` and index every run-boundary suffix."""
+        if seq_id in self._sequences:
+            raise IndexError_(f"sequence id {seq_id} already indexed")
+        rle = RleSequence.from_plain(sequence)
+        self._sequences[seq_id] = rle
+        self._directory_dirty = True
+        runs = rle.runs
+        for run_index, (char, count) in enumerate(runs):
+            suffix_key = runs[run_index:]
+            prev_char, prev_length = (None, 0)
+            if run_index > 0:
+                prev_char, prev_length = runs[run_index - 1]
+            self._suffixes.insert(suffix_key,
+                                  SuffixEntry(seq_id, run_index, prev_char, prev_length))
+            self._rtree_for(char).insert_point(float(count), float(run_index),
+                                               (seq_id, run_index))
+        return rle
+
+    def _rtree_for(self, char: str) -> RTree:
+        if char not in self._three_sided:
+            self._three_sided[char] = RTree(self._rtree_max_entries)
+        return self._three_sided[char]
+
+    def sequence(self, seq_id: int) -> RleSequence:
+        try:
+            return self._sequences[seq_id]
+        except KeyError as exc:
+            raise IndexError_(f"no sequence with id {seq_id}") from exc
+
+    # ------------------------------------------------------------------
+    # Substring search
+    # ------------------------------------------------------------------
+    def search_substring(self, pattern: str) -> Set[int]:
+        """Sequence ids containing ``pattern`` as a substring."""
+        if not pattern:
+            return set(self._sequences)
+        pattern_runs = rle_encode(pattern)
+        if len(pattern_runs) == 1:
+            return self._search_single_run(pattern_runs[0])
+        if len(pattern_runs) == 2:
+            return self._search_two_runs(pattern_runs[0], pattern_runs[1])
+        return self._search_multi_run(pattern_runs)
+
+    def _search_single_run(self, run: Run) -> Set[int]:
+        """Pattern of one run (c, m): any run of char c with length >= m matches."""
+        char, minimum = run
+        rtree = self._three_sided.get(char)
+        if rtree is None:
+            return set()
+        hits = rtree.range_search(Rect(float(minimum), 0.0, _INFINITY, _INFINITY))
+        return {seq_id for _, (seq_id, _) in hits}
+
+    def _search_two_runs(self, first: Run, second: Run) -> Set[int]:
+        """Pattern r1 r2: the occurrence crosses exactly one run boundary.
+
+        The suffix starting at the second run must begin with a run of
+        ``second.char`` of length >= second.count (the 3-sided query) and the
+        *preceding* run must be of ``first.char`` with length >= first.count.
+        """
+        char, minimum = second
+        rtree = self._three_sided.get(char)
+        if rtree is None:
+            return set()
+        hits = rtree.range_search(Rect(float(minimum), 0.0, _INFINITY, _INFINITY))
+        matches: Set[int] = set()
+        for _, (seq_id, run_index) in hits:
+            if run_index == 0:
+                continue
+            prev_char, prev_length = self._sequences[seq_id].runs[run_index - 1]
+            if prev_char == first[0] and prev_length >= first[1]:
+                matches.add(seq_id)
+        return matches
+
+    def _search_multi_run(self, pattern_runs: List[Run]) -> Set[int]:
+        """Pattern of three or more runs.
+
+        The middle runs must match complete runs exactly; they form the prefix
+        probed in the String B-tree.  The last run is checked as a >= length
+        condition on the run following the middle block, and the first run as
+        a >= length condition on the run preceding it (stored with the suffix
+        entry, playing the 3-sided structure's role for the prototype).
+        """
+        first = pattern_runs[0]
+        middle = tuple(pattern_runs[1:-1])
+        last = pattern_runs[-1]
+        candidates = self._suffixes.prefix_search(middle)
+        matches: Set[int] = set()
+        for suffix_key, entry in candidates:
+            if entry.prev_char != first[0] or entry.prev_length < first[1]:
+                continue
+            following_index = len(middle)
+            if following_index >= len(suffix_key):
+                continue
+            follow_char, follow_length = suffix_key[following_index]
+            if follow_char == last[0] and follow_length >= last[1]:
+                matches.add(entry.seq_id)
+        return matches
+
+    # ------------------------------------------------------------------
+    # Prefix matching
+    # ------------------------------------------------------------------
+    def search_prefix(self, pattern: str) -> Set[int]:
+        """Sequence ids whose decoded sequence starts with ``pattern``."""
+        if not pattern:
+            return set(self._sequences)
+        pattern_runs = rle_encode(pattern)
+        matches: Set[int] = set()
+        for seq_id, rle in self._sequences_with_first_run(pattern_runs[0][0]):
+            if self._prefix_matches(rle.runs, pattern_runs):
+                matches.add(seq_id)
+        return matches
+
+    def _sequences_with_first_run(self, char: str) -> Iterable[Tuple[int, RleSequence]]:
+        """Candidate sequences whose first run has the right character.
+
+        Uses the 3-sided structure (run index == 0) to avoid touching
+        sequences that cannot match.
+        """
+        rtree = self._three_sided.get(char)
+        if rtree is None:
+            return []
+        hits = rtree.range_search(Rect(0.0, 0.0, _INFINITY, 0.0))
+        return [(seq_id, self._sequences[seq_id]) for _, (seq_id, run_index) in hits
+                if run_index == 0]
+
+    @staticmethod
+    def _prefix_matches(runs: Tuple[Run, ...], pattern_runs: List[Run]) -> bool:
+        if len(pattern_runs) > len(runs):
+            return False
+        for index, (char, count) in enumerate(pattern_runs):
+            run_char, run_count = runs[index]
+            if run_char != char:
+                return False
+            is_last = index == len(pattern_runs) - 1
+            if is_last:
+                if run_count < count:
+                    return False
+            elif run_count != count:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Range search
+    # ------------------------------------------------------------------
+    def _rebuild_directory(self) -> None:
+        import functools
+        entries = [(rle, seq_id) for seq_id, rle in self._sequences.items()]
+        entries.sort(key=functools.cmp_to_key(
+            lambda a, b: compare_rle(a[0].runs, b[0].runs)))
+        self._directory = entries
+        self._directory_dirty = False
+
+    def range_search(self, low: str, high: str) -> List[int]:
+        """Sequence ids whose decoded value lies in [low, high] lexicographically.
+
+        The comparison runs over the compressed runs only.
+        """
+        if self._directory_dirty:
+            self._rebuild_directory()
+        low_runs, high_runs = rle_encode(low), rle_encode(high)
+        results = []
+        for rle, seq_id in self._directory:
+            if compare_rle(rle.runs, low_runs) < 0:
+                continue
+            if compare_rle(rle.runs, high_runs) > 0:
+                break
+            results.append(seq_id)
+        return results

@@ -1,0 +1,29 @@
+"""SP-GiST: extensible space-partitioning index framework and its modules."""
+
+from repro.index.spgist.framework import (
+    BoxQuery,
+    EqualityQuery,
+    KnnQuery,
+    PrefixQuery,
+    Query,
+    RegexQuery,
+    SpGistIndex,
+    SpGistModule,
+    SubstringQuery,
+)
+from repro.index.spgist.modules import KdTreeModule, QuadtreeModule, TrieModule
+
+__all__ = [
+    "BoxQuery",
+    "EqualityQuery",
+    "KnnQuery",
+    "PrefixQuery",
+    "Query",
+    "RegexQuery",
+    "SpGistIndex",
+    "SpGistModule",
+    "SubstringQuery",
+    "KdTreeModule",
+    "QuadtreeModule",
+    "TrieModule",
+]

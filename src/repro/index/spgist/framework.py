@@ -1,0 +1,338 @@
+"""SP-GiST: an extensible framework for space-partitioning trees.
+
+The paper (Section 7.1, citing [3, 4, 16, 22]) integrates SP-GiST so that
+disk-based versions of space-partitioning trees — tries, kd-trees, point
+quadtrees — can be instantiated "through pluggable modules and without
+modifying the database engine".  This module reproduces that contract:
+
+* a :class:`SpGistModule` supplies the three extension hooks
+  (``choose``: route a key to a partition, ``picksplit``: partition an
+  overflowing leaf, ``consistent``: decide whether a partition can contain
+  query matches) plus a leaf-level predicate;
+* :class:`SpGistIndex` is the module-independent tree machinery: node
+  management, insertion, generic search, and k-nearest-neighbour search, with
+  logical node I/O accounting.
+
+Query objects (:class:`EqualityQuery`, :class:`PrefixQuery`,
+:class:`RegexQuery`, :class:`BoxQuery`, :class:`KnnQuery`) cover the advanced
+operations the paper lists: exact match, prefix and regular-expression /
+substring matching, multidimensional range search, and k-NN.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generic, Hashable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.core.errors import IndexError_
+from repro.index.btree import IndexStatistics
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+#: Default number of entries a leaf holds before picksplit is invoked.
+DEFAULT_LEAF_CAPACITY = 8
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+class Query:
+    """Base class of the search predicates understood by the framework."""
+
+
+@dataclass(frozen=True)
+class EqualityQuery(Query):
+    key: Any
+
+
+@dataclass(frozen=True)
+class PrefixQuery(Query):
+    prefix: str
+
+
+@dataclass(frozen=True)
+class RegexQuery(Query):
+    """Regular-expression match over string keys (full match)."""
+
+    pattern: str
+
+    def compiled(self) -> "re.Pattern[str]":
+        return re.compile(self.pattern)
+
+    def literal_prefix(self) -> str:
+        """The longest literal prefix of the pattern (used for pruning)."""
+        prefix = []
+        for ch in self.pattern:
+            if ch.isalnum() or ch in "_- ":
+                prefix.append(ch)
+            else:
+                break
+        return "".join(prefix)
+
+
+@dataclass(frozen=True)
+class SubstringQuery(Query):
+    """Substring containment over string keys."""
+
+    needle: str
+
+
+@dataclass(frozen=True)
+class BoxQuery(Query):
+    """Axis-aligned box over point keys (inclusive bounds)."""
+
+    low: Tuple[float, ...]
+    high: Tuple[float, ...]
+
+    def contains(self, point: Sequence[float]) -> bool:
+        return all(l <= p <= h for l, p, h in zip(self.low, point, self.high))
+
+
+@dataclass(frozen=True)
+class KnnQuery(Query):
+    point: Tuple[float, ...]
+    k: int
+
+
+# ---------------------------------------------------------------------------
+# Module contract
+# ---------------------------------------------------------------------------
+class SpGistModule(Generic[K]):
+    """The pluggable part of SP-GiST: how keys partition space."""
+
+    #: human-readable name used in benchmark output
+    name = "abstract"
+
+    def choose(self, key: K, level: int, state: Any) -> Hashable:
+        """Return the partition label the key belongs to at an inner node."""
+        raise NotImplementedError
+
+    def picksplit(self, keys: Sequence[K], level: int) -> Any:
+        """Compute the inner-node state partitioning ``keys`` at ``level``."""
+        raise NotImplementedError
+
+    def consistent(self, state: Any, label: Hashable, level: int,
+                   query: Query) -> bool:
+        """May the partition ``label`` of a node with ``state`` contain matches?"""
+        raise NotImplementedError
+
+    def leaf_consistent(self, key: K, query: Query) -> bool:
+        """Does an individual key satisfy the query?"""
+        raise NotImplementedError
+
+    def supports(self, query: Query) -> bool:
+        """Whether this module can evaluate the query type at all."""
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Nodes
+# ---------------------------------------------------------------------------
+class _LeafNode:
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        self.entries: List[Tuple[Any, Any]] = []
+
+
+class _InnerNode:
+    __slots__ = ("state", "children", "level")
+
+    def __init__(self, state: Any, level: int):
+        self.state = state
+        self.level = level
+        self.children: Dict[Hashable, Any] = {}
+
+
+# ---------------------------------------------------------------------------
+# The framework
+# ---------------------------------------------------------------------------
+class SpGistIndex(Generic[K, V]):
+    """Module-independent space-partitioning tree machinery."""
+
+    def __init__(self, module: SpGistModule, leaf_capacity: int = DEFAULT_LEAF_CAPACITY):
+        if leaf_capacity < 2:
+            raise IndexError_("leaf capacity must be at least 2")
+        self.module = module
+        self.leaf_capacity = leaf_capacity
+        self.stats = IndexStatistics()
+        self._root: Any = self._new_leaf()
+        self._size = 0
+        #: per-node bounding boxes for numeric point keys (used by k-NN);
+        #: keyed by id(node).
+        self._bounds: Dict[int, Tuple[List[float], List[float]]] = {}
+
+    # ------------------------------------------------------------------
+    def _new_leaf(self) -> _LeafNode:
+        self.stats.nodes_allocated += 1
+        return _LeafNode()
+
+    def _new_inner(self, state: Any, level: int) -> _InnerNode:
+        self.stats.nodes_allocated += 1
+        return _InnerNode(state, level)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def num_nodes(self) -> int:
+        return self.stats.nodes_allocated
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, key: K, value: V) -> None:
+        self._root = self._insert(self._root, key, value, level=0)
+        self._size += 1
+
+    def _update_bounds(self, node: Any, key: Any) -> None:
+        if not isinstance(key, tuple) or not key or \
+                not all(isinstance(c, (int, float)) for c in key):
+            return
+        bounds = self._bounds.get(id(node))
+        if bounds is None:
+            self._bounds[id(node)] = ([float(c) for c in key], [float(c) for c in key])
+            return
+        low, high = bounds
+        for index, component in enumerate(key):
+            low[index] = min(low[index], float(component))
+            high[index] = max(high[index], float(component))
+
+    def _insert(self, node: Any, key: K, value: V, level: int) -> Any:
+        self.stats.node_reads += 1
+        self._update_bounds(node, key)
+        if isinstance(node, _LeafNode):
+            node.entries.append((key, value))
+            self.stats.node_writes += 1
+            if len(node.entries) > self.leaf_capacity:
+                return self._split_leaf(node, level)
+            return node
+        label = self.module.choose(key, node.level, node.state)
+        child = node.children.get(label)
+        if child is None:
+            child = self._new_leaf()
+            node.children[label] = child
+        node.children[label] = self._insert(child, key, value, level + 1)
+        self.stats.node_writes += 1
+        return node
+
+    def _split_leaf(self, leaf: _LeafNode, level: int) -> Any:
+        keys = [key for key, _ in leaf.entries]
+        labels = set()
+        state = self.module.picksplit(keys, level)
+        for key in keys:
+            labels.add(self.module.choose(key, level, state))
+        if len(labels) <= 1:
+            # The module cannot discriminate these keys any further (e.g. many
+            # duplicates): keep an oversized leaf rather than recursing forever.
+            return leaf
+        self.stats.node_splits += 1
+        inner = self._new_inner(state, level)
+        bounds = self._bounds.pop(id(leaf), None)
+        if bounds is not None:
+            self._bounds[id(inner)] = bounds
+        for key, value in leaf.entries:
+            label = self.module.choose(key, level, state)
+            child = inner.children.get(label)
+            if child is None:
+                child = self._new_leaf()
+                inner.children[label] = child
+            child.entries.append((key, value))
+            self._update_bounds(child, key)
+            self.stats.node_writes += 1
+        # Recursively split any child that is itself overfull.
+        for label, child in list(inner.children.items()):
+            if isinstance(child, _LeafNode) and len(child.entries) > self.leaf_capacity:
+                inner.children[label] = self._split_leaf(child, level + 1)
+        return inner
+
+    # ------------------------------------------------------------------
+    # Generic search
+    # ------------------------------------------------------------------
+    def search(self, query: Query) -> List[Tuple[K, V]]:
+        if not self.module.supports(query):
+            raise IndexError_(
+                f"{self.module.name} index does not support "
+                f"{type(query).__name__}"
+            )
+        results: List[Tuple[K, V]] = []
+        self._search(self._root, query, results)
+        return results
+
+    def _search(self, node: Any, query: Query, results: List[Tuple[K, V]]) -> None:
+        self.stats.node_reads += 1
+        if isinstance(node, _LeafNode):
+            for key, value in node.entries:
+                if self.module.leaf_consistent(key, query):
+                    results.append((key, value))
+            return
+        for label, child in node.children.items():
+            if self.module.consistent(node.state, label, node.level, query):
+                self._search(child, query, results)
+
+    # Convenience wrappers ------------------------------------------------
+    def search_equal(self, key: K) -> List[V]:
+        return [value for _, value in self.search(EqualityQuery(key))]
+
+    def search_prefix(self, prefix: str) -> List[Tuple[K, V]]:
+        return self.search(PrefixQuery(prefix))
+
+    def search_regex(self, pattern: str) -> List[Tuple[K, V]]:
+        return self.search(RegexQuery(pattern))
+
+    def search_substring(self, needle: str) -> List[Tuple[K, V]]:
+        return self.search(SubstringQuery(needle))
+
+    def search_box(self, low: Sequence[float], high: Sequence[float]) -> List[Tuple[K, V]]:
+        return self.search(BoxQuery(tuple(low), tuple(high)))
+
+    # ------------------------------------------------------------------
+    # k-nearest-neighbour search (numeric point keys)
+    # ------------------------------------------------------------------
+    def knn(self, point: Sequence[float], k: int) -> List[Tuple[float, K, V]]:
+        """Best-first k-NN over numeric point keys using node bounding boxes."""
+        target = tuple(float(c) for c in point)
+        counter = 0
+        frontier: List[Tuple[float, int, Any]] = [(0.0, counter, self._root)]
+        candidates: List[Tuple[float, int, K, V]] = []
+        results: List[Tuple[float, K, V]] = []
+        while frontier and len(results) < k:
+            distance, _, node = heapq.heappop(frontier)
+            self.stats.node_reads += 1
+            if isinstance(node, _LeafNode):
+                for key, value in node.entries:
+                    counter += 1
+                    heapq.heappush(candidates,
+                                   (_euclidean(key, target), counter, key, value))
+            else:
+                for child in node.children.values():
+                    counter += 1
+                    heapq.heappush(frontier,
+                                   (self._node_distance(child, target), counter, child))
+            next_distance = frontier[0][0] if frontier else float("inf")
+            while candidates and candidates[0][0] <= next_distance and len(results) < k:
+                best_distance, _, key, value = heapq.heappop(candidates)
+                results.append((best_distance, key, value))
+        while candidates and len(results) < k:
+            best_distance, _, key, value = heapq.heappop(candidates)
+            results.append((best_distance, key, value))
+        return results
+
+    def _node_distance(self, node: Any, point: Tuple[float, ...]) -> float:
+        bounds = self._bounds.get(id(node))
+        if bounds is None:
+            return 0.0
+        low, high = bounds
+        total = 0.0
+        for component, lo, hi in zip(point, low, high):
+            delta = max(lo - component, 0.0, component - hi)
+            total += delta * delta
+        return math.sqrt(total)
+
+
+def _euclidean(key: Any, point: Tuple[float, ...]) -> float:
+    return math.sqrt(sum((float(a) - b) ** 2 for a, b in zip(key, point)))

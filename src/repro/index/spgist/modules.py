@@ -1,0 +1,174 @@
+"""SP-GiST module instantiations: trie, kd-tree, and point quadtree.
+
+These are the index structures the paper reports instantiating through
+SP-GiST (Section 7.1): "variants of the trie, the kd-tree, the point
+quadtree, and the PMR quadtree", supporting "k-nearest-neighbor search,
+regular expression match search, and substring searching".
+
+* :class:`TrieModule` — string keys partitioned by the character at the
+  node's level; supports equality, prefix, regex, and substring queries.
+* :class:`KdTreeModule` — k-dimensional numeric points split on one dimension
+  per level at the median; supports equality, box range, and (via the
+  framework) k-NN queries.
+* :class:`QuadtreeModule` — 2-D points partitioned into four quadrants around
+  a centroid; same query support as the kd-tree.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Any, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import IndexError_
+from repro.index.spgist.framework import (
+    BoxQuery,
+    EqualityQuery,
+    KnnQuery,
+    PrefixQuery,
+    Query,
+    RegexQuery,
+    SpGistModule,
+    SubstringQuery,
+)
+
+#: Label used by the trie for keys exhausted at the current level.
+TRIE_END = "\0"
+
+
+class TrieModule(SpGistModule):
+    """Disk-based trie over string keys (gene ids, names, sequences)."""
+
+    name = "trie"
+
+    def choose(self, key: str, level: int, state: Any) -> Hashable:
+        if level < len(key):
+            return key[level]
+        return TRIE_END
+
+    def picksplit(self, keys: Sequence[str], level: int) -> Any:
+        # The trie needs no per-node state: the discriminating character is
+        # determined by the level alone.
+        return None
+
+    def consistent(self, state: Any, label: Hashable, level: int, query: Query) -> bool:
+        if isinstance(query, EqualityQuery):
+            key = str(query.key)
+            expected = key[level] if level < len(key) else TRIE_END
+            return label == expected
+        if isinstance(query, PrefixQuery):
+            prefix = query.prefix
+            if level < len(prefix):
+                return label == prefix[level]
+            return True
+        if isinstance(query, RegexQuery):
+            literal = query.literal_prefix()
+            if level < len(literal):
+                return label == literal[level]
+            return True
+        if isinstance(query, SubstringQuery):
+            # A substring can start anywhere: no pruning possible at inner nodes.
+            return True
+        return True
+
+    def leaf_consistent(self, key: str, query: Query) -> bool:
+        if isinstance(query, EqualityQuery):
+            return key == query.key
+        if isinstance(query, PrefixQuery):
+            return key.startswith(query.prefix)
+        if isinstance(query, RegexQuery):
+            return query.compiled().fullmatch(key) is not None
+        if isinstance(query, SubstringQuery):
+            return query.needle in key
+        return False
+
+    def supports(self, query: Query) -> bool:
+        return isinstance(query, (EqualityQuery, PrefixQuery, RegexQuery,
+                                  SubstringQuery))
+
+
+class KdTreeModule(SpGistModule):
+    """kd-tree over k-dimensional numeric points (e.g. protein 3-D structure)."""
+
+    name = "kdtree"
+
+    def __init__(self, dimensions: int = 2):
+        if dimensions < 1:
+            raise IndexError_("kd-tree needs at least one dimension")
+        self.dimensions = dimensions
+
+    def _dimension(self, level: int) -> int:
+        return level % self.dimensions
+
+    def choose(self, key: Sequence[float], level: int, state: Any) -> Hashable:
+        split_value = state
+        return "L" if key[self._dimension(level)] < split_value else "R"
+
+    def picksplit(self, keys: Sequence[Sequence[float]], level: int) -> Any:
+        dimension = self._dimension(level)
+        return statistics.median(key[dimension] for key in keys)
+
+    def consistent(self, state: Any, label: Hashable, level: int, query: Query) -> bool:
+        dimension = self._dimension(level)
+        split_value = state
+        if isinstance(query, EqualityQuery):
+            side = "L" if query.key[dimension] < split_value else "R"
+            return label == side
+        if isinstance(query, BoxQuery):
+            if label == "L":
+                return query.low[dimension] < split_value
+            return query.high[dimension] >= split_value
+        return True
+
+    def leaf_consistent(self, key: Sequence[float], query: Query) -> bool:
+        if isinstance(query, EqualityQuery):
+            return tuple(key) == tuple(query.key)
+        if isinstance(query, BoxQuery):
+            return query.contains(key)
+        return False
+
+    def supports(self, query: Query) -> bool:
+        return isinstance(query, (EqualityQuery, BoxQuery, KnnQuery))
+
+
+class QuadtreeModule(SpGistModule):
+    """Point quadtree over 2-D points."""
+
+    name = "quadtree"
+
+    def choose(self, key: Sequence[float], level: int, state: Any) -> Hashable:
+        center_x, center_y = state
+        east = key[0] >= center_x
+        north = key[1] >= center_y
+        return (east, north)
+
+    def picksplit(self, keys: Sequence[Sequence[float]], level: int) -> Any:
+        xs = [key[0] for key in keys]
+        ys = [key[1] for key in keys]
+        return (statistics.median(xs), statistics.median(ys))
+
+    def consistent(self, state: Any, label: Hashable, level: int, query: Query) -> bool:
+        center_x, center_y = state
+        east, north = label
+        if isinstance(query, EqualityQuery):
+            return label == ((query.key[0] >= center_x), (query.key[1] >= center_y))
+        if isinstance(query, BoxQuery):
+            if east and query.high[0] < center_x:
+                return False
+            if not east and query.low[0] >= center_x:
+                return False
+            if north and query.high[1] < center_y:
+                return False
+            if not north and query.low[1] >= center_y:
+                return False
+            return True
+        return True
+
+    def leaf_consistent(self, key: Sequence[float], query: Query) -> bool:
+        if isinstance(query, EqualityQuery):
+            return tuple(key) == tuple(query.key)
+        if isinstance(query, BoxQuery):
+            return query.contains(key)
+        return False
+
+    def supports(self, query: Query) -> bool:
+        return isinstance(query, (EqualityQuery, BoxQuery, KnnQuery))

@@ -1,0 +1,31 @@
+"""Planning layer: expression compilation and rewrite utilities."""
+
+from repro.planner.expressions import (
+    AggregateState,
+    AnnotationPredicate,
+    Evaluator,
+    contains_aggregate,
+    find_aggregates,
+    predicate_is_true,
+)
+from repro.planner.planner import (
+    combine_conjuncts,
+    equality_lookups,
+    push_down_conjuncts,
+    referenced_columns,
+    split_conjuncts,
+)
+
+__all__ = [
+    "AggregateState",
+    "AnnotationPredicate",
+    "Evaluator",
+    "contains_aggregate",
+    "find_aggregates",
+    "predicate_is_true",
+    "combine_conjuncts",
+    "equality_lookups",
+    "push_down_conjuncts",
+    "referenced_columns",
+    "split_conjuncts",
+]

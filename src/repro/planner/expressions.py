@@ -1,0 +1,497 @@
+"""Expression evaluation: scalar expressions, predicates, and aggregates.
+
+Expressions are compiled against an :class:`~repro.executor.row.OutputSchema`
+once and then evaluated per row.  SQL three-valued logic is approximated by
+treating NULL comparisons as unknown and unknown predicates as false.
+
+Annotation predicates (A-SQL ``AWHERE``, ``AHAVING``, ``FILTER``) are
+evaluated by :class:`AnnotationPredicate` against a single annotation.  The
+pseudo-columns available inside those predicates are:
+
+``annotation`` / ``annotation.value``
+    the annotation body text,
+``annotation.table``
+    the annotation table the annotation belongs to,
+``annotation.curator``
+    the user or tool that added the annotation,
+``annotation.created_at``
+    the timestamp the annotation was added,
+``annotation.archived``
+    whether the annotation is archived.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import ExecutionError, PlanningError
+from repro.executor.row import OutputSchema, Row
+from repro.sql import ast
+from repro.types.values import compare_values, values_equal
+
+# ---------------------------------------------------------------------------
+# Scalar functions available in expressions
+# ---------------------------------------------------------------------------
+
+
+def _sql_length(value: Any) -> Optional[int]:
+    return None if value is None else len(str(value))
+
+
+def _sql_upper(value: Any) -> Optional[str]:
+    return None if value is None else str(value).upper()
+
+
+def _sql_lower(value: Any) -> Optional[str]:
+    return None if value is None else str(value).lower()
+
+
+def _sql_abs(value: Any) -> Any:
+    return None if value is None else abs(value)
+
+
+def _sql_round(value: Any, digits: Any = 0) -> Any:
+    if value is None:
+        return None
+    return round(float(value), int(digits or 0))
+
+
+def _sql_substr(value: Any, start: Any, length: Any = None) -> Optional[str]:
+    if value is None:
+        return None
+    text = str(value)
+    begin = int(start) - 1
+    if length is None:
+        return text[begin:]
+    return text[begin:begin + int(length)]
+
+
+def _sql_coalesce(*values: Any) -> Any:
+    for value in values:
+        if value is not None:
+            return value
+    return None
+
+
+SCALAR_FUNCTIONS: Dict[str, Callable[..., Any]] = {
+    "LENGTH": _sql_length,
+    "LEN": _sql_length,
+    "UPPER": _sql_upper,
+    "LOWER": _sql_lower,
+    "ABS": _sql_abs,
+    "ROUND": _sql_round,
+    "SUBSTR": _sql_substr,
+    "SUBSTRING": _sql_substr,
+    "COALESCE": _sql_coalesce,
+}
+
+AGGREGATE_FUNCTIONS = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+def like_to_regex(pattern: str) -> "re.Pattern[str]":
+    """Translate a SQL LIKE pattern (%, _) into a compiled regex."""
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
+# ---------------------------------------------------------------------------
+# Compiled scalar expressions
+# ---------------------------------------------------------------------------
+class Evaluator:
+    """Compiles an AST expression against a schema and evaluates it per row."""
+
+    def __init__(self, schema: OutputSchema):
+        self.schema = schema
+
+    def compile(self, expr: ast.Expression) -> Callable[[Row], Any]:
+        return self._compile(expr)
+
+    def evaluate(self, expr: ast.Expression, row: Row) -> Any:
+        return self._compile(expr)(row)
+
+    # -- compilation -----------------------------------------------------
+    def _compile(self, expr: ast.Expression) -> Callable[[Row], Any]:
+        if isinstance(expr, ast.Literal):
+            value = expr.value
+            return lambda row: value
+        if isinstance(expr, ast.ColumnRef):
+            position = self.schema.resolve(expr.name, expr.table)
+            return lambda row: row.values[position]
+        if isinstance(expr, ast.Star):
+            raise PlanningError("'*' is only valid in a projection list or COUNT(*)")
+        if isinstance(expr, ast.UnaryOp):
+            return self._compile_unary(expr)
+        if isinstance(expr, ast.BinaryOp):
+            return self._compile_binary(expr)
+        if isinstance(expr, ast.FunctionCall):
+            return self._compile_function(expr)
+        if isinstance(expr, ast.IsNull):
+            operand = self._compile(expr.operand)
+            if expr.negated:
+                return lambda row: operand(row) is not None
+            return lambda row: operand(row) is None
+        if isinstance(expr, ast.Like):
+            return self._compile_like(expr)
+        if isinstance(expr, ast.InList):
+            return self._compile_in(expr)
+        if isinstance(expr, ast.Between):
+            return self._compile_between(expr)
+        raise PlanningError(f"unsupported expression node {type(expr).__name__}")
+
+    def _compile_unary(self, expr: ast.UnaryOp) -> Callable[[Row], Any]:
+        operand = self._compile(expr.operand)
+        if expr.op == "-":
+            return lambda row: None if operand(row) is None else -operand(row)
+        if expr.op == "+":
+            return operand
+        if expr.op == "NOT":
+            def negate(row: Row) -> Optional[bool]:
+                value = operand(row)
+                if value is None:
+                    return None
+                return not bool(value)
+            return negate
+        raise PlanningError(f"unsupported unary operator {expr.op!r}")
+
+    def _compile_binary(self, expr: ast.BinaryOp) -> Callable[[Row], Any]:
+        op = expr.op
+        left = self._compile(expr.left)
+        right = self._compile(expr.right)
+        if op == "AND":
+            def and_(row: Row) -> Optional[bool]:
+                lhs, rhs = left(row), right(row)
+                if lhs is None or rhs is None:
+                    # unknown AND false == false; otherwise unknown
+                    if lhs is False or rhs is False:
+                        return False
+                    return None
+                return bool(lhs) and bool(rhs)
+            return and_
+        if op == "OR":
+            def or_(row: Row) -> Optional[bool]:
+                lhs, rhs = left(row), right(row)
+                if lhs is None or rhs is None:
+                    if lhs is True or rhs is True:
+                        return True
+                    return None
+                return bool(lhs) or bool(rhs)
+            return or_
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            def compare(row: Row) -> Optional[bool]:
+                cmp = compare_values(left(row), right(row))
+                if cmp is None:
+                    return None
+                if op == "=":
+                    return cmp == 0
+                if op == "<>":
+                    return cmp != 0
+                if op == "<":
+                    return cmp < 0
+                if op == "<=":
+                    return cmp <= 0
+                if op == ">":
+                    return cmp > 0
+                return cmp >= 0
+            return compare
+        if op in ("+", "-", "*", "/", "%"):
+            def arithmetic(row: Row) -> Any:
+                lhs, rhs = left(row), right(row)
+                if lhs is None or rhs is None:
+                    return None
+                try:
+                    if op == "+":
+                        return lhs + rhs
+                    if op == "-":
+                        return lhs - rhs
+                    if op == "*":
+                        return lhs * rhs
+                    if op == "/":
+                        if rhs == 0:
+                            raise ExecutionError("division by zero")
+                        result = lhs / rhs
+                        return result
+                    return lhs % rhs
+                except TypeError as exc:
+                    raise ExecutionError(
+                        f"invalid operands for {op!r}: {lhs!r}, {rhs!r}"
+                    ) from exc
+            return arithmetic
+        if op == "||":
+            def concat(row: Row) -> Optional[str]:
+                lhs, rhs = left(row), right(row)
+                if lhs is None or rhs is None:
+                    return None
+                return str(lhs) + str(rhs)
+            return concat
+        raise PlanningError(f"unsupported binary operator {op!r}")
+
+    def _compile_function(self, expr: ast.FunctionCall) -> Callable[[Row], Any]:
+        name = expr.name.upper()
+        if name in AGGREGATE_FUNCTIONS:
+            raise PlanningError(
+                f"aggregate function {name} is not allowed in this context"
+            )
+        function = SCALAR_FUNCTIONS.get(name)
+        if function is None:
+            raise PlanningError(f"unknown function {name}")
+        arg_evaluators = [self._compile(arg) for arg in expr.args]
+        return lambda row: function(*[evaluate(row) for evaluate in arg_evaluators])
+
+    def _compile_like(self, expr: ast.Like) -> Callable[[Row], Any]:
+        operand = self._compile(expr.operand)
+        pattern_eval = self._compile(expr.pattern)
+        negated = expr.negated
+
+        def like(row: Row) -> Optional[bool]:
+            value, pattern = operand(row), pattern_eval(row)
+            if value is None or pattern is None:
+                return None
+            matched = bool(like_to_regex(str(pattern)).match(str(value)))
+            return (not matched) if negated else matched
+        return like
+
+    def _compile_in(self, expr: ast.InList) -> Callable[[Row], Any]:
+        operand = self._compile(expr.operand)
+        item_evaluators = [self._compile(item) for item in expr.items]
+        negated = expr.negated
+
+        def contains(row: Row) -> Optional[bool]:
+            value = operand(row)
+            if value is None:
+                return None
+            found = any(values_equal(value, evaluate(row)) for evaluate in item_evaluators)
+            return (not found) if negated else found
+        return contains
+
+    def _compile_between(self, expr: ast.Between) -> Callable[[Row], Any]:
+        operand = self._compile(expr.operand)
+        low = self._compile(expr.low)
+        high = self._compile(expr.high)
+        negated = expr.negated
+
+        def between(row: Row) -> Optional[bool]:
+            value = operand(row)
+            lo, hi = low(row), high(row)
+            if value is None or lo is None or hi is None:
+                return None
+            cmp_low = compare_values(value, lo)
+            cmp_high = compare_values(value, hi)
+            if cmp_low is None or cmp_high is None:
+                return None
+            inside = cmp_low >= 0 and cmp_high <= 0
+            return (not inside) if negated else inside
+        return between
+
+
+def predicate_is_true(value: Any) -> bool:
+    """SQL predicate semantics: NULL/unknown counts as not satisfied."""
+    return value is True or (value not in (None, False) and bool(value))
+
+
+# ---------------------------------------------------------------------------
+# Aggregates
+# ---------------------------------------------------------------------------
+class AggregateState:
+    """Accumulator for one aggregate call over the rows of a group."""
+
+    def __init__(self, call: ast.FunctionCall, evaluator: Evaluator):
+        self.name = call.name.upper()
+        self.distinct = call.distinct
+        self.is_star = call.is_star
+        if not self.is_star:
+            if len(call.args) != 1:
+                raise PlanningError(f"{self.name} takes exactly one argument")
+            self._arg = evaluator.compile(call.args[0])
+        self._values: List[Any] = []
+        self._seen: Set[Any] = set()
+
+    def add(self, row: Row) -> None:
+        if self.is_star:
+            self._values.append(1)
+            return
+        value = self._arg(row)
+        if value is None:
+            return
+        if self.distinct:
+            if value in self._seen:
+                return
+            self._seen.add(value)
+        self._values.append(value)
+
+    def result(self) -> Any:
+        if self.name == "COUNT":
+            return len(self._values)
+        if not self._values:
+            return None
+        if self.name == "SUM":
+            return sum(self._values)
+        if self.name == "AVG":
+            return sum(self._values) / len(self._values)
+        if self.name == "MIN":
+            return min(self._values)
+        if self.name == "MAX":
+            return max(self._values)
+        raise PlanningError(f"unknown aggregate {self.name}")
+
+
+def find_aggregates(expr: ast.Expression) -> List[ast.FunctionCall]:
+    """Collect aggregate function calls appearing anywhere in ``expr``."""
+    found: List[ast.FunctionCall] = []
+
+    def walk(node: ast.Expression) -> None:
+        if isinstance(node, ast.FunctionCall):
+            if node.name.upper() in AGGREGATE_FUNCTIONS:
+                found.append(node)
+                return
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, ast.BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, ast.UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, ast.IsNull):
+            walk(node.operand)
+        elif isinstance(node, ast.Like):
+            walk(node.operand)
+            walk(node.pattern)
+        elif isinstance(node, ast.InList):
+            walk(node.operand)
+            for item in node.items:
+                walk(item)
+        elif isinstance(node, ast.Between):
+            walk(node.operand)
+            walk(node.low)
+            walk(node.high)
+
+    walk(expr)
+    return found
+
+
+def contains_aggregate(expr: ast.Expression) -> bool:
+    return bool(find_aggregates(expr))
+
+
+# ---------------------------------------------------------------------------
+# Annotation predicates (AWHERE / AHAVING / FILTER)
+# ---------------------------------------------------------------------------
+class AnnotationPredicate:
+    """Evaluates an A-SQL annotation condition against a single annotation."""
+
+    _FIELDS = {"value", "body", "table", "curator", "created_at", "archived", "category"}
+
+    def __init__(self, expr: ast.Expression):
+        self._expr = expr
+
+    def matches(self, annotation: Any) -> bool:
+        value = self._evaluate(self._expr, annotation)
+        return predicate_is_true(value)
+
+    # -- recursive evaluation against one annotation ----------------------
+    def _evaluate(self, expr: ast.Expression, annotation: Any) -> Any:
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.ColumnRef):
+            return self._field(expr, annotation)
+        if isinstance(expr, ast.UnaryOp):
+            operand = self._evaluate(expr.operand, annotation)
+            if expr.op == "NOT":
+                return None if operand is None else (not bool(operand))
+            if expr.op == "-":
+                return None if operand is None else -operand
+            return operand
+        if isinstance(expr, ast.BinaryOp):
+            return self._binary(expr, annotation)
+        if isinstance(expr, ast.IsNull):
+            value = self._evaluate(expr.operand, annotation)
+            return (value is not None) if expr.negated else (value is None)
+        if isinstance(expr, ast.Like):
+            value = self._evaluate(expr.operand, annotation)
+            pattern = self._evaluate(expr.pattern, annotation)
+            if value is None or pattern is None:
+                return None
+            matched = bool(like_to_regex(str(pattern)).match(str(value)))
+            return (not matched) if expr.negated else matched
+        if isinstance(expr, ast.InList):
+            value = self._evaluate(expr.operand, annotation)
+            if value is None:
+                return None
+            items = [self._evaluate(item, annotation) for item in expr.items]
+            found = any(values_equal(value, item) for item in items)
+            return (not found) if expr.negated else found
+        if isinstance(expr, ast.Between):
+            value = self._evaluate(expr.operand, annotation)
+            low = self._evaluate(expr.low, annotation)
+            high = self._evaluate(expr.high, annotation)
+            if value is None or low is None or high is None:
+                return None
+            cmp_low = compare_values(value, low)
+            cmp_high = compare_values(value, high)
+            if cmp_low is None or cmp_high is None:
+                return None
+            inside = cmp_low >= 0 and cmp_high <= 0
+            return (not inside) if expr.negated else inside
+        raise PlanningError(
+            f"unsupported construct in annotation condition: {type(expr).__name__}"
+        )
+
+    def _binary(self, expr: ast.BinaryOp, annotation: Any) -> Any:
+        op = expr.op
+        left = self._evaluate(expr.left, annotation)
+        right = self._evaluate(expr.right, annotation)
+        if op == "AND":
+            if left is False or right is False:
+                return False
+            if left is None or right is None:
+                return None
+            return bool(left) and bool(right)
+        if op == "OR":
+            if left is True or right is True:
+                return True
+            if left is None or right is None:
+                return None
+            return bool(left) or bool(right)
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            cmp = compare_values(left, right)
+            if cmp is None:
+                return None
+            return {
+                "=": cmp == 0, "<>": cmp != 0, "<": cmp < 0,
+                "<=": cmp <= 0, ">": cmp > 0, ">=": cmp >= 0,
+            }[op]
+        if op == "||":
+            if left is None or right is None:
+                return None
+            return str(left) + str(right)
+        raise PlanningError(f"unsupported operator in annotation condition: {op!r}")
+
+    def _field(self, ref: ast.ColumnRef, annotation: Any) -> Any:
+        # Accept both  annotation.field  and bare  field  references.
+        field = ref.name.lower()
+        qualifier = (ref.table or "").lower()
+        if qualifier not in ("", "annotation", "ann", "a"):
+            raise PlanningError(
+                f"annotation conditions may only reference annotation fields, "
+                f"not {ref.display()!r}"
+            )
+        if field in ("value", "body", "annotation"):
+            return annotation.body
+        if field == "table":
+            return annotation.annotation_table
+        if field == "curator":
+            return annotation.curator
+        if field == "created_at":
+            return annotation.created_at
+        if field == "archived":
+            return annotation.archived
+        if field == "category":
+            return annotation.category
+        raise PlanningError(f"unknown annotation field {field!r}")

@@ -1,0 +1,15 @@
+"""Provenance management: structured, system-maintained lineage annotations."""
+
+from repro.provenance.manager import (
+    PROVENANCE_SCHEMA,
+    PROVENANCE_TABLE_NAME,
+    ProvenanceManager,
+    ProvenanceRecord,
+)
+
+__all__ = [
+    "PROVENANCE_SCHEMA",
+    "PROVENANCE_TABLE_NAME",
+    "ProvenanceManager",
+    "ProvenanceRecord",
+]

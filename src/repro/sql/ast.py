@@ -1,0 +1,315 @@
+"""Abstract syntax tree for SQL and A-SQL statements.
+
+The node set covers the standard SQL subset needed by the paper's examples
+plus every A-SQL construct from Figures 4, 6, 7 and the authorization
+commands from Figure 11.  Nodes are plain dataclasses; the planner walks them
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+class Expression:
+    """Base class for scalar expressions."""
+
+
+@dataclass
+class Literal(Expression):
+    value: Any
+
+
+@dataclass
+class ColumnRef(Expression):
+    name: str
+    table: Optional[str] = None
+
+    def display(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass
+class Star(Expression):
+    """``*`` or ``alias.*`` in a projection list."""
+
+    table: Optional[str] = None
+
+
+@dataclass
+class BinaryOp(Expression):
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass
+class UnaryOp(Expression):
+    op: str
+    operand: Expression
+
+
+@dataclass
+class FunctionCall(Expression):
+    name: str
+    args: List[Expression]
+    distinct: bool = False
+
+    @property
+    def is_star(self) -> bool:
+        return len(self.args) == 1 and isinstance(self.args[0], Star)
+
+
+@dataclass
+class IsNull(Expression):
+    operand: Expression
+    negated: bool = False
+
+
+@dataclass
+class Like(Expression):
+    operand: Expression
+    pattern: Expression
+    negated: bool = False
+
+
+@dataclass
+class InList(Expression):
+    operand: Expression
+    items: List[Expression]
+    negated: bool = False
+
+
+@dataclass
+class Between(Expression):
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Query structure
+# ---------------------------------------------------------------------------
+@dataclass
+class SelectItem:
+    """One entry of the projection list.
+
+    ``promote`` holds the column names given in the A-SQL ``PROMOTE`` clause:
+    annotations over those columns are copied onto this projected column
+    (paper Section 3.4).
+    """
+
+    expr: Expression
+    alias: Optional[str] = None
+    promote: List[ColumnRef] = field(default_factory=list)
+
+
+@dataclass
+class TableRef:
+    """A table in the FROM clause, optionally with ANNOTATION(...) tables."""
+
+    name: str
+    alias: Optional[str] = None
+    #: Annotation tables named in the A-SQL ``ANNOTATION(S1, S2, ...)`` clause.
+    annotation_tables: List[str] = field(default_factory=list)
+
+    @property
+    def effective_name(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass
+class Join:
+    table: TableRef
+    condition: Optional[Expression]
+    join_type: str = "INNER"  # INNER | LEFT | CROSS
+
+
+@dataclass
+class OrderItem:
+    expr: Expression
+    ascending: bool = True
+
+
+@dataclass
+class Select:
+    """A (possibly annotation-aware) SELECT statement.
+
+    ``awhere``, ``ahaving`` and ``filter`` are the A-SQL additions: predicates
+    evaluated over the *annotations* of a tuple rather than its data values.
+    """
+
+    items: List[SelectItem]
+    from_tables: List[TableRef] = field(default_factory=list)
+    joins: List[Join] = field(default_factory=list)
+    where: Optional[Expression] = None
+    group_by: List[Expression] = field(default_factory=list)
+    having: Optional[Expression] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+    # -- A-SQL extensions (Figure 7) --
+    awhere: Optional[Expression] = None
+    ahaving: Optional[Expression] = None
+    filter: Optional[Expression] = None
+
+
+@dataclass
+class SetOperation:
+    """UNION / INTERSECT / EXCEPT between two query expressions."""
+
+    op: str
+    left: Any  # Select or SetOperation
+    right: Any
+    all: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Data definition and manipulation
+# ---------------------------------------------------------------------------
+@dataclass
+class ColumnDef:
+    name: str
+    type_name: str
+    nullable: bool = True
+    primary_key: bool = False
+    default: Any = None
+
+
+@dataclass
+class CreateTable:
+    name: str
+    columns: List[ColumnDef]
+    if_not_exists: bool = False
+
+
+@dataclass
+class DropTable:
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
+class CreateIndex:
+    name: str
+    table: str
+    columns: List[str]
+    method: str = "btree"  # btree | hash | trie | kdtree | quadtree | sbc
+
+
+@dataclass
+class DropIndex:
+    name: str
+
+
+@dataclass
+class Insert:
+    table: str
+    columns: List[str]
+    rows: List[List[Expression]]
+
+
+@dataclass
+class Update:
+    table: str
+    assignments: List[Tuple[str, Expression]]
+    where: Optional[Expression] = None
+
+
+@dataclass
+class Delete:
+    table: str
+    where: Optional[Expression] = None
+
+
+# ---------------------------------------------------------------------------
+# A-SQL statements (Figures 4 and 6)
+# ---------------------------------------------------------------------------
+@dataclass
+class CreateAnnotationTable:
+    """CREATE ANNOTATION TABLE <ann_table> ON <user_table>."""
+
+    annotation_table: str
+    on_table: str
+
+
+@dataclass
+class DropAnnotationTable:
+    """DROP ANNOTATION TABLE <ann_table> ON <user_table>."""
+
+    annotation_table: str
+    on_table: str
+
+
+@dataclass
+class AddAnnotation:
+    """ADD ANNOTATION TO <ann_tables> VALUE <body> ON <statement>.
+
+    ``target`` is the enclosed statement: a Select (annotate existing data) or
+    an Insert/Update/Delete (annotate the affected rows of a DML statement,
+    per Section 3.2).
+    """
+
+    annotation_tables: List[str]
+    body: str
+    target: Any
+
+
+@dataclass
+class ArchiveAnnotation:
+    """ARCHIVE ANNOTATION FROM <ann_tables> [BETWEEN t1 AND t2] ON <select>."""
+
+    annotation_tables: List[str]
+    target: Any
+    time_from: Optional[str] = None
+    time_to: Optional[str] = None
+
+
+@dataclass
+class RestoreAnnotation:
+    """RESTORE ANNOTATION FROM <ann_tables> [BETWEEN t1 AND t2] ON <select>."""
+
+    annotation_tables: List[str]
+    target: Any
+    time_from: Optional[str] = None
+    time_to: Optional[str] = None
+
+
+# ---------------------------------------------------------------------------
+# Authorization statements (Section 6, Figure 11)
+# ---------------------------------------------------------------------------
+@dataclass
+class Grant:
+    privileges: List[str]
+    table: str
+    grantee: str
+
+
+@dataclass
+class Revoke:
+    privileges: List[str]
+    table: str
+    grantee: str
+
+
+@dataclass
+class StartContentApproval:
+    table: str
+    approver: str
+    columns: List[str] = field(default_factory=list)
+
+
+@dataclass
+class StopContentApproval:
+    table: str
+    columns: List[str] = field(default_factory=list)
+
+
+#: Union of every statement node, for documentation purposes.
+Statement = Any

@@ -1,0 +1,148 @@
+"""Tokenizer for the SQL / A-SQL dialect of the bdbms reproduction.
+
+The tokenizer is a straightforward single-pass scanner producing a list of
+tokens.  Keywords are recognised case-insensitively; identifiers may be
+quoted with double quotes, string literals with single quotes (doubled single
+quotes escape), and numeric literals cover integers and decimals.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.errors import SqlSyntaxError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "KEYWORD"
+    IDENTIFIER = "IDENTIFIER"
+    STRING = "STRING"
+    NUMBER = "NUMBER"
+    OPERATOR = "OPERATOR"
+    PUNCTUATION = "PUNCTUATION"
+    END = "END"
+
+
+#: Keywords of the supported SQL subset plus every A-SQL extension keyword
+#: introduced by the paper (Figures 4, 6, 7, 11) and the authorization
+#: commands (GRANT/REVOKE, START/STOP CONTENT APPROVAL).
+KEYWORDS = {
+    # standard SQL
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
+    "ASC", "DESC", "LIMIT", "OFFSET", "AS", "AND", "OR", "NOT", "NULL", "IS",
+    "IN", "LIKE", "BETWEEN", "EXISTS", "UNION", "INTERSECT", "EXCEPT", "ALL",
+    "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "CROSS", "ON",
+    "CREATE", "DROP", "TABLE", "INSERT", "INTO", "VALUES", "UPDATE", "SET",
+    "DELETE", "PRIMARY", "KEY", "UNIQUE", "DEFAULT", "TRUE", "FALSE",
+    "INDEX", "USING",
+    # A-SQL (annotation management, Figures 4, 6, 7)
+    "ANNOTATION", "ANNOTATIONS", "ADD", "VALUE", "ARCHIVE", "RESTORE",
+    "PROMOTE", "AWHERE", "AHAVING", "FILTER", "TO",
+    # authorization (Section 6, Figure 11) and provenance
+    "GRANT", "REVOKE", "APPROVED", "START", "STOP", "CONTENT", "APPROVAL",
+    "COLUMNS",
+}
+
+#: Multi-character operators must be listed before their prefixes.
+_OPERATORS = ["<>", "!=", ">=", "<=", "=", "<", ">", "||", "+", "-", "*", "/", "%"]
+_PUNCTUATION = ["(", ")", ",", ".", ";"]
+
+
+@dataclass
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.value}, {self.value!r})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text`` into a list ending with an END token."""
+    tokens: List[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        # -- comments ---------------------------------------------------
+        if ch == "-" and text.startswith("--", i):
+            newline = text.find("\n", i)
+            i = n if newline == -1 else newline + 1
+            continue
+        # -- string literal ----------------------------------------------
+        if ch == "'":
+            value, i = _scan_string(text, i)
+            tokens.append(Token(TokenType.STRING, value, i))
+            continue
+        # -- quoted identifier --------------------------------------------
+        if ch == '"':
+            end = text.find('"', i + 1)
+            if end == -1:
+                raise SqlSyntaxError("unterminated quoted identifier", i)
+            tokens.append(Token(TokenType.IDENTIFIER, text[i + 1:end], i))
+            i = end + 1
+            continue
+        # -- number --------------------------------------------------------
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            while i < n and (text[i].isdigit() or text[i] in ".eE+-"):
+                # Stop '+'/'-' unless directly after an exponent marker.
+                if text[i] in "+-" and text[i - 1] not in "eE":
+                    break
+                i += 1
+            tokens.append(Token(TokenType.NUMBER, text[start:i], start))
+            continue
+        # -- identifier / keyword -------------------------------------------
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, word.upper(), start))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, start))
+            continue
+        # -- operators and punctuation ----------------------------------------
+        matched = False
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token(TokenType.OPERATOR, op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, ch, i))
+            i += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.END, "", n))
+    return tokens
+
+
+def _scan_string(text: str, start: int) -> tuple:
+    """Scan a single-quoted string starting at ``start``; '' escapes a quote."""
+    i = start + 1
+    parts: List[str] = []
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise SqlSyntaxError("unterminated string literal", start)

@@ -1,0 +1,27 @@
+"""Storage engine substrate: pages, disk managers, buffer pool, heap files."""
+
+from repro.storage.buffer_pool import BufferPool, BufferPoolStatistics, DEFAULT_POOL_SIZE
+from repro.storage.disk import (
+    DiskManager,
+    FileDiskManager,
+    InMemoryDiskManager,
+    IoStatistics,
+    open_disk_manager,
+)
+from repro.storage.heap_file import HeapFile
+from repro.storage.page import DEFAULT_PAGE_SIZE, Page, RecordId
+
+__all__ = [
+    "BufferPool",
+    "BufferPoolStatistics",
+    "DEFAULT_POOL_SIZE",
+    "DiskManager",
+    "FileDiskManager",
+    "InMemoryDiskManager",
+    "IoStatistics",
+    "open_disk_manager",
+    "HeapFile",
+    "DEFAULT_PAGE_SIZE",
+    "Page",
+    "RecordId",
+]

@@ -1,0 +1,185 @@
+"""Slotted pages: the unit of storage and of I/O accounting.
+
+Each page holds a small header, a slot directory that grows from the front,
+and record payloads that grow from the back — the classic slotted-page
+layout.  Deleting a record tombstones its slot so that record identifiers
+(page id, slot index) remain stable, which the annotation manager and the
+dependency tracker rely on to address individual cells.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.errors import PageFullError, StorageError
+
+#: Default page size in bytes.  Small enough that multi-page behaviour shows
+#: up in tests and benchmarks without needing huge datasets.
+DEFAULT_PAGE_SIZE = 4096
+
+_HEADER_FORMAT = "<IHH"  # page_id, slot_count, free_space_offset
+_HEADER_SIZE = struct.calcsize(_HEADER_FORMAT)
+_SLOT_FORMAT = "<HH"  # record offset, record length
+_SLOT_SIZE = struct.calcsize(_SLOT_FORMAT)
+#: Offset sentinel marking a tombstoned (deleted) slot.
+_TOMBSTONE_OFFSET = 0xFFFF
+
+
+class Page:
+    """A fixed-size slotted page holding variable-length records."""
+
+    def __init__(self, page_id: int, page_size: int = DEFAULT_PAGE_SIZE):
+        self.page_id = page_id
+        self.page_size = page_size
+        self._slots: List[Tuple[int, int]] = []
+        self._records: List[Optional[bytes]] = []
+        self.dirty = False
+
+    # ------------------------------------------------------------------
+    # Space accounting
+    # ------------------------------------------------------------------
+    @property
+    def slot_count(self) -> int:
+        return len(self._slots)
+
+    def used_bytes(self) -> int:
+        payload = sum(len(record) for record in self._records if record is not None)
+        return _HEADER_SIZE + len(self._slots) * _SLOT_SIZE + payload
+
+    def free_bytes(self) -> int:
+        return self.page_size - self.used_bytes()
+
+    def has_room_for(self, record: bytes) -> bool:
+        return self.free_bytes() >= len(record) + _SLOT_SIZE
+
+    # ------------------------------------------------------------------
+    # Record operations
+    # ------------------------------------------------------------------
+    def insert(self, record: bytes) -> int:
+        """Insert ``record`` and return its slot index."""
+        if len(record) + _SLOT_SIZE + _HEADER_SIZE > self.page_size:
+            raise StorageError(
+                f"record of {len(record)} bytes can never fit in a "
+                f"{self.page_size}-byte page"
+            )
+        if not self.has_room_for(record):
+            raise PageFullError(f"page {self.page_id} is full")
+        slot = len(self._slots)
+        self._slots.append((0, len(record)))
+        self._records.append(bytes(record))
+        self.dirty = True
+        return slot
+
+    def read(self, slot: int) -> bytes:
+        record = self._record_at(slot)
+        if record is None:
+            raise StorageError(f"slot {slot} of page {self.page_id} is deleted")
+        return record
+
+    def update(self, slot: int, record: bytes) -> bool:
+        """Update a record in place.
+
+        Returns ``False`` when the new record does not fit in this page, in
+        which case the caller (the heap file) moves the record elsewhere.
+        """
+        old = self._record_at(slot)
+        if old is None:
+            raise StorageError(f"slot {slot} of page {self.page_id} is deleted")
+        growth = len(record) - len(old)
+        if growth > 0 and self.free_bytes() < growth:
+            return False
+        self._records[slot] = bytes(record)
+        self._slots[slot] = (0, len(record))
+        self.dirty = True
+        return True
+
+    def delete(self, slot: int) -> None:
+        if self._record_at(slot) is None:
+            raise StorageError(f"slot {slot} of page {self.page_id} is already deleted")
+        self._records[slot] = None
+        self._slots[slot] = (_TOMBSTONE_OFFSET, 0)
+        self.dirty = True
+
+    def is_live(self, slot: int) -> bool:
+        return 0 <= slot < len(self._records) and self._records[slot] is not None
+
+    def records(self) -> Iterator[Tuple[int, bytes]]:
+        """Yield ``(slot, record)`` for every live record."""
+        for slot, record in enumerate(self._records):
+            if record is not None:
+                yield slot, record
+
+    def _record_at(self, slot: int) -> Optional[bytes]:
+        if not 0 <= slot < len(self._records):
+            raise StorageError(f"slot {slot} out of range for page {self.page_id}")
+        return self._records[slot]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize the page into exactly ``page_size`` bytes."""
+        buffer = bytearray(self.page_size)
+        offset = self.page_size
+        slot_entries: List[Tuple[int, int]] = []
+        for record in self._records:
+            if record is None:
+                slot_entries.append((_TOMBSTONE_OFFSET, 0))
+                continue
+            offset -= len(record)
+            buffer[offset:offset + len(record)] = record
+            slot_entries.append((offset, len(record)))
+        struct.pack_into(_HEADER_FORMAT, buffer, 0, self.page_id, len(slot_entries), offset)
+        cursor = _HEADER_SIZE
+        for entry in slot_entries:
+            struct.pack_into(_SLOT_FORMAT, buffer, cursor, *entry)
+            cursor += _SLOT_SIZE
+        return bytes(buffer)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, page_size: int = DEFAULT_PAGE_SIZE) -> "Page":
+        if len(data) != page_size:
+            raise StorageError(
+                f"page image is {len(data)} bytes, expected {page_size}"
+            )
+        page_id, slot_count, _free_offset = struct.unpack_from(_HEADER_FORMAT, data, 0)
+        page = cls(page_id, page_size)
+        cursor = _HEADER_SIZE
+        for _ in range(slot_count):
+            rec_offset, rec_length = struct.unpack_from(_SLOT_FORMAT, data, cursor)
+            cursor += _SLOT_SIZE
+            if rec_offset == _TOMBSTONE_OFFSET:
+                page._slots.append((_TOMBSTONE_OFFSET, 0))
+                page._records.append(None)
+            else:
+                page._slots.append((rec_offset, rec_length))
+                page._records.append(bytes(data[rec_offset:rec_offset + rec_length]))
+        page.dirty = False
+        return page
+
+
+class RecordId:
+    """Stable address of a record: (page id, slot index)."""
+
+    __slots__ = ("page_id", "slot")
+
+    def __init__(self, page_id: int, slot: int):
+        self.page_id = page_id
+        self.slot = slot
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RecordId)
+            and self.page_id == other.page_id
+            and self.slot == other.slot
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.page_id, self.slot))
+
+    def __repr__(self) -> str:
+        return f"RecordId({self.page_id}, {self.slot})"
+
+    def __lt__(self, other: "RecordId") -> bool:
+        return (self.page_id, self.slot) < (other.page_id, other.slot)

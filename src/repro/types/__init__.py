@@ -1,0 +1,22 @@
+"""Value model: data types, coercion, comparison, and record serialization."""
+
+from repro.types.datatypes import DataType, coerce, format_value, parse_timestamp
+from repro.types.values import (
+    SortKey,
+    compare_values,
+    deserialize_row,
+    serialize_row,
+    values_equal,
+)
+
+__all__ = [
+    "DataType",
+    "coerce",
+    "format_value",
+    "parse_timestamp",
+    "SortKey",
+    "compare_values",
+    "values_equal",
+    "serialize_row",
+    "deserialize_row",
+]

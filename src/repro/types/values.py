@@ -1,0 +1,158 @@
+"""Value comparison and serialization helpers shared across the engine.
+
+SQL three-valued logic is approximated the way small engines usually do it:
+``None`` (NULL) compares as unknown, and predicates treat unknown as false.
+Serialization is a compact, self-describing binary format used by the slotted
+pages in :mod:`repro.storage`.
+"""
+
+from __future__ import annotations
+
+import struct
+from datetime import datetime
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.errors import StorageError
+
+# Type tags used by the record serializer.
+_TAG_NULL = 0
+_TAG_INT = 1
+_TAG_FLOAT = 2
+_TAG_TEXT = 3
+_TAG_BOOL = 4
+_TAG_TIMESTAMP = 5
+
+
+def compare_values(left: Any, right: Any) -> Optional[int]:
+    """Three-valued comparison: -1, 0, 1, or ``None`` when either is NULL.
+
+    Mixed numeric types compare numerically; all other mixed-type comparisons
+    fall back to comparing the string forms, which keeps the engine total
+    (sorting never raises) while matching SQL behaviour for the homogeneous
+    columns produced by the catalog's type coercion.
+    """
+    if left is None or right is None:
+        return None
+    if isinstance(left, bool) and isinstance(right, bool):
+        left, right = int(left), int(right)
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        if left < right:
+            return -1
+        if left > right:
+            return 1
+        return 0
+    if isinstance(left, datetime) and isinstance(right, datetime):
+        if left < right:
+            return -1
+        if left > right:
+            return 1
+        return 0
+    left_s, right_s = str(left), str(right)
+    if left_s < right_s:
+        return -1
+    if left_s > right_s:
+        return 1
+    return 0
+
+
+def values_equal(left: Any, right: Any) -> Optional[bool]:
+    """SQL equality: ``None`` when either side is NULL."""
+    cmp = compare_values(left, right)
+    if cmp is None:
+        return None
+    return cmp == 0
+
+
+class SortKey:
+    """Total-order sort key that places NULLs first and handles mixed types."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "SortKey") -> bool:
+        if self.value is None:
+            return other.value is not None
+        if other.value is None:
+            return False
+        cmp = compare_values(self.value, other.value)
+        return cmp is not None and cmp < 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SortKey):
+            return NotImplemented
+        if self.value is None or other.value is None:
+            return self.value is None and other.value is None
+        return compare_values(self.value, other.value) == 0
+
+
+def serialize_row(values: Sequence[Any]) -> bytes:
+    """Serialize a row of Python values into a compact binary record."""
+    parts: List[bytes] = [struct.pack("<H", len(values))]
+    for value in values:
+        if value is None:
+            parts.append(struct.pack("<B", _TAG_NULL))
+        elif isinstance(value, bool):
+            parts.append(struct.pack("<BB", _TAG_BOOL, 1 if value else 0))
+        elif isinstance(value, int):
+            parts.append(struct.pack("<Bq", _TAG_INT, value))
+        elif isinstance(value, float):
+            parts.append(struct.pack("<Bd", _TAG_FLOAT, value))
+        elif isinstance(value, datetime):
+            parts.append(struct.pack("<Bd", _TAG_TIMESTAMP, value.timestamp()))
+        elif isinstance(value, str):
+            encoded = value.encode("utf-8")
+            parts.append(struct.pack("<BI", _TAG_TEXT, len(encoded)))
+            parts.append(encoded)
+        else:
+            raise StorageError(f"cannot serialize value of type {type(value).__name__}")
+    return b"".join(parts)
+
+
+def deserialize_row(data: bytes) -> Tuple[Any, ...]:
+    """Inverse of :func:`serialize_row`."""
+    if len(data) < 2:
+        raise StorageError("truncated record header")
+    (count,) = struct.unpack_from("<H", data, 0)
+    offset = 2
+    values: List[Any] = []
+    try:
+        return _decode_values(data, offset, count, values)
+    except struct.error as exc:
+        raise StorageError("truncated record body") from exc
+
+
+def _decode_values(data: bytes, offset: int, count: int,
+                   values: List[Any]) -> Tuple[Any, ...]:
+    for _ in range(count):
+        if offset >= len(data):
+            raise StorageError("truncated record body")
+        (tag,) = struct.unpack_from("<B", data, offset)
+        offset += 1
+        if tag == _TAG_NULL:
+            values.append(None)
+        elif tag == _TAG_BOOL:
+            (flag,) = struct.unpack_from("<B", data, offset)
+            offset += 1
+            values.append(bool(flag))
+        elif tag == _TAG_INT:
+            (number,) = struct.unpack_from("<q", data, offset)
+            offset += 8
+            values.append(number)
+        elif tag == _TAG_FLOAT:
+            (number,) = struct.unpack_from("<d", data, offset)
+            offset += 8
+            values.append(number)
+        elif tag == _TAG_TIMESTAMP:
+            (epoch,) = struct.unpack_from("<d", data, offset)
+            offset += 8
+            values.append(datetime.fromtimestamp(epoch))
+        elif tag == _TAG_TEXT:
+            (length,) = struct.unpack_from("<I", data, offset)
+            offset += 4
+            values.append(data[offset:offset + length].decode("utf-8"))
+            offset += length
+        else:
+            raise StorageError(f"unknown value tag {tag}")
+    return tuple(values)

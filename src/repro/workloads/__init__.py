@@ -1,0 +1,34 @@
+"""Synthetic biological workload generators used by examples and benchmarks."""
+
+from repro.workloads.genes import build_gene_protein_pipeline, build_gene_tables
+from repro.workloads.sequences import (
+    DNA_ALPHABET,
+    PROTEIN_ALPHABET,
+    SECONDARY_STRUCTURE_ALPHABET,
+    dna_corpus,
+    dna_sequence,
+    gene_identifier,
+    gene_name,
+    mutate_sequence,
+    protein_sequence,
+    secondary_structure_corpus,
+    secondary_structure_sequence,
+    structure_points,
+)
+
+__all__ = [
+    "build_gene_protein_pipeline",
+    "build_gene_tables",
+    "DNA_ALPHABET",
+    "PROTEIN_ALPHABET",
+    "SECONDARY_STRUCTURE_ALPHABET",
+    "dna_corpus",
+    "dna_sequence",
+    "gene_identifier",
+    "gene_name",
+    "mutate_sequence",
+    "protein_sequence",
+    "secondary_structure_corpus",
+    "secondary_structure_sequence",
+    "structure_points",
+]

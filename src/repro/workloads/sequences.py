@@ -1,0 +1,114 @@
+"""Synthetic biological sequence generators.
+
+The paper's driving applications (an E. coli genome resource and a protein
+structure database) are not publicly packaged, so the benchmarks and examples
+use synthetic generators that reproduce the statistical shape the paper's
+techniques rely on:
+
+* DNA sequences — uniform A/C/G/T strings (short runs, RLE-unfriendly);
+* protein primary sequences — uniform 20-letter strings;
+* protein *secondary structure* sequences — long runs of H (helix),
+  E (strand), and L (loop) with geometric run lengths, exactly the RLE-
+  friendly data of Figure 12;
+* protein 3-D structure point clouds — clustered points in space for the
+  SP-GiST / multidimensional experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+DNA_ALPHABET = "ACGT"
+PROTEIN_ALPHABET = "ACDEFGHIKLMNPQRSTVWY"
+SECONDARY_STRUCTURE_ALPHABET = "HEL"
+
+
+def dna_sequence(length: int, rng: random.Random) -> str:
+    """A uniform random DNA sequence of ``length`` bases."""
+    return "".join(rng.choice(DNA_ALPHABET) for _ in range(length))
+
+
+def protein_sequence(length: int, rng: random.Random) -> str:
+    """A uniform random protein primary sequence of ``length`` residues."""
+    return "".join(rng.choice(PROTEIN_ALPHABET) for _ in range(length))
+
+
+def secondary_structure_sequence(length: int, rng: random.Random,
+                                 mean_run_length: float = 8.0) -> str:
+    """A protein secondary-structure string with geometric run lengths.
+
+    Successive runs use different characters (as real secondary structure
+    annotations do), so the RLE form has one run per state change and the
+    compression ratio is roughly ``mean_run_length`` : bytes-per-run.
+    """
+    if length <= 0:
+        return ""
+    parts: List[str] = []
+    current = rng.choice(SECONDARY_STRUCTURE_ALPHABET)
+    remaining = length
+    p = 1.0 / max(mean_run_length, 1.0)
+    while remaining > 0:
+        run = 1
+        while rng.random() > p and run < remaining:
+            run += 1
+        run = min(run, remaining)
+        parts.append(current * run)
+        remaining -= run
+        choices = [c for c in SECONDARY_STRUCTURE_ALPHABET if c != current]
+        current = rng.choice(choices)
+    return "".join(parts)
+
+
+def secondary_structure_corpus(count: int, length: int, seed: int = 7,
+                               mean_run_length: float = 8.0) -> List[str]:
+    """A reproducible corpus of secondary-structure sequences."""
+    rng = random.Random(seed)
+    return [secondary_structure_sequence(length, rng, mean_run_length)
+            for _ in range(count)]
+
+
+def dna_corpus(count: int, length: int, seed: int = 11) -> List[str]:
+    rng = random.Random(seed)
+    return [dna_sequence(length, rng) for _ in range(count)]
+
+
+def mutate_sequence(sequence: str, num_mutations: int, rng: random.Random,
+                    alphabet: str = DNA_ALPHABET) -> str:
+    """Apply ``num_mutations`` random single-character substitutions."""
+    if not sequence or num_mutations <= 0:
+        return sequence
+    chars = list(sequence)
+    for _ in range(num_mutations):
+        position = rng.randrange(len(chars))
+        replacement = rng.choice([c for c in alphabet if c != chars[position]])
+        chars[position] = replacement
+    return "".join(chars)
+
+
+def structure_points(count: int, seed: int = 13, clusters: int = 5,
+                     spread: float = 3.0,
+                     extent: float = 100.0) -> List[Tuple[float, float]]:
+    """2-D points mimicking projected protein 3-D structure coordinates.
+
+    Points are drawn around a handful of cluster centres, which is what makes
+    space-partitioning indexes attractive compared to one-dimensional ones.
+    """
+    rng = random.Random(seed)
+    centres = [(rng.uniform(0, extent), rng.uniform(0, extent)) for _ in range(clusters)]
+    points = []
+    for index in range(count):
+        cx, cy = centres[index % clusters]
+        points.append((rng.gauss(cx, spread), rng.gauss(cy, spread)))
+    return points
+
+
+def gene_identifier(index: int) -> str:
+    """Gene identifiers in the JWnnnn style used by the paper's examples."""
+    return f"JW{index:04d}"
+
+
+def gene_name(index: int, rng: random.Random) -> str:
+    """Short lower-case gene names like the paper's mraW / ftsI / yabP."""
+    letters = "abcdefghijklmnopqrstuvwxyz"
+    return "".join(rng.choice(letters) for _ in range(3)) + rng.choice("ABCDEFGH")

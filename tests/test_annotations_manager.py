@@ -1,0 +1,193 @@
+"""Tests for the annotation manager: DDL, adding, archiving, propagation index."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.annotations.manager import AnnotationManager
+from repro.annotations.model import CATEGORY_COMMENT, CATEGORY_PROVENANCE
+from repro.annotations.storage import SCHEME_NAIVE
+from repro.catalog.catalog import SystemCatalog
+from repro.catalog.schema import Column, TableSchema
+from repro.core.errors import AnnotationError
+from repro.types.datatypes import DataType
+
+
+@pytest.fixture
+def setup():
+    catalog = SystemCatalog()
+    table = catalog.create_table(TableSchema("Gene", [
+        Column("GID", DataType.TEXT, primary_key=True),
+        Column("GName", DataType.TEXT),
+        Column("GSequence", DataType.SEQUENCE),
+    ]))
+    for index in range(6):
+        table.insert_row({"GID": f"JW{index:04d}", "GName": f"g{index}",
+                          "GSequence": "ATG" * (index + 1)})
+    manager = AnnotationManager(catalog)
+    return catalog, table, manager
+
+
+class TestAnnotationTableDdl:
+    def test_create_and_drop(self, setup):
+        catalog, _, manager = setup
+        manager.create_annotation_table("Gene", "GAnnotation")
+        assert manager.has("Gene", "GAnnotation")
+        assert catalog.has_table("__ann_gene_gannotation")
+        manager.drop_annotation_table("Gene", "GAnnotation")
+        assert not manager.has("Gene", "GAnnotation")
+        assert not catalog.has_table("__ann_gene_gannotation")
+
+    def test_duplicate_rejected(self, setup):
+        _, _, manager = setup
+        manager.create_annotation_table("Gene", "A")
+        with pytest.raises(AnnotationError):
+            manager.create_annotation_table("Gene", "a")
+
+    def test_unknown_user_table_rejected(self, setup):
+        _, _, manager = setup
+        with pytest.raises(AnnotationError):
+            manager.create_annotation_table("Nope", "A")
+
+    def test_multiple_annotation_tables_per_relation(self, setup):
+        _, _, manager = setup
+        manager.create_annotation_table("Gene", "comments")
+        manager.create_annotation_table("Gene", "provenance",
+                                        category=CATEGORY_PROVENANCE)
+        assert [t.name for t in manager.tables_for("Gene")] == ["comments", "provenance"]
+
+    def test_resolve_qualified_and_bare_names(self, setup):
+        _, _, manager = setup
+        manager.create_annotation_table("Gene", "GAnnotation")
+        assert manager.resolve("Gene.GAnnotation").name == "GAnnotation"
+        assert manager.resolve("GAnnotation").name == "GAnnotation"
+        with pytest.raises(AnnotationError):
+            manager.resolve("Missing")
+
+
+class TestAddAndPropagate:
+    def test_add_cell_granularity(self, setup):
+        _, table, manager = setup
+        manager.create_annotation_table("Gene", "A")
+        cells = {(0, 2)}
+        added = manager.add_annotation(["Gene.A"], "methyltransferase", cells,
+                                       curator="alice")
+        assert len(added) == 1
+        index = manager.propagation_index("Gene", ["A"])
+        assert {a.curator for a in index.lookup(0, 2)} == {"alice"}
+        assert index.lookup(0, 0) == set()
+
+    def test_add_wraps_plain_text_in_xml(self, setup):
+        _, _, manager = setup
+        table = manager.create_annotation_table("Gene", "A")
+        annotation = table.add("plain comment", {(0, 0)})
+        assert annotation.body.startswith("<Annotation>")
+
+    def test_add_to_multiple_annotation_tables(self, setup):
+        _, _, manager = setup
+        manager.create_annotation_table("Gene", "A")
+        manager.create_annotation_table("Gene", "B")
+        added = manager.add_annotation(["Gene.A", "Gene.B"], "x", {(1, 1)})
+        assert len(added) == 2
+        assert {a.annotation_table for a in added} == {"Gene.A", "Gene.B"}
+
+    def test_empty_cell_set_rejected(self, setup):
+        _, _, manager = setup
+        manager.create_annotation_table("Gene", "A")
+        with pytest.raises(AnnotationError):
+            manager.add_annotation(["Gene.A"], "x", set())
+
+    def test_cells_for_granularities(self, setup):
+        _, table, manager = setup
+        whole_table = manager.cells_for("Gene")
+        assert len(whole_table) == len(table) * 3
+        one_column = manager.cells_for("Gene", columns=["GSequence"])
+        assert len(one_column) == len(table)
+        one_tuple = manager.cells_for("Gene", tuple_ids=[2])
+        assert len(one_tuple) == 3
+        block = manager.cells_for("Gene", tuple_ids=[0, 1], columns=["GID", "GName"])
+        assert len(block) == 4
+
+    def test_propagation_index_selects_requested_tables_only(self, setup):
+        _, _, manager = setup
+        manager.create_annotation_table("Gene", "A")
+        manager.create_annotation_table("Gene", "B")
+        manager.add_annotation(["Gene.A"], "from A", {(0, 0)})
+        manager.add_annotation(["Gene.B"], "from B", {(0, 0)})
+        only_a = manager.propagation_index("Gene", ["A"])
+        both = manager.propagation_index("Gene")
+        assert len(only_a.lookup(0, 0)) == 1
+        assert len(both.lookup(0, 0)) == 2
+
+    def test_propagation_index_category_filter(self, setup):
+        _, _, manager = setup
+        manager.create_annotation_table("Gene", "A")
+        manager.create_annotation_table("Gene", "P", category=CATEGORY_PROVENANCE)
+        manager.add_annotation(["Gene.A"], "comment", {(0, 0)})
+        manager.add_annotation(["Gene.P"], "lineage", {(0, 0)},
+                               category=CATEGORY_PROVENANCE)
+        provenance_only = manager.propagation_index(
+            "Gene", categories={CATEGORY_PROVENANCE})
+        assert {a.category for a in provenance_only.lookup(0, 0)} == {CATEGORY_PROVENANCE}
+
+    def test_naive_scheme_tables_can_be_created(self, setup):
+        _, _, manager = setup
+        table = manager.create_annotation_table("Gene", "N", scheme=SCHEME_NAIVE)
+        assert table.scheme == SCHEME_NAIVE
+        manager.add_annotation(["Gene.N"], "x", {(0, 0), (1, 0)})
+        assert table.linkage_record_count() == 2
+
+
+class TestArchiveRestore:
+    def test_archive_hides_from_propagation(self, setup):
+        _, _, manager = setup
+        manager.create_annotation_table("Gene", "A")
+        manager.add_annotation(["Gene.A"], "old claim", {(0, 0)})
+        archived = manager.archive(["Gene.A"], {(0, 0)})
+        assert len(archived) == 1
+        assert manager.propagation_index("Gene", ["A"]).lookup(0, 0) == set()
+        # but still retrievable when archived annotations are requested
+        table = manager.get("Gene", "A")
+        assert table.annotation_count(include_archived=True) == 1
+        assert table.annotations(include_archived=True)[0].archived
+
+    def test_restore_brings_annotation_back(self, setup):
+        _, _, manager = setup
+        manager.create_annotation_table("Gene", "A")
+        manager.add_annotation(["Gene.A"], "claim", {(0, 0)})
+        manager.archive(["Gene.A"], {(0, 0)})
+        restored = manager.restore(["Gene.A"], {(0, 0)})
+        assert len(restored) == 1
+        assert len(manager.propagation_index("Gene", ["A"]).lookup(0, 0)) == 1
+
+    def test_archive_respects_cell_intersection(self, setup):
+        _, _, manager = setup
+        manager.create_annotation_table("Gene", "A")
+        manager.add_annotation(["Gene.A"], "on tuple 0", {(0, 0)})
+        manager.add_annotation(["Gene.A"], "on tuple 5", {(5, 0)})
+        archived = manager.archive(["Gene.A"], {(5, 0)})
+        assert len(archived) == 1
+        assert len(manager.propagation_index("Gene", ["A"]).lookup(0, 0)) == 1
+
+    def test_archive_respects_time_range(self, setup):
+        _, _, manager = setup
+        table = manager.create_annotation_table("Gene", "A")
+        old_time = datetime(2007, 1, 1)
+        new_time = datetime(2026, 1, 1)
+        table.add("old", {(0, 0)}, created_at=old_time)
+        table.add("new", {(0, 0)}, created_at=new_time)
+        archived = manager.archive(["Gene.A"], {(0, 0)},
+                                   time_from=datetime(2006, 1, 1),
+                                   time_to=datetime(2008, 1, 1))
+        assert len(archived) == 1
+        remaining = manager.propagation_index("Gene", ["A"]).lookup(0, 0)
+        assert {a.created_at for a in remaining} == {new_time}
+
+    def test_archive_is_idempotent(self, setup):
+        _, _, manager = setup
+        manager.create_annotation_table("Gene", "A")
+        manager.add_annotation(["Gene.A"], "claim", {(0, 0)})
+        manager.archive(["Gene.A"], {(0, 0)})
+        assert manager.archive(["Gene.A"], {(0, 0)}) == []

@@ -1,0 +1,169 @@
+"""Tests for the annotation model: annotations, regions, rectangle decomposition."""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.annotations.model import (
+    Annotation,
+    Region,
+    cells_for_columns,
+    cells_for_table,
+    cells_for_tuples,
+    decompose_cells,
+)
+from repro.annotations.xml_utils import (
+    XmlSchema,
+    annotation_text,
+    body_fields,
+    extract_field,
+    is_xml,
+    wrap_annotation,
+)
+from repro.core.errors import AnnotationError
+
+
+class TestAnnotation:
+    def test_identity_is_table_plus_id(self):
+        a = Annotation(1, "Gene.GAnnotation", "body one")
+        b = Annotation(1, "Gene.GAnnotation", "different body")
+        c = Annotation(1, "Gene.Other", "body one")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_with_archived_preserves_fields(self):
+        a = Annotation(3, "T.A", "body", curator="alice",
+                       created_at=datetime(2020, 1, 1), category="comment")
+        archived = a.with_archived(True)
+        assert archived.archived is True
+        assert archived.curator == "alice"
+        assert archived.created_at == a.created_at
+
+
+class TestRegion:
+    def test_contains_and_count(self):
+        region = Region(0, 2, 5, 9)
+        assert region.contains(1, 7)
+        assert not region.contains(3, 7)
+        assert not region.contains(1, 10)
+        assert region.cell_count() == 15
+
+    def test_degenerate_region_rejected(self):
+        with pytest.raises(ValueError):
+            Region(2, 1, 0, 0)
+
+    def test_cells_enumeration(self):
+        region = Region(0, 1, 0, 1)
+        assert set(region.cells()) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+
+class TestDecomposition:
+    def test_whole_column_is_one_region(self):
+        # Annotation B3: an entire column over contiguous tuples (Figure 5).
+        cells = cells_for_columns([2], range(10))
+        regions = decompose_cells(cells)
+        assert len(regions) == 1
+        assert regions[0] == Region(2, 2, 0, 9)
+
+    def test_whole_tuple_is_one_region(self):
+        cells = cells_for_tuples([4], num_columns=3)
+        regions = decompose_cells(cells)
+        assert regions == [Region(0, 2, 4, 4)]
+
+    def test_contiguous_block_is_one_region(self):
+        cells = {(tid, col) for tid in range(3, 7) for col in (1, 2)}
+        assert decompose_cells(cells) == [Region(1, 2, 3, 6)]
+
+    def test_scattered_cells_become_multiple_regions(self):
+        cells = {(0, 0), (5, 2)}
+        regions = decompose_cells(cells)
+        assert len(regions) == 2
+
+    def test_gap_in_tuples_splits_region(self):
+        cells = cells_for_columns([1], [0, 1, 2, 10, 11])
+        regions = decompose_cells(cells)
+        assert len(regions) == 2
+
+    def test_whole_table(self):
+        cells = cells_for_table(range(5), num_columns=4)
+        assert decompose_cells(cells) == [Region(0, 3, 0, 4)]
+
+    def test_empty_cell_set(self):
+        assert decompose_cells(set()) == []
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.sets(st.tuples(st.integers(0, 20), st.integers(0, 5)), max_size=60))
+    def test_decomposition_covers_exactly_the_input_cells(self, cells):
+        regions = decompose_cells(cells)
+        covered = set()
+        for region in regions:
+            covered.update(region.cells())
+        assert covered == cells
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 30), st.integers(1, 6))
+    def test_coarse_granularity_never_worse_than_per_cell(self, num_tuples, num_columns):
+        cells = cells_for_table(range(num_tuples), num_columns)
+        regions = decompose_cells(cells)
+        assert len(regions) <= len(cells)
+        assert len(regions) == 1
+
+
+class TestXmlHelpers:
+    def test_is_xml(self):
+        assert is_xml("<Annotation>hello</Annotation>")
+        assert not is_xml("plain text")
+        assert not is_xml("<unclosed>")
+
+    def test_wrap_and_extract_text(self):
+        body = wrap_annotation("obtained from GenoBase")
+        assert is_xml(body)
+        assert annotation_text(body) == "obtained from GenoBase"
+
+    def test_wrap_escapes_markup(self):
+        body = wrap_annotation("a < b & c")
+        assert is_xml(body)
+        assert "a < b & c" == annotation_text(body)
+
+    def test_extract_field_and_body_fields(self):
+        body = "<Provenance><source>RegulonDB</source><operation>copy</operation></Provenance>"
+        assert extract_field(body, "source") == "RegulonDB"
+        assert extract_field(body, "missing") is None
+        assert body_fields(body) == {"source": "RegulonDB", "operation": "copy"}
+
+    def test_plain_text_has_no_fields(self):
+        assert body_fields("not xml") == {}
+        assert extract_field("not xml", "source") is None
+
+
+class TestXmlSchema:
+    def setup_method(self):
+        self.schema = XmlSchema("Provenance", required=["source", "time"],
+                                optional=["notes"])
+
+    def test_build_and_validate(self):
+        body = self.schema.build(source="S1", time="2007-01-01", notes="ok")
+        self.schema.validate(body)
+        assert extract_field(body, "source") == "S1"
+
+    def test_missing_required_field(self):
+        with pytest.raises(AnnotationError):
+            self.schema.build(source="S1")
+
+    def test_validate_rejects_wrong_root(self):
+        with pytest.raises(AnnotationError):
+            self.schema.validate("<Other><source>x</source><time>y</time></Other>")
+
+    def test_validate_rejects_unexpected_element(self):
+        with pytest.raises(AnnotationError):
+            self.schema.validate(
+                "<Provenance><source>x</source><time>y</time><hack>z</hack></Provenance>"
+            )
+
+    def test_validate_rejects_plain_text(self):
+        with pytest.raises(AnnotationError):
+            self.schema.validate("just text")

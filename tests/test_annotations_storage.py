@@ -1,0 +1,112 @@
+"""Tests for the two annotation linkage storage schemes (Figures 3 and 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.annotations.model import cells_for_columns, cells_for_tuples
+from repro.annotations.storage import (
+    SCHEME_COMPACT,
+    SCHEME_NAIVE,
+    CompactRegionStore,
+    NaiveCellStore,
+    create_linkage_store,
+)
+from repro.catalog.catalog import SystemCatalog
+from repro.core.errors import AnnotationError
+
+
+@pytest.fixture
+def catalog():
+    return SystemCatalog()
+
+
+def make_store(catalog, scheme, name="linkage"):
+    return create_linkage_store(scheme, catalog, f"__test_{scheme}_{name}")
+
+
+class TestSchemeFactory:
+    def test_known_schemes(self, catalog):
+        assert isinstance(make_store(catalog, SCHEME_NAIVE), NaiveCellStore)
+        assert isinstance(make_store(catalog, SCHEME_COMPACT, "c"), CompactRegionStore)
+
+    def test_unknown_scheme(self, catalog):
+        with pytest.raises(AnnotationError):
+            create_linkage_store("fancy", catalog, "__x")
+
+
+class TestNaiveCellStore:
+    def test_one_record_per_cell(self, catalog):
+        store = make_store(catalog, SCHEME_NAIVE)
+        cells = cells_for_columns([1], range(10))  # whole column, 10 tuples
+        written = store.attach(7, cells)
+        assert written == 10
+        assert store.record_count() == 10
+
+    def test_lookup_and_cells_of(self, catalog):
+        store = make_store(catalog, SCHEME_NAIVE)
+        store.attach(1, {(0, 0), (0, 1)})
+        store.attach(2, {(0, 1), (3, 2)})
+        index = store.load_index()
+        assert index.lookup(0, 1) == {1, 2}
+        assert index.lookup(3, 2) == {2}
+        assert index.lookup(9, 9) == set()
+        assert store.cells_of(2) == {(0, 1), (3, 2)}
+        assert index.annotated_tuple_ids() == {0, 3}
+
+    def test_detach(self, catalog):
+        store = make_store(catalog, SCHEME_NAIVE)
+        store.attach(1, {(0, 0), (1, 0)})
+        assert store.detach(1) == 2
+        assert store.record_count() == 0
+
+
+class TestCompactRegionStore:
+    def test_column_annotation_is_single_record(self, catalog):
+        store = make_store(catalog, SCHEME_COMPACT)
+        cells = cells_for_columns([2], range(100))
+        written = store.attach(5, cells)
+        assert written == 1
+        assert store.record_count() == 1
+
+    def test_tuple_annotation_is_single_record(self, catalog):
+        store = make_store(catalog, SCHEME_COMPACT)
+        written = store.attach(9, cells_for_tuples([4, 5, 6], num_columns=3))
+        assert written == 1
+
+    def test_lookup_matches_naive_semantics(self, catalog):
+        compact = make_store(catalog, SCHEME_COMPACT, "a")
+        naive = make_store(catalog, SCHEME_NAIVE, "b")
+        cells = cells_for_columns([0, 1], range(5)) | {(9, 2)}
+        compact.attach(3, cells)
+        naive.attach(3, cells)
+        compact_index = compact.load_index()
+        naive_index = naive.load_index()
+        for tuple_id in range(12):
+            for column in range(4):
+                assert compact_index.lookup(tuple_id, column) == \
+                    naive_index.lookup(tuple_id, column)
+
+    def test_cells_of_roundtrip(self, catalog):
+        store = make_store(catalog, SCHEME_COMPACT)
+        cells = {(0, 0), (1, 0), (2, 0), (7, 3)}
+        store.attach(11, cells)
+        assert store.cells_of(11) == cells
+
+    def test_compact_uses_fewer_records_for_coarse_annotations(self, catalog):
+        compact = make_store(catalog, SCHEME_COMPACT, "x")
+        naive = make_store(catalog, SCHEME_NAIVE, "y")
+        cells = cells_for_columns([1], range(200))
+        compact.attach(1, cells)
+        naive.attach(1, cells)
+        assert compact.record_count() < naive.record_count()
+        assert compact.record_count() == 1
+        assert naive.record_count() == 200
+
+    def test_scattered_cells_degrade_gracefully(self, catalog):
+        store = make_store(catalog, SCHEME_COMPACT)
+        cells = {(tid * 2, tid % 3) for tid in range(10)}  # nothing contiguous
+        store.attach(1, cells)
+        index = store.load_index()
+        for tuple_id, column in cells:
+            assert 1 in index.lookup(tuple_id, column)

@@ -1,0 +1,167 @@
+"""Tests for the baseline access methods: B+-tree, hash index, R-tree."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import IndexError_
+from repro.index.btree import BPlusTree
+from repro.index.hash_index import HashIndex
+from repro.index.rtree import Rect, RTree
+
+
+class TestBPlusTree:
+    def test_insert_and_search(self):
+        tree = BPlusTree(order=4)
+        for value in [5, 3, 8, 1, 9, 7, 2, 6, 4, 0]:
+            tree.insert(value, f"v{value}")
+        assert tree.search(7) == ["v7"]
+        assert tree.search(42) == []
+        assert len(tree) == 10
+        assert tree.height > 1
+
+    def test_duplicate_keys(self):
+        tree = BPlusTree(order=4)
+        tree.insert("k", 1)
+        tree.insert("k", 2)
+        assert sorted(tree.search("k")) == [1, 2]
+
+    def test_range_search(self):
+        tree = BPlusTree(order=4)
+        for value in range(100):
+            tree.insert(value, value)
+        results = [key for key, _ in tree.range_search(10, 20)]
+        assert results == list(range(10, 21))
+        open_low = [key for key, _ in tree.range_search(None, 5)]
+        assert open_low == list(range(0, 6))
+        exclusive = [key for key, _ in tree.range_search(10, 20, include_low=False,
+                                                         include_high=False)]
+        assert exclusive == list(range(11, 20))
+
+    def test_prefix_search_strings(self):
+        tree = BPlusTree(order=4)
+        for index in range(50):
+            tree.insert(f"JW{index:04d}", index)
+        matches = tree.prefix_search("JW000")
+        assert len(matches) == 10
+
+    def test_prefix_search_tuples(self):
+        tree = BPlusTree(order=4)
+        tree.insert((("H", 3), ("E", 2)), "a")
+        tree.insert((("H", 3), ("L", 1)), "b")
+        tree.insert((("L", 5),), "c")
+        assert {v for _, v in tree.prefix_search((("H", 3),))} == {"a", "b"}
+
+    def test_delete(self):
+        tree = BPlusTree(order=4)
+        for value in range(20):
+            tree.insert(value, f"v{value}")
+        assert tree.delete(5) == 1
+        assert tree.search(5) == []
+        assert tree.delete(5) == 0
+        tree.insert(6, "extra")
+        assert tree.delete(6, "extra") == 1
+        assert tree.search(6) == ["v6"]
+
+    def test_items_are_sorted(self):
+        tree = BPlusTree(order=4)
+        data = random.Random(3).sample(range(1000), 200)
+        for value in data:
+            tree.insert(value, value)
+        assert tree.keys() == sorted(data)
+
+    def test_order_validation(self):
+        with pytest.raises(IndexError_):
+            BPlusTree(order=2)
+
+    def test_io_statistics_grow_with_operations(self):
+        tree = BPlusTree(order=4)
+        for value in range(100):
+            tree.insert(value, value)
+        assert tree.stats.node_reads > 0
+        assert tree.stats.node_writes > 0
+        assert tree.stats.node_splits > 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=200))
+    def test_matches_sorted_reference(self, values):
+        tree = BPlusTree(order=4)
+        for value in values:
+            tree.insert(value, value)
+        assert tree.keys() == sorted(values)
+        probe = values[0]
+        assert tree.search(probe) == [probe] * values.count(probe)
+
+
+class TestHashIndex:
+    def test_insert_search_delete(self):
+        index = HashIndex(num_buckets=4)
+        for value in range(100):
+            index.insert(f"key{value}", value)
+        assert index.search("key42") == [42]
+        assert index.search("missing") == []
+        assert index.delete("key42") == 1
+        assert index.search("key42") == []
+
+    def test_grows_under_load(self):
+        index = HashIndex(num_buckets=2)
+        for value in range(100):
+            index.insert(value, value)
+        assert index.num_buckets > 2
+        assert all(index.search(v) == [v] for v in range(100))
+
+    def test_duplicate_values_and_targeted_delete(self):
+        index = HashIndex()
+        index.insert("k", 1)
+        index.insert("k", 2)
+        assert sorted(index.search("k")) == [1, 2]
+        index.delete("k", 1)
+        assert index.search("k") == [2]
+
+
+class TestRTree:
+    def test_point_and_range_search(self):
+        tree = RTree(max_entries=4)
+        points = [(float(x), float(y)) for x in range(10) for y in range(10)]
+        for index, (x, y) in enumerate(points):
+            tree.insert_point(x, y, index)
+        hits = tree.range_search(Rect(2, 2, 4, 4))
+        assert len(hits) == 9
+        assert len(tree.point_search(5, 5)) == 1
+        assert tree.point_search(50, 50) == []
+
+    def test_rectangle_intersection(self):
+        tree = RTree(max_entries=4)
+        tree.insert(Rect(0, 0, 10, 10), "big")
+        tree.insert(Rect(20, 20, 30, 30), "far")
+        hits = [value for _, value in tree.range_search(Rect(5, 5, 6, 6))]
+        assert hits == ["big"]
+
+    def test_knn_matches_brute_force(self):
+        rng = random.Random(17)
+        points = [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(300)]
+        tree = RTree(max_entries=8)
+        for index, (x, y) in enumerate(points):
+            tree.insert_point(x, y, index)
+        target = (40.0, 60.0)
+        knn = tree.knn(target[0], target[1], 5)
+        brute = sorted(
+            (((x - target[0]) ** 2 + (y - target[1]) ** 2) ** 0.5, index)
+            for index, (x, y) in enumerate(points)
+        )[:5]
+        assert [value for _, value in knn] == [index for _, index in brute]
+
+    def test_degenerate_rect_rejected(self):
+        with pytest.raises(IndexError_):
+            Rect(5, 5, 1, 1)
+
+    def test_stats_accumulate(self):
+        tree = RTree(max_entries=4)
+        for index in range(100):
+            tree.insert_point(float(index), float(index), index)
+        before = tree.stats.node_reads
+        tree.range_search(Rect(0, 0, 10, 10))
+        assert tree.stats.node_reads > before

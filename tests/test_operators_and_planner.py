@@ -1,0 +1,205 @@
+"""Unit tests for annotated rows, physical operators, and planner utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.annotations.model import Annotation
+from repro.core.errors import PlanningError
+from repro.executor.row import ColumnInfo, OutputSchema, ResultSet, Row, merge_annotation_vectors
+from repro.executor import operators as ops
+from repro.planner.expressions import AnnotationPredicate, Evaluator, predicate_is_true
+from repro.planner.planner import (
+    combine_conjuncts,
+    equality_lookups,
+    push_down_conjuncts,
+    referenced_columns,
+    split_conjuncts,
+)
+from repro.sql import ast
+from repro.sql.parser import parse_expression
+
+
+def ann(i, body="note", table="T.A", **kwargs):
+    return Annotation(i, table, body, **kwargs)
+
+
+def make_relation():
+    schema = OutputSchema([ColumnInfo("gid", "g"), ColumnInfo("score", "g")])
+    rows = [
+        Row(("JW1", 10), [{ann(1, "first")}, set()]),
+        Row(("JW2", 20), [set(), {ann(2, "second")}]),
+        Row(("JW2", 20), [{ann(3, "third")}, set()]),
+    ]
+    return schema, rows
+
+
+class TestOutputSchema:
+    def test_resolution_with_and_without_qualifier(self):
+        schema = OutputSchema([ColumnInfo("gid", "g"), ColumnInfo("gid", "p")])
+        assert schema.resolve("gid", "p") == 1
+        with pytest.raises(PlanningError):
+            schema.resolve("gid")  # ambiguous
+        with pytest.raises(PlanningError):
+            schema.resolve("missing")
+
+    def test_try_resolve(self):
+        schema = OutputSchema([ColumnInfo("a")])
+        assert schema.try_resolve("a") == 0
+        assert schema.try_resolve("b") is None
+
+    def test_concat_and_positions(self):
+        left = OutputSchema.from_names(["a", "b"], "x")
+        right = OutputSchema.from_names(["c"], "y")
+        combined = left.concat(right)
+        assert combined.names == ["a", "b", "c"]
+        assert combined.positions_for_qualifier("y") == [2]
+
+
+class TestRow:
+    def test_annotation_vector_length_checked(self):
+        with pytest.raises(PlanningError):
+            Row((1, 2), [set()])
+
+    def test_all_annotations_and_concat(self):
+        row = Row((1, 2), [{ann(1)}, {ann(2)}])
+        assert len(row.all_annotations()) == 2
+        other = Row((3,), [{ann(3)}])
+        combined = row.concat(other)
+        assert combined.values == (1, 2, 3)
+        assert len(combined.annotations) == 3
+
+    def test_merge_annotation_vectors(self):
+        rows = [Row((1,), [{ann(1)}]), Row((1,), [{ann(2)}])]
+        merged = merge_annotation_vectors(rows, 1)
+        assert merged[0] == {ann(1), ann(2)}
+
+
+class TestOperators:
+    def test_filter_rows(self):
+        relation = make_relation()
+        predicate = parse_expression("score > 15")
+        _, rows = ops.filter_rows(relation, predicate)
+        assert len(rows) == 2
+
+    def test_project_keeps_only_projected_annotations(self):
+        relation = make_relation()
+        items = [ast.SelectItem(ast.ColumnRef("gid", "g"))]
+        schema, rows = ops.project(relation, items)
+        assert schema.names == ["gid"]
+        assert rows[0].annotations[0] == {ann(1)}
+        assert rows[1].annotations[0] == set()
+
+    def test_project_star_with_qualifier(self):
+        relation = make_relation()
+        schema, rows = ops.project(relation, [ast.SelectItem(ast.Star("g"))])
+        assert schema.names == ["gid", "score"]
+        with pytest.raises(PlanningError):
+            ops.project(relation, [ast.SelectItem(ast.Star("zzz"))])
+
+    def test_distinct_unions_annotations(self):
+        relation = make_relation()
+        _, rows = ops.distinct(relation)
+        assert len(rows) == 2
+        duplicate = [row for row in rows if row.values == ("JW2", 20)][0]
+        assert duplicate.all_annotations() == {ann(2), ann(3)}
+
+    def test_awhere_and_filter_annotations(self):
+        relation = make_relation()
+        condition = parse_expression("annotation.value LIKE '%second%'")
+        _, rows = ops.awhere_filter(relation, condition)
+        assert [row.values for row in rows] == [("JW2", 20)]
+        _, filtered = ops.filter_annotations(relation, condition)
+        assert len(filtered) == 3
+        assert filtered[0].all_annotations() == set()
+        assert filtered[1].all_annotations() == {ann(2)}
+
+    def test_union_intersect_except_semantics(self):
+        schema = OutputSchema([ColumnInfo("v")])
+        left = (schema, [Row(("a",), [{ann(1)}]), Row(("b",), [set()])])
+        right = (schema, [Row(("a",), [{ann(2)}]), Row(("c",), [set()])])
+        _, union_rows = ops.union(left, right)
+        assert {row.values for row in union_rows} == {("a",), ("b",), ("c",)}
+        merged = [row for row in union_rows if row.values == ("a",)][0]
+        assert merged.all_annotations() == {ann(1), ann(2)}
+        _, inter_rows = ops.intersect(left, right)
+        assert [row.values for row in inter_rows] == [("a",)]
+        assert inter_rows[0].all_annotations() == {ann(1), ann(2)}
+        _, except_rows = ops.except_(left, right)
+        assert [row.values for row in except_rows] == [("b",)]
+
+    def test_nested_loop_left_join(self):
+        left = (OutputSchema([ColumnInfo("k")]), [Row(("x",)), Row(("y",))])
+        right = (OutputSchema([ColumnInfo("k2")]), [Row(("x",))])
+        condition = parse_expression("k = k2")
+        _, rows = ops.nested_loop_join(left, right, condition, "LEFT")
+        assert (("x", "x")) in [row.values for row in rows]
+        assert ("y", None) in [row.values for row in rows]
+
+    def test_order_and_limit(self):
+        relation = make_relation()
+        ordered = ops.order_by(relation, [ast.OrderItem(ast.ColumnRef("score"), False)])
+        assert [row.values[1] for row in ordered[1]] == [20, 20, 10]
+        limited = ops.limit_offset(ordered, 1, 1)
+        assert len(limited[1]) == 1
+
+
+class TestEvaluator:
+    def test_compile_and_evaluate(self):
+        schema = OutputSchema([ColumnInfo("a"), ColumnInfo("b")])
+        evaluator = Evaluator(schema)
+        row = Row((3, 4))
+        assert evaluator.evaluate(parse_expression("a * b + 1"), row) == 13
+        assert evaluator.evaluate(parse_expression("a || b"), row) == "34"
+        assert evaluator.evaluate(parse_expression("a IS NULL"), row) is False
+        assert predicate_is_true(evaluator.evaluate(parse_expression("a < b"), row))
+
+    def test_null_propagation(self):
+        schema = OutputSchema([ColumnInfo("a")])
+        evaluator = Evaluator(schema)
+        row = Row((None,))
+        assert evaluator.evaluate(parse_expression("a + 1"), row) is None
+        assert evaluator.evaluate(parse_expression("a = 1"), row) is None
+        assert evaluator.evaluate(parse_expression("a = 1 OR TRUE"), row) is True
+
+    def test_annotation_predicate_fields(self):
+        annotation = ann(1, "<Annotation>x</Annotation>", curator="alice",
+                         category="comment")
+        assert AnnotationPredicate(
+            parse_expression("annotation.curator = 'alice'")).matches(annotation)
+        assert AnnotationPredicate(
+            parse_expression("annotation.table LIKE 'T.%'")).matches(annotation)
+        assert not AnnotationPredicate(
+            parse_expression("annotation.archived = TRUE")).matches(annotation)
+        with pytest.raises(PlanningError):
+            AnnotationPredicate(parse_expression("other.field = 1")).matches(annotation)
+
+
+class TestPlannerUtilities:
+    def test_split_and_combine_conjuncts(self):
+        expr = parse_expression("a = 1 AND b = 2 AND c = 3")
+        conjuncts = split_conjuncts(expr)
+        assert len(conjuncts) == 3
+        rebuilt = combine_conjuncts(conjuncts)
+        assert len(split_conjuncts(rebuilt)) == 3
+        assert split_conjuncts(None) == []
+        assert combine_conjuncts([]) is None
+
+    def test_referenced_columns(self):
+        expr = parse_expression("g.gid = p.gid AND LENGTH(g.name) > 3")
+        refs = referenced_columns(expr)
+        assert {(r.table, r.name) for r in refs} == {("g", "gid"), ("p", "gid"), ("g", "name")}
+
+    def test_push_down_partitions_single_table_conjuncts(self):
+        where = parse_expression("g.gid = p.gid AND g.score > 1 AND p.kind = 'x'")
+        refs = [ast.TableRef("gene", alias="g"), ast.TableRef("protein", alias="p")]
+        resolvable = {"g": {"gid", "score"}, "p": {"gid", "kind"}}
+        pushed, residual = push_down_conjuncts(where, refs, resolvable)
+        assert len(pushed["g"]) == 1
+        assert len(pushed["p"]) == 1
+        assert len(residual) == 1  # the join predicate
+
+    def test_equality_lookups(self):
+        conjuncts = split_conjuncts(parse_expression("gid = 'JW1' AND 3 = score AND a > 1"))
+        lookups = equality_lookups(conjuncts)
+        assert lookups == {"gid": "JW1", "score": 3}

@@ -1,0 +1,192 @@
+"""Tests for RLE utilities, the SBC-tree, and the uncompressed baseline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import IndexError_
+from repro.index.sbc import (
+    RleSequence,
+    SbcTree,
+    UncompressedSuffixIndex,
+    compare_rle,
+    compression_ratio,
+    rle_decode,
+    rle_encode,
+    rle_encode_bits,
+    rle_from_string,
+    rle_to_string,
+)
+from repro.workloads import secondary_structure_corpus
+
+SS_TEXT = st.text(alphabet="HEL", min_size=0, max_size=60)
+
+
+class TestRle:
+    def test_encode_decode_paper_style(self):
+        sequence = "LLLEEEEEEEHHHH"
+        runs = rle_encode(sequence)
+        assert runs == [("L", 3), ("E", 7), ("H", 4)]
+        assert rle_decode(runs) == sequence
+        assert rle_to_string(runs) == "L3E7H4"
+        assert rle_from_string("L3E7H4") == runs
+
+    def test_empty_sequence(self):
+        assert rle_encode("") == []
+        assert rle_decode([]) == ""
+
+    def test_malformed_rle_string(self):
+        with pytest.raises(IndexError_):
+            rle_from_string("L3E")
+
+    def test_compression_ratio_on_run_heavy_data(self):
+        sequence = "H" * 40 + "E" * 40 + "L" * 40
+        assert compression_ratio(sequence, bytes_per_run=2) == pytest.approx(20.0)
+
+    def test_rle_sequence_accessors(self):
+        rle = RleSequence.from_plain("HHHEELLLL")
+        assert rle.num_runs == 3
+        assert rle.original_length == 9
+        assert rle.char_at(0) == "H"
+        assert rle.char_at(4) == "E"
+        assert rle.char_at(8) == "L"
+        assert rle.run_starts() == [0, 3, 5]
+        assert rle.suffix_runs(1) == (("E", 2), ("L", 4))
+        with pytest.raises(IndexError_):
+            rle.char_at(9)
+
+    def test_bit_rle(self):
+        assert rle_encode_bits([0, 0, 1, 1, 1, 0]) == [(0, 2), (1, 3), (0, 1)]
+        assert rle_encode_bits([]) == []
+
+    @given(SS_TEXT)
+    def test_roundtrip_property(self, sequence):
+        assert rle_decode(rle_encode(sequence)) == sequence
+
+    @given(SS_TEXT)
+    def test_run_count_never_exceeds_length(self, sequence):
+        runs = rle_encode(sequence)
+        assert len(runs) <= max(len(sequence), 1)
+        assert sum(count for _, count in runs) == len(sequence)
+
+
+class TestCompareRle:
+    @given(SS_TEXT, SS_TEXT)
+    def test_matches_string_comparison(self, left, right):
+        expected = (left > right) - (left < right)
+        got = compare_rle(rle_encode(left), rle_encode(right))
+        assert got == expected
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return secondary_structure_corpus(count=40, length=250, seed=19)
+
+
+@pytest.fixture(scope="module")
+def indexes(corpus):
+    sbc = SbcTree()
+    baseline = UncompressedSuffixIndex()
+    for seq_id, sequence in enumerate(corpus):
+        sbc.insert(seq_id, sequence)
+        baseline.insert(seq_id, sequence)
+    return sbc, baseline
+
+
+class TestSbcTree:
+    def test_substring_search_agrees_with_baseline(self, corpus, indexes):
+        sbc, baseline = indexes
+        rng = random.Random(5)
+        for _ in range(20):
+            source = rng.randrange(len(corpus))
+            start = rng.randrange(0, len(corpus[source]) - 25)
+            pattern = corpus[source][start:start + rng.randint(3, 25)]
+            assert sbc.search_substring(pattern) == baseline.search_substring(pattern), pattern
+
+    def test_substring_search_brute_force_reference(self, corpus, indexes):
+        sbc, _ = indexes
+        pattern = corpus[3][17:38]
+        expected = {i for i, seq in enumerate(corpus) if pattern in seq}
+        assert sbc.search_substring(pattern) == expected
+
+    def test_single_run_pattern(self, indexes, corpus):
+        sbc, _ = indexes
+        expected = {i for i, seq in enumerate(corpus) if "HHHHH" in seq}
+        assert sbc.search_substring("HHHHH") == expected
+
+    def test_two_run_pattern(self, indexes, corpus):
+        sbc, _ = indexes
+        pattern = "HHEE"
+        expected = {i for i, seq in enumerate(corpus) if pattern in seq}
+        assert sbc.search_substring(pattern) == expected
+
+    def test_missing_pattern(self, indexes):
+        sbc, _ = indexes
+        assert sbc.search_substring("H" * 200) == set()
+
+    def test_empty_pattern_matches_everything(self, indexes, corpus):
+        sbc, _ = indexes
+        assert sbc.search_substring("") == set(range(len(corpus)))
+
+    def test_prefix_search_agrees_with_baseline(self, corpus, indexes):
+        sbc, baseline = indexes
+        for source in (0, 7, 21):
+            for length in (1, 4, 15):
+                pattern = corpus[source][:length]
+                assert sbc.search_prefix(pattern) == baseline.search_prefix(pattern)
+
+    def test_prefix_not_substring(self, indexes, corpus):
+        sbc, _ = indexes
+        pattern = corpus[0][:10]
+        prefix_matches = sbc.search_prefix(pattern)
+        substring_matches = sbc.search_substring(pattern)
+        assert prefix_matches <= substring_matches
+
+    def test_range_search_agrees_with_baseline(self, corpus, indexes):
+        sbc, baseline = indexes
+        ordered = sorted(corpus)
+        low, high = ordered[5], ordered[30]
+        assert sorted(sbc.range_search(low, high)) == baseline.range_search(low, high)
+
+    def test_duplicate_sequence_id_rejected(self):
+        sbc = SbcTree()
+        sbc.insert(0, "HHEE")
+        with pytest.raises(IndexError_):
+            sbc.insert(0, "LLHH")
+
+    def test_storage_is_proportional_to_runs_not_characters(self, corpus, indexes):
+        sbc, baseline = indexes
+        assert sbc.index_entries() == sbc.total_runs()
+        assert baseline.index_entries() == baseline.total_characters()
+        # Run-heavy secondary structure: the SBC-tree stores several times
+        # fewer entries (the paper reports roughly an order of magnitude).
+        assert baseline.index_entries() / sbc.index_entries() > 4
+        assert baseline.storage_bytes() / sbc.storage_bytes() > 2
+
+    def test_insertion_io_is_lower_than_baseline(self):
+        corpus = secondary_structure_corpus(count=10, length=200, seed=4)
+        sbc, baseline = SbcTree(), UncompressedSuffixIndex()
+        for seq_id, sequence in enumerate(corpus):
+            sbc.insert(seq_id, sequence)
+            baseline.insert(seq_id, sequence)
+        assert sbc.stats.total_io < baseline.stats.total_io
+
+    def test_sequence_accessor(self, indexes, corpus):
+        sbc, _ = indexes
+        assert sbc.sequence(2).decode() == corpus[2]
+        with pytest.raises(IndexError_):
+            sbc.sequence(999)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.text(alphabet="HEL", min_size=1, max_size=40),
+                    min_size=1, max_size=12),
+           st.text(alphabet="HEL", min_size=1, max_size=6))
+    def test_substring_property(self, sequences, pattern):
+        sbc = SbcTree()
+        for seq_id, sequence in enumerate(sequences):
+            sbc.insert(seq_id, sequence)
+        expected = {i for i, seq in enumerate(sequences) if pattern in seq}
+        assert sbc.search_substring(pattern) == expected

@@ -1,0 +1,178 @@
+"""Tests for the SP-GiST framework and its trie / kd-tree / quadtree modules."""
+
+from __future__ import annotations
+
+import random
+import re
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import IndexError_
+from repro.index.spgist import (
+    BoxQuery,
+    EqualityQuery,
+    KdTreeModule,
+    PrefixQuery,
+    QuadtreeModule,
+    SpGistIndex,
+    TrieModule,
+)
+from repro.workloads import structure_points
+
+
+def build_trie(strings, leaf_capacity=4):
+    index = SpGistIndex(TrieModule(), leaf_capacity=leaf_capacity)
+    for position, value in enumerate(strings):
+        index.insert(value, position)
+    return index
+
+
+class TestTrie:
+    def setup_method(self):
+        self.ids = [f"JW{i:04d}" for i in range(300)]
+        self.trie = build_trie(self.ids)
+
+    def test_exact_match(self):
+        assert self.trie.search_equal("JW0123") == [123]
+        assert self.trie.search_equal("JW9999") == []
+
+    def test_prefix_search(self):
+        matches = {key for key, _ in self.trie.search_prefix("JW01")}
+        assert matches == {f"JW01{i:02d}" for i in range(100)}
+
+    def test_regex_search(self):
+        matches = {key for key, _ in self.trie.search_regex(r"JW00[0-2]\d")}
+        expected = {s for s in self.ids if re.fullmatch(r"JW00[0-2]\d", s)}
+        assert matches == expected
+
+    def test_substring_search(self):
+        matches = {key for key, _ in self.trie.search_substring("025")}
+        expected = {s for s in self.ids if "025" in s}
+        assert matches == expected
+
+    def test_duplicates_and_shared_prefixes(self):
+        trie = build_trie(["AAA", "AAA", "AAB", "AA", "A", ""])
+        assert sorted(trie.search_equal("AAA")) == [0, 1]
+        assert trie.search_equal("") == [5]
+        assert len(trie.search_prefix("AA")) == 4
+
+    def test_box_query_unsupported(self):
+        with pytest.raises(IndexError_):
+            self.trie.search(BoxQuery((0,), (1,)))
+
+    def test_node_accesses_scale_sublinearly_for_exact_match(self):
+        # An exact-match probe should touch far fewer nodes than there are
+        # indexed entries (a heap scan would touch one record per entry).
+        reads_before = self.trie.stats.node_reads
+        self.trie.search_equal("JW0042")
+        assert self.trie.stats.node_reads - reads_before < len(self.trie) / 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.text(alphabet="ACGT", min_size=0, max_size=12),
+                    min_size=1, max_size=80),
+           st.text(alphabet="ACGT", min_size=0, max_size=4))
+    def test_prefix_matches_reference(self, strings, prefix):
+        trie = build_trie(strings)
+        expected = sorted(i for i, s in enumerate(strings) if s.startswith(prefix))
+        got = sorted(v for _, v in trie.search_prefix(prefix))
+        assert got == expected
+
+
+class TestPointModules:
+    def setup_method(self):
+        self.points = structure_points(400, seed=3)
+        self.kd = SpGistIndex(KdTreeModule(2), leaf_capacity=8)
+        self.quad = SpGistIndex(QuadtreeModule(), leaf_capacity=8)
+        for index, point in enumerate(self.points):
+            self.kd.insert(point, index)
+            self.quad.insert(point, index)
+
+    def _brute_box(self, low, high):
+        return sorted(
+            index for index, (x, y) in enumerate(self.points)
+            if low[0] <= x <= high[0] and low[1] <= y <= high[1]
+        )
+
+    def test_equality(self):
+        target = self.points[37]
+        assert 37 in self.kd.search_equal(target)
+        assert 37 in self.quad.search_equal(target)
+
+    def test_box_search_matches_brute_force(self):
+        low, high = (20.0, 10.0), (70.0, 80.0)
+        expected = self._brute_box(low, high)
+        assert sorted(v for _, v in self.kd.search_box(low, high)) == expected
+        assert sorted(v for _, v in self.quad.search_box(low, high)) == expected
+
+    def test_empty_box(self):
+        assert self.kd.search_box((-10, -10), (-5, -5)) == []
+
+    def test_knn_matches_brute_force(self):
+        target = (50.0, 50.0)
+        brute = sorted(
+            (((x - target[0]) ** 2 + (y - target[1]) ** 2) ** 0.5, index)
+            for index, (x, y) in enumerate(self.points)
+        )[:5]
+        for index_structure in (self.kd, self.quad):
+            knn = index_structure.knn(target, 5)
+            assert [value for _, _, value in knn] == [index for _, index in brute]
+
+    def test_box_search_prunes_nodes(self):
+        reads_before = self.kd.stats.node_reads
+        self.kd.search_box((0.0, 0.0), (5.0, 5.0))
+        small_box_reads = self.kd.stats.node_reads - reads_before
+        reads_before = self.kd.stats.node_reads
+        self.kd.search_box((-1000.0, -1000.0), (1000.0, 1000.0))
+        full_box_reads = self.kd.stats.node_reads - reads_before
+        assert small_box_reads < full_box_reads
+
+    def test_kdtree_dimension_validation(self):
+        with pytest.raises(IndexError_):
+            KdTreeModule(0)
+
+    def test_leaf_capacity_validation(self):
+        with pytest.raises(IndexError_):
+            SpGistIndex(TrieModule(), leaf_capacity=1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0, 100, allow_nan=False),
+                              st.floats(0, 100, allow_nan=False)),
+                    min_size=1, max_size=100))
+    def test_kd_box_property(self, points):
+        index = SpGistIndex(KdTreeModule(2), leaf_capacity=4)
+        for position, point in enumerate(points):
+            index.insert(point, position)
+        low, high = (25.0, 25.0), (75.0, 75.0)
+        expected = sorted(i for i, (x, y) in enumerate(points)
+                          if 25 <= x <= 75 and 25 <= y <= 75)
+        assert sorted(v for _, v in index.search_box(low, high)) == expected
+
+
+class TestExtensibility:
+    def test_custom_module_plugs_in(self):
+        """A user-defined module (even-vs-odd integers) works without engine changes."""
+        from repro.index.spgist.framework import Query, SpGistModule
+
+        class ParityModule(SpGistModule):
+            name = "parity"
+
+            def choose(self, key, level, state):
+                return key % 2
+
+            def picksplit(self, keys, level):
+                return None
+
+            def consistent(self, state, label, level, query):
+                if isinstance(query, EqualityQuery):
+                    return label == query.key % 2
+                return True
+
+            def leaf_consistent(self, key, query):
+                return isinstance(query, EqualityQuery) and key == query.key
+
+        index = SpGistIndex(ParityModule(), leaf_capacity=4)
+        for value in range(64):
+            index.insert(value, value)
+        assert index.search_equal(42) == [42]
+        assert index.search_equal(999) == []

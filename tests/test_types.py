@@ -1,0 +1,145 @@
+"""Tests for the value model: data types, coercion, comparison, serialization."""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import StorageError, TypeMismatchError
+from repro.types.datatypes import DataType, coerce, format_value, parse_timestamp
+from repro.types.values import (
+    SortKey,
+    compare_values,
+    deserialize_row,
+    serialize_row,
+    values_equal,
+)
+
+
+class TestDataTypeResolution:
+    def test_aliases_resolve(self):
+        assert DataType.from_name("int") is DataType.INTEGER
+        assert DataType.from_name("VARCHAR") is DataType.TEXT
+        assert DataType.from_name("double") is DataType.FLOAT
+        assert DataType.from_name("bool") is DataType.BOOLEAN
+        assert DataType.from_name("Sequence") is DataType.SEQUENCE
+        assert DataType.from_name("xml") is DataType.XML
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeMismatchError):
+            DataType.from_name("blob")
+
+
+class TestCoercion:
+    def test_integer_from_string(self):
+        assert coerce("42", DataType.INTEGER) == 42
+
+    def test_integer_from_float_with_fraction_fails(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(1.5, DataType.INTEGER)
+
+    def test_integer_from_whole_float(self):
+        assert coerce(3.0, DataType.INTEGER) == 3
+
+    def test_float_from_int(self):
+        assert coerce(7, DataType.FLOAT) == 7.0
+
+    def test_text_from_number(self):
+        assert coerce(12, DataType.TEXT) == "12"
+
+    def test_boolean_from_strings(self):
+        assert coerce("true", DataType.BOOLEAN) is True
+        assert coerce("f", DataType.BOOLEAN) is False
+
+    def test_boolean_rejects_arbitrary_int(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(7, DataType.BOOLEAN)
+
+    def test_null_allowed_when_nullable(self):
+        assert coerce(None, DataType.TEXT) is None
+
+    def test_null_rejected_when_not_nullable(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(None, DataType.TEXT, nullable=False)
+
+    def test_timestamp_from_string(self):
+        value = coerce("2026-06-15 10:30:00", DataType.TIMESTAMP)
+        assert value == datetime(2026, 6, 15, 10, 30)
+
+    def test_timestamp_date_only(self):
+        assert parse_timestamp("2007-01-07") == datetime(2007, 1, 7)
+
+    def test_timestamp_invalid(self):
+        with pytest.raises(TypeMismatchError):
+            parse_timestamp("yesterday")
+
+    def test_sequence_is_text_like(self):
+        assert coerce("ATGAAA", DataType.SEQUENCE) == "ATGAAA"
+
+
+class TestComparison:
+    def test_null_comparison_is_unknown(self):
+        assert compare_values(None, 1) is None
+        assert values_equal(None, None) is None
+
+    def test_numeric_cross_type(self):
+        assert compare_values(1, 1.0) == 0
+        assert compare_values(2, 1.5) == 1
+
+    def test_string_comparison(self):
+        assert compare_values("JW0055", "JW0080") == -1
+
+    def test_mixed_types_fall_back_to_strings(self):
+        assert compare_values("10", 9) is not None
+
+    def test_sort_key_orders_nulls_first(self):
+        values = [3, None, 1, None, 2]
+        ordered = sorted(values, key=SortKey)
+        assert ordered[:2] == [None, None]
+        assert ordered[2:] == [1, 2, 3]
+
+    def test_sort_key_equality(self):
+        assert SortKey(None) == SortKey(None)
+        assert SortKey(1) == SortKey(1.0)
+
+
+class TestSerialization:
+    def test_roundtrip_mixed_row(self):
+        row = (1, "gene", 2.5, None, True, datetime(2020, 5, 4, 3, 2, 1))
+        assert deserialize_row(serialize_row(row)) == row
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(StorageError):
+            serialize_row(([1, 2],))
+
+    def test_truncated_record_raises(self):
+        data = serialize_row((1, "abc"))
+        with pytest.raises(StorageError):
+            deserialize_row(data[:3])
+
+    @given(st.lists(
+        st.one_of(
+            st.none(),
+            st.booleans(),
+            st.integers(min_value=-2**62, max_value=2**62),
+            st.floats(allow_nan=False, allow_infinity=False),
+            st.text(max_size=80),
+        ),
+        max_size=12,
+    ))
+    def test_roundtrip_property(self, values):
+        assert deserialize_row(serialize_row(values)) == tuple(values)
+
+
+class TestFormatting:
+    def test_format_null(self):
+        assert format_value(None) == "NULL"
+
+    def test_format_boolean(self):
+        assert format_value(True) == "TRUE"
+
+    def test_format_timestamp(self):
+        text = format_value(datetime(2020, 1, 2, 3, 4, 5))
+        assert text.startswith("2020-01-02 03:04:05")
