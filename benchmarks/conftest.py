@@ -4,3 +4,9 @@ import os
 import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_configure(config):
+    # Skip logic lives in the root conftest.py next to --runslow.
+    config.addinivalue_line(
+        "markers", "slow: long-running benchmark, skipped unless --runslow is given")

@@ -1,7 +1,20 @@
-"""Catalog package: schemas, stored tables, and the system catalog."""
+"""Catalog package: schemas, stored tables, statistics, and the catalog."""
 
 from repro.catalog.catalog import SystemCatalog
 from repro.catalog.schema import Column, TableSchema
+from repro.catalog.statistics import (
+    ColumnStatistics,
+    StatisticsManager,
+    TableStatistics,
+)
 from repro.catalog.table import Table
 
-__all__ = ["SystemCatalog", "Column", "TableSchema", "Table"]
+__all__ = [
+    "SystemCatalog",
+    "Column",
+    "TableSchema",
+    "Table",
+    "ColumnStatistics",
+    "StatisticsManager",
+    "TableStatistics",
+]

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional
 
 from repro.catalog.schema import Column, TableSchema
+from repro.catalog.statistics import StatisticsManager
 from repro.catalog.table import Table
 from repro.core.errors import CatalogError
 from repro.storage.buffer_pool import BufferPool, DEFAULT_POOL_SIZE
@@ -25,6 +26,8 @@ class SystemCatalog:
         self.disk = disk or InMemoryDiskManager()
         self.pool = BufferPool(self.disk, pool_size)
         self._tables: Dict[str, Table] = {}
+        #: Planner statistics (row counts, NDV, histograms); see ANALYZE.
+        self.statistics = StatisticsManager(self)
 
     # ------------------------------------------------------------------
     def create_table(self, schema: TableSchema) -> Table:
@@ -40,6 +43,7 @@ class SystemCatalog:
         if key not in self._tables:
             raise CatalogError(f"table {name!r} does not exist")
         del self._tables[key]
+        self.statistics.drop(name)
 
     def has_table(self, name: str) -> bool:
         return name.lower() in self._tables

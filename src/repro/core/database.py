@@ -87,9 +87,32 @@ class Database:
             raise ExecutionError(f"statement is not a query: {sql!r}")
         return result
 
+    def analyze(self, table: Optional[str] = None,
+                user: str = "admin") -> ExecutionSummary:
+        """Recompute planner statistics for one table (or all of them)."""
+        from repro.sql import ast
+        result = self.engine.execute(ast.Analyze(table), user=user)
+        assert isinstance(result, ExecutionSummary)
+        return result
+
+    def explain(self, sql: str, user: str = "admin") -> ExecutionSummary:
+        """Plan a query without executing it; the summary holds the plan dump."""
+        from repro.sql import ast
+        statement = parse_statement(sql)
+        if not isinstance(statement, ast.Explain):
+            statement = ast.Explain(statement)
+        result = self.engine.execute(statement, user=user)
+        assert isinstance(result, ExecutionSummary)
+        return result
+
     # ------------------------------------------------------------------
     # Convenience accessors
     # ------------------------------------------------------------------
+    @property
+    def statistics(self):
+        """The planner statistics manager (see :mod:`repro.catalog.statistics`)."""
+        return self.catalog.statistics
+
     def table(self, name: str):
         return self.catalog.table(name)
 

@@ -36,6 +36,7 @@ from repro.dependencies.tracker import DependencyTracker, UpdateImpact
 from repro.executor import operators as ops
 from repro.executor.row import ColumnInfo, OutputSchema, ResultSet, Row
 from repro.index.manager import IndexManager
+from repro.planner import plan as planlib
 from repro.planner.expressions import Evaluator, contains_aggregate
 from repro.planner.planner import combine_conjuncts, push_down_conjuncts
 from repro.provenance.manager import ProvenanceManager
@@ -56,6 +57,13 @@ class EngineConfig:
     default_annotation_scheme: str = "compact"
     #: Automatically record provenance for INSERT statements.
     auto_provenance: bool = False
+    #: Join planning mode: "auto" picks per-edge via statistics; "hash",
+    #: "merge" and "nested_loop" force that strategy (nested_loop reproduces
+    #: the naive cross-product pipeline and is the differential baseline).
+    join_strategy: str = "auto"
+    #: In "auto" mode, prefer sort-merge over hash once the estimated build
+    #: side exceeds this many rows (grace-hash stand-in).
+    hash_join_max_build_rows: int = 4_000_000
 
 
 @dataclass
@@ -90,6 +98,9 @@ class Engine:
         self.access = access
         self.indexes = indexes or IndexManager(catalog)
         self.config = config or EngineConfig()
+        #: Plan tree of the most recently planned SELECT (observability
+        #: surface used by EXPLAIN, tests, and benchmarks).
+        self.last_plan: Optional[planlib.PlanNode] = None
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -129,6 +140,10 @@ class Engine:
             return self._start_approval(statement, user)
         if isinstance(statement, ast.StopContentApproval):
             return self._stop_approval(statement, user)
+        if isinstance(statement, ast.Analyze):
+            return self._analyze(statement, user)
+        if isinstance(statement, ast.Explain):
+            return self._explain(statement, user)
         raise ExecutionError(f"cannot execute statement of type {type(statement).__name__}")
 
     # ------------------------------------------------------------------
@@ -172,29 +187,19 @@ class Engine:
         for ref in table_refs:
             self._check(user, "SELECT", ref.name)
 
-        resolvable = {
-            ref.effective_name.lower(): {
-                name.lower() for name in self.catalog.table(ref.name).schema.column_names
-            }
-            for ref in table_refs
-        }
-        pushed, residual = push_down_conjuncts(select.where, table_refs, resolvable)
+        plan, pushed, remaining = self._plan_select(select, table_refs)
+        self.last_plan = plan
 
         scans: Dict[str, ops.Relation] = {}
         for ref in table_refs:
             scans[ref.effective_name.lower()] = self._scan(ref, pushed.get(
                 ref.effective_name.lower(), []))
+        relation = self._execute_plan(plan, scans)
+        # Join reordering may have permuted the column blocks; restore the
+        # syntactic FROM order so SELECT * stays deterministic.
+        relation = self._restore_from_order(relation, table_refs)
 
-        # FROM list (comma-separated) combined by cross product, then explicit joins.
-        relation = scans[select.from_tables[0].effective_name.lower()]
-        for ref in select.from_tables[1:]:
-            relation = ops.cross_join(relation, scans[ref.effective_name.lower()])
-        for join in select.joins:
-            right = scans[join.table.effective_name.lower()]
-            relation = ops.nested_loop_join(relation, right, join.condition,
-                                            join.join_type)
-
-        residual_expr = combine_conjuncts(residual)
+        residual_expr = combine_conjuncts(remaining)
         if residual_expr is not None:
             relation = ops.filter_rows(relation, residual_expr)
         if select.awhere is not None:
@@ -261,6 +266,165 @@ class Engine:
         if pushdown is not None:
             relation = ops.filter_rows(relation, pushdown)
         return relation
+
+    # ------------------------------------------------------------------
+    # Join planning and plan execution
+    # ------------------------------------------------------------------
+    _TYPE_CATEGORIES = {
+        DataType.INTEGER: "num", DataType.FLOAT: "num", DataType.BOOLEAN: "num",
+        DataType.TEXT: "text", DataType.SEQUENCE: "text", DataType.XML: "text",
+        DataType.TIMESTAMP: "time",
+    }
+
+    def _plan_select(self, select: ast.Select, table_refs: Sequence[ast.TableRef],
+                     ) -> Tuple[planlib.PlanNode, Dict[str, List[ast.Expression]],
+                                List[ast.Expression]]:
+        """Pushdown + cost-based join planning for one SELECT block.
+
+        Returns the plan tree, the per-qualifier pushed conjuncts, and the
+        residual conjuncts still to be filtered after the joins.
+        """
+        resolvable = {
+            ref.effective_name.lower(): {
+                name.lower() for name in self.catalog.table(ref.name).schema.column_names
+            }
+            for ref in table_refs
+        }
+        pushed, residual = push_down_conjuncts(select.where, table_refs, resolvable)
+        # Standard SQL: a WHERE predicate on the nullable side of a LEFT JOIN
+        # is evaluated after the join (NULL-padded rows fail it).  Pushing it
+        # below the join would wrongly keep the padded rows, so those
+        # conjuncts go back into the residual filter.
+        nullable_sides = {join.table.effective_name.lower()
+                          for join in select.joins if join.join_type == "LEFT"}
+        for qualifier in nullable_sides:
+            if pushed.get(qualifier):
+                residual.extend(pushed[qualifier])
+                pushed[qualifier] = []
+
+        table_of = {ref.effective_name.lower(): ref.name for ref in table_refs}
+        statistics = self.catalog.statistics
+
+        def row_estimate(qualifier: str) -> float:
+            return statistics.estimate_scan_rows(
+                table_of[qualifier], pushed.get(qualifier, []), qualifier)
+
+        def ndv_estimate(qualifier: str, column: str) -> float:
+            return float(statistics.distinct_estimate(table_of[qualifier], column))
+
+        def type_category(qualifier: str, column: str) -> Optional[str]:
+            schema = self.catalog.table(table_of[qualifier]).schema
+            try:
+                dtype = schema.column(column).dtype
+            except Exception:
+                return None
+            return self._TYPE_CATEGORIES.get(dtype)
+
+        plan, remaining = planlib.plan_select_joins(
+            select.from_tables, select.joins, residual, resolvable, pushed,
+            row_estimate=row_estimate, ndv_estimate=ndv_estimate,
+            type_category=type_category,
+            strategy=self.config.join_strategy,
+            hash_max_build_rows=self.config.hash_join_max_build_rows,
+        )
+        return plan, pushed, remaining
+
+    def _execute_plan(self, node: planlib.PlanNode,
+                      scans: Dict[str, ops.Relation]) -> ops.Relation:
+        """Walk a plan tree bottom-up, joining with the planned strategies."""
+        if isinstance(node, planlib.ScanPlan):
+            return scans[node.qualifier]
+        left = self._execute_plan(node.left, scans)
+        right = self._execute_plan(node.right, scans)
+        if node.strategy == "hash":
+            return ops.hash_join(left, right, node.left_keys, node.right_keys,
+                                 node.join_type, node.condition)
+        if node.strategy == "merge":
+            return ops.merge_join(left, right, node.left_keys, node.right_keys,
+                                  node.join_type, node.condition)
+        join_type = "CROSS" if node.strategy == "cross" else node.join_type
+        return ops.nested_loop_join(left, right, node.condition, join_type)
+
+    @staticmethod
+    def _restore_from_order(relation: ops.Relation,
+                            table_refs: Sequence[ast.TableRef]) -> ops.Relation:
+        """Permute the joined columns back into FROM-list order."""
+        schema, rows = relation
+        permutation: List[int] = []
+        for ref in table_refs:
+            permutation.extend(schema.positions_for_qualifier(ref.effective_name))
+        if len(permutation) != len(schema) \
+                or permutation == list(range(len(schema))):
+            return relation
+        new_schema = OutputSchema([schema.columns[p] for p in permutation])
+        new_rows = [
+            Row(tuple(row.values[p] for p in permutation),
+                [row.annotations[p] for p in permutation])
+            for row in rows
+        ]
+        return new_schema, new_rows
+
+    # ------------------------------------------------------------------
+    # ANALYZE / EXPLAIN
+    # ------------------------------------------------------------------
+    def _analyze(self, statement: ast.Analyze, user: str) -> ExecutionSummary:
+        statistics = self.catalog.statistics
+        if statement.table is not None:
+            self._check(user, "SELECT", statement.table)
+            tables = [self.catalog.table(statement.table).name]
+        else:
+            self._check_admin(user, "analyze all tables")
+            tables = self.catalog.table_names()
+        analyzed: Dict[str, Any] = {}
+        for name in tables:
+            stats = statistics.analyze(name)
+            analyzed[name] = {
+                "row_count": stats.row_count,
+                "columns": {
+                    column.name: {
+                        "distinct": column.distinct,
+                        "null_count": column.null_count,
+                        "min": column.minimum,
+                        "max": column.maximum,
+                    }
+                    for column in stats.columns.values()
+                },
+                "version": stats.version,
+            }
+        return ExecutionSummary(
+            "ANALYZE", rows_affected=len(analyzed),
+            message=f"analyzed {len(analyzed)} table(s)",
+            details={"tables": analyzed},
+        )
+
+    def _explain(self, statement: ast.Explain, user: str) -> ExecutionSummary:
+        plan_dict, text = self._explain_node(statement.target, user)
+        return ExecutionSummary(
+            "EXPLAIN", message=text, details={"plan": plan_dict, "text": text},
+        )
+
+    def _explain_node(self, node: Any, user: str) -> Tuple[Dict[str, Any], str]:
+        if isinstance(node, ast.SetOperation):
+            left_dict, left_text = self._explain_node(node.left, user)
+            right_dict, right_text = self._explain_node(node.right, user)
+            label = node.op + (" ALL" if node.all else "")
+            text = "\n".join([label,
+                              *("  " + line for line in left_text.splitlines()),
+                              *("  " + line for line in right_text.splitlines())])
+            return {"node": label, "left": left_dict, "right": right_dict}, text
+        if not isinstance(node, ast.Select):
+            raise PlanningError(
+                f"EXPLAIN requires a query, got {type(node).__name__}")
+        if not node.from_tables:
+            return {"node": "Result"}, "Result (constant SELECT)"
+        table_refs = list(node.from_tables) + [join.table for join in node.joins]
+        for ref in table_refs:
+            self._check(user, "SELECT", ref.name)
+        plan, _, remaining = self._plan_select(node, table_refs)
+        text = planlib.format_plan(plan)
+        if remaining:
+            text += f"\nResidual filter: {len(remaining)} conjunct(s)"
+        return planlib.plan_to_dict(plan), text
 
     # ------------------------------------------------------------------
     # DDL
@@ -339,6 +503,7 @@ class Engine:
                 cells = {(tuple_id, pos) for pos in range(len(table.schema))}
                 self.provenance.record(table.name, cells, source="local",
                                        operation="insert", agent="system", user=user)
+        self.catalog.statistics.on_insert(table.name, len(inserted))
         return ExecutionSummary(
             "INSERT", rows_affected=len(inserted),
             details={"tuple_ids": inserted, "logged_operations": logged},
@@ -382,6 +547,7 @@ class Engine:
                 logged.append(operation.op_id)
             impact.merge(self.tracker.handle_update(table.name, tuple_id,
                                                     list(changes)))
+        self.catalog.statistics.on_update(table.name, len(matches))
         return ExecutionSummary(
             "UPDATE", rows_affected=len(matches),
             details={
@@ -409,6 +575,7 @@ class Engine:
             operation = self.approval.log_delete(user, table.name, tuple_id, old_row)
             if operation is not None:
                 logged.append(operation.op_id)
+        self.catalog.statistics.on_delete(table.name, len(matches))
         return ExecutionSummary(
             "DELETE", rows_affected=len(matches),
             details={

@@ -156,6 +156,136 @@ def nested_loop_join(left: Relation, right: Relation,
     return schema, rows
 
 
+def _compile_keys(schema: OutputSchema,
+                  keys: Sequence[ast.ColumnRef]) -> List[Callable[[Row], Any]]:
+    evaluator = Evaluator(schema)
+    return [evaluator.compile(key) for key in keys]
+
+
+#: Canonical stand-in for NaN hash keys.  Python's ``dict`` treats distinct
+#: NaN objects as unequal, but ``compare_values`` orders NaN equal to itself,
+#: so the hash join must bucket all NaNs together to match the other
+#: strategies.
+_NAN_KEY = object()
+
+
+def _hash_key(value: Any) -> Any:
+    if isinstance(value, float) and value != value:
+        return _NAN_KEY
+    return value
+
+
+def hash_join(left: Relation, right: Relation,
+              left_keys: Sequence[ast.ColumnRef],
+              right_keys: Sequence[ast.ColumnRef],
+              join_type: str = "INNER",
+              condition: Optional[ast.Expression] = None) -> Relation:
+    """Equi-join by hashing the right (build) side on its key columns.
+
+    Annotation propagation is identical to the nested loop: the output row
+    concatenates the input rows together with their per-column annotation
+    sets.  NULL keys never match (SQL semantics); ``condition`` is an extra
+    predicate evaluated on the combined row before a match is accepted,
+    which keeps LEFT join padding correct for composite ON clauses.
+    """
+    left_schema, left_rows = left
+    right_schema, right_rows = right
+    if len(left_keys) != len(right_keys) or not left_keys:
+        raise PlanningError("hash join requires matching, non-empty key lists")
+    schema = left_schema.concat(right_schema)
+    build = _compile_keys(right_schema, right_keys)
+    probe = _compile_keys(left_schema, left_keys)
+    residual = Evaluator(schema).compile(condition) if condition is not None else None
+
+    table: Dict[Tuple[Any, ...], List[Row]] = {}
+    for row in right_rows:
+        key = tuple(_hash_key(getter(row)) for getter in build)
+        if any(value is None for value in key):
+            continue
+        table.setdefault(key, []).append(row)
+
+    rows: List[Row] = []
+    right_arity = len(right_schema)
+    for left_row in left_rows:
+        key = tuple(_hash_key(getter(left_row)) for getter in probe)
+        matched = False
+        if not any(value is None for value in key):
+            for right_row in table.get(key, ()):
+                combined = left_row.concat(right_row)
+                if residual is None or predicate_is_true(residual(combined)):
+                    rows.append(combined)
+                    matched = True
+        if join_type == "LEFT" and not matched:
+            rows.append(left_row.concat(Row(tuple([None] * right_arity))))
+    return schema, rows
+
+
+def merge_join(left: Relation, right: Relation,
+               left_keys: Sequence[ast.ColumnRef],
+               right_keys: Sequence[ast.ColumnRef],
+               join_type: str = "INNER",
+               condition: Optional[ast.Expression] = None) -> Relation:
+    """Sort-merge equi-join: sort both sides on the keys and merge groups."""
+    left_schema, left_rows = left
+    right_schema, right_rows = right
+    if len(left_keys) != len(right_keys) or not left_keys:
+        raise PlanningError("merge join requires matching, non-empty key lists")
+    schema = left_schema.concat(right_schema)
+    left_getters = _compile_keys(left_schema, left_keys)
+    right_getters = _compile_keys(right_schema, right_keys)
+    residual = Evaluator(schema).compile(condition) if condition is not None else None
+    right_arity = len(right_schema)
+
+    def decorate(rows: List[Row], getters) -> Tuple[list, List[Row]]:
+        keyed, null_keyed = [], []
+        for row in rows:
+            key = tuple(getter(row) for getter in getters)
+            if any(value is None for value in key):
+                null_keyed.append(row)
+            else:
+                keyed.append((tuple(SortKey(value) for value in key), row))
+        keyed.sort(key=lambda pair: pair[0])
+        return keyed, null_keyed
+
+    left_sorted, left_nulls = decorate(left_rows, left_getters)
+    right_sorted, _ = decorate(right_rows, right_getters)
+
+    rows: List[Row] = []
+    unmatched_left: List[Row] = list(left_nulls) if join_type == "LEFT" else []
+    i = j = 0
+    while i < len(left_sorted) and j < len(right_sorted):
+        left_key = left_sorted[i][0]
+        right_key = right_sorted[j][0]
+        if left_key < right_key:
+            if join_type == "LEFT":
+                unmatched_left.append(left_sorted[i][1])
+            i += 1
+        elif right_key < left_key:
+            j += 1
+        else:
+            i_end = i
+            while i_end < len(left_sorted) and left_sorted[i_end][0] == left_key:
+                i_end += 1
+            j_end = j
+            while j_end < len(right_sorted) and right_sorted[j_end][0] == left_key:
+                j_end += 1
+            for _, left_row in left_sorted[i:i_end]:
+                matched = False
+                for _, right_row in right_sorted[j:j_end]:
+                    combined = left_row.concat(right_row)
+                    if residual is None or predicate_is_true(residual(combined)):
+                        rows.append(combined)
+                        matched = True
+                if join_type == "LEFT" and not matched:
+                    unmatched_left.append(left_row)
+            i, j = i_end, j_end
+    if join_type == "LEFT":
+        unmatched_left.extend(row for _, row in left_sorted[i:])
+        for left_row in unmatched_left:
+            rows.append(left_row.concat(Row(tuple([None] * right_arity))))
+    return schema, rows
+
+
 # ---------------------------------------------------------------------------
 # Projection (with PROMOTE)
 # ---------------------------------------------------------------------------

@@ -8,9 +8,21 @@ from repro.planner.expressions import (
     find_aggregates,
     predicate_is_true,
 )
+from repro.planner.plan import (
+    JOIN_STRATEGIES,
+    JoinPlan,
+    PlanNode,
+    ScanPlan,
+    extract_equi_edges,
+    format_plan,
+    plan_select_joins,
+    plan_strategies,
+    plan_to_dict,
+)
 from repro.planner.planner import (
     combine_conjuncts,
     equality_lookups,
+    lookup_value,
     push_down_conjuncts,
     referenced_columns,
     split_conjuncts,
@@ -25,7 +37,17 @@ __all__ = [
     "predicate_is_true",
     "combine_conjuncts",
     "equality_lookups",
+    "lookup_value",
     "push_down_conjuncts",
     "referenced_columns",
     "split_conjuncts",
+    "JOIN_STRATEGIES",
+    "JoinPlan",
+    "PlanNode",
+    "ScanPlan",
+    "extract_equi_edges",
+    "format_plan",
+    "plan_select_joins",
+    "plan_strategies",
+    "plan_to_dict",
 ]

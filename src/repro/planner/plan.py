@@ -1,0 +1,414 @@
+"""Join planning: plan trees, equi-join extraction, ordering, and strategies.
+
+The engine used to execute every multi-table query as a chain of cross
+products followed by a residual filter.  This module turns the FROM list and
+WHERE clause into a proper plan tree instead:
+
+* equi-join conjuncts (``a.x = b.y``) are lifted out of the residual WHERE
+  and become join keys;
+* the FROM-list relations are ordered greedily by estimated cardinality
+  (smallest first, then whichever joinable relation minimises the estimated
+  intermediate result);
+* each join edge picks a physical strategy — hash join for equi-joins,
+  sort-merge join when the build side is too large for hashing (or when
+  forced), and nested-loop for everything else.
+
+Explicit ``JOIN ... ON`` clauses keep their syntactic order (LEFT joins are
+order-sensitive) but still get equi-key extraction and strategy selection.
+
+The planner never touches rows: it consumes cardinality and NDV estimates
+(duck-typed, normally a :class:`repro.catalog.statistics.StatisticsManager`)
+and produces :class:`ScanPlan` / :class:`JoinPlan` nodes that the executor
+walks.  ``format_plan`` / ``plan_to_dict`` render the tree for EXPLAIN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.errors import PlanningError
+from repro.planner.planner import combine_conjuncts, split_conjuncts
+from repro.sql import ast
+
+#: Valid values of ``EngineConfig.join_strategy``.
+JOIN_STRATEGIES = ("auto", "hash", "merge", "nested_loop")
+
+#: Strategy names as they appear in plan dumps.
+STRATEGY_LABELS = {
+    "hash": "HashJoin",
+    "merge": "MergeJoin",
+    "nested_loop": "NestedLoopJoin",
+    "cross": "CrossJoin",
+}
+
+
+@dataclass
+class ScanPlan:
+    """Leaf: a base-table scan (with pushed-down conjuncts already applied)."""
+
+    table: str
+    qualifier: str
+    estimated_rows: float = 0.0
+    pushed: List[ast.Expression] = field(default_factory=list)
+
+
+@dataclass
+class JoinPlan:
+    """Inner node: a physical join between two sub-plans."""
+
+    strategy: str  # "hash" | "merge" | "nested_loop" | "cross"
+    join_type: str  # "INNER" | "LEFT" | "CROSS"
+    left: "PlanNode"
+    right: "PlanNode"
+    left_keys: List[ast.ColumnRef] = field(default_factory=list)
+    right_keys: List[ast.ColumnRef] = field(default_factory=list)
+    #: Condition evaluated at the join on top of the key equalities (the
+    #: non-equi part of an ON clause, or the full condition for nested loop).
+    condition: Optional[ast.Expression] = None
+    estimated_rows: float = 0.0
+
+
+PlanNode = Union[ScanPlan, JoinPlan]
+
+
+@dataclass
+class JoinEdge:
+    """One equi-join conjunct connecting two relations of the FROM list."""
+
+    left_qualifier: str
+    left_column: ast.ColumnRef
+    right_qualifier: str
+    right_column: ast.ColumnRef
+    conjunct: ast.Expression
+
+    def connects(self, inside: Set[str], outside: str) -> bool:
+        return ((self.left_qualifier in inside and self.right_qualifier == outside)
+                or (self.right_qualifier in inside and self.left_qualifier == outside))
+
+    def oriented(self, inside: Set[str]) -> Tuple[ast.ColumnRef, ast.ColumnRef]:
+        """(inside-side key, outside-side key) for the current join frontier."""
+        if self.left_qualifier in inside:
+            return self.left_column, self.right_column
+        return self.right_column, self.left_column
+
+
+#: Estimates a planner needs: ``rows(qualifier)`` and ``ndv(qualifier, column)``.
+RowEstimator = Callable[[str], float]
+NdvEstimator = Callable[[str, str], float]
+#: Maps (qualifier, column) to a coarse type category ("num", "text", "time"),
+#: or ``None`` when unknown.  Hash/merge joins only apply when both key
+#: columns share a category, because the engine's three-valued comparison
+#: falls back to string forms (non-transitive) across categories.
+TypeCategory = Callable[[str, str], Optional[str]]
+
+
+def resolve_column(ref: ast.ColumnRef,
+                   resolvable: Dict[str, Set[str]]) -> Optional[str]:
+    """The unique qualifier ``ref`` resolves against, or ``None``."""
+    if ref.table is not None:
+        qualifier = ref.table.lower()
+        columns = resolvable.get(qualifier)
+        if columns is not None and ref.name.lower() in columns:
+            return qualifier
+        return None
+    homes = [qualifier for qualifier, columns in resolvable.items()
+             if ref.name.lower() in columns]
+    return homes[0] if len(homes) == 1 else None
+
+
+def extract_equi_edges(conjuncts: Sequence[ast.Expression],
+                       resolvable: Dict[str, Set[str]],
+                       eligible: Set[str],
+                       type_category: Optional[TypeCategory] = None,
+                       ) -> Tuple[List[JoinEdge], List[ast.Expression]]:
+    """Partition conjuncts into equi-join edges and everything else.
+
+    An edge requires both sides to be plain column references resolving to
+    two *different* qualifiers within ``eligible``, with compatible type
+    categories (see :data:`TypeCategory`).
+    """
+    edges: List[JoinEdge] = []
+    rest: List[ast.Expression] = []
+    for conjunct in conjuncts:
+        edge = _as_edge(conjunct, resolvable, eligible, type_category)
+        if edge is not None:
+            edges.append(edge)
+        else:
+            rest.append(conjunct)
+    return edges, rest
+
+
+def _as_edge(conjunct: ast.Expression, resolvable: Dict[str, Set[str]],
+             eligible: Set[str],
+             type_category: Optional[TypeCategory]) -> Optional[JoinEdge]:
+    if not isinstance(conjunct, ast.BinaryOp) or conjunct.op != "=":
+        return None
+    left, right = conjunct.left, conjunct.right
+    if not isinstance(left, ast.ColumnRef) or not isinstance(right, ast.ColumnRef):
+        return None
+    left_home = resolve_column(left, resolvable)
+    right_home = resolve_column(right, resolvable)
+    if left_home is None or right_home is None or left_home == right_home:
+        return None
+    if left_home not in eligible or right_home not in eligible:
+        return None
+    if type_category is not None:
+        left_category = type_category(left_home, left.name)
+        right_category = type_category(right_home, right.name)
+        if left_category is None or right_category is None \
+                or left_category != right_category:
+            return None
+    return JoinEdge(left_home, left, right_home, right, conjunct)
+
+
+# ---------------------------------------------------------------------------
+# Strategy selection
+# ---------------------------------------------------------------------------
+def choose_strategy(left_rows: float, right_rows: float, forced: str,
+                    hash_max_build_rows: float) -> str:
+    """Pick the physical strategy for an equi-join edge."""
+    if forced == "hash":
+        return "hash"
+    if forced == "merge":
+        return "merge"
+    build = min(left_rows, right_rows)
+    return "merge" if build > hash_max_build_rows else "hash"
+
+
+def _edge_cardinality(left_rows: float, right_rows: float,
+                      key_ndvs: Sequence[float]) -> float:
+    """Classic equi-join estimate: |L| * |R| / prod(max(NDV_l, NDV_r))."""
+    result = left_rows * right_rows
+    for ndv in key_ndvs:
+        result /= max(1.0, ndv)
+    return max(1.0, result)
+
+
+# ---------------------------------------------------------------------------
+# The planner
+# ---------------------------------------------------------------------------
+def plan_select_joins(from_refs: Sequence[ast.TableRef],
+                      explicit_joins: Sequence[ast.Join],
+                      residual: Sequence[ast.Expression],
+                      resolvable: Dict[str, Set[str]],
+                      pushed: Dict[str, List[ast.Expression]],
+                      *,
+                      row_estimate: RowEstimator,
+                      ndv_estimate: NdvEstimator,
+                      type_category: Optional[TypeCategory] = None,
+                      strategy: str = "auto",
+                      hash_max_build_rows: float = 4_000_000.0,
+                      ) -> Tuple[PlanNode, List[ast.Expression]]:
+    """Build a join plan for a SELECT; returns (root, remaining residual).
+
+    ``residual`` are the WHERE conjuncts left over after pushdown; the equi
+    conjuncts this planner consumes as join keys are removed from the list it
+    returns.  ``pushed`` is only recorded on scan nodes for EXPLAIN output.
+    """
+    if strategy not in JOIN_STRATEGIES:
+        raise PlanningError(
+            f"unknown join strategy {strategy!r}; expected one of {JOIN_STRATEGIES}")
+
+    def scan_node(ref: ast.TableRef) -> ScanPlan:
+        qualifier = ref.effective_name.lower()
+        return ScanPlan(table=ref.name, qualifier=qualifier,
+                        estimated_rows=row_estimate(qualifier),
+                        pushed=list(pushed.get(qualifier, [])))
+
+    if strategy == "nested_loop":
+        # Reproduce the naive pipeline exactly: cross products in FROM order,
+        # explicit joins as nested loops, the whole residual evaluated on top.
+        plan: PlanNode = scan_node(from_refs[0])
+        for ref in from_refs[1:]:
+            right = scan_node(ref)
+            plan = JoinPlan("cross", "CROSS", plan, right,
+                            estimated_rows=plan.estimated_rows * max(1.0, right.estimated_rows))
+        for join in explicit_joins:
+            plan = _nested_loop_node(plan, scan_node(join.table), join)
+        return plan, list(residual)
+
+    from_qualifiers = {ref.effective_name.lower() for ref in from_refs}
+    edges, rest = extract_equi_edges(residual, resolvable, from_qualifiers,
+                                     type_category)
+
+    scans = {ref.effective_name.lower(): scan_node(ref) for ref in from_refs}
+    order = [ref.effective_name.lower() for ref in from_refs]
+
+    # Greedy ordering: start from the smallest relation, then repeatedly add
+    # the connected relation with the smallest estimated join output
+    # (falling back to the smallest remaining relation via a cross product).
+    remaining = list(order)
+    start = min(remaining, key=lambda q: (scans[q].estimated_rows, order.index(q)))
+    remaining.remove(start)
+    plan = scans[start]
+    joined: Set[str] = {start}
+    pending_edges = list(edges)
+
+    while remaining:
+        best: Optional[Tuple[float, int, str, List[JoinEdge]]] = None
+        for qualifier in remaining:
+            connecting = [e for e in pending_edges if e.connects(joined, qualifier)]
+            if not connecting:
+                continue
+            ndvs = [_edge_ndv(e, joined, ndv_estimate) for e in connecting]
+            estimate = _edge_cardinality(plan.estimated_rows,
+                                         scans[qualifier].estimated_rows, ndvs)
+            candidate = (estimate, order.index(qualifier), qualifier, connecting)
+            if best is None or candidate[:2] < best[:2]:
+                best = candidate
+        if best is None:
+            # No join edge reaches the remaining relations: cross product
+            # with the smallest one.
+            qualifier = min(remaining,
+                            key=lambda q: (scans[q].estimated_rows, order.index(q)))
+            right = scans[qualifier]
+            plan = JoinPlan("cross", "CROSS", plan, right,
+                            estimated_rows=plan.estimated_rows * max(1.0, right.estimated_rows))
+            remaining.remove(qualifier)
+            joined.add(qualifier)
+            continue
+        estimate, _, qualifier, connecting = best
+        right = scans[qualifier]
+        left_keys = []
+        right_keys = []
+        for edge in connecting:
+            inside_key, outside_key = edge.oriented(joined)
+            left_keys.append(inside_key)
+            right_keys.append(outside_key)
+            pending_edges.remove(edge)
+        picked = choose_strategy(plan.estimated_rows, right.estimated_rows,
+                                 strategy, hash_max_build_rows)
+        left, right_node = plan, right
+        if picked == "hash" and right.estimated_rows > plan.estimated_rows:
+            # Hash join builds on the right input: put the smaller side there.
+            left, right_node = right, plan
+            left_keys, right_keys = right_keys, left_keys
+        plan = JoinPlan(picked, "INNER", left, right_node,
+                        left_keys=left_keys, right_keys=right_keys,
+                        estimated_rows=estimate)
+        remaining.remove(qualifier)
+        joined.add(qualifier)
+
+    # Unconsumed edges (both endpoints already joined through another path)
+    # go back into the residual filter.
+    rest = rest + [edge.conjunct for edge in pending_edges]
+
+    for join in explicit_joins:
+        right = scan_node(join.table)
+        plan = _plan_explicit_join(plan, right, join, joined, resolvable,
+                                   type_category, ndv_estimate,
+                                   strategy, hash_max_build_rows)
+        joined.add(right.qualifier)
+    return plan, rest
+
+
+def _edge_ndv(edge: JoinEdge, joined: Set[str],
+              ndv_estimate: NdvEstimator) -> float:
+    inside_key, outside_key = edge.oriented(joined)
+    inside_q = edge.left_qualifier if edge.left_qualifier in joined else edge.right_qualifier
+    outside_q = edge.right_qualifier if inside_q == edge.left_qualifier else edge.left_qualifier
+    return max(ndv_estimate(inside_q, inside_key.name),
+               ndv_estimate(outside_q, outside_key.name))
+
+
+def _nested_loop_node(left: PlanNode, right: ScanPlan, join: ast.Join) -> JoinPlan:
+    strategy = "cross" if join.join_type == "CROSS" else "nested_loop"
+    estimate = left.estimated_rows * max(1.0, right.estimated_rows)
+    if join.condition is not None:
+        estimate = max(1.0, estimate * (1.0 / 3.0))
+    if join.join_type == "LEFT":
+        estimate = max(estimate, left.estimated_rows)
+    return JoinPlan(strategy, join.join_type, left, right,
+                    condition=join.condition, estimated_rows=estimate)
+
+
+def _plan_explicit_join(plan: PlanNode, right: ScanPlan, join: ast.Join,
+                        joined: Set[str], resolvable: Dict[str, Set[str]],
+                        type_category: Optional[TypeCategory],
+                        ndv_estimate: NdvEstimator,
+                        strategy: str, hash_max_build_rows: float) -> JoinPlan:
+    """Strategy selection for a JOIN ... ON clause (order is preserved)."""
+    if join.join_type == "CROSS" or join.condition is None:
+        return _nested_loop_node(plan, right, join)
+    conjuncts = split_conjuncts(join.condition)
+    eligible = joined | {right.qualifier}
+    edges, rest = extract_equi_edges(conjuncts, resolvable, eligible,
+                                     type_category)
+    # Only edges between the existing plan and the new table are usable as
+    # keys here; anything else stays in the join condition.
+    usable = [e for e in edges if e.connects(joined, right.qualifier)]
+    rest = rest + [e.conjunct for e in edges if e not in usable]
+    if not usable:
+        return _nested_loop_node(plan, right, join)
+    left_keys = []
+    right_keys = []
+    ndvs = []
+    for edge in usable:
+        inside_key, outside_key = edge.oriented(joined)
+        left_keys.append(inside_key)
+        right_keys.append(outside_key)
+        ndvs.append(_edge_ndv(edge, joined, ndv_estimate))
+    picked = choose_strategy(plan.estimated_rows, right.estimated_rows,
+                             strategy, hash_max_build_rows)
+    estimate = _edge_cardinality(plan.estimated_rows, right.estimated_rows, ndvs)
+    if join.join_type == "LEFT":
+        estimate = max(estimate, plan.estimated_rows)
+    return JoinPlan(picked, join.join_type, plan, right,
+                    left_keys=left_keys, right_keys=right_keys,
+                    condition=combine_conjuncts(rest),
+                    estimated_rows=estimate)
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN rendering
+# ---------------------------------------------------------------------------
+def plan_to_dict(node: PlanNode) -> Dict[str, Any]:
+    """Plan tree as a nested dict (stable surface for tests and tooling)."""
+    if isinstance(node, ScanPlan):
+        return {
+            "node": "Scan",
+            "table": node.table,
+            "qualifier": node.qualifier,
+            "estimated_rows": round(node.estimated_rows, 2),
+            "pushed_conjuncts": len(node.pushed),
+        }
+    return {
+        "node": STRATEGY_LABELS[node.strategy],
+        "join_type": node.join_type,
+        "keys": [f"{l.display()} = {r.display()}"
+                 for l, r in zip(node.left_keys, node.right_keys)],
+        "estimated_rows": round(node.estimated_rows, 2),
+        "left": plan_to_dict(node.left),
+        "right": plan_to_dict(node.right),
+    }
+
+
+def format_plan(node: PlanNode, indent: int = 0) -> str:
+    """Human-readable plan dump (the EXPLAIN text)."""
+    pad = "  " * indent
+    if isinstance(node, ScanPlan):
+        label = node.table if node.qualifier == node.table.lower() \
+            else f"{node.table} AS {node.qualifier}"
+        suffix = f" [pushed: {len(node.pushed)}]" if node.pushed else ""
+        return (f"{pad}Scan {label} "
+                f"(est. rows={node.estimated_rows:.0f}){suffix}")
+    keys = ", ".join(f"{l.display()} = {r.display()}"
+                     for l, r in zip(node.left_keys, node.right_keys))
+    detail = f" on {keys}" if keys else ""
+    if node.condition is not None:
+        detail += " +condition"
+    header = (f"{pad}{STRATEGY_LABELS[node.strategy]} [{node.join_type}]{detail} "
+              f"(est. rows={node.estimated_rows:.0f})")
+    return "\n".join([header,
+                      format_plan(node.left, indent + 1),
+                      format_plan(node.right, indent + 1)])
+
+
+def plan_strategies(node: PlanNode) -> List[str]:
+    """Flat list of the join strategies used, outermost first."""
+    if isinstance(node, ScanPlan):
+        return []
+    return ([node.strategy]
+            + plan_strategies(node.left)
+            + plan_strategies(node.right))

@@ -9,7 +9,7 @@ references, and pushes single-table conjuncts down to the corresponding scan
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.sql import ast
 
@@ -110,15 +110,40 @@ def push_down_conjuncts(
     return pushed, residual
 
 
-def equality_lookups(conjuncts: Sequence[ast.Expression]) -> Dict[str, object]:
+#: Key of an equality lookup: (table qualifier or None, column name), both
+#: lower-cased.  Keeping the qualifier prevents a lookup on ``a.id`` from
+#: being misapplied to another joined table that also has an ``id`` column.
+LookupKey = Tuple[Optional[str], str]
+
+
+def equality_lookups(conjuncts: Sequence[ast.Expression]) -> Dict[LookupKey, Any]:
     """Extract ``column = literal`` equalities usable for index lookups."""
-    lookups: Dict[str, object] = {}
+    lookups: Dict[LookupKey, Any] = {}
     for conjunct in conjuncts:
         if not isinstance(conjunct, ast.BinaryOp) or conjunct.op != "=":
             continue
         left, right = conjunct.left, conjunct.right
         if isinstance(left, ast.ColumnRef) and isinstance(right, ast.Literal):
-            lookups[left.name.lower()] = right.value
+            lookups[_lookup_key(left)] = right.value
         elif isinstance(right, ast.ColumnRef) and isinstance(left, ast.Literal):
-            lookups[right.name.lower()] = left.value
+            lookups[_lookup_key(right)] = left.value
     return lookups
+
+
+def _lookup_key(ref: ast.ColumnRef) -> LookupKey:
+    return (ref.table.lower() if ref.table else None, ref.name.lower())
+
+
+def lookup_value(lookups: Dict[LookupKey, Any], column: str,
+                 qualifier: Optional[str] = None, default: Any = None) -> Any:
+    """Resolve a lookup for ``qualifier.column``.
+
+    A lookup recorded with an explicit qualifier only applies to that table;
+    an unqualified lookup applies to whichever table the caller asks about
+    (the pushdown pass has already established it resolves there uniquely).
+    """
+    if qualifier is not None:
+        key = (qualifier.lower(), column.lower())
+        if key in lookups:
+            return lookups[key]
+    return lookups.get((None, column.lower()), default)

@@ -228,6 +228,20 @@ class Delete:
     where: Optional[Expression] = None
 
 
+@dataclass
+class Analyze:
+    """ANALYZE [<table>]: (re)compute planner statistics."""
+
+    table: Optional[str] = None
+
+
+@dataclass
+class Explain:
+    """EXPLAIN <query>: plan the query and return the plan without running it."""
+
+    target: Any = None
+
+
 # ---------------------------------------------------------------------------
 # A-SQL statements (Figures 4 and 6)
 # ---------------------------------------------------------------------------

@@ -175,6 +175,15 @@ class Parser:
             return self._parse_start_approval()
         if token.is_keyword("STOP"):
             return self._parse_stop_approval()
+        if token.is_keyword("ANALYZE"):
+            self.advance()
+            table = None
+            if not self.at_end() and not self.check_punct(";"):
+                table = self.expect_identifier()
+            return ast.Analyze(table)
+        if token.is_keyword("EXPLAIN"):
+            self.advance()
+            return ast.Explain(self.parse_statement())
         raise SqlSyntaxError(
             f"cannot parse statement starting with {token.value!r}", token.position
         )

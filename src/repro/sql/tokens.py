@@ -36,7 +36,7 @@ KEYWORDS = {
     "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "CROSS", "ON",
     "CREATE", "DROP", "TABLE", "INSERT", "INTO", "VALUES", "UPDATE", "SET",
     "DELETE", "PRIMARY", "KEY", "UNIQUE", "DEFAULT", "TRUE", "FALSE",
-    "INDEX", "USING",
+    "INDEX", "USING", "ANALYZE", "EXPLAIN",
     # A-SQL (annotation management, Figures 4, 6, 7)
     "ANNOTATION", "ANNOTATIONS", "ADD", "VALUE", "ARCHIVE", "RESTORE",
     "PROMOTE", "AWHERE", "AHAVING", "FILTER", "TO",

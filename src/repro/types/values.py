@@ -36,6 +36,15 @@ def compare_values(left: Any, right: Any) -> Optional[int]:
     if isinstance(left, bool) and isinstance(right, bool):
         left, right = int(left), int(right)
     if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        # NaN gets a deterministic total order (PostgreSQL-style): equal to
+        # itself, greater than every other number.  Without this, NaN would
+        # compare "equal" to everything and join results would depend on the
+        # physical join strategy.
+        left_nan, right_nan = left != left, right != right
+        if left_nan or right_nan:
+            if left_nan and right_nan:
+                return 0
+            return 1 if left_nan else -1
         if left < right:
             return -1
         if left > right:

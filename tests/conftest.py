@@ -8,6 +8,12 @@ from repro import Database
 from repro.workloads import build_gene_protein_pipeline, build_gene_tables
 
 
+def pytest_configure(config):
+    # Skip logic lives in the root conftest.py next to --runslow.
+    config.addinivalue_line(
+        "markers", "slow: long-running test, skipped unless --runslow is given")
+
+
 @pytest.fixture
 def db() -> Database:
     """A fresh in-memory database."""

@@ -1,0 +1,241 @@
+"""Differential tests: every join strategy must agree with the naive path.
+
+The cost-based planner (hash / sort-merge joins, greedy reordering) must be
+*observationally equivalent* to the naive pipeline (cross products + residual
+filter, ``join_strategy="nested_loop"``) — same row multisets and the same
+propagated annotations per row.  Each query shape below runs under every
+strategy and is compared against the nested-loop baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.planner.plan import plan_strategies
+
+
+def build_db() -> Database:
+    db = Database()
+    db.execute("CREATE TABLE gene (gid TEXT PRIMARY KEY, name TEXT, score FLOAT)")
+    db.execute("CREATE TABLE protein (pid INTEGER PRIMARY KEY, gid TEXT, kind TEXT, "
+               "score FLOAT)")
+    db.execute("CREATE ANNOTATION TABLE gnote ON gene")
+    db.execute("CREATE ANNOTATION TABLE pnote ON protein")
+    for i in range(12):
+        db.execute(f"INSERT INTO gene VALUES ('G{i}', 'gene{i}', {i * 1.5})")
+    for i in range(30):
+        # Some genes match several proteins, some none; some proteins dangle.
+        gid = f"'G{i % 15}'" if i % 5 else "NULL"
+        db.execute(f"INSERT INTO protein VALUES ({i}, {gid}, 'k{i % 3}', {i * 0.5})")
+    db.execute("ADD ANNOTATION TO gene.gnote VALUE 'curated gene' "
+               "ON (SELECT g.gid FROM gene g WHERE g.score > 6)")
+    db.execute("ADD ANNOTATION TO gene.gnote VALUE 'reviewed' "
+               "ON (SELECT g.name FROM gene g WHERE g.gid = 'G3')")
+    db.execute("ADD ANNOTATION TO protein.pnote VALUE 'predicted protein' "
+               "ON (SELECT p.kind FROM protein p WHERE p.pid < 10)")
+    return db
+
+
+QUERY_SHAPES = {
+    "equi_join": (
+        "SELECT g.gid, g.score, p.pid FROM gene ANNOTATION(gnote) g, "
+        "protein ANNOTATION(pnote) p WHERE g.gid = p.gid"
+    ),
+    "equi_join_with_filters": (
+        "SELECT g.gid, p.pid, p.kind FROM gene ANNOTATION(gnote) g, "
+        "protein ANNOTATION(pnote) p "
+        "WHERE g.gid = p.gid AND g.score > 3 AND p.kind = 'k1'"
+    ),
+    "non_equi_join": (
+        "SELECT g.gid, p.pid FROM gene g, protein p "
+        "WHERE g.score < p.score AND p.pid < 8"
+    ),
+    "self_join_aliases": (
+        "SELECT a.gid, b.gid FROM gene ANNOTATION(gnote) a, gene b "
+        "WHERE a.gid = b.gid AND a.score <= b.score"
+    ),
+    "three_way_join": (
+        "SELECT a.gid, p.pid, b.name FROM gene a, protein p, gene b "
+        "WHERE a.gid = p.gid AND p.gid = b.gid"
+    ),
+    "join_with_awhere": (
+        "SELECT g.gid, p.pid FROM gene ANNOTATION(gnote) g, "
+        "protein ANNOTATION(pnote) p WHERE g.gid = p.gid "
+        "AWHERE annotation.value LIKE '%curated%'"
+    ),
+    "join_with_group_by": (
+        "SELECT g.gid, COUNT(*), SUM(p.score) FROM gene ANNOTATION(gnote) g, "
+        "protein ANNOTATION(pnote) p WHERE g.gid = p.gid GROUP BY g.gid"
+    ),
+    "explicit_inner_join": (
+        "SELECT g.gid, p.pid FROM gene ANNOTATION(gnote) g "
+        "JOIN protein ANNOTATION(pnote) p ON g.gid = p.gid AND p.pid > 3"
+    ),
+    "explicit_left_join": (
+        "SELECT g.gid, p.pid FROM gene ANNOTATION(gnote) g "
+        "LEFT JOIN protein p ON g.gid = p.gid AND p.kind = 'k0'"
+    ),
+    "cross_product_with_residual": (
+        "SELECT g.gid, p.pid FROM gene g, protein p "
+        "WHERE LENGTH(g.gid) + p.pid = 4"
+    ),
+}
+
+STRATEGIES = ("auto", "hash", "merge")
+
+
+def canonical(result):
+    """Order-independent form of a result: values + per-column annotations."""
+    rows = []
+    for row in result.rows:
+        annotations = tuple(
+            tuple(sorted((a.annotation_table, a.ann_id) for a in anns))
+            for anns in row.annotations
+        )
+        rows.append((row.values, annotations))
+    return sorted(rows, key=repr)
+
+
+@pytest.fixture(scope="module")
+def diff_db() -> Database:
+    return build_db()
+
+
+@pytest.mark.parametrize("shape", sorted(QUERY_SHAPES))
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_strategy_agrees_with_nested_loop(diff_db, shape, strategy):
+    query = QUERY_SHAPES[shape]
+    diff_db.config.join_strategy = "nested_loop"
+    baseline = canonical(diff_db.query(query))
+    diff_db.config.join_strategy = strategy
+    candidate = canonical(diff_db.query(query))
+    diff_db.config.join_strategy = "auto"
+    assert candidate == baseline
+
+
+def test_forced_strategies_actually_differ(diff_db):
+    """The harness is only meaningful if the paths diverge physically."""
+    query = QUERY_SHAPES["equi_join"]
+    observed = {}
+    for strategy in ("nested_loop", "hash", "merge", "auto"):
+        diff_db.config.join_strategy = strategy
+        diff_db.query(query)
+        observed[strategy] = plan_strategies(diff_db.engine.last_plan)
+    diff_db.config.join_strategy = "auto"
+    assert observed["hash"] == ["hash"]
+    assert observed["merge"] == ["merge"]
+    assert observed["nested_loop"] == ["cross"]
+    assert observed["auto"] == ["hash"]
+
+
+def test_auto_falls_back_to_nested_loop_for_non_equi(diff_db):
+    diff_db.config.join_strategy = "auto"
+    diff_db.query(QUERY_SHAPES["non_equi_join"])
+    assert plan_strategies(diff_db.engine.last_plan) == ["cross"]
+
+
+def test_analyze_improves_join_order(diff_db):
+    """With statistics, the smaller (more selective) side becomes the build."""
+    diff_db.config.join_strategy = "auto"
+    diff_db.execute("ANALYZE gene")
+    diff_db.execute("ANALYZE protein")
+    explained = diff_db.explain(QUERY_SHAPES["equi_join_with_filters"])
+    plan = explained.details["plan"]
+    assert plan["node"] == "HashJoin"
+    # Both scans carry their pushed conjunct counts in the dump.
+    scans = [plan["left"], plan["right"]]
+    assert {s["node"] for s in scans} == {"Scan"}
+    assert sum(s["pushed_conjuncts"] for s in scans) == 2
+
+
+def test_differential_with_dml_between_runs():
+    """Statistics staleness hooks must not change results, only estimates."""
+    db = build_db()
+    db.execute("ANALYZE")
+    db.execute("DELETE FROM protein WHERE pid >= 25")
+    db.execute("INSERT INTO protein VALUES (99, 'G1', 'k9', 9.9)")
+    query = QUERY_SHAPES["equi_join"]
+    db.config.join_strategy = "nested_loop"
+    baseline = canonical(db.query(query))
+    for strategy in STRATEGIES:
+        db.config.join_strategy = strategy
+        assert canonical(db.query(query)) == baseline
+
+
+def test_where_on_left_join_nullable_side_filters_padded_rows():
+    """Standard SQL: a WHERE predicate on the nullable side of a LEFT JOIN
+    is evaluated after the join, so NULL-padded rows fail it — the predicate
+    must not be pushed below the join."""
+    db = Database()
+    db.execute("CREATE TABLE l (id INTEGER PRIMARY KEY)")
+    db.execute("CREATE TABLE r (id INTEGER PRIMARY KEY, v INTEGER)")
+    db.execute("INSERT INTO l VALUES (1), (2)")
+    db.execute("INSERT INTO r VALUES (1, 1)")
+    query = "SELECT l.id, r.v FROM l LEFT JOIN r ON l.id = r.id WHERE r.v = 1"
+    for strategy in ("nested_loop", "hash", "merge", "auto"):
+        db.config.join_strategy = strategy
+        assert sorted(db.query(query).values()) == [(1, 1)], strategy
+    # Without the WHERE, the padded row is still produced.
+    db.config.join_strategy = "auto"
+    padded = db.query("SELECT l.id, r.v FROM l LEFT JOIN r ON l.id = r.id")
+    assert sorted(padded.values(), key=repr) == [(1, 1), (2, None)]
+
+
+def test_select_star_column_order_survives_reordering():
+    """Join reordering must not leak into the SELECT * column order."""
+    db = Database()
+    db.execute("CREATE TABLE big (id INTEGER PRIMARY KEY, bval TEXT)")
+    db.execute("CREATE TABLE small (id INTEGER PRIMARY KEY, sval TEXT)")
+    for i in range(20):
+        db.execute(f"INSERT INTO big VALUES ({i}, 'b{i}')")
+    for i in range(3):
+        db.execute(f"INSERT INTO small VALUES ({i}, 's{i}')")
+    # The greedy planner starts from ``small`` and hash-builds on it, even
+    # though ``big`` comes first syntactically.
+    query = "SELECT * FROM big, small WHERE big.id = small.id"
+    db.config.join_strategy = "nested_loop"
+    baseline = db.query(query)
+    db.config.join_strategy = "auto"
+    candidate = db.query(query)
+    assert candidate.columns == baseline.columns == ["id", "bval", "id", "sval"]
+    assert sorted(candidate.values()) == sorted(baseline.values())
+    assert canonical(candidate) == canonical(baseline)
+
+
+def test_nan_join_keys_agree_across_strategies():
+    """NaN keys must behave identically under every strategy (NaN = NaN
+    matches, NaN never equals a real number)."""
+    db = Database()
+    db.execute("CREATE TABLE a (id INTEGER PRIMARY KEY, x FLOAT)")
+    db.execute("CREATE TABLE b (id INTEGER PRIMARY KEY, y FLOAT)")
+    nan = float("nan")
+    for i, value in enumerate([nan, 1.0, 2.0]):
+        db.table("a").insert_row({"id": i, "x": value})
+    for i, value in enumerate([2.0, nan, nan]):
+        db.table("b").insert_row({"id": i, "y": value})
+    query = "SELECT a.id, b.id FROM a, b WHERE a.x = b.y"
+    results = {}
+    for strategy in ("nested_loop", "hash", "merge", "auto"):
+        db.config.join_strategy = strategy
+        results[strategy] = sorted(db.query(query).values())
+    # One real match (2.0 = 2.0) plus NaN = NaN pairs.
+    assert results["nested_loop"] == [(0, 1), (0, 2), (2, 0)]
+    for strategy in ("hash", "merge", "auto"):
+        assert results[strategy] == results["nested_loop"]
+
+
+def test_mixed_type_join_keys_stay_on_nested_loop():
+    """TEXT-vs-INTEGER equality is not hashable/mergeable (string-form
+    comparison is non-transitive), so the planner must not lift it."""
+    db = Database()
+    db.execute("CREATE TABLE a (id INTEGER PRIMARY KEY, v TEXT)")
+    db.execute("CREATE TABLE b (code TEXT PRIMARY KEY, w TEXT)")
+    db.execute("INSERT INTO a VALUES (1, 'x'), (2, 'y')")
+    db.execute("INSERT INTO b VALUES ('1', 'p'), ('3', 'q')")
+    query = "SELECT a.id, b.code FROM a, b WHERE a.id = b.code"
+    db.config.join_strategy = "nested_loop"
+    baseline = canonical(db.query(query))
+    db.config.join_strategy = "auto"
+    assert canonical(db.query(query)) == baseline
+    assert plan_strategies(db.engine.last_plan) == ["cross"]

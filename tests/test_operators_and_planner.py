@@ -12,6 +12,7 @@ from repro.planner.expressions import AnnotationPredicate, Evaluator, predicate_
 from repro.planner.planner import (
     combine_conjuncts,
     equality_lookups,
+    lookup_value,
     push_down_conjuncts,
     referenced_columns,
     split_conjuncts,
@@ -136,6 +137,63 @@ class TestOperators:
         assert (("x", "x")) in [row.values for row in rows]
         assert ("y", None) in [row.values for row in rows]
 
+    def _join_inputs(self):
+        left = (OutputSchema([ColumnInfo("k", "l"), ColumnInfo("lv", "l")]),
+                [Row(("x", 1), [{ann(1)}, set()]),
+                 Row(("y", 2)),
+                 Row((None, 3)),
+                 Row(("x", 4))])
+        right = (OutputSchema([ColumnInfo("k", "r"), ColumnInfo("rv", "r")]),
+                 [Row(("x", 10), [set(), {ann(2)}]),
+                  Row(("z", 20)),
+                  Row((None, 30))])
+        return left, right
+
+    def _key_refs(self):
+        return [ast.ColumnRef("k", "l")], [ast.ColumnRef("k", "r")]
+
+    def test_hash_join_matches_nested_loop(self):
+        left, right = self._join_inputs()
+        condition = parse_expression("l.k = r.k")
+        expected = ops.nested_loop_join(left, right, condition)
+        left_keys, right_keys = self._key_refs()
+        schema, rows = ops.hash_join(left, right, left_keys, right_keys)
+        assert sorted(r.values for r in rows) == sorted(r.values for r in expected[1])
+        # Annotations flow through from both sides.
+        joined = rows[0]
+        assert joined.all_annotations() >= {ann(2)}
+
+    def test_merge_join_matches_nested_loop(self):
+        left, right = self._join_inputs()
+        condition = parse_expression("l.k = r.k")
+        expected = ops.nested_loop_join(left, right, condition)
+        left_keys, right_keys = self._key_refs()
+        _, rows = ops.merge_join(left, right, left_keys, right_keys)
+        assert sorted(r.values for r in rows) == sorted(r.values for r in expected[1])
+
+    def test_hash_and_merge_left_join_padding(self):
+        left, right = self._join_inputs()
+        condition = parse_expression("l.k = r.k")
+        expected = ops.nested_loop_join(left, right, condition, "LEFT")
+        left_keys, right_keys = self._key_refs()
+        for join in (ops.hash_join, ops.merge_join):
+            _, rows = join(left, right, left_keys, right_keys, "LEFT")
+            assert sorted(map(repr, (r.values for r in rows))) == \
+                sorted(map(repr, (r.values for r in expected[1])))
+
+    def test_hash_join_residual_condition(self):
+        left, right = self._join_inputs()
+        left_keys, right_keys = self._key_refs()
+        residual = parse_expression("lv < 4")
+        _, rows = ops.hash_join(left, right, left_keys, right_keys,
+                                "INNER", residual)
+        assert [r.values for r in rows] == [("x", 1, "x", 10)]
+
+    def test_hash_join_requires_keys(self):
+        left, right = self._join_inputs()
+        with pytest.raises(PlanningError):
+            ops.hash_join(left, right, [], [])
+
     def test_order_and_limit(self):
         relation = make_relation()
         ordered = ops.order_by(relation, [ast.OrderItem(ast.ColumnRef("score"), False)])
@@ -202,4 +260,54 @@ class TestPlannerUtilities:
     def test_equality_lookups(self):
         conjuncts = split_conjuncts(parse_expression("gid = 'JW1' AND 3 = score AND a > 1"))
         lookups = equality_lookups(conjuncts)
-        assert lookups == {"gid": "JW1", "score": 3}
+        assert lookups == {(None, "gid"): "JW1", (None, "score"): 3}
+        assert lookup_value(lookups, "gid") == "JW1"
+        assert lookup_value(lookups, "score", "any_table") == 3
+
+    def test_equality_lookups_keep_table_qualifier(self):
+        # Regression: a qualified lookup like ``a.id = 1`` used to be keyed
+        # by the bare column name, so a join partner ``b`` with its own
+        # ``id`` column would wrongly pick up the lookup.
+        conjuncts = split_conjuncts(parse_expression("a.id = 1 AND B.kind = 'x'"))
+        lookups = equality_lookups(conjuncts)
+        assert lookups == {("a", "id"): 1, ("b", "kind"): "x"}
+        assert lookup_value(lookups, "id", "a") == 1
+        assert lookup_value(lookups, "id", "b") is None
+        assert lookup_value(lookups, "id") is None
+        assert lookup_value(lookups, "kind", "b", default="n/a") == "x"
+
+    def test_push_down_ambiguous_unqualified_column_stays_residual(self):
+        # ``id`` exists in both tables: the conjunct cannot be attributed to
+        # either scan and must stay in the residual list.
+        where = parse_expression("id = 1 AND a.score > 2")
+        refs = [ast.TableRef("left_t", alias="a"), ast.TableRef("right_t", alias="b")]
+        resolvable = {"a": {"id", "score"}, "b": {"id", "kind"}}
+        pushed, residual = push_down_conjuncts(where, refs, resolvable)
+        assert pushed["a"] == [parse_expression("a.score > 2")]
+        assert pushed["b"] == []
+        assert residual == [parse_expression("id = 1")]
+
+    def test_push_down_zero_column_conjunct_stays_residual(self):
+        where = parse_expression("1 = 1 AND score > 2")
+        refs = [ast.TableRef("t")]
+        resolvable = {"t": {"score"}}
+        pushed, residual = push_down_conjuncts(where, refs, resolvable)
+        assert pushed["t"] == [parse_expression("score > 2")]
+        assert residual == [parse_expression("1 = 1")]
+
+    def test_push_down_mixed_case_qualifiers(self):
+        where = parse_expression("G.Score > 2 AND P.KIND = 'x'")
+        refs = [ast.TableRef("gene", alias="g"), ast.TableRef("protein", alias="P")]
+        resolvable = {"g": {"score"}, "p": {"kind"}}
+        pushed, residual = push_down_conjuncts(where, refs, resolvable)
+        assert len(pushed["g"]) == 1
+        assert len(pushed["p"]) == 1
+        assert residual == []
+
+    def test_push_down_unknown_qualifier_stays_residual(self):
+        where = parse_expression("zzz.score > 2")
+        refs = [ast.TableRef("gene", alias="g")]
+        resolvable = {"g": {"score"}}
+        pushed, residual = push_down_conjuncts(where, refs, resolvable)
+        assert pushed["g"] == []
+        assert len(residual) == 1
