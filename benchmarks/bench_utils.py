@@ -5,13 +5,25 @@ Every benchmark regenerates one of the paper's figures or quantitative claims
 measure so that EXPERIMENTS.md can be checked against `pytest benchmarks/
 --benchmark-only -s` output, and they assert the *shape* the paper reports
 (who wins, roughly by how much) rather than absolute numbers.
+
+``write_bench_results`` additionally persists machine-readable results to
+``BENCH_<name>.json`` at the repo root so the performance trajectory can be
+tracked across PRs (and diffed in CI).
 """
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import time
+
 import pytest
 
 from repro import Database, EngineConfig
+
+#: Repo root (bench_utils lives in <root>/benchmarks/).
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 @pytest.fixture
@@ -32,3 +44,36 @@ def print_table(title: str, headers, rows) -> None:
     print("  " + " | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
     for row in rows:
         print("  " + " | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def write_bench_results(name: str, results: dict, meta: dict = None) -> str:
+    """Merge benchmark results into ``BENCH_<name>.json`` at the repo root.
+
+    ``results`` maps series names to arbitrary JSON-serialisable payloads;
+    existing series with other names are preserved, so several tests (and
+    several runs) can contribute to one file.  Returns the file path.
+    """
+    path = os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+    payload = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            payload = {}
+    if not isinstance(payload, dict):
+        payload = {}
+    payload.setdefault("meta", {})
+    payload["meta"].update({
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "updated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    })
+    if meta:
+        payload["meta"].update(meta)
+    payload.setdefault("results", {})
+    payload["results"].update(results)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

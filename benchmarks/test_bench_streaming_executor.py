@@ -1,0 +1,154 @@
+"""Benchmarks for the streaming (Volcano-style) executor.
+
+Two query shapes — scan+filter+LIMIT and a three-way equi-join — run under
+the streaming pipeline and under the materialized baseline
+(``execution_mode="materialized"``), measuring wall-clock latency and
+tracemalloc peak memory.  The three-way join additionally compares the
+index-nested-loop access path against hash join and the naive nested loop.
+
+Results are persisted to ``BENCH_streaming.json`` at the repo root via
+:func:`bench_utils.write_bench_results` so the perf trajectory is tracked.
+The quick smoke variants run in tier-1; the full-size variants are marked
+``slow`` (``pytest --runslow``).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+import pytest
+
+from repro import Database
+
+from bench_utils import print_table, write_bench_results
+
+
+# ---------------------------------------------------------------------------
+# Measurement helpers
+# ---------------------------------------------------------------------------
+def measure(db: Database, query: str, mode: str, *, strategy: str = "auto") -> dict:
+    """Latency + tracemalloc peak of one query under a pipeline mode."""
+    db.config.execution_mode = mode
+    db.config.join_strategy = strategy
+    try:
+        tracemalloc.start()
+        started = time.perf_counter()
+        result = db.query(query)
+        elapsed = time.perf_counter() - started
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+        db.config.execution_mode = "streaming"
+        db.config.join_strategy = "auto"
+    return {"seconds": round(elapsed, 6), "peak_bytes": peak, "rows": len(result)}
+
+
+def scan_db(rows: int) -> Database:
+    db = Database()
+    db.execute("CREATE TABLE events (eid INTEGER PRIMARY KEY, kind TEXT, v FLOAT)")
+    table = db.table("events")
+    for i in range(rows):
+        table.insert_row({"eid": i, "kind": f"k{i % 5}", "v": i * 0.5})
+    db.analyze("events")
+    return db
+
+
+def join_db(genes: int, proteins_per_gene: int, samples_per_protein: int) -> Database:
+    db = Database()
+    db.execute("CREATE TABLE gene (gid INTEGER PRIMARY KEY, score FLOAT)")
+    db.execute("CREATE TABLE protein (pid INTEGER PRIMARY KEY, gid INTEGER, kind TEXT)")
+    db.execute("CREATE TABLE sample (sid INTEGER PRIMARY KEY, pid INTEGER, w FLOAT)")
+    gene, protein, sample = db.table("gene"), db.table("protein"), db.table("sample")
+    pid = sid = 0
+    for g in range(genes):
+        gene.insert_row({"gid": g, "score": g * 0.5})
+        for _ in range(proteins_per_gene):
+            protein.insert_row({"pid": pid, "gid": g, "kind": f"k{pid % 3}"})
+            for _ in range(samples_per_protein):
+                sample.insert_row({"sid": sid, "pid": pid, "w": sid * 0.25})
+                sid += 1
+            pid += 1
+    db.execute("CREATE INDEX ix_protein_gid ON protein (gid) USING btree")
+    db.execute("CREATE INDEX ix_sample_pid ON sample (pid) USING btree")
+    db.analyze()
+    return db
+
+
+def run_scan_filter_limit(rows: int, label: str) -> dict:
+    db = scan_db(rows)
+    query = f"SELECT eid FROM events WHERE v >= 0 AND kind <> 'k4' LIMIT 10"
+    series = {mode: measure(db, query, mode)
+              for mode in ("materialized", "streaming")}
+    print_table(
+        f"scan+filter+LIMIT 10 over {rows} rows ({label})",
+        ["mode", "seconds", "peak MB", "rows"],
+        [[mode, f"{m['seconds']:.4f}", f"{m['peak_bytes'] / 1e6:.2f}", m["rows"]]
+         for mode, m in series.items()],
+    )
+    assert series["streaming"]["rows"] == series["materialized"]["rows"] == 10
+    return series
+
+
+def run_three_way_join(genes: int, label: str) -> dict:
+    db = join_db(genes, proteins_per_gene=4, samples_per_protein=2)
+    query = ("SELECT g.gid, p.pid, s.sid FROM gene g, protein p, sample s "
+             "WHERE g.gid = p.gid AND p.pid = s.pid AND g.score >= 1")
+    series = {
+        "materialized_hash": measure(db, query, "materialized", strategy="hash"),
+        "streaming_hash": measure(db, query, "streaming", strategy="hash"),
+        "streaming_index_nl": measure(db, query, "streaming",
+                                      strategy="index_nested_loop"),
+    }
+    limited = query + " LIMIT 20"
+    series["streaming_index_nl_limit20"] = measure(db, limited, "streaming",
+                                                   strategy="index_nested_loop")
+    series["materialized_hash_limit20"] = measure(db, limited, "materialized",
+                                                  strategy="hash")
+    print_table(
+        f"3-way join, {genes} genes ({label})",
+        ["series", "seconds", "peak MB", "rows"],
+        [[name, f"{m['seconds']:.4f}", f"{m['peak_bytes'] / 1e6:.2f}", m["rows"]]
+         for name, m in series.items()],
+    )
+    # Same answers regardless of path.
+    assert series["streaming_hash"]["rows"] == series["materialized_hash"]["rows"] \
+        == series["streaming_index_nl"]["rows"]
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Tier-1 smoke (small sizes, always on — also exercised by CI --runslow step)
+# ---------------------------------------------------------------------------
+def test_streaming_scan_smoke():
+    series = run_scan_filter_limit(5_000, "smoke")
+    # Streaming must not pay the O(n) materialization for a LIMIT 10.
+    assert series["streaming"]["peak_bytes"] < series["materialized"]["peak_bytes"] / 2
+    write_bench_results("streaming", {"scan_filter_limit_5k": series})
+
+
+def test_streaming_join_smoke():
+    series = run_three_way_join(200, "smoke")
+    # An early-stopping LIMIT over the index path beats full materialization.
+    assert series["streaming_index_nl_limit20"]["peak_bytes"] \
+        < series["materialized_hash_limit20"]["peak_bytes"]
+    write_bench_results("streaming", {"three_way_join_200": series})
+
+
+# ---------------------------------------------------------------------------
+# Full-size runs (--runslow)
+# ---------------------------------------------------------------------------
+@pytest.mark.slow
+def test_streaming_scan_full():
+    series = run_scan_filter_limit(100_000, "full")
+    assert series["streaming"]["peak_bytes"] < series["materialized"]["peak_bytes"] / 20
+    assert series["streaming"]["seconds"] < series["materialized"]["seconds"]
+    write_bench_results("streaming", {"scan_filter_limit_100k": series})
+
+
+@pytest.mark.slow
+def test_streaming_join_full():
+    series = run_three_way_join(2_000, "full")
+    assert series["streaming_index_nl_limit20"]["peak_bytes"] \
+        < series["materialized_hash_limit20"]["peak_bytes"] / 5
+    write_bench_results("streaming", {"three_way_join_2k": series})

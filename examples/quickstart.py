@@ -104,6 +104,28 @@ def main() -> None:
     print(f"\nAnnotations on JW0080 after archiving: "
           f"{after.annotation_bodies(0) or '(none)'}")
 
+    # -- EXPLAIN: pushed predicates and index access paths ---------------------
+    # The planner pushes single-table WHERE conjuncts down to the scans,
+    # attaches multi-table residual conjuncts to the lowest covering join,
+    # and — once an index covers the join key — probes it per outer row with
+    # an index-nested-loop join instead of scanning the whole inner table.
+    db.execute("CREATE INDEX ix_db2_gid ON DB2_Gene (GID) USING btree")
+    print("\nEXPLAIN with a pushed predicate and an index-nested-loop join:")
+    explained = db.explain("""
+        SELECT a.GID, b.GName FROM DB1_Gene a, DB2_Gene b
+        WHERE a.GID = b.GID AND a.GName <> 'fruR'
+    """)
+    print("  " + explained.message.replace("\n", "\n  "))
+
+    print("\nEXPLAIN of an equality lookup (point IndexScan):")
+    explained = db.explain("SELECT GName FROM DB2_Gene WHERE GID = 'JW0055'")
+    print("  " + explained.message.replace("\n", "\n  "))
+
+    # -- streaming results: rows are produced on demand ------------------------
+    stream = db.stream("SELECT GID, GName FROM DB2_Gene")
+    first = next(stream)
+    print(f"\nFirst row pulled from the streaming pipeline: {first.values}")
+
 
 if __name__ == "__main__":
     main()

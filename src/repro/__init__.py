@@ -23,7 +23,7 @@ SP-GiST framework and the SBC-tree), and the relational substrate
 from repro.core.database import Database, Session
 from repro.core.errors import BdbmsError
 from repro.executor.engine import EngineConfig, ExecutionSummary
-from repro.executor.row import ResultSet
+from repro.executor.row import ResultSet, StreamingResultSet
 
 __version__ = "0.1.0"
 
@@ -34,5 +34,6 @@ __all__ = [
     "EngineConfig",
     "ExecutionSummary",
     "ResultSet",
+    "StreamingResultSet",
     "__version__",
 ]

@@ -18,7 +18,7 @@ from repro.catalog.catalog import SystemCatalog
 from repro.core.errors import ExecutionError
 from repro.dependencies.tracker import DependencyTracker
 from repro.executor.engine import Engine, EngineConfig, ExecutionSummary
-from repro.executor.row import ResultSet
+from repro.executor.row import ResultSet, StreamingResultSet
 from repro.index.manager import IndexManager
 from repro.provenance.manager import ProvenanceManager
 from repro.sql.parser import parse_script, parse_statement
@@ -86,6 +86,20 @@ class Database:
         if not isinstance(result, ResultSet):
             raise ExecutionError(f"statement is not a query: {sql!r}")
         return result
+
+    def stream(self, sql: str, user: str = "admin") -> StreamingResultSet:
+        """Execute a query and return a lazy, row-at-a-time result.
+
+        Rows are produced on demand from the streaming operator pipeline, so
+        a consumer that stops early (for instance after a handful of rows of
+        a million-row table) never materializes the rest.  Consume or discard
+        the stream before issuing DML — it reads live table state.
+        """
+        from repro.sql import ast
+        statement = parse_statement(sql)
+        if not isinstance(statement, (ast.Select, ast.SetOperation)):
+            raise ExecutionError(f"statement is not a query: {sql!r}")
+        return self.engine.stream_query(statement, user=user)
 
     def analyze(self, table: Optional[str] = None,
                 user: str = "admin") -> ExecutionSummary:

@@ -34,7 +34,13 @@ from repro.core.errors import (
 )
 from repro.dependencies.tracker import DependencyTracker, UpdateImpact
 from repro.executor import operators as ops
-from repro.executor.row import ColumnInfo, OutputSchema, ResultSet, Row
+from repro.executor.row import (
+    ColumnInfo,
+    OutputSchema,
+    ResultSet,
+    Row,
+    StreamingResultSet,
+)
 from repro.index.manager import IndexManager
 from repro.planner import plan as planlib
 from repro.planner.expressions import Evaluator, contains_aggregate
@@ -42,6 +48,10 @@ from repro.planner.planner import combine_conjuncts, push_down_conjuncts
 from repro.provenance.manager import ProvenanceManager
 from repro.sql import ast
 from repro.types.datatypes import DataType, parse_timestamp
+
+
+#: Valid values of ``EngineConfig.execution_mode``.
+EXECUTION_MODES = ("streaming", "materialized")
 
 
 @dataclass
@@ -57,13 +67,22 @@ class EngineConfig:
     default_annotation_scheme: str = "compact"
     #: Automatically record provenance for INSERT statements.
     auto_provenance: bool = False
-    #: Join planning mode: "auto" picks per-edge via statistics; "hash",
-    #: "merge" and "nested_loop" force that strategy (nested_loop reproduces
-    #: the naive cross-product pipeline and is the differential baseline).
+    #: Join planning mode: "auto" picks per-edge via statistics and available
+    #: indexes; "hash", "merge" and "index_nested_loop" force that strategy
+    #: where applicable; "nested_loop" reproduces the naive cross-product
+    #: pipeline and is the differential baseline.
     join_strategy: str = "auto"
     #: In "auto" mode, prefer sort-merge over hash once the estimated build
     #: side exceeds this many rows (grace-hash stand-in).
     hash_join_max_build_rows: int = 4_000_000
+    #: Operator pipeline mode: "streaming" (Volcano-style iterators, LIMIT
+    #: short-circuits the scan) or "materialized" (every operator output is
+    #: drained into a list — the memory-profile baseline for benchmarks and
+    #: differential tests).
+    execution_mode: str = "streaming"
+    #: Let the planner pick index access paths (index point scans and
+    #: index-nested-loop joins) from the registered secondary indexes.
+    use_indexes: bool = True
 
 
 @dataclass
@@ -161,8 +180,24 @@ class Engine:
     # Queries
     # ------------------------------------------------------------------
     def execute_query(self, node: Any, user: str = "admin") -> ResultSet:
-        relation = self._evaluate_query(node, user)
-        return ResultSet(relation[0], relation[1])
+        schema, rows = ops.materialize(self._evaluate_query(node, user))
+        return ResultSet(schema, rows)
+
+    def stream_query(self, node: Any, user: str = "admin") -> StreamingResultSet:
+        """Build the operator pipeline but defer row production to the caller.
+
+        Planning, privilege checks, and expression compilation happen
+        eagerly; rows are computed only as the returned stream is consumed,
+        so an early-stopping consumer never pays for the full scan.
+        """
+        schema, rows = self._evaluate_query(node, user)
+        return StreamingResultSet(schema, rows)
+
+    def _stage(self, relation: ops.Relation) -> ops.Relation:
+        """Materialize one pipeline stage when running in materialized mode."""
+        if self.config.execution_mode == "materialized":
+            return ops.materialize(relation)
+        return relation
 
     def _evaluate_query(self, node: Any, user: str) -> ops.Relation:
         if isinstance(node, ast.SetOperation):
@@ -178,6 +213,11 @@ class Engine:
         raise ExecutionError(f"not a query: {type(node).__name__}")
 
     def _evaluate_select(self, select: ast.Select, user: str) -> ops.Relation:
+        if self.config.execution_mode not in EXECUTION_MODES:
+            raise PlanningError(
+                f"unknown execution mode {self.config.execution_mode!r}; "
+                f"expected one of {EXECUTION_MODES}")
+        stage = self._stage
         # SELECT without FROM: evaluate the items against a single empty row.
         if not select.from_tables:
             relation: ops.Relation = (OutputSchema([]), [Row(())])
@@ -187,39 +227,36 @@ class Engine:
         for ref in table_refs:
             self._check(user, "SELECT", ref.name)
 
-        plan, pushed, remaining = self._plan_select(select, table_refs)
+        plan, _pushed, remaining = self._plan_select(select, table_refs)
         self.last_plan = plan
 
-        scans: Dict[str, ops.Relation] = {}
-        for ref in table_refs:
-            scans[ref.effective_name.lower()] = self._scan(ref, pushed.get(
-                ref.effective_name.lower(), []))
-        relation = self._execute_plan(plan, scans)
+        refs = {ref.effective_name.lower(): ref for ref in table_refs}
+        relation = self._execute_plan(plan, refs)
         # Join reordering may have permuted the column blocks; restore the
         # syntactic FROM order so SELECT * stays deterministic.
         relation = self._restore_from_order(relation, table_refs)
 
         residual_expr = combine_conjuncts(remaining)
         if residual_expr is not None:
-            relation = ops.filter_rows(relation, residual_expr)
+            relation = stage(ops.filter_rows(relation, residual_expr))
         if select.awhere is not None:
-            relation = ops.awhere_filter(relation, select.awhere)
+            relation = stage(ops.awhere_filter(relation, select.awhere))
 
         has_aggregates = bool(select.group_by) or any(
             not isinstance(item.expr, ast.Star) and contains_aggregate(item.expr)
             for item in select.items
         )
         if has_aggregates:
-            relation = ops.group_and_aggregate(relation, select.group_by,
-                                               select.items, select.having,
-                                               select.ahaving)
+            relation = stage(ops.group_and_aggregate(relation, select.group_by,
+                                                     select.items, select.having,
+                                                     select.ahaving))
             if select.filter is not None:
-                relation = ops.filter_annotations(relation, select.filter)
+                relation = stage(ops.filter_annotations(relation, select.filter))
         else:
             if select.having is not None or select.ahaving is not None:
                 raise PlanningError("HAVING/AHAVING require GROUP BY or aggregates")
             if select.filter is not None:
-                relation = ops.filter_annotations(relation, select.filter)
+                relation = stage(ops.filter_annotations(relation, select.filter))
             # ORDER BY may reference columns that are not projected (e.g.
             # ``SELECT name ... ORDER BY score``): sort before projecting when
             # the sort keys resolve against the full relation, and fall back
@@ -227,29 +264,31 @@ class Engine:
             ordered_early = False
             if select.order_by:
                 try:
-                    relation = ops.order_by(relation, select.order_by)
+                    relation = stage(ops.order_by(relation, select.order_by))
                     ordered_early = True
                 except PlanningError:
                     ordered_early = False
-            relation = ops.project(relation, select.items)
+            relation = stage(ops.project(relation, select.items))
             if select.order_by and not ordered_early:
-                relation = ops.order_by(relation, select.order_by)
+                relation = stage(ops.order_by(relation, select.order_by))
             if select.distinct:
-                relation = ops.distinct(relation)
+                relation = stage(ops.distinct(relation))
             if select.limit is not None or select.offset is not None:
-                relation = ops.limit_offset(relation, select.limit, select.offset)
+                relation = stage(ops.limit_offset(relation, select.limit,
+                                                  select.offset))
             return relation
 
         if select.distinct:
-            relation = ops.distinct(relation)
+            relation = stage(ops.distinct(relation))
         if select.order_by:
-            relation = ops.order_by(relation, select.order_by)
+            relation = stage(ops.order_by(relation, select.order_by))
         if select.limit is not None or select.offset is not None:
-            relation = ops.limit_offset(relation, select.limit, select.offset)
+            relation = stage(ops.limit_offset(relation, select.limit, select.offset))
         return relation
 
-    def _scan(self, ref: ast.TableRef,
-              pushed_conjuncts: Sequence[ast.Expression]) -> ops.Relation:
+    def _row_source(self, ref: ast.TableRef,
+                    include_tuple_id: bool = False) -> ops.TableRowSource:
+        """Annotation-attaching row access for one FROM-list table."""
         table = self.catalog.table(ref.name)
         propagation_index = None
         if ref.annotation_tables:
@@ -260,12 +299,23 @@ class Engine:
         if self.config.propagate_outdated:
             status_map = self.tracker.status_annotations(table.name)
             status = status_map if status_map else None
-        relation = ops.scan_table(table, ref.effective_name,
-                                  propagation_index, status)
-        pushdown = combine_conjuncts(list(pushed_conjuncts))
+        return ops.TableRowSource(table, ref.effective_name, propagation_index,
+                                  status, include_tuple_id)
+
+    def _scan(self, ref: ast.TableRef, node: planlib.ScanPlan) -> ops.Relation:
+        """Execute one scan leaf along its planned access path."""
+        source = self._row_source(ref)
+        if node.access_path == "index_lookup" and node.index_name is not None:
+            index = self.indexes.get(node.index_name)
+            relation = ops.index_scan(source, index.structure, node.index_key)
+        else:
+            relation = source.relation()
+        # The full pushed-conjunct list is applied even on an index lookup:
+        # the index only pins the equality columns, everything else filters.
+        pushdown = combine_conjuncts(node.pushed)
         if pushdown is not None:
             relation = ops.filter_rows(relation, pushdown)
-        return relation
+        return self._stage(relation)
 
     # ------------------------------------------------------------------
     # Join planning and plan execution
@@ -320,35 +370,67 @@ class Engine:
                 return None
             return self._TYPE_CATEGORIES.get(dtype)
 
+        list_indexes = self.indexes.indexes_for if self.config.use_indexes else None
         plan, remaining = planlib.plan_select_joins(
             select.from_tables, select.joins, residual, resolvable, pushed,
             row_estimate=row_estimate, ndv_estimate=ndv_estimate,
             type_category=type_category,
+            list_indexes=list_indexes,
             strategy=self.config.join_strategy,
             hash_max_build_rows=self.config.hash_join_max_build_rows,
         )
         return plan, pushed, remaining
 
     def _execute_plan(self, node: planlib.PlanNode,
-                      scans: Dict[str, ops.Relation]) -> ops.Relation:
+                      refs: Dict[str, ast.TableRef]) -> ops.Relation:
         """Walk a plan tree bottom-up, joining with the planned strategies."""
         if isinstance(node, planlib.ScanPlan):
-            return scans[node.qualifier]
-        left = self._execute_plan(node.left, scans)
-        right = self._execute_plan(node.right, scans)
-        if node.strategy == "hash":
-            return ops.hash_join(left, right, node.left_keys, node.right_keys,
-                                 node.join_type, node.condition)
-        if node.strategy == "merge":
-            return ops.merge_join(left, right, node.left_keys, node.right_keys,
-                                  node.join_type, node.condition)
-        join_type = "CROSS" if node.strategy == "cross" else node.join_type
-        return ops.nested_loop_join(left, right, node.condition, join_type)
+            return self._scan(refs[node.qualifier], node)
+        if node.strategy == "index_nested_loop":
+            left = self._execute_plan(node.left, refs)
+            relation = self._index_join(left, node, refs)
+        else:
+            left = self._execute_plan(node.left, refs)
+            right = self._execute_plan(node.right, refs)
+            if node.strategy == "hash":
+                relation = ops.hash_join(left, right, node.left_keys,
+                                         node.right_keys, node.join_type,
+                                         node.condition)
+            elif node.strategy == "merge":
+                relation = ops.merge_join(left, right, node.left_keys,
+                                          node.right_keys, node.join_type,
+                                          node.condition)
+            else:
+                join_type = "CROSS" if node.strategy == "cross" else node.join_type
+                relation = ops.nested_loop_join(left, right, node.condition,
+                                                join_type)
+        # Residual conjuncts pushed down to this node filter the join output
+        # (after any LEFT padding, preserving WHERE-over-LEFT-JOIN semantics).
+        node_filter = combine_conjuncts(node.filters)
+        if node_filter is not None:
+            relation = ops.filter_rows(relation, node_filter)
+        return self._stage(relation)
+
+    def _index_join(self, left: ops.Relation, node: planlib.JoinPlan,
+                    refs: Dict[str, ast.TableRef]) -> ops.Relation:
+        """Index-nested-loop join: the right child must be a base-table scan."""
+        right = node.right
+        if not isinstance(right, planlib.ScanPlan):
+            raise ExecutionError(
+                "index-nested-loop join requires a base-table lookup side")
+        source = self._row_source(refs[right.qualifier])
+        index = self.indexes.get(node.index_name)
+        right_filter = combine_conjuncts(right.pushed)
+        return ops.index_nested_loop_join(
+            left, source, index.structure, node.left_keys, node.right_keys,
+            join_type=node.join_type, condition=node.condition,
+            right_filter=right_filter,
+        )
 
     @staticmethod
     def _restore_from_order(relation: ops.Relation,
                             table_refs: Sequence[ast.TableRef]) -> ops.Relation:
-        """Permute the joined columns back into FROM-list order."""
+        """Permute the joined columns back into FROM-list order (streaming)."""
         schema, rows = relation
         permutation: List[int] = []
         for ref in table_refs:
@@ -357,12 +439,12 @@ class Engine:
                 or permutation == list(range(len(schema))):
             return relation
         new_schema = OutputSchema([schema.columns[p] for p in permutation])
-        new_rows = [
-            Row(tuple(row.values[p] for p in permutation),
-                [row.annotations[p] for p in permutation])
-            for row in rows
-        ]
-        return new_schema, new_rows
+
+        def permuted():
+            for row in rows:
+                yield Row(tuple(row.values[p] for p in permutation),
+                          [row.annotations[p] for p in permutation])
+        return new_schema, permuted()
 
     # ------------------------------------------------------------------
     # ANALYZE / EXPLAIN
@@ -421,6 +503,7 @@ class Engine:
         for ref in table_refs:
             self._check(user, "SELECT", ref.name)
         plan, _, remaining = self._plan_select(node, table_refs)
+        self.last_plan = plan
         text = planlib.format_plan(plan)
         if remaining:
             text += f"\nResidual filter: {len(remaining)} conjunct(s)"

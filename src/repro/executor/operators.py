@@ -1,7 +1,19 @@
-"""Physical operators with annotation-aware propagation semantics.
+"""Streaming physical operators with annotation-aware propagation semantics.
 
-Every operator takes and returns ``(OutputSchema, list[Row])`` pairs.  The
-propagation rules follow Section 3.4 of the paper:
+The executor is Volcano-style: every operator takes and returns a
+``Relation = (OutputSchema, Iterable[Row])`` pair whose row part is a *lazy*
+iterator.  Operators do their setup work (schema derivation, expression
+compilation, error checking) eagerly when called, but only touch rows when the
+consumer pulls them, so a ``LIMIT`` above a pipeline of streaming operators
+stops pulling — and therefore stops scanning — as soon as it is satisfied.
+
+Pipeline breakers (sort, GROUP BY/aggregation, duplicate elimination, the
+build side of hash joins, both inputs of a merge join, the inner side of a
+nested loop, and the set operations) materialize *internally* but still expose
+the iterator interface.  ``materialize`` converts any relation back to the
+``(schema, list[Row])`` form for callers that need random access.
+
+The propagation rules follow Section 3.4 of the paper:
 
 * **scan** attaches to each column the annotations of that cell (from the
   propagation index of the requested annotation tables) plus any system
@@ -19,7 +31,19 @@ propagation rules follow Section 3.4 of the paper:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+from itertools import islice
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.catalog.table import Table
 from repro.core.errors import ExecutionError, PlanningError
@@ -40,46 +64,112 @@ from repro.planner.planner import referenced_columns
 from repro.sql import ast
 from repro.types.values import SortKey
 
-Relation = Tuple[OutputSchema, List[Row]]
+#: A relation flowing between operators: an output schema plus a row
+#: iterable.  Streaming operators produce one-shot generators; consumers that
+#: need to iterate twice must ``materialize`` first.
+Relation = Tuple[OutputSchema, Iterable[Row]]
+
+
+def materialize(relation: Relation) -> Tuple[OutputSchema, List[Row]]:
+    """Drain a relation's iterator into a concrete ``(schema, list)`` pair."""
+    schema, rows = relation
+    return schema, rows if isinstance(rows, list) else list(rows)
+
+
+def _as_list(rows: Iterable[Row]) -> List[Row]:
+    return rows if isinstance(rows, list) else list(rows)
 
 
 # ---------------------------------------------------------------------------
 # Scan
 # ---------------------------------------------------------------------------
+class TableRowSource:
+    """Annotation-attaching access to one stored table.
+
+    Encapsulates the per-cell annotation machinery shared by full scans and
+    by point fetches (index scans and the lookup side of index-nested-loop
+    joins): ``propagation_index`` is a
+    :class:`~repro.annotations.manager.PropagationIndex` (or ``None`` for an
+    unannotated scan); ``status_annotations`` maps (tuple id, column position)
+    to the synthetic outdated-status annotations from the dependency tracker.
+    ``include_tuple_id`` exposes the tuple id as a leading pseudo-column named
+    ``__tid__`` (used internally by DML and ADD ANNOTATION target resolution).
+    """
+
+    def __init__(self, table: Table, qualifier: str,
+                 propagation_index=None,
+                 status_annotations: Optional[Dict[Tuple[int, int], Any]] = None,
+                 include_tuple_id: bool = False):
+        self.table = table
+        self.qualifier = qualifier
+        self.propagation_index = propagation_index
+        self.status_annotations = status_annotations
+        self.include_tuple_id = include_tuple_id
+        self._names = table.schema.column_names
+        columns = [ColumnInfo(name, qualifier) for name in self._names]
+        if include_tuple_id:
+            columns = [ColumnInfo("__tid__", qualifier)] + columns
+        self.schema = OutputSchema(columns)
+
+    def make_row(self, tuple_id: int, values: Sequence[Any]) -> Row:
+        names = self._names
+        annotations: List[Set[Any]] = [set() for _ in names]
+        if self.propagation_index is not None and not self.propagation_index.is_empty():
+            for position in range(len(names)):
+                annotations[position] |= self.propagation_index.lookup(tuple_id, position)
+        if self.status_annotations:
+            for position in range(len(names)):
+                status = self.status_annotations.get((tuple_id, position))
+                if status is not None:
+                    annotations[position].add(status)
+        if self.include_tuple_id:
+            values = (tuple_id,) + tuple(values)
+            annotations = [set()] + annotations
+        return Row(tuple(values), annotations)
+
+    def fetch(self, tuple_id: int) -> Optional[Row]:
+        """The annotated row with this tuple id, or ``None`` if it is gone."""
+        if not self.table.has_tuple(tuple_id):
+            return None
+        return self.make_row(tuple_id, self.table.read_row(tuple_id))
+
+    def iter_rows(self) -> Iterator[Row]:
+        for tuple_id, values in self.table.scan():
+            yield self.make_row(tuple_id, values)
+
+    def relation(self) -> Relation:
+        return self.schema, self.iter_rows()
+
+
 def scan_table(table: Table, qualifier: str,
                propagation_index=None,
                status_annotations: Optional[Dict[Tuple[int, int], Any]] = None,
                include_tuple_id: bool = False) -> Relation:
-    """Scan a stored table, attaching annotations per cell.
+    """Streaming scan of a stored table, attaching annotations per cell."""
+    source = TableRowSource(table, qualifier, propagation_index,
+                            status_annotations, include_tuple_id)
+    return source.relation()
 
-    ``propagation_index`` is a :class:`~repro.annotations.manager.PropagationIndex`
-    (or ``None`` for an unannotated scan); ``status_annotations`` maps
-    (tuple id, column position) to the synthetic outdated-status annotations
-    from the dependency tracker.  ``include_tuple_id`` exposes the tuple id as
-    a leading pseudo-column named ``__tid__`` (used internally by DML and by
-    ADD ANNOTATION target resolution).
+
+def index_scan(source: TableRowSource, index: Any, key: Any) -> Relation:
+    """Index-backed scan: fetch only the tuples whose indexed key equals ``key``.
+
+    ``index`` is any structure with ``search(key) -> list[tuple_id]`` (B+-tree
+    or hash index).  When the key is incomparable with the indexed values
+    (cross-type literal), the scan degrades to a full sequential scan so that
+    the pushed predicate — which the engine always applies on top — decides.
     """
-    names = table.schema.column_names
-    columns = [ColumnInfo(name, qualifier) for name in names]
-    if include_tuple_id:
-        columns = [ColumnInfo("__tid__", qualifier)] + columns
-    schema = OutputSchema(columns)
-    rows: List[Row] = []
-    for tuple_id, values in table.scan():
-        annotations: List[Set[Any]] = [set() for _ in names]
-        if propagation_index is not None and not propagation_index.is_empty():
-            for position in range(len(names)):
-                annotations[position] |= propagation_index.lookup(tuple_id, position)
-        if status_annotations:
-            for position in range(len(names)):
-                status = status_annotations.get((tuple_id, position))
-                if status is not None:
-                    annotations[position].add(status)
-        if include_tuple_id:
-            values = (tuple_id,) + tuple(values)
-            annotations = [set()] + annotations
-        rows.append(Row(tuple(values), annotations))
-    return schema, rows
+    def rows() -> Iterator[Row]:
+        try:
+            tuple_ids = list(index.search(key))
+        except TypeError:
+            yield from source.iter_rows()
+            return
+        for tuple_id in tuple_ids:
+            row = source.fetch(tuple_id)
+            if row is not None:
+                yield row
+    return source.schema, rows()
 
 
 # ---------------------------------------------------------------------------
@@ -88,8 +178,12 @@ def scan_table(table: Table, qualifier: str,
 def filter_rows(relation: Relation, predicate: ast.Expression) -> Relation:
     schema, rows = relation
     evaluate = Evaluator(schema).compile(predicate)
-    kept = [row for row in rows if predicate_is_true(evaluate(row))]
-    return schema, kept
+
+    def kept() -> Iterator[Row]:
+        for row in rows:
+            if predicate_is_true(evaluate(row)):
+                yield row
+    return schema, kept()
 
 
 # ---------------------------------------------------------------------------
@@ -99,25 +193,28 @@ def awhere_filter(relation: Relation, condition: ast.Expression) -> Relation:
     """Pass a tuple (with all its annotations) when any annotation matches."""
     schema, rows = relation
     predicate = AnnotationPredicate(condition)
-    kept = [
-        row for row in rows
-        if any(predicate.matches(annotation) for annotation in row.all_annotations())
-    ]
-    return schema, kept
+
+    def kept() -> Iterator[Row]:
+        for row in rows:
+            if any(predicate.matches(annotation)
+                   for annotation in row.all_annotations()):
+                yield row
+    return schema, kept()
 
 
 def filter_annotations(relation: Relation, condition: ast.Expression) -> Relation:
     """Keep every tuple but drop annotations that do not match the condition."""
     schema, rows = relation
     predicate = AnnotationPredicate(condition)
-    filtered: List[Row] = []
-    for row in rows:
-        new_annotations = [
-            {annotation for annotation in anns if predicate.matches(annotation)}
-            for anns in row.annotations
-        ]
-        filtered.append(Row(row.values, new_annotations))
-    return schema, filtered
+
+    def filtered() -> Iterator[Row]:
+        for row in rows:
+            new_annotations = [
+                {annotation for annotation in anns if predicate.matches(annotation)}
+                for anns in row.annotations
+            ]
+            yield Row(row.values, new_annotations)
+    return schema, filtered()
 
 
 # ---------------------------------------------------------------------------
@@ -127,33 +224,43 @@ def cross_join(left: Relation, right: Relation) -> Relation:
     left_schema, left_rows = left
     right_schema, right_rows = right
     schema = left_schema.concat(right_schema)
-    rows = [l.concat(r) for l in left_rows for r in right_rows]
-    return schema, rows
+
+    def rows() -> Iterator[Row]:
+        inner = _as_list(right_rows)
+        for left_row in left_rows:
+            for right_row in inner:
+                yield left_row.concat(right_row)
+    return schema, rows()
 
 
 def nested_loop_join(left: Relation, right: Relation,
                      condition: Optional[ast.Expression],
                      join_type: str = "INNER") -> Relation:
-    """Nested-loop join; supports INNER, CROSS, and LEFT outer joins."""
+    """Nested-loop join; supports INNER, CROSS, and LEFT outer joins.
+
+    The inner (right) side is materialized internally and re-iterated per
+    outer row; the outer side streams.
+    """
     left_schema, left_rows = left
     right_schema, right_rows = right
     schema = left_schema.concat(right_schema)
     evaluate = None
     if condition is not None:
         evaluate = Evaluator(schema).compile(condition)
-    rows: List[Row] = []
     right_arity = len(right_schema)
-    for left_row in left_rows:
-        matched = False
-        for right_row in right_rows:
-            combined = left_row.concat(right_row)
-            if evaluate is None or predicate_is_true(evaluate(combined)):
-                rows.append(combined)
-                matched = True
-        if join_type == "LEFT" and not matched:
-            padding = Row(tuple([None] * right_arity))
-            rows.append(left_row.concat(padding))
-    return schema, rows
+
+    def rows() -> Iterator[Row]:
+        inner = _as_list(right_rows)
+        for left_row in left_rows:
+            matched = False
+            for right_row in inner:
+                combined = left_row.concat(right_row)
+                if evaluate is None or predicate_is_true(evaluate(combined)):
+                    yield combined
+                    matched = True
+            if join_type == "LEFT" and not matched:
+                yield left_row.concat(Row(tuple([None] * right_arity)))
+    return schema, rows()
 
 
 def _compile_keys(schema: OutputSchema,
@@ -182,6 +289,7 @@ def hash_join(left: Relation, right: Relation,
               condition: Optional[ast.Expression] = None) -> Relation:
     """Equi-join by hashing the right (build) side on its key columns.
 
+    The build side is the pipeline breaker; the probe (left) side streams.
     Annotation propagation is identical to the nested loop: the output row
     concatenates the input rows together with their per-column annotation
     sets.  NULL keys never match (SQL semantics); ``condition`` is an extra
@@ -196,28 +304,28 @@ def hash_join(left: Relation, right: Relation,
     build = _compile_keys(right_schema, right_keys)
     probe = _compile_keys(left_schema, left_keys)
     residual = Evaluator(schema).compile(condition) if condition is not None else None
-
-    table: Dict[Tuple[Any, ...], List[Row]] = {}
-    for row in right_rows:
-        key = tuple(_hash_key(getter(row)) for getter in build)
-        if any(value is None for value in key):
-            continue
-        table.setdefault(key, []).append(row)
-
-    rows: List[Row] = []
     right_arity = len(right_schema)
-    for left_row in left_rows:
-        key = tuple(_hash_key(getter(left_row)) for getter in probe)
-        matched = False
-        if not any(value is None for value in key):
-            for right_row in table.get(key, ()):
-                combined = left_row.concat(right_row)
-                if residual is None or predicate_is_true(residual(combined)):
-                    rows.append(combined)
-                    matched = True
-        if join_type == "LEFT" and not matched:
-            rows.append(left_row.concat(Row(tuple([None] * right_arity))))
-    return schema, rows
+
+    def rows() -> Iterator[Row]:
+        table: Dict[Tuple[Any, ...], List[Row]] = {}
+        for row in right_rows:
+            key = tuple(_hash_key(getter(row)) for getter in build)
+            if any(value is None for value in key):
+                continue
+            table.setdefault(key, []).append(row)
+
+        for left_row in left_rows:
+            key = tuple(_hash_key(getter(left_row)) for getter in probe)
+            matched = False
+            if not any(value is None for value in key):
+                for right_row in table.get(key, ()):
+                    combined = left_row.concat(right_row)
+                    if residual is None or predicate_is_true(residual(combined)):
+                        yield combined
+                        matched = True
+            if join_type == "LEFT" and not matched:
+                yield left_row.concat(Row(tuple([None] * right_arity)))
+    return schema, rows()
 
 
 def merge_join(left: Relation, right: Relation,
@@ -225,9 +333,13 @@ def merge_join(left: Relation, right: Relation,
                right_keys: Sequence[ast.ColumnRef],
                join_type: str = "INNER",
                condition: Optional[ast.Expression] = None) -> Relation:
-    """Sort-merge equi-join: sort both sides on the keys and merge groups."""
-    left_schema, left_rows = left
-    right_schema, right_rows = right
+    """Sort-merge equi-join: sort both sides on the keys and merge groups.
+
+    Both inputs are pipeline breakers (they must be sorted), but the merge
+    itself emits output rows incrementally.
+    """
+    left_schema, left_rows_in = left
+    right_schema, right_rows_in = right
     if len(left_keys) != len(right_keys) or not left_keys:
         raise PlanningError("merge join requires matching, non-empty key lists")
     schema = left_schema.concat(right_schema)
@@ -236,7 +348,7 @@ def merge_join(left: Relation, right: Relation,
     residual = Evaluator(schema).compile(condition) if condition is not None else None
     right_arity = len(right_schema)
 
-    def decorate(rows: List[Row], getters) -> Tuple[list, List[Row]]:
+    def decorate(rows: Iterable[Row], getters) -> Tuple[list, List[Row]]:
         keyed, null_keyed = [], []
         for row in rows:
             key = tuple(getter(row) for getter in getters)
@@ -247,43 +359,124 @@ def merge_join(left: Relation, right: Relation,
         keyed.sort(key=lambda pair: pair[0])
         return keyed, null_keyed
 
-    left_sorted, left_nulls = decorate(left_rows, left_getters)
-    right_sorted, _ = decorate(right_rows, right_getters)
+    def rows() -> Iterator[Row]:
+        left_sorted, left_nulls = decorate(left_rows_in, left_getters)
+        right_sorted, _ = decorate(right_rows_in, right_getters)
 
-    rows: List[Row] = []
-    unmatched_left: List[Row] = list(left_nulls) if join_type == "LEFT" else []
-    i = j = 0
-    while i < len(left_sorted) and j < len(right_sorted):
-        left_key = left_sorted[i][0]
-        right_key = right_sorted[j][0]
-        if left_key < right_key:
-            if join_type == "LEFT":
-                unmatched_left.append(left_sorted[i][1])
-            i += 1
-        elif right_key < left_key:
-            j += 1
-        else:
-            i_end = i
-            while i_end < len(left_sorted) and left_sorted[i_end][0] == left_key:
-                i_end += 1
-            j_end = j
-            while j_end < len(right_sorted) and right_sorted[j_end][0] == left_key:
-                j_end += 1
-            for _, left_row in left_sorted[i:i_end]:
-                matched = False
-                for _, right_row in right_sorted[j:j_end]:
+        unmatched_left: List[Row] = list(left_nulls) if join_type == "LEFT" else []
+        i = j = 0
+        while i < len(left_sorted) and j < len(right_sorted):
+            left_key = left_sorted[i][0]
+            right_key = right_sorted[j][0]
+            if left_key < right_key:
+                if join_type == "LEFT":
+                    unmatched_left.append(left_sorted[i][1])
+                i += 1
+            elif right_key < left_key:
+                j += 1
+            else:
+                i_end = i
+                while i_end < len(left_sorted) and left_sorted[i_end][0] == left_key:
+                    i_end += 1
+                j_end = j
+                while j_end < len(right_sorted) and right_sorted[j_end][0] == left_key:
+                    j_end += 1
+                for _, left_row in left_sorted[i:i_end]:
+                    matched = False
+                    for _, right_row in right_sorted[j:j_end]:
+                        combined = left_row.concat(right_row)
+                        if residual is None or predicate_is_true(residual(combined)):
+                            yield combined
+                            matched = True
+                    if join_type == "LEFT" and not matched:
+                        unmatched_left.append(left_row)
+                i, j = i_end, j_end
+        if join_type == "LEFT":
+            unmatched_left.extend(row for _, row in left_sorted[i:])
+            for left_row in unmatched_left:
+                yield left_row.concat(Row(tuple([None] * right_arity)))
+    return schema, rows()
+
+
+def index_nested_loop_join(left: Relation, source: TableRowSource, index: Any,
+                           left_keys: Sequence[ast.ColumnRef],
+                           right_keys: Sequence[ast.ColumnRef],
+                           join_type: str = "INNER",
+                           condition: Optional[ast.Expression] = None,
+                           right_filter: Optional[ast.Expression] = None) -> Relation:
+    """Index-nested-loop join: probe a secondary index per streamed left row.
+
+    For each left row the key values (``left_keys``, already permuted into the
+    index's column order) are looked up in ``index`` (``search(key) ->
+    tuple_ids``) and the matching base-table rows are fetched — and annotated —
+    through ``source``.  ``right_filter`` re-applies the conjuncts pushed down
+    to the right table (evaluated on the fetched row before the join);
+    ``condition`` is the extra non-equi predicate evaluated on the combined
+    row, which keeps LEFT padding correct.
+
+    NULL probe keys never match (SQL semantics).  NaN probe keys — or keys the
+    index cannot compare — fall back to a one-time materialized scan of the
+    right side compared with the engine's NaN = NaN equality, so the operator
+    stays observationally equivalent to the hash and merge joins.
+    """
+    left_schema, left_rows = left
+    right_schema = source.schema
+    if len(left_keys) != len(right_keys) or not left_keys:
+        raise PlanningError("index join requires matching, non-empty key lists")
+    schema = left_schema.concat(right_schema)
+    probe = _compile_keys(left_schema, left_keys)
+    inner_keys = _compile_keys(right_schema, right_keys)
+    residual = Evaluator(schema).compile(condition) if condition is not None else None
+    rfilter = (Evaluator(right_schema).compile(right_filter)
+               if right_filter is not None else None)
+    right_arity = len(right_schema)
+
+    def passes_filter(row: Row) -> bool:
+        return rfilter is None or predicate_is_true(rfilter(row))
+
+    def rows() -> Iterator[Row]:
+        fallback: Optional[List[Tuple[Tuple[Any, ...], Row]]] = None
+
+        def fallback_matches(key_values: List[Any]) -> Iterator[Row]:
+            nonlocal fallback
+            if fallback is None:
+                fallback = [
+                    (tuple(_hash_key(getter(row)) for getter in inner_keys), row)
+                    for row in source.iter_rows() if passes_filter(row)
+                ]
+            wanted = tuple(_hash_key(value) for value in key_values)
+            for key, row in fallback:
+                if key == wanted:
+                    yield row
+
+        def matches(key_values: List[Any]) -> Iterator[Row]:
+            if any(isinstance(value, float) and value != value
+                   for value in key_values):
+                yield from fallback_matches(key_values)
+                return
+            key = key_values[0] if len(key_values) == 1 else tuple(key_values)
+            try:
+                tuple_ids = list(index.search(key))
+            except TypeError:
+                yield from fallback_matches(key_values)
+                return
+            for tuple_id in tuple_ids:
+                row = source.fetch(tuple_id)
+                if row is not None and passes_filter(row):
+                    yield row
+
+        for left_row in left_rows:
+            key_values = [getter(left_row) for getter in probe]
+            matched = False
+            if not any(value is None for value in key_values):
+                for right_row in matches(key_values):
                     combined = left_row.concat(right_row)
                     if residual is None or predicate_is_true(residual(combined)):
-                        rows.append(combined)
+                        yield combined
                         matched = True
-                if join_type == "LEFT" and not matched:
-                    unmatched_left.append(left_row)
-            i, j = i_end, j_end
-    if join_type == "LEFT":
-        unmatched_left.extend(row for _, row in left_sorted[i:])
-        for left_row in unmatched_left:
-            rows.append(left_row.concat(Row(tuple([None] * right_arity))))
-    return schema, rows
+            if join_type == "LEFT" and not matched:
+                yield left_row.concat(Row(tuple([None] * right_arity)))
+    return schema, rows()
 
 
 # ---------------------------------------------------------------------------
@@ -305,7 +498,8 @@ def project(relation: Relation, items: Sequence[ast.SelectItem]) -> Relation:
     evaluator = Evaluator(schema)
 
     # Expand the projection list into (output column, value getter, annotation
-    # source positions) triples.
+    # source positions) triples.  Resolution errors surface eagerly, before
+    # any row is pulled.
     output_columns: List[ColumnInfo] = []
     getters: List[Callable[[Row], Any]] = []
     annotation_sources: List[List[int]] = []
@@ -344,17 +538,18 @@ def project(relation: Relation, items: Sequence[ast.SelectItem]) -> Relation:
         annotation_sources.append(sources)
 
     output_schema = OutputSchema(output_columns)
-    output_rows: List[Row] = []
-    for row in rows:
-        values = tuple(getter(row) for getter in getters)
-        annotations = []
-        for sources in annotation_sources:
-            merged: Set[Any] = set()
-            for position in sources:
-                merged |= row.annotations[position]
-            annotations.append(merged)
-        output_rows.append(Row(values, annotations))
-    return output_schema, output_rows
+
+    def output_rows() -> Iterator[Row]:
+        for row in rows:
+            values = tuple(getter(row) for getter in getters)
+            annotations = []
+            for sources in annotation_sources:
+                merged: Set[Any] = set()
+                for position in sources:
+                    merged |= row.annotations[position]
+                annotations.append(merged)
+            yield Row(values, annotations)
+    return output_schema, output_rows()
 
 
 # ---------------------------------------------------------------------------
@@ -366,30 +561,16 @@ def group_and_aggregate(relation: Relation, group_by: Sequence[ast.Expression],
                         ahaving: Optional[ast.Expression] = None) -> Relation:
     """GROUP BY + aggregate evaluation with annotation union per group.
 
-    The output tuple of each group carries, on every output column, the union
-    of all annotations of the group's input rows (the paper's rule for
-    operators that combine multiple tuples into one).
+    A pipeline breaker: every input row must be seen before the first group
+    can be emitted.  The output tuple of each group carries, on every output
+    column, the union of all annotations of the group's input rows (the
+    paper's rule for operators that combine multiple tuples into one).
     """
     schema, rows = relation
     evaluator = Evaluator(schema)
     group_keys = [evaluator.compile(expr) for expr in group_by]
 
-    groups: Dict[Tuple[Any, ...], List[Row]] = {}
-    order: List[Tuple[Any, ...]] = []
-    if group_keys:
-        for row in rows:
-            key = tuple(key(row) for key in group_keys)
-            if key not in groups:
-                groups[key] = []
-                order.append(key)
-            groups[key].append(row)
-    else:
-        # A query with aggregates but no GROUP BY forms one global group.
-        key = ()
-        groups[key] = list(rows)
-        order.append(key)
-
-    # Column list of the output.
+    # Column list of the output (checked eagerly).
     output_columns: List[ColumnInfo] = []
     for index, item in enumerate(items):
         if isinstance(item.expr, ast.Star):
@@ -405,35 +586,48 @@ def group_and_aggregate(relation: Relation, group_by: Sequence[ast.Expression],
         output_columns.append(ColumnInfo(name))
     output_schema = OutputSchema(output_columns)
 
-    having_predicate = None
     ahaving_predicate = AnnotationPredicate(ahaving) if ahaving is not None else None
 
-    output_rows: List[Row] = []
-    for key in order:
-        members = groups[key]
-        if not members and not group_keys:
-            members = []
-        representative = members[0] if members else None
-        values: List[Any] = []
-        for item in items:
-            values.append(_evaluate_group_expression(item.expr, evaluator, members,
-                                                     representative))
-        merged = merge_annotation_vectors(members, len(schema)) if members else []
-        union_all: Set[Any] = set()
-        for anns in merged:
-            union_all |= anns
-        annotations = [set(union_all) for _ in values]
-        candidate = Row(tuple(values), annotations)
-        if having is not None:
-            if not predicate_is_true(
-                _evaluate_group_expression(having, evaluator, members, representative)
-            ):
-                continue
-        if ahaving_predicate is not None:
-            if not any(ahaving_predicate.matches(a) for a in union_all):
-                continue
-        output_rows.append(candidate)
-    return output_schema, output_rows
+    def output_rows() -> Iterator[Row]:
+        groups: Dict[Tuple[Any, ...], List[Row]] = {}
+        order: List[Tuple[Any, ...]] = []
+        if group_keys:
+            for row in rows:
+                key = tuple(key(row) for key in group_keys)
+                if key not in groups:
+                    groups[key] = []
+                    order.append(key)
+                groups[key].append(row)
+        else:
+            # A query with aggregates but no GROUP BY forms one global group.
+            key = ()
+            groups[key] = _as_list(rows)
+            order.append(key)
+
+        for key in order:
+            members = groups[key]
+            representative = members[0] if members else None
+            values: List[Any] = []
+            for item in items:
+                values.append(_evaluate_group_expression(item.expr, evaluator,
+                                                         members, representative))
+            merged = merge_annotation_vectors(members, len(schema)) if members else []
+            union_all: Set[Any] = set()
+            for anns in merged:
+                union_all |= anns
+            annotations = [set(union_all) for _ in values]
+            candidate = Row(tuple(values), annotations)
+            if having is not None:
+                if not predicate_is_true(
+                    _evaluate_group_expression(having, evaluator, members,
+                                               representative)
+                ):
+                    continue
+            if ahaving_predicate is not None:
+                if not any(ahaving_predicate.matches(a) for a in union_all):
+                    continue
+            yield candidate
+    return output_schema, output_rows()
 
 
 def _evaluate_group_expression(expr: ast.Expression, evaluator: Evaluator,
@@ -530,40 +724,56 @@ def _apply_binary(op: str, left: Any, right: Any) -> Any:
 # Duplicate elimination, ordering, limits
 # ---------------------------------------------------------------------------
 def distinct(relation: Relation) -> Relation:
-    """DISTINCT: equal value-tuples collapse; their annotations are unioned."""
+    """DISTINCT: equal value-tuples collapse; their annotations are unioned.
+
+    A pipeline breaker: the annotation union over duplicates is only known
+    once every input row has been seen.
+    """
     schema, rows = relation
-    seen: Dict[Tuple[Any, ...], List[Row]] = {}
-    order: List[Tuple[Any, ...]] = []
-    for row in rows:
-        if row.values not in seen:
-            seen[row.values] = []
-            order.append(row.values)
-        seen[row.values].append(row)
-    output = []
-    for values in order:
-        members = seen[values]
-        annotations = merge_annotation_vectors(members, len(schema))
-        output.append(Row(values, annotations))
-    return schema, output
+
+    def output_rows() -> Iterator[Row]:
+        seen: Dict[Tuple[Any, ...], List[Row]] = {}
+        order: List[Tuple[Any, ...]] = []
+        for row in rows:
+            if row.values not in seen:
+                seen[row.values] = []
+                order.append(row.values)
+            seen[row.values].append(row)
+        for values in order:
+            members = seen[values]
+            annotations = merge_annotation_vectors(members, len(schema))
+            yield Row(values, annotations)
+    return schema, output_rows()
 
 
 def order_by(relation: Relation, order_items: Sequence[ast.OrderItem]) -> Relation:
+    """ORDER BY: a pipeline breaker (compiled eagerly, sorted on first pull)."""
     schema, rows = relation
     evaluator = Evaluator(schema)
     compiled = [(evaluator.compile(item.expr), item.ascending) for item in order_items]
-    decorated = list(rows)
-    # Sort by the last key first so earlier keys take precedence (stable sort).
-    for evaluate, ascending in reversed(compiled):
-        decorated.sort(key=lambda row: SortKey(evaluate(row)), reverse=not ascending)
-    return schema, decorated
+
+    def output_rows() -> Iterator[Row]:
+        decorated = list(rows)
+        # Sort by the last key first so earlier keys take precedence (stable sort).
+        for evaluate, ascending in reversed(compiled):
+            decorated.sort(key=lambda row: SortKey(evaluate(row)), reverse=not ascending)
+        yield from decorated
+    return schema, output_rows()
 
 
 def limit_offset(relation: Relation, limit: Optional[int],
                  offset: Optional[int]) -> Relation:
+    """LIMIT/OFFSET with short-circuiting: stops pulling once satisfied."""
     schema, rows = relation
     start = offset or 0
-    end = None if limit is None else start + limit
-    return schema, rows[start:end]
+
+    def output_rows() -> Iterator[Row]:
+        if limit is not None and limit <= 0:
+            return
+        iterator = iter(rows)
+        stop = None if limit is None else start + limit
+        yield from islice(iterator, start, stop)
+    return schema, output_rows()
 
 
 # ---------------------------------------------------------------------------
@@ -581,10 +791,13 @@ def union(left: Relation, right: Relation, keep_all: bool = False) -> Relation:
     """UNION [ALL]: annotations of matching tuples from both sides are unioned."""
     _check_arity(left, right, "UNION")
     schema = left[0]
-    combined = list(left[1]) + [Row(row.values, row.annotations) for row in right[1]]
+
+    def combined() -> Iterator[Row]:
+        yield from left[1]
+        yield from right[1]
     if keep_all:
-        return schema, combined
-    return distinct((schema, combined))
+        return schema, combined()
+    return distinct((schema, combined()))
 
 
 def intersect(left: Relation, right: Relation) -> Relation:
@@ -596,25 +809,35 @@ def intersect(left: Relation, right: Relation) -> Relation:
     """
     _check_arity(left, right, "INTERSECT")
     schema = left[0]
-    right_groups: Dict[Tuple[Any, ...], List[Row]] = {}
-    for row in right[1]:
-        right_groups.setdefault(row.values, []).append(row)
-    output: List[Row] = []
-    seen: Set[Tuple[Any, ...]] = set()
-    for row in left[1]:
-        if row.values in right_groups and row.values not in seen:
-            seen.add(row.values)
-            matching_left = [r for r in left[1] if r.values == row.values]
-            members = matching_left + right_groups[row.values]
+
+    def output_rows() -> Iterator[Row]:
+        right_groups: Dict[Tuple[Any, ...], List[Row]] = {}
+        for row in right[1]:
+            right_groups.setdefault(row.values, []).append(row)
+        left_groups: Dict[Tuple[Any, ...], List[Row]] = {}
+        order: List[Tuple[Any, ...]] = []
+        for row in left[1]:
+            if row.values not in left_groups:
+                left_groups[row.values] = []
+                order.append(row.values)
+            left_groups[row.values].append(row)
+        for values in order:
+            if values not in right_groups:
+                continue
+            members = left_groups[values] + right_groups[values]
             annotations = merge_annotation_vectors(members, len(schema))
-            output.append(Row(row.values, annotations))
-    return schema, output
+            yield Row(values, annotations)
+    return schema, output_rows()
 
 
 def except_(left: Relation, right: Relation) -> Relation:
     """EXCEPT: tuples of the left side absent from the right, annotations kept."""
     _check_arity(left, right, "EXCEPT")
     schema = left[0]
-    right_values = {row.values for row in right[1]}
-    kept = [row for row in left[1] if row.values not in right_values]
-    return distinct((schema, kept))
+
+    def kept() -> Iterator[Row]:
+        right_values = {row.values for row in right[1]}
+        for row in left[1]:
+            if row.values not in right_values:
+                yield row
+    return distinct((schema, kept()))

@@ -149,6 +149,47 @@ def merge_annotation_vectors(rows: Iterable[Row], arity: int) -> List[Set[Any]]:
     return merged
 
 
+class StreamingResultSet:
+    """Lazily produced result of a query: schema plus a one-shot row iterator.
+
+    Rows are computed on demand as the consumer iterates, so a client that
+    stops early (or a ``LIMIT``) never pays for the rest of the pipeline.
+    Consume the stream before issuing further DML against the database — the
+    underlying scan reads live table state.  ``fetchall`` drains what is left
+    into a materialized :class:`ResultSet`.
+    """
+
+    def __init__(self, schema: OutputSchema, rows: Iterable[Row]):
+        self.schema = schema
+        self._rows = iter(rows)
+
+    @property
+    def columns(self) -> List[str]:
+        return self.schema.names
+
+    def __iter__(self):
+        return self._rows
+
+    def __next__(self) -> Row:
+        return next(self._rows)
+
+    def fetchmany(self, count: int) -> List[Row]:
+        out: List[Row] = []
+        if count <= 0:
+            return out
+        for row in self._rows:
+            out.append(row)
+            if len(out) >= count:
+                break
+        return out
+
+    def fetchall(self) -> "ResultSet":
+        return ResultSet(self.schema, list(self._rows))
+
+    def __repr__(self) -> str:
+        return f"StreamingResultSet(columns={self.columns})"
+
+
 class ResultSet:
     """Materialized result of a query: schema, rows, and helper accessors."""
 

@@ -34,6 +34,13 @@ class SecondaryIndex:
         values = tuple(row[column] for column in self.columns)
         return values[0] if len(values) == 1 else values
 
+    def key_is_null(self, key: Any) -> bool:
+        """NULL key columns are not indexed: SQL equality never matches NULL,
+        and B-tree ordering cannot compare None against real values."""
+        if isinstance(key, tuple):
+            return any(value is None for value in key)
+        return key is None
+
 
 class IndexManager:
     """Creates, maintains, and answers lookups on secondary indexes."""
@@ -58,10 +65,12 @@ class IndexManager:
         resolved = [catalog_table.schema.column(column).name for column in columns]
         structure = BPlusTree() if method == "btree" else HashIndex()
         index = SecondaryIndex(name, catalog_table.name, tuple(resolved), method, structure)
-        # Bulk-build from the current contents.
+        # Bulk-build from the current contents (NULL keys stay unindexed).
         names = catalog_table.schema.column_names
         for tuple_id, row in catalog_table.scan():
-            index.structure.insert(index.key_of(dict(zip(names, row))), tuple_id)
+            row_key = index.key_of(dict(zip(names, row)))
+            if not index.key_is_null(row_key):
+                index.structure.insert(row_key, tuple_id)
         self._indexes[key] = index
         return index
 
@@ -95,19 +104,25 @@ class IndexManager:
     # ------------------------------------------------------------------
     def on_insert(self, table: str, tuple_id: int, row: Dict[str, Any]) -> None:
         for index in self.indexes_for(table):
-            index.structure.insert(index.key_of(row), tuple_id)
+            key = index.key_of(row)
+            if not index.key_is_null(key):
+                index.structure.insert(key, tuple_id)
 
     def on_delete(self, table: str, tuple_id: int, row: Dict[str, Any]) -> None:
         for index in self.indexes_for(table):
-            index.structure.delete(index.key_of(row), tuple_id)
+            key = index.key_of(row)
+            if not index.key_is_null(key):
+                index.structure.delete(key, tuple_id)
 
     def on_update(self, table: str, tuple_id: int, old_row: Dict[str, Any],
                   new_row: Dict[str, Any]) -> None:
         for index in self.indexes_for(table):
             old_key, new_key = index.key_of(old_row), index.key_of(new_row)
             if old_key != new_key:
-                index.structure.delete(old_key, tuple_id)
-                index.structure.insert(new_key, tuple_id)
+                if not index.key_is_null(old_key):
+                    index.structure.delete(old_key, tuple_id)
+                if not index.key_is_null(new_key):
+                    index.structure.insert(new_key, tuple_id)
 
     # ------------------------------------------------------------------
     def lookup(self, index_name: str, key: Any) -> List[int]:

@@ -9,17 +9,25 @@ WHERE clause into a proper plan tree instead:
 * the FROM-list relations are ordered greedily by estimated cardinality
   (smallest first, then whichever joinable relation minimises the estimated
   intermediate result);
-* each join edge picks a physical strategy — hash join for equi-joins,
-  sort-merge join when the build side is too large for hashing (or when
-  forced), and nested-loop for everything else.
+* each join edge picks a physical strategy — an index-nested-loop join when a
+  secondary index covers the join key on the lookup side, hash join for other
+  equi-joins, sort-merge join when the build side is too large for hashing
+  (or when forced), and nested-loop for everything else;
+* scans pick an access path: a point ``index_lookup`` when a secondary index
+  covers equality conjuncts pushed to that table, a sequential scan otherwise;
+* residual WHERE conjuncts are pushed to the *lowest* plan node whose schema
+  covers their column references (``JoinPlan.filters``), instead of one
+  filter above the whole join tree.
 
 Explicit ``JOIN ... ON`` clauses keep their syntactic order (LEFT joins are
 order-sensitive) but still get equi-key extraction and strategy selection.
 
 The planner never touches rows: it consumes cardinality and NDV estimates
 (duck-typed, normally a :class:`repro.catalog.statistics.StatisticsManager`)
-and produces :class:`ScanPlan` / :class:`JoinPlan` nodes that the executor
-walks.  ``format_plan`` / ``plan_to_dict`` render the tree for EXPLAIN.
+plus an index listing (normally ``IndexManager.indexes_for``) and produces
+:class:`ScanPlan` / :class:`JoinPlan` nodes that the executor walks.
+``format_plan`` / ``plan_to_dict`` render the tree — including pushed
+predicates and chosen access paths — for EXPLAIN.
 """
 
 from __future__ import annotations
@@ -28,36 +36,54 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.errors import PlanningError
-from repro.planner.planner import combine_conjuncts, split_conjuncts
+from repro.planner.planner import (
+    combine_conjuncts,
+    equality_lookups,
+    lookup_value,
+    referenced_columns,
+    split_conjuncts,
+)
 from repro.sql import ast
 
 #: Valid values of ``EngineConfig.join_strategy``.
-JOIN_STRATEGIES = ("auto", "hash", "merge", "nested_loop")
+JOIN_STRATEGIES = ("auto", "hash", "merge", "nested_loop", "index_nested_loop")
 
 #: Strategy names as they appear in plan dumps.
 STRATEGY_LABELS = {
     "hash": "HashJoin",
     "merge": "MergeJoin",
     "nested_loop": "NestedLoopJoin",
+    "index_nested_loop": "IndexNestedLoopJoin",
     "cross": "CrossJoin",
 }
 
 
 @dataclass
 class ScanPlan:
-    """Leaf: a base-table scan (with pushed-down conjuncts already applied)."""
+    """Leaf: a base-table access (with pushed-down conjuncts already applied).
+
+    ``access_path`` is ``"seq"`` for a full scan or ``"index_lookup"`` when a
+    secondary index covers equality conjuncts pushed to this table; in the
+    latter case ``index_name`` / ``index_columns`` / ``index_key`` describe
+    the lookup (the full pushed conjunct list is still applied on top, so
+    consuming a conjunct into the index key never loses a filter).
+    """
 
     table: str
     qualifier: str
     estimated_rows: float = 0.0
     pushed: List[ast.Expression] = field(default_factory=list)
+    access_path: str = "seq"
+    index_name: Optional[str] = None
+    index_columns: Tuple[str, ...] = ()
+    index_key: Any = None
 
 
 @dataclass
 class JoinPlan:
     """Inner node: a physical join between two sub-plans."""
 
-    strategy: str  # "hash" | "merge" | "nested_loop" | "cross"
+    strategy: str  # "hash" | "merge" | "nested_loop" | "index_nested_loop" | "cross"
     join_type: str  # "INNER" | "LEFT" | "CROSS"
     left: "PlanNode"
     right: "PlanNode"
@@ -66,6 +92,12 @@ class JoinPlan:
     #: Condition evaluated at the join on top of the key equalities (the
     #: non-equi part of an ON clause, or the full condition for nested loop).
     condition: Optional[ast.Expression] = None
+    #: Residual WHERE conjuncts pushed down to this node: evaluated on the
+    #: join *output* (after any LEFT padding), the lowest point whose schema
+    #: covers their column references.
+    filters: List[ast.Expression] = field(default_factory=list)
+    #: Secondary index probed per left row (index-nested-loop joins only).
+    index_name: Optional[str] = None
     estimated_rows: float = 0.0
 
 
@@ -97,10 +129,18 @@ class JoinEdge:
 RowEstimator = Callable[[str], float]
 NdvEstimator = Callable[[str, str], float]
 #: Maps (qualifier, column) to a coarse type category ("num", "text", "time"),
-#: or ``None`` when unknown.  Hash/merge joins only apply when both key
+#: or ``None`` when unknown.  Hash/merge/index joins only apply when both key
 #: columns share a category, because the engine's three-valued comparison
 #: falls back to string forms (non-transitive) across categories.
 TypeCategory = Callable[[str, str], Optional[str]]
+#: Lists the secondary indexes of a base table.  Each descriptor exposes
+#: ``name``, ``columns`` (tuple of column names) and ``method`` — duck-typed,
+#: normally :class:`repro.index.manager.SecondaryIndex`.
+ListIndexes = Callable[[str], Sequence[Any]]
+
+#: Access-path tie-break: the paper's workhorse is the B-tree, so it wins
+#: over the hash index when both cover the same columns.
+_METHOD_PREFERENCE = {"btree": 0, "hash": 1}
 
 
 def resolve_column(ref: ast.ColumnRef,
@@ -163,15 +203,130 @@ def _as_edge(conjunct: ast.Expression, resolvable: Dict[str, Set[str]],
 
 
 # ---------------------------------------------------------------------------
+# Access-path selection
+# ---------------------------------------------------------------------------
+_LOOKUP_MISSING = object()
+
+
+def _literal_category(value: Any) -> Optional[str]:
+    if isinstance(value, bool) or isinstance(value, (int, float)):
+        return "num"
+    if isinstance(value, str):
+        return "text"
+    return None
+
+
+def _index_preference(index: Any) -> Tuple[int, int, str]:
+    return (_METHOD_PREFERENCE.get(getattr(index, "method", ""), 9),
+            len(index.columns), index.name)
+
+
+def choose_index_lookup(table: str, qualifier: str,
+                        pushed_conjuncts: Sequence[ast.Expression],
+                        list_indexes: Optional[ListIndexes],
+                        type_category: Optional[TypeCategory] = None,
+                        ) -> Optional[Tuple[Any, Tuple[Any, ...]]]:
+    """Pick a secondary index whose columns are all equality-bound.
+
+    Returns ``(index descriptor, key values in index-column order)`` when the
+    conjuncts pushed down to this table pin every column of some index to a
+    literal of a compatible type category, or ``None``.
+    """
+    if list_indexes is None:
+        return None
+    lookups = equality_lookups(pushed_conjuncts)
+    if not lookups:
+        return None
+    candidates: List[Tuple[Any, Tuple[Any, ...]]] = []
+    for index in list_indexes(table):
+        key_values: List[Any] = []
+        for column in index.columns:
+            value = lookup_value(lookups, column, qualifier, _LOOKUP_MISSING)
+            if value is _LOOKUP_MISSING or value is None:
+                break
+            category = _literal_category(value)
+            if category is None:
+                break
+            if type_category is not None:
+                column_category = type_category(qualifier, column)
+                if column_category is None or column_category != category:
+                    break
+            key_values.append(value)
+        else:
+            candidates.append((index, tuple(key_values)))
+    if not candidates:
+        return None
+    candidates.sort(key=lambda pair: _index_preference(pair[0]))
+    return candidates[0]
+
+
+def covering_join_index(table: str, right_keys: Sequence[ast.ColumnRef],
+                        list_indexes: Optional[ListIndexes]) -> Optional[Any]:
+    """An index of ``table`` whose column set equals the join-key columns."""
+    if list_indexes is None or not right_keys:
+        return None
+    wanted = [ref.name.lower() for ref in right_keys]
+    if len(set(wanted)) != len(wanted):
+        # The same right column appears in several equi-conjuncts: the probe
+        # key arity would exceed the index key arity, so no index covers it.
+        return None
+    matches = [
+        index for index in list_indexes(table)
+        if len(index.columns) == len(wanted)
+        and {column.lower() for column in index.columns} == set(wanted)
+    ]
+    if not matches:
+        return None
+    matches.sort(key=_index_preference)
+    return matches[0]
+
+
+def _apply_index_access_path(node: ScanPlan,
+                             list_indexes: Optional[ListIndexes],
+                             type_category: Optional[TypeCategory]) -> None:
+    choice = choose_index_lookup(node.table, node.qualifier, node.pushed,
+                                 list_indexes, type_category)
+    if choice is None:
+        return
+    index, key_values = choice
+    node.access_path = "index_lookup"
+    node.index_name = index.name
+    node.index_columns = tuple(index.columns)
+    node.index_key = key_values[0] if len(key_values) == 1 else key_values
+
+
+def _order_keys_for_index(index: Any, left_keys: List[ast.ColumnRef],
+                          right_keys: List[ast.ColumnRef],
+                          ) -> Tuple[List[ast.ColumnRef], List[ast.ColumnRef]]:
+    """Permute (left, right) key pairs into the index's column order."""
+    position = {column.lower(): i for i, column in enumerate(index.columns)}
+    pairs = sorted(zip(left_keys, right_keys),
+                   key=lambda pair: position[pair[1].name.lower()])
+    return [pair[0] for pair in pairs], [pair[1] for pair in pairs]
+
+
+# ---------------------------------------------------------------------------
 # Strategy selection
 # ---------------------------------------------------------------------------
 def choose_strategy(left_rows: float, right_rows: float, forced: str,
-                    hash_max_build_rows: float) -> str:
-    """Pick the physical strategy for an equi-join edge."""
+                    hash_max_build_rows: float,
+                    index_available: bool = False) -> str:
+    """Pick the physical strategy for an equi-join edge.
+
+    An index-nested-loop join is chosen when the lookup (right) side has a
+    covering index and either the caller forces it or, in auto mode, the
+    streamed probe side is estimated no larger than the lookup side (so per
+    row lookups beat building a hash table over the bigger input).
+    """
     if forced == "hash":
         return "hash"
     if forced == "merge":
         return "merge"
+    if index_available:
+        if forced == "index_nested_loop":
+            return "index_nested_loop"
+        if left_rows <= right_rows:
+            return "index_nested_loop"
     build = min(left_rows, right_rows)
     return "merge" if build > hash_max_build_rows else "hash"
 
@@ -197,14 +352,17 @@ def plan_select_joins(from_refs: Sequence[ast.TableRef],
                       row_estimate: RowEstimator,
                       ndv_estimate: NdvEstimator,
                       type_category: Optional[TypeCategory] = None,
+                      list_indexes: Optional[ListIndexes] = None,
                       strategy: str = "auto",
                       hash_max_build_rows: float = 4_000_000.0,
                       ) -> Tuple[PlanNode, List[ast.Expression]]:
     """Build a join plan for a SELECT; returns (root, remaining residual).
 
-    ``residual`` are the WHERE conjuncts left over after pushdown; the equi
-    conjuncts this planner consumes as join keys are removed from the list it
-    returns.  ``pushed`` is only recorded on scan nodes for EXPLAIN output.
+    ``residual`` are the WHERE conjuncts left over after pushdown; conjuncts
+    this planner consumes — as join keys or as per-node ``filters`` pushed to
+    the lowest covering join — are removed from the list it returns.
+    ``pushed`` is recorded on scan nodes (the engine applies it there) and
+    drives index access-path selection via ``list_indexes``.
     """
     if strategy not in JOIN_STRATEGIES:
         raise PlanningError(
@@ -212,13 +370,17 @@ def plan_select_joins(from_refs: Sequence[ast.TableRef],
 
     def scan_node(ref: ast.TableRef) -> ScanPlan:
         qualifier = ref.effective_name.lower()
-        return ScanPlan(table=ref.name, qualifier=qualifier,
+        node = ScanPlan(table=ref.name, qualifier=qualifier,
                         estimated_rows=row_estimate(qualifier),
                         pushed=list(pushed.get(qualifier, [])))
+        if strategy != "nested_loop":
+            _apply_index_access_path(node, list_indexes, type_category)
+        return node
 
     if strategy == "nested_loop":
         # Reproduce the naive pipeline exactly: cross products in FROM order,
-        # explicit joins as nested loops, the whole residual evaluated on top.
+        # explicit joins as nested loops, the whole residual evaluated on top,
+        # sequential scans only.
         plan: PlanNode = scan_node(from_refs[0])
         for ref in from_refs[1:]:
             right = scan_node(ref)
@@ -277,29 +439,45 @@ def plan_select_joins(from_refs: Sequence[ast.TableRef],
             left_keys.append(inside_key)
             right_keys.append(outside_key)
             pending_edges.remove(edge)
+        join_index = covering_join_index(right.table, right_keys, list_indexes)
         picked = choose_strategy(plan.estimated_rows, right.estimated_rows,
-                                 strategy, hash_max_build_rows)
-        left, right_node = plan, right
-        if picked == "hash" and right.estimated_rows > plan.estimated_rows:
-            # Hash join builds on the right input: put the smaller side there.
-            left, right_node = right, plan
-            left_keys, right_keys = right_keys, left_keys
-        plan = JoinPlan(picked, "INNER", left, right_node,
-                        left_keys=left_keys, right_keys=right_keys,
-                        estimated_rows=estimate)
+                                 strategy, hash_max_build_rows,
+                                 index_available=join_index is not None)
+        if picked == "index_nested_loop":
+            left_keys, right_keys = _order_keys_for_index(join_index, left_keys,
+                                                          right_keys)
+            plan = JoinPlan(picked, "INNER", plan, right,
+                            left_keys=left_keys, right_keys=right_keys,
+                            index_name=join_index.name,
+                            estimated_rows=estimate)
+        else:
+            left, right_node = plan, right
+            if picked == "hash" and right.estimated_rows > plan.estimated_rows:
+                # Hash join builds on the right input: put the smaller side there.
+                left, right_node = right, plan
+                left_keys, right_keys = right_keys, left_keys
+            plan = JoinPlan(picked, "INNER", left, right_node,
+                            left_keys=left_keys, right_keys=right_keys,
+                            estimated_rows=estimate)
         remaining.remove(qualifier)
         joined.add(qualifier)
 
     # Unconsumed edges (both endpoints already joined through another path)
-    # go back into the residual filter.
+    # go back into the residual pool; the tree pushdown below re-places them.
     rest = rest + [edge.conjunct for edge in pending_edges]
 
     for join in explicit_joins:
         right = scan_node(join.table)
         plan = _plan_explicit_join(plan, right, join, joined, resolvable,
-                                   type_category, ndv_estimate,
+                                   type_category, ndv_estimate, list_indexes,
                                    strategy, hash_max_build_rows)
         joined.add(right.qualifier)
+
+    # Residual pushdown into the tree: each remaining conjunct is attached to
+    # the lowest join node whose schema covers it; only conjuncts that cannot
+    # be placed (constant folding cases, unresolvable references) stay in the
+    # top-level residual.
+    rest = push_residual_into_plan(plan, rest, resolvable)
     return plan, rest
 
 
@@ -327,6 +505,7 @@ def _plan_explicit_join(plan: PlanNode, right: ScanPlan, join: ast.Join,
                         joined: Set[str], resolvable: Dict[str, Set[str]],
                         type_category: Optional[TypeCategory],
                         ndv_estimate: NdvEstimator,
+                        list_indexes: Optional[ListIndexes],
                         strategy: str, hash_max_build_rows: float) -> JoinPlan:
     """Strategy selection for a JOIN ... ON clause (order is preserved)."""
     if join.join_type == "CROSS" or join.condition is None:
@@ -349,11 +528,21 @@ def _plan_explicit_join(plan: PlanNode, right: ScanPlan, join: ast.Join,
         left_keys.append(inside_key)
         right_keys.append(outside_key)
         ndvs.append(_edge_ndv(edge, joined, ndv_estimate))
+    join_index = covering_join_index(right.table, right_keys, list_indexes)
     picked = choose_strategy(plan.estimated_rows, right.estimated_rows,
-                             strategy, hash_max_build_rows)
+                             strategy, hash_max_build_rows,
+                             index_available=join_index is not None)
     estimate = _edge_cardinality(plan.estimated_rows, right.estimated_rows, ndvs)
     if join.join_type == "LEFT":
         estimate = max(estimate, plan.estimated_rows)
+    if picked == "index_nested_loop":
+        left_keys, right_keys = _order_keys_for_index(join_index, left_keys,
+                                                      right_keys)
+        return JoinPlan(picked, join.join_type, plan, right,
+                        left_keys=left_keys, right_keys=right_keys,
+                        condition=combine_conjuncts(rest),
+                        index_name=join_index.name,
+                        estimated_rows=estimate)
     return JoinPlan(picked, join.join_type, plan, right,
                     left_keys=left_keys, right_keys=right_keys,
                     condition=combine_conjuncts(rest),
@@ -361,27 +550,167 @@ def _plan_explicit_join(plan: PlanNode, right: ScanPlan, join: ast.Join,
 
 
 # ---------------------------------------------------------------------------
+# Residual pushdown into the plan tree
+# ---------------------------------------------------------------------------
+def plan_qualifiers(node: PlanNode) -> Set[str]:
+    """All table qualifiers produced by a subtree."""
+    if isinstance(node, ScanPlan):
+        return {node.qualifier}
+    return plan_qualifiers(node.left) | plan_qualifiers(node.right)
+
+
+def _conjunct_homes(conjunct: ast.Expression,
+                    resolvable: Dict[str, Set[str]]) -> Optional[Set[str]]:
+    """The qualifiers a conjunct's columns resolve to; ``None`` if unknown."""
+    refs = referenced_columns(conjunct)
+    if not refs:
+        return None
+    homes: Set[str] = set()
+    for ref in refs:
+        home = resolve_column(ref, resolvable)
+        if home is None:
+            return None
+        homes.add(home)
+    return homes
+
+
+def push_residual_into_plan(plan: PlanNode,
+                            conjuncts: Sequence[ast.Expression],
+                            resolvable: Dict[str, Set[str]],
+                            ) -> List[ast.Expression]:
+    """Attach residual conjuncts to the lowest join whose schema covers them.
+
+    Filters attached to a join node are evaluated on that join's *output*, so
+    attaching at (never below) a LEFT join preserves the standard semantics
+    of WHERE predicates over the nullable side: NULL-padded rows reach the
+    filter and fail it.  The walk therefore never descends into the right
+    (nullable) child of a LEFT join.  Conjuncts that cannot be placed — no
+    column references, unresolvable references, or a home set not covered by
+    any join node — are returned for the engine's top-level residual filter.
+    """
+    remaining: List[ast.Expression] = []
+    for conjunct in conjuncts:
+        target = _attach_point(plan, conjunct, resolvable)
+        if target is None:
+            remaining.append(conjunct)
+        else:
+            target.filters.append(conjunct)
+    return remaining
+
+
+def _attach_point(plan: PlanNode, conjunct: ast.Expression,
+                  resolvable: Dict[str, Set[str]]) -> Optional[JoinPlan]:
+    homes = _conjunct_homes(conjunct, resolvable)
+    if not homes or not homes <= plan_qualifiers(plan):
+        return None
+    node = plan
+    while isinstance(node, JoinPlan):
+        if homes <= plan_qualifiers(node.left):
+            node = node.left
+            continue
+        if node.join_type != "LEFT" and homes <= plan_qualifiers(node.right):
+            node = node.right
+            continue
+        break
+    # Single-table conjuncts land on scans only when the per-table pushdown
+    # could not claim them (ambiguous references); leave those at the top.
+    if isinstance(node, ScanPlan):
+        return None
+    return node
+
+
+# ---------------------------------------------------------------------------
 # EXPLAIN rendering
 # ---------------------------------------------------------------------------
+def format_expression(expr: ast.Expression) -> str:
+    """Render an expression AST back to SQL-ish text (for EXPLAIN output)."""
+    if isinstance(expr, ast.Literal):
+        return _format_literal(expr.value)
+    if isinstance(expr, ast.ColumnRef):
+        return expr.display()
+    if isinstance(expr, ast.Star):
+        return f"{expr.table}.*" if expr.table else "*"
+    if isinstance(expr, ast.BinaryOp):
+        left = format_expression(expr.left)
+        right = format_expression(expr.right)
+        if expr.op in ("AND", "OR"):
+            if isinstance(expr.left, ast.BinaryOp) and expr.left.op in ("AND", "OR") \
+                    and expr.left.op != expr.op:
+                left = f"({left})"
+            if isinstance(expr.right, ast.BinaryOp) and expr.right.op in ("AND", "OR") \
+                    and expr.right.op != expr.op:
+                right = f"({right})"
+        return f"{left} {expr.op} {right}"
+    if isinstance(expr, ast.UnaryOp):
+        operand = format_expression(expr.operand)
+        return f"NOT {operand}" if expr.op == "NOT" else f"{expr.op}{operand}"
+    if isinstance(expr, ast.FunctionCall):
+        args = ", ".join(format_expression(arg) for arg in expr.args)
+        prefix = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name}({prefix}{args})"
+    if isinstance(expr, ast.IsNull):
+        return (f"{format_expression(expr.operand)} IS "
+                f"{'NOT ' if expr.negated else ''}NULL")
+    if isinstance(expr, ast.Like):
+        return (f"{format_expression(expr.operand)} "
+                f"{'NOT ' if expr.negated else ''}LIKE "
+                f"{format_expression(expr.pattern)}")
+    if isinstance(expr, ast.InList):
+        items = ", ".join(format_expression(item) for item in expr.items)
+        return (f"{format_expression(expr.operand)} "
+                f"{'NOT ' if expr.negated else ''}IN ({items})")
+    if isinstance(expr, ast.Between):
+        return (f"{format_expression(expr.operand)} "
+                f"{'NOT ' if expr.negated else ''}BETWEEN "
+                f"{format_expression(expr.low)} AND {format_expression(expr.high)}")
+    return type(expr).__name__
+
+
+def _format_literal(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if value is True:
+        return "TRUE"
+    if value is False:
+        return "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return str(value)
+
+
+def _format_index_key(node: ScanPlan) -> str:
+    values = node.index_key if isinstance(node.index_key, tuple) else (node.index_key,)
+    return ", ".join(f"{column} = {_format_literal(value)}"
+                     for column, value in zip(node.index_columns, values))
+
+
 def plan_to_dict(node: PlanNode) -> Dict[str, Any]:
     """Plan tree as a nested dict (stable surface for tests and tooling)."""
     if isinstance(node, ScanPlan):
         return {
-            "node": "Scan",
+            "node": "IndexScan" if node.access_path == "index_lookup" else "Scan",
             "table": node.table,
             "qualifier": node.qualifier,
             "estimated_rows": round(node.estimated_rows, 2),
+            "access_path": node.access_path,
+            "index": node.index_name,
             "pushed_conjuncts": len(node.pushed),
+            "pushed": [format_expression(conjunct) for conjunct in node.pushed],
         }
-    return {
+    result = {
         "node": STRATEGY_LABELS[node.strategy],
         "join_type": node.join_type,
         "keys": [f"{l.display()} = {r.display()}"
                  for l, r in zip(node.left_keys, node.right_keys)],
         "estimated_rows": round(node.estimated_rows, 2),
+        "filters": [format_expression(conjunct) for conjunct in node.filters],
         "left": plan_to_dict(node.left),
         "right": plan_to_dict(node.right),
     }
+    if node.index_name is not None:
+        result["index"] = node.index_name
+    return result
 
 
 def format_plan(node: PlanNode, indent: int = 0) -> str:
@@ -390,14 +719,26 @@ def format_plan(node: PlanNode, indent: int = 0) -> str:
     if isinstance(node, ScanPlan):
         label = node.table if node.qualifier == node.table.lower() \
             else f"{node.table} AS {node.qualifier}"
-        suffix = f" [pushed: {len(node.pushed)}]" if node.pushed else ""
+        suffix = ""
+        if node.pushed:
+            predicates = " AND ".join(format_expression(c) for c in node.pushed)
+            suffix = f" [pushed: {predicates}]"
+        if node.access_path == "index_lookup":
+            return (f"{pad}IndexScan {label} using {node.index_name} "
+                    f"({_format_index_key(node)}) "
+                    f"(est. rows={node.estimated_rows:.0f}){suffix}")
         return (f"{pad}Scan {label} "
                 f"(est. rows={node.estimated_rows:.0f}){suffix}")
     keys = ", ".join(f"{l.display()} = {r.display()}"
                      for l, r in zip(node.left_keys, node.right_keys))
     detail = f" on {keys}" if keys else ""
+    if node.index_name is not None:
+        detail += f" using {node.index_name}"
     if node.condition is not None:
         detail += " +condition"
+    if node.filters:
+        predicates = " AND ".join(format_expression(c) for c in node.filters)
+        detail += f" [filter: {predicates}]"
     header = (f"{pad}{STRATEGY_LABELS[node.strategy]} [{node.join_type}]{detail} "
               f"(est. rows={node.estimated_rows:.0f})")
     return "\n".join([header,
@@ -412,3 +753,10 @@ def plan_strategies(node: PlanNode) -> List[str]:
     return ([node.strategy]
             + plan_strategies(node.left)
             + plan_strategies(node.right))
+
+
+def plan_access_paths(node: PlanNode) -> List[str]:
+    """Flat list of scan access paths, left-to-right (for tests/tooling)."""
+    if isinstance(node, ScanPlan):
+        return [node.access_path]
+    return plan_access_paths(node.left) + plan_access_paths(node.right)

@@ -490,9 +490,9 @@ class Parser:
             while self.match_punct(","):
                 select.order_by.append(self._parse_order_item())
         if self.match_keyword("LIMIT"):
-            select.limit = int(self._expect_number())
+            select.limit = self._expect_count("LIMIT")
         if self.match_keyword("OFFSET"):
-            select.offset = int(self._expect_number())
+            select.offset = self._expect_count("OFFSET")
         return select
 
     def _expect_number(self) -> float:
@@ -502,6 +502,19 @@ class Parser:
                                  token.position)
         self.advance()
         return float(token.value)
+
+    def _expect_count(self, clause: str) -> int:
+        """A LIMIT/OFFSET row count: a non-negative integer literal."""
+        token = self.peek()
+        if token.type is TokenType.OPERATOR and token.value == "-":
+            raise SqlSyntaxError(
+                f"{clause} requires a non-negative integer", token.position)
+        value = self._expect_number()
+        if value != int(value):
+            raise SqlSyntaxError(
+                f"{clause} requires an integer, got {token.value!r}",
+                token.position)
+        return int(value)
 
     def _parse_select_item(self) -> ast.SelectItem:
         if self.check_operator("*"):

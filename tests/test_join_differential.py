@@ -1,13 +1,19 @@
 """Differential tests: every join strategy must agree with the naive path.
 
-The cost-based planner (hash / sort-merge joins, greedy reordering) must be
-*observationally equivalent* to the naive pipeline (cross products + residual
-filter, ``join_strategy="nested_loop"``) — same row multisets and the same
-propagated annotations per row.  Each query shape below runs under every
-strategy and is compared against the nested-loop baseline.
+The cost-based planner (hash / sort-merge / index-nested-loop joins, greedy
+reordering, residual pushdown into the join tree) and the streaming executor
+must be *observationally equivalent* to the naive pipeline (cross products +
+residual filter, ``join_strategy="nested_loop"`` with every operator output
+materialized) — same row multisets and the same propagated annotations per
+row.  Each query shape below runs under every (strategy, execution mode)
+combination — with and without covering secondary indexes — and is compared
+against the materialized nested-loop baseline.  A tracemalloc test proves
+that the streaming pipeline gives ``LIMIT`` O(limit), not O(n), peak memory.
 """
 
 from __future__ import annotations
+
+import tracemalloc
 
 import pytest
 
@@ -83,6 +89,9 @@ QUERY_SHAPES = {
 }
 
 STRATEGIES = ("auto", "hash", "merge")
+#: With covering indexes present, the index-nested-loop path joins the matrix.
+INDEXED_STRATEGIES = ("auto", "hash", "merge", "index_nested_loop")
+MODES = ("streaming", "materialized")
 
 
 def canonical(result):
@@ -97,21 +106,154 @@ def canonical(result):
     return sorted(rows, key=repr)
 
 
+def run_query(db: Database, query: str, strategy: str, mode: str):
+    """Run one query under a forced (strategy, execution mode) pair."""
+    db.config.join_strategy = strategy
+    db.config.execution_mode = mode
+    try:
+        return db.query(query)
+    finally:
+        db.config.join_strategy = "auto"
+        db.config.execution_mode = "streaming"
+
+
+def materialized_baseline(db: Database, query: str):
+    """The differential reference: naive pipeline, every stage materialized."""
+    return canonical(run_query(db, query, "nested_loop", "materialized"))
+
+
 @pytest.fixture(scope="module")
 def diff_db() -> Database:
     return build_db()
 
 
+@pytest.fixture(scope="module")
+def indexed_db() -> Database:
+    db = build_db()
+    db.execute("CREATE INDEX ix_gene_gid ON gene (gid) USING btree")
+    db.execute("CREATE INDEX ix_protein_gid ON protein (gid) USING btree")
+    db.execute("CREATE INDEX ix_protein_kind ON protein (kind) USING hash")
+    return db
+
+
 @pytest.mark.parametrize("shape", sorted(QUERY_SHAPES))
 @pytest.mark.parametrize("strategy", STRATEGIES)
-def test_strategy_agrees_with_nested_loop(diff_db, shape, strategy):
+@pytest.mark.parametrize("mode", MODES)
+def test_strategy_agrees_with_nested_loop(diff_db, shape, strategy, mode):
     query = QUERY_SHAPES[shape]
-    diff_db.config.join_strategy = "nested_loop"
-    baseline = canonical(diff_db.query(query))
-    diff_db.config.join_strategy = strategy
-    candidate = canonical(diff_db.query(query))
-    diff_db.config.join_strategy = "auto"
+    baseline = materialized_baseline(diff_db, query)
+    candidate = canonical(run_query(diff_db, query, strategy, mode))
     assert candidate == baseline
+
+
+@pytest.mark.parametrize("shape", sorted(QUERY_SHAPES))
+@pytest.mark.parametrize("strategy", INDEXED_STRATEGIES)
+def test_indexed_strategy_agrees_with_nested_loop(indexed_db, shape, strategy):
+    """With covering indexes the planner may pick index scans and
+    index-nested-loop joins; rows *and* annotations must still match the
+    materialized nested-loop baseline."""
+    query = QUERY_SHAPES[shape]
+    baseline = materialized_baseline(indexed_db, query)
+    candidate = canonical(run_query(indexed_db, query, strategy, "streaming"))
+    assert candidate == baseline
+
+
+def test_indexed_auto_picks_index_nested_loop(indexed_db):
+    indexed_db.config.join_strategy = "auto"
+    indexed_db.query(QUERY_SHAPES["equi_join"])
+    assert "index_nested_loop" in plan_strategies(indexed_db.engine.last_plan)
+    explained = indexed_db.explain(QUERY_SHAPES["equi_join"])
+    assert "IndexNestedLoopJoin" in explained.message
+
+
+def test_forced_index_join_on_left_join(indexed_db):
+    """LEFT joins run through the index probe with correct NULL padding."""
+    query = QUERY_SHAPES["explicit_left_join"]
+    baseline = materialized_baseline(indexed_db, query)
+    candidate = canonical(run_query(indexed_db, query, "index_nested_loop",
+                                    "streaming"))
+    assert candidate == baseline
+    indexed_db.config.join_strategy = "index_nested_loop"
+    try:
+        indexed_db.query(query)
+        assert plan_strategies(indexed_db.engine.last_plan) == ["index_nested_loop"]
+    finally:
+        indexed_db.config.join_strategy = "auto"
+
+
+def test_indexed_differential_with_dml_between_runs():
+    """Index maintenance (insert/delete/update, NULL keys) must keep the
+    index-backed paths in lock-step with the naive pipeline."""
+    db = build_db()
+    db.execute("CREATE INDEX ix_protein_gid ON protein (gid) USING btree")
+    db.execute("DELETE FROM protein WHERE pid >= 25")
+    db.execute("INSERT INTO protein VALUES (99, 'G1', 'k9', 9.9)")
+    db.execute("INSERT INTO protein VALUES (100, NULL, 'k9', 1.0)")
+    db.execute("UPDATE protein SET gid = 'G2' WHERE pid = 99")
+    db.execute("UPDATE protein SET gid = NULL WHERE pid = 3")
+    query = QUERY_SHAPES["equi_join"]
+    baseline = materialized_baseline(db, query)
+    for strategy in INDEXED_STRATEGIES:
+        assert canonical(run_query(db, query, strategy, "streaming")) == baseline
+
+
+@pytest.fixture(scope="module")
+def wide_db() -> Database:
+    """A 100k-row table for the streaming-memory proof."""
+    db = Database()
+    db.execute("CREATE TABLE big (id INTEGER PRIMARY KEY, v FLOAT)")
+    table = db.table("big")
+    for i in range(100_000):
+        table.insert_row({"id": i, "v": i * 0.5})
+    return db
+
+
+def test_limit_over_large_scan_peaks_at_o_limit_memory(wide_db):
+    """SELECT ... LIMIT 10 over 100k rows must stop the scan early: the
+    streaming pipeline's peak allocation is orders of magnitude below the
+    materialized pipeline's, and small in absolute terms (O(limit) rows plus
+    fixed per-query overhead, not O(n) materialized intermediates)."""
+    query = "SELECT id FROM big WHERE v >= 0 LIMIT 10"
+
+    def peak(mode: str) -> int:
+        wide_db.config.execution_mode = mode
+        tracemalloc.start()
+        try:
+            result = wide_db.query(query)
+            _, peak_bytes = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+            wide_db.config.execution_mode = "streaming"
+        assert len(result) == 10
+        return peak_bytes
+
+    materialized_peak = peak("materialized")
+    streaming_peak = peak("streaming")
+    assert streaming_peak < materialized_peak / 20
+    assert streaming_peak < 8 * 1024 * 1024
+
+
+def test_stream_is_lazy_and_short_circuits(wide_db):
+    """Database.stream produces rows on demand: pulling a handful of rows
+    must not scan the whole 100k-row table."""
+    scanned = 0
+    original_scan = type(wide_db.table("big")).scan
+
+    def counting_scan(self):
+        nonlocal scanned
+        for item in original_scan(self):
+            scanned += 1
+            yield item
+
+    table_cls = type(wide_db.table("big"))
+    table_cls.scan = counting_scan
+    try:
+        stream = wide_db.stream("SELECT id FROM big")
+        first_three = [next(stream) for _ in range(3)]
+    finally:
+        table_cls.scan = original_scan
+    assert [row.values for row in first_three] == [(0,), (1,), (2,)]
+    assert scanned <= 3
 
 
 def test_forced_strategies_actually_differ(diff_db):

@@ -35,6 +35,11 @@ def make_relation():
     return schema, rows
 
 
+def rows_of(relation):
+    """Drain a streaming relation's row iterator (operators are lazy now)."""
+    return list(relation[1])
+
+
 class TestOutputSchema:
     def test_resolution_with_and_without_qualifier(self):
         schema = OutputSchema([ColumnInfo("gid", "g"), ColumnInfo("gid", "p")])
@@ -80,27 +85,29 @@ class TestOperators:
     def test_filter_rows(self):
         relation = make_relation()
         predicate = parse_expression("score > 15")
-        _, rows = ops.filter_rows(relation, predicate)
+        rows = rows_of(ops.filter_rows(relation, predicate))
         assert len(rows) == 2
 
     def test_project_keeps_only_projected_annotations(self):
         relation = make_relation()
         items = [ast.SelectItem(ast.ColumnRef("gid", "g"))]
-        schema, rows = ops.project(relation, items)
+        schema, row_iter = ops.project(relation, items)
+        rows = list(row_iter)
         assert schema.names == ["gid"]
         assert rows[0].annotations[0] == {ann(1)}
         assert rows[1].annotations[0] == set()
 
     def test_project_star_with_qualifier(self):
         relation = make_relation()
-        schema, rows = ops.project(relation, [ast.SelectItem(ast.Star("g"))])
+        schema, row_iter = ops.project(relation, [ast.SelectItem(ast.Star("g"))])
+        rows = list(row_iter)
         assert schema.names == ["gid", "score"]
         with pytest.raises(PlanningError):
             ops.project(relation, [ast.SelectItem(ast.Star("zzz"))])
 
     def test_distinct_unions_annotations(self):
         relation = make_relation()
-        _, rows = ops.distinct(relation)
+        rows = rows_of(ops.distinct(relation))
         assert len(rows) == 2
         duplicate = [row for row in rows if row.values == ("JW2", 20)][0]
         assert duplicate.all_annotations() == {ann(2), ann(3)}
@@ -108,9 +115,9 @@ class TestOperators:
     def test_awhere_and_filter_annotations(self):
         relation = make_relation()
         condition = parse_expression("annotation.value LIKE '%second%'")
-        _, rows = ops.awhere_filter(relation, condition)
+        rows = rows_of(ops.awhere_filter(relation, condition))
         assert [row.values for row in rows] == [("JW2", 20)]
-        _, filtered = ops.filter_annotations(relation, condition)
+        filtered = rows_of(ops.filter_annotations(relation, condition))
         assert len(filtered) == 3
         assert filtered[0].all_annotations() == set()
         assert filtered[1].all_annotations() == {ann(2)}
@@ -119,21 +126,21 @@ class TestOperators:
         schema = OutputSchema([ColumnInfo("v")])
         left = (schema, [Row(("a",), [{ann(1)}]), Row(("b",), [set()])])
         right = (schema, [Row(("a",), [{ann(2)}]), Row(("c",), [set()])])
-        _, union_rows = ops.union(left, right)
+        union_rows = rows_of(ops.union(left, right))
         assert {row.values for row in union_rows} == {("a",), ("b",), ("c",)}
         merged = [row for row in union_rows if row.values == ("a",)][0]
         assert merged.all_annotations() == {ann(1), ann(2)}
-        _, inter_rows = ops.intersect(left, right)
+        inter_rows = rows_of(ops.intersect(left, right))
         assert [row.values for row in inter_rows] == [("a",)]
         assert inter_rows[0].all_annotations() == {ann(1), ann(2)}
-        _, except_rows = ops.except_(left, right)
+        except_rows = rows_of(ops.except_(left, right))
         assert [row.values for row in except_rows] == [("b",)]
 
     def test_nested_loop_left_join(self):
         left = (OutputSchema([ColumnInfo("k")]), [Row(("x",)), Row(("y",))])
         right = (OutputSchema([ColumnInfo("k2")]), [Row(("x",))])
         condition = parse_expression("k = k2")
-        _, rows = ops.nested_loop_join(left, right, condition, "LEFT")
+        rows = rows_of(ops.nested_loop_join(left, right, condition, "LEFT"))
         assert (("x", "x")) in [row.values for row in rows]
         assert ("y", None) in [row.values for row in rows]
 
@@ -155,9 +162,10 @@ class TestOperators:
     def test_hash_join_matches_nested_loop(self):
         left, right = self._join_inputs()
         condition = parse_expression("l.k = r.k")
-        expected = ops.nested_loop_join(left, right, condition)
+        expected = ops.materialize(ops.nested_loop_join(left, right, condition))
         left_keys, right_keys = self._key_refs()
-        schema, rows = ops.hash_join(left, right, left_keys, right_keys)
+        schema, row_iter = ops.hash_join(left, right, left_keys, right_keys)
+        rows = list(row_iter)
         assert sorted(r.values for r in rows) == sorted(r.values for r in expected[1])
         # Annotations flow through from both sides.
         joined = rows[0]
@@ -166,18 +174,18 @@ class TestOperators:
     def test_merge_join_matches_nested_loop(self):
         left, right = self._join_inputs()
         condition = parse_expression("l.k = r.k")
-        expected = ops.nested_loop_join(left, right, condition)
+        expected = ops.materialize(ops.nested_loop_join(left, right, condition))
         left_keys, right_keys = self._key_refs()
-        _, rows = ops.merge_join(left, right, left_keys, right_keys)
+        rows = rows_of(ops.merge_join(left, right, left_keys, right_keys))
         assert sorted(r.values for r in rows) == sorted(r.values for r in expected[1])
 
     def test_hash_and_merge_left_join_padding(self):
         left, right = self._join_inputs()
         condition = parse_expression("l.k = r.k")
-        expected = ops.nested_loop_join(left, right, condition, "LEFT")
+        expected = ops.materialize(ops.nested_loop_join(left, right, condition, "LEFT"))
         left_keys, right_keys = self._key_refs()
         for join in (ops.hash_join, ops.merge_join):
-            _, rows = join(left, right, left_keys, right_keys, "LEFT")
+            rows = rows_of(join(left, right, left_keys, right_keys, "LEFT"))
             assert sorted(map(repr, (r.values for r in rows))) == \
                 sorted(map(repr, (r.values for r in expected[1])))
 
@@ -185,8 +193,8 @@ class TestOperators:
         left, right = self._join_inputs()
         left_keys, right_keys = self._key_refs()
         residual = parse_expression("lv < 4")
-        _, rows = ops.hash_join(left, right, left_keys, right_keys,
-                                "INNER", residual)
+        rows = rows_of(ops.hash_join(left, right, left_keys, right_keys,
+                                     "INNER", residual))
         assert [r.values for r in rows] == [("x", 1, "x", 10)]
 
     def test_hash_join_requires_keys(self):
@@ -196,9 +204,9 @@ class TestOperators:
 
     def test_order_and_limit(self):
         relation = make_relation()
-        ordered = ops.order_by(relation, [ast.OrderItem(ast.ColumnRef("score"), False)])
+        ordered = ops.materialize(ops.order_by(relation, [ast.OrderItem(ast.ColumnRef("score"), False)]))
         assert [row.values[1] for row in ordered[1]] == [20, 20, 10]
-        limited = ops.limit_offset(ordered, 1, 1)
+        limited = ops.materialize(ops.limit_offset(ordered, 1, 1))
         assert len(limited[1]) == 1
 
 

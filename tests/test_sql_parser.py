@@ -123,6 +123,29 @@ class TestSelectParsing:
         assert stmt.order_by[0].ascending is False
         assert stmt.limit == 10 and stmt.offset == 2
 
+    def test_limit_zero_is_allowed(self):
+        stmt = parse_statement("SELECT GID FROM Gene LIMIT 0")
+        assert stmt.limit == 0
+
+    @pytest.mark.parametrize("clause", [
+        "LIMIT 2.5",
+        "OFFSET 1.5",
+        "LIMIT 3e-4",
+        "LIMIT -1",
+        "OFFSET -2",
+        "LIMIT -2.5",
+    ])
+    def test_limit_offset_reject_non_integer_and_negative(self, clause):
+        # Regression: these used to silently truncate through int(float(...)),
+        # turning LIMIT 2.5 into LIMIT 2 (and choking on the '-' token with a
+        # generic message for negatives).
+        with pytest.raises(SqlSyntaxError):
+            parse_statement(f"SELECT GID FROM Gene {clause}")
+
+    def test_limit_requires_a_number(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT GID FROM Gene LIMIT lots")
+
     def test_set_operations_left_associative(self):
         stmt = parse_statement(
             "SELECT GID FROM A INTERSECT SELECT GID FROM B UNION SELECT GID FROM C"
