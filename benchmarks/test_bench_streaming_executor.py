@@ -1,10 +1,14 @@
-"""Benchmarks for the streaming (Volcano-style) executor.
+"""Benchmarks for the streaming (Volcano-style) and vectorized executors.
 
-Two query shapes — scan+filter+LIMIT and a three-way equi-join — run under
-the streaming pipeline and under the materialized baseline
-(``execution_mode="materialized"``), measuring wall-clock latency and
-tracemalloc peak memory.  The three-way join additionally compares the
-index-nested-loop access path against hash join and the naive nested loop.
+Query shapes covered:
+
+* scan+filter+LIMIT and a three-way equi-join under the streaming pipeline
+  vs. the materialized baseline (latency + tracemalloc peak);
+* the full-scan filter pipeline (no LIMIT) under the **batched** pipeline
+  vs. row-at-a-time streaming — the vectorization headline number (plain
+  wall clock: tracemalloc would distort the allocation-bound row path);
+* B-tree ``IndexRangeScan`` vs. sequential scan on a selective window, and
+  an ORDER BY satisfied by index order (sort elided) vs. an explicit sort.
 
 Results are persisted to ``BENCH_streaming.json`` at the repo root via
 :func:`bench_utils.write_bench_results` so the perf trajectory is tracked.
@@ -117,6 +121,83 @@ def run_three_way_join(genes: int, label: str) -> dict:
     return series
 
 
+def measure_latency(db: Database, query: str, mode: str, *, repeats: int = 7,
+                    use_indexes: bool = True) -> dict:
+    """Best-of-N wall-clock latency (no tracemalloc: it would dominate the
+    allocation-heavy paths and distort the batched-vs-row comparison)."""
+    db.config.execution_mode = mode
+    db.config.use_indexes = use_indexes
+    best = None
+    try:
+        for _ in range(repeats):
+            started = time.perf_counter()
+            result = db.query(query)
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+    finally:
+        db.config.execution_mode = "streaming"
+        db.config.use_indexes = True
+    return {"seconds": round(best, 6), "rows": len(result)}
+
+
+def run_batched_vs_row(rows: int, label: str) -> dict:
+    """The vectorization headline: full-scan filter pipeline, no LIMIT."""
+    db = scan_db(rows)
+    query = "SELECT eid FROM events WHERE v >= 0 AND kind <> 'k4'"
+    series = {mode: measure_latency(db, query, mode)
+              for mode in ("streaming", "row", "materialized")}
+    series["speedup_vs_row"] = round(
+        series["row"]["seconds"] / series["streaming"]["seconds"], 2)
+    print_table(
+        f"full-scan filter pipeline over {rows} rows ({label})",
+        ["mode", "seconds", "rows/s", "rows out"],
+        [[mode, f"{m['seconds']:.4f}", f"{m['rows'] / m['seconds']:,.0f}",
+          m["rows"]]
+         for mode, m in series.items() if isinstance(m, dict)],
+    )
+    counts = {m["rows"] for m in series.values() if isinstance(m, dict)}
+    assert counts == {rows * 4 // 5}
+    return series
+
+
+def range_scan_db(rows: int) -> Database:
+    db = scan_db(rows)
+    db.execute("CREATE INDEX ix_events_v ON events (v) USING btree")
+    db.analyze("events")
+    return db
+
+
+def run_range_scan(rows: int, label: str) -> dict:
+    """IndexRangeScan vs. sequential scan, and sort elision vs. explicit sort."""
+    db = range_scan_db(rows)
+    low, high = rows * 0.5 * 0.45, rows * 0.5 * 0.46   # ~1% window
+    window = f"SELECT eid FROM events WHERE v BETWEEN {low} AND {high}"
+    ordered = window + " ORDER BY v"
+    series = {
+        "range_scan": measure_latency(db, window, "streaming"),
+        "seq_scan": measure_latency(db, window, "streaming", use_indexes=False),
+        "order_elided": measure_latency(db, ordered, "streaming"),
+        "order_sorted": measure_latency(db, ordered, "streaming",
+                                        use_indexes=False),
+    }
+    db.query(window)
+    from repro.planner.plan import plan_access_paths
+    assert plan_access_paths(db.engine.last_plan) == ["index_range"]
+    db.query(ordered)
+    assert db.engine.last_sort_elided
+    explained = db.explain(ordered)
+    assert "IndexRangeScan" in explained.message
+    assert "[sort: elided]" in explained.message
+    print_table(
+        f"range scan + sort elision, {rows} rows, ~1% window ({label})",
+        ["series", "seconds", "rows"],
+        [[name, f"{m['seconds']:.4f}", m["rows"]] for name, m in series.items()],
+    )
+    assert series["range_scan"]["rows"] == series["seq_scan"]["rows"] > 0
+    assert series["order_elided"]["rows"] == series["order_sorted"]["rows"]
+    return series
+
+
 # ---------------------------------------------------------------------------
 # Tier-1 smoke (small sizes, always on — also exercised by CI --runslow step)
 # ---------------------------------------------------------------------------
@@ -133,6 +214,19 @@ def test_streaming_join_smoke():
     assert series["streaming_index_nl_limit20"]["peak_bytes"] \
         < series["materialized_hash_limit20"]["peak_bytes"]
     write_bench_results("streaming", {"three_way_join_200": series})
+
+
+def test_batched_vs_row_smoke():
+    series = run_batched_vs_row(10_000, "smoke")
+    # Loose bound at smoke size (CI noise); the --runslow run asserts >= 3x.
+    assert series["speedup_vs_row"] >= 1.5
+    write_bench_results("streaming", {"batched_vs_row_10k": series})
+
+
+def test_range_scan_smoke():
+    series = run_range_scan(10_000, "smoke")
+    assert series["range_scan"]["seconds"] < series["seq_scan"]["seconds"]
+    write_bench_results("streaming", {"range_scan_10k": series})
 
 
 # ---------------------------------------------------------------------------
@@ -152,3 +246,22 @@ def test_streaming_join_full():
     assert series["streaming_index_nl_limit20"]["peak_bytes"] \
         < series["materialized_hash_limit20"]["peak_bytes"] / 5
     write_bench_results("streaming", {"three_way_join_2k": series})
+
+
+@pytest.mark.slow
+def test_batched_vs_row_full():
+    """The PR-3 acceptance number: >= 3x throughput on the full-scan filter
+    pipeline (100k rows, no LIMIT) for batched vs. row-at-a-time streaming."""
+    series = run_batched_vs_row(100_000, "full")
+    assert series["speedup_vs_row"] >= 3.0
+    write_bench_results("streaming", {"batched_vs_row_100k": series})
+
+
+@pytest.mark.slow
+def test_range_scan_full():
+    series = run_range_scan(100_000, "full")
+    # A ~1% window through the B-tree must beat decoding all 100k rows, and
+    # index order must not cost more than sorting.
+    assert series["range_scan"]["seconds"] < series["seq_scan"]["seconds"] / 2
+    assert series["order_elided"]["seconds"] < series["order_sorted"]["seconds"]
+    write_bench_results("streaming", {"range_scan_100k": series})

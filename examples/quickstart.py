@@ -121,7 +121,26 @@ def main() -> None:
     explained = db.explain("SELECT GName FROM DB2_Gene WHERE GID = 'JW0055'")
     print("  " + explained.message.replace("\n", "\n  "))
 
+    # -- range scans and index-order sort elimination --------------------------
+    # Inequality / BETWEEN conjuncts pushed to an indexed column become a
+    # B-tree IndexRangeScan (bounds in the plan, residual re-checked on
+    # top), and an ORDER BY that matches the index key order needs no Sort
+    # operator at all: the scan already delivers rows in key order.
+    print("\nEXPLAIN of a range predicate (IndexRangeScan with bounds):")
+    explained = db.explain(
+        "SELECT GName FROM DB2_Gene WHERE GID > 'JW0030' AND GID <= 'JW0055'")
+    print("  " + explained.message.replace("\n", "\n  "))
+
+    print("\nEXPLAIN of ORDER BY on the index key (the sort is elided):")
+    explained = db.explain(
+        "SELECT GID, GName FROM DB2_Gene WHERE GID > 'JW0030' ORDER BY GID")
+    print("  " + explained.message.replace("\n", "\n  "))
+
     # -- streaming results: rows are produced on demand ------------------------
+    # The default pipeline is *batched*: scans decode whole pages at a time
+    # and filters/projections run as fused, vectorized passes per batch
+    # (EngineConfig.batch_size), while this stream surface still hands out
+    # one row per pull.
     stream = db.stream("SELECT GID, GName FROM DB2_Gene")
     first = next(stream)
     print(f"\nFirst row pulled from the streaming pipeline: {first.values}")

@@ -9,6 +9,7 @@ the right principal.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, List, Optional, Union
 
 from repro.annotations.manager import AnnotationManager
@@ -41,13 +42,19 @@ class Database:
         Storage engine knobs: page size in bytes and buffer-pool capacity in
         pages.
     config:
-        Engine behaviour switches (see :class:`EngineConfig`).
+        Engine behaviour switches (see :class:`EngineConfig`): execution
+        mode (batched ``"streaming"`` / ``"row"`` / ``"materialized"``),
+        join strategy, index usage, batch size.
+    batch_size:
+        Convenience override for ``config.batch_size`` (rows per batch of
+        the vectorized executor); validated eagerly.
     """
 
     def __init__(self, path: Optional[str] = None,
                  page_size: int = DEFAULT_PAGE_SIZE,
                  pool_size: int = DEFAULT_POOL_SIZE,
-                 config: Optional[EngineConfig] = None):
+                 config: Optional[EngineConfig] = None,
+                 batch_size: Optional[int] = None):
         self.disk = open_disk_manager(path, page_size)
         self.catalog = SystemCatalog(self.disk, pool_size)
         self.access = AccessControl()
@@ -57,6 +64,10 @@ class Database:
         self.approval = ApprovalManager(self.catalog, self.access, self.tracker)
         self.indexes = IndexManager(self.catalog)
         self.config = config or EngineConfig()
+        if batch_size is not None:
+            # Copy before overriding: the caller's config object may be
+            # shared with other Database instances.
+            self.config = replace(self.config, batch_size=batch_size)
         self.engine = Engine(
             catalog=self.catalog,
             annotations=self.annotations,

@@ -50,13 +50,22 @@ from repro.sql import ast
 from repro.types.datatypes import DataType, parse_timestamp
 
 
-#: Valid values of ``EngineConfig.execution_mode``.
-EXECUTION_MODES = ("streaming", "materialized")
+#: Valid values of ``EngineConfig.execution_mode``: "streaming" is the
+#: batched (vectorized) pipeline, "row" the row-at-a-time Volcano pipeline,
+#: and "materialized" drains every operator output into a list (the memory
+#: and differential baseline).
+EXECUTION_MODES = ("streaming", "row", "materialized")
 
 
 @dataclass
 class EngineConfig:
-    """Behavioural switches of the engine."""
+    """Behavioural switches of the engine.
+
+    The mode/strategy/batch knobs are validated eagerly at construction and
+    re-validated at the start of every query (they are plain mutable fields),
+    so a typo fails with a clear error instead of surfacing halfway through
+    an operator pipeline.
+    """
 
     #: Attach system "outdated" annotations to scans of tables that have
     #: outdated cells (Section 5, reporting outdated data in query answers).
@@ -75,14 +84,39 @@ class EngineConfig:
     #: In "auto" mode, prefer sort-merge over hash once the estimated build
     #: side exceeds this many rows (grace-hash stand-in).
     hash_join_max_build_rows: int = 4_000_000
-    #: Operator pipeline mode: "streaming" (Volcano-style iterators, LIMIT
-    #: short-circuits the scan) or "materialized" (every operator output is
-    #: drained into a list — the memory-profile baseline for benchmarks and
-    #: differential tests).
+    #: Operator pipeline mode: "streaming" (batched vectorized iterators —
+    #: the default), "row" (row-at-a-time iterators, the pre-batching
+    #: pipeline kept as the streaming baseline), or "materialized" (every
+    #: operator output drained into a list — the memory-profile baseline for
+    #: benchmarks and differential tests).  LIMIT short-circuits the scan in
+    #: both streaming modes.
     execution_mode: str = "streaming"
-    #: Let the planner pick index access paths (index point scans and
-    #: index-nested-loop joins) from the registered secondary indexes.
+    #: Let the planner pick index access paths (index point scans, B-tree
+    #: range scans, and index-nested-loop joins) from the registered
+    #: secondary indexes.
     use_indexes: bool = True
+    #: Rows per batch in the vectorized pipeline.  Batches ramp up from one
+    #: row to this size so early-stopping consumers stay cheap; 1 degrades
+    #: to per-row batches (useful for differential testing).
+    batch_size: int = 1024
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject unknown modes/strategies and bad batch sizes eagerly."""
+        if self.execution_mode not in EXECUTION_MODES:
+            raise PlanningError(
+                f"unknown execution mode {self.execution_mode!r}; "
+                f"expected one of {EXECUTION_MODES}")
+        if self.join_strategy not in planlib.JOIN_STRATEGIES:
+            raise PlanningError(
+                f"unknown join strategy {self.join_strategy!r}; "
+                f"expected one of {planlib.JOIN_STRATEGIES}")
+        if not isinstance(self.batch_size, int) or isinstance(self.batch_size, bool) \
+                or self.batch_size <= 0:
+            raise PlanningError(
+                f"batch_size must be a positive integer, got {self.batch_size!r}")
 
 
 @dataclass
@@ -120,6 +154,9 @@ class Engine:
         #: Plan tree of the most recently planned SELECT (observability
         #: surface used by EXPLAIN, tests, and benchmarks).
         self.last_plan: Optional[planlib.PlanNode] = None
+        #: Whether the most recent SELECT's ORDER BY was satisfied by index
+        #: order (sort elision) instead of an explicit sort.
+        self.last_sort_elided: bool = False
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -194,9 +231,19 @@ class Engine:
         return StreamingResultSet(schema, rows)
 
     def _stage(self, relation: ops.Relation) -> ops.Relation:
-        """Materialize one pipeline stage when running in materialized mode."""
-        if self.config.execution_mode == "materialized":
+        """Adapt one pipeline stage's output to the configured execution mode.
+
+        ``materialized`` drains the stage into a list; ``streaming`` (the
+        batched mode) re-chunks row-producing stages into batches so that
+        pipeline breakers *produce* batches at their boundary and downstream
+        vectorized operators stay on the batch path; ``row`` passes the lazy
+        row iterator through untouched.
+        """
+        mode = self.config.execution_mode
+        if mode == "materialized":
             return ops.materialize(relation)
+        if mode == "streaming":
+            return ops.ensure_batched(relation, self.config.batch_size)
         return relation
 
     def _evaluate_query(self, node: Any, user: str) -> ops.Relation:
@@ -212,11 +259,15 @@ class Engine:
             return self._evaluate_select(node, user)
         raise ExecutionError(f"not a query: {type(node).__name__}")
 
+    @staticmethod
+    def _select_has_aggregates(select: ast.Select) -> bool:
+        return bool(select.group_by) or any(
+            not isinstance(item.expr, ast.Star) and contains_aggregate(item.expr)
+            for item in select.items
+        )
+
     def _evaluate_select(self, select: ast.Select, user: str) -> ops.Relation:
-        if self.config.execution_mode not in EXECUTION_MODES:
-            raise PlanningError(
-                f"unknown execution mode {self.config.execution_mode!r}; "
-                f"expected one of {EXECUTION_MODES}")
+        self.config.validate()
         stage = self._stage
         # SELECT without FROM: evaluate the items against a single empty row.
         if not select.from_tables:
@@ -227,11 +278,21 @@ class Engine:
         for ref in table_refs:
             self._check(user, "SELECT", ref.name)
 
-        plan, _pushed, remaining = self._plan_select(select, table_refs)
+        plan, _pushed, remaining, order_hint = self._plan_select(select, table_refs)
         self.last_plan = plan
+        has_aggregates = self._select_has_aggregates(select)
+        # Sort elision: the plan already delivers rows in the requested
+        # order (an ordered index scan surviving the left spine of
+        # order-preserving joins), so ORDER BY needs no sort operator.
+        elide_sort = (bool(select.order_by) and not has_aggregates
+                      and order_hint is not None
+                      and planlib.plan_delivered_order(plan) == order_hint)
+        self.last_sort_elided = elide_sort
 
         refs = {ref.effective_name.lower(): ref for ref in table_refs}
-        relation = self._execute_plan(plan, refs)
+        relation = self._execute_plan(plan, refs,
+                                      scan_cap=self._scan_cap(select, plan,
+                                                              remaining))
         # Join reordering may have permuted the column blocks; restore the
         # syntactic FROM order so SELECT * stays deterministic.
         relation = self._restore_from_order(relation, table_refs)
@@ -242,10 +303,6 @@ class Engine:
         if select.awhere is not None:
             relation = stage(ops.awhere_filter(relation, select.awhere))
 
-        has_aggregates = bool(select.group_by) or any(
-            not isinstance(item.expr, ast.Star) and contains_aggregate(item.expr)
-            for item in select.items
-        )
         if has_aggregates:
             relation = stage(ops.group_and_aggregate(relation, select.group_by,
                                                      select.items, select.having,
@@ -262,14 +319,14 @@ class Engine:
             # the sort keys resolve against the full relation, and fall back
             # to sorting the projected output (for aliases) otherwise.
             ordered_early = False
-            if select.order_by:
+            if select.order_by and not elide_sort:
                 try:
                     relation = stage(ops.order_by(relation, select.order_by))
                     ordered_early = True
                 except PlanningError:
                     ordered_early = False
             relation = stage(ops.project(relation, select.items))
-            if select.order_by and not ordered_early:
+            if select.order_by and not ordered_early and not elide_sort:
                 relation = stage(ops.order_by(relation, select.order_by))
             if select.distinct:
                 relation = stage(ops.distinct(relation))
@@ -285,6 +342,26 @@ class Engine:
         if select.limit is not None or select.offset is not None:
             relation = stage(ops.limit_offset(relation, select.limit, select.offset))
         return relation
+
+    def _scan_cap(self, select: ast.Select, plan: planlib.PlanNode,
+                  remaining: Sequence[ast.Expression]) -> Optional[int]:
+        """Limit pushdown: cap a bare single-table scan at LIMIT+OFFSET rows.
+
+        Only safe when nothing between the scan and the LIMIT can drop,
+        reorder, or group rows: no joins, no pushed or residual predicates,
+        no annotation predicates, no aggregation/DISTINCT, and no ORDER BY.
+        The batched scan then never reads past the cap, keeping LIMIT's
+        scanned-row guarantee exact even at full batch size.
+        """
+        if select.limit is None or select.joins or len(select.from_tables) != 1:
+            return None
+        if remaining or select.awhere is not None or select.filter is not None:
+            return None
+        if select.order_by or select.distinct or self._select_has_aggregates(select):
+            return None
+        if not isinstance(plan, planlib.ScanPlan) or plan.pushed:
+            return None
+        return select.limit + (select.offset or 0)
 
     def _row_source(self, ref: ast.TableRef,
                     include_tuple_id: bool = False) -> ops.TableRowSource:
@@ -302,16 +379,31 @@ class Engine:
         return ops.TableRowSource(table, ref.effective_name, propagation_index,
                                   status, include_tuple_id)
 
-    def _scan(self, ref: ast.TableRef, node: planlib.ScanPlan) -> ops.Relation:
+    def _scan(self, ref: ast.TableRef, node: planlib.ScanPlan,
+              scan_cap: Optional[int] = None) -> ops.Relation:
         """Execute one scan leaf along its planned access path."""
         source = self._row_source(ref)
+        batched = self.config.execution_mode == "streaming"
         if node.access_path == "index_lookup" and node.index_name is not None:
             index = self.indexes.get(node.index_name)
             relation = ops.index_scan(source, index.structure, node.index_key)
+        elif node.access_path == "index_range" and node.index_name is not None:
+            index = self.indexes.get(node.index_name)
+            order_position = None
+            if node.ordered and node.index_columns:
+                order_position = source.schema.try_resolve(node.index_columns[0])
+            relation = ops.index_range_scan(
+                source, index.structure, node.range_low, node.range_high,
+                node.range_include_low, node.range_include_high,
+                batch_size=self.config.batch_size if batched else None,
+                order_position=order_position)
+        elif batched:
+            relation = source.batched_relation(self.config.batch_size, scan_cap)
         else:
             relation = source.relation()
-        # The full pushed-conjunct list is applied even on an index lookup:
-        # the index only pins the equality columns, everything else filters.
+        # The full pushed-conjunct list is applied even on an index access
+        # path: the index only pins the key columns (and a range scan may be
+        # wider than the predicate), everything else filters on top.
         pushdown = combine_conjuncts(node.pushed)
         if pushdown is not None:
             relation = ops.filter_rows(relation, pushdown)
@@ -328,11 +420,14 @@ class Engine:
 
     def _plan_select(self, select: ast.Select, table_refs: Sequence[ast.TableRef],
                      ) -> Tuple[planlib.PlanNode, Dict[str, List[ast.Expression]],
-                                List[ast.Expression]]:
+                                List[ast.Expression],
+                                Optional[Tuple[str, str]]]:
         """Pushdown + cost-based join planning for one SELECT block.
 
-        Returns the plan tree, the per-qualifier pushed conjuncts, and the
-        residual conjuncts still to be filtered after the joins.
+        Returns the plan tree, the per-qualifier pushed conjuncts, the
+        residual conjuncts still to be filtered after the joins, and the
+        interesting order (lower-cased ``(qualifier, column)`` of a single
+        ascending ORDER BY key) the planner was asked to deliver.
         """
         resolvable = {
             ref.effective_name.lower(): {
@@ -371,6 +466,7 @@ class Engine:
             return self._TYPE_CATEGORIES.get(dtype)
 
         list_indexes = self.indexes.indexes_for if self.config.use_indexes else None
+        order_hint = self._interesting_order(select, resolvable)
         plan, remaining = planlib.plan_select_joins(
             select.from_tables, select.joins, residual, resolvable, pushed,
             row_estimate=row_estimate, ndv_estimate=ndv_estimate,
@@ -378,14 +474,38 @@ class Engine:
             list_indexes=list_indexes,
             strategy=self.config.join_strategy,
             hash_max_build_rows=self.config.hash_join_max_build_rows,
+            order_hint=order_hint,
+            base_row_estimate=lambda qualifier: float(
+                statistics.row_count_estimate(table_of[qualifier])),
+            limit_hint=select.limit if order_hint is not None else None,
         )
-        return plan, pushed, remaining
+        return plan, pushed, remaining, order_hint
+
+    def _interesting_order(self, select: ast.Select,
+                           resolvable: Dict[str, Any],
+                           ) -> Optional[Tuple[str, str]]:
+        """The (qualifier, column) an index-ordered scan could deliver.
+
+        Only a single ascending ORDER BY key that is a plain column reference
+        resolving to one base table qualifies (and never under aggregation,
+        where ORDER BY applies to the grouped output).
+        """
+        if len(select.order_by) != 1 or self._select_has_aggregates(select):
+            return None
+        item = select.order_by[0]
+        if not item.ascending or not isinstance(item.expr, ast.ColumnRef):
+            return None
+        qualifier = planlib.resolve_column(item.expr, resolvable)
+        if qualifier is None:
+            return None
+        return qualifier, item.expr.name.lower()
 
     def _execute_plan(self, node: planlib.PlanNode,
-                      refs: Dict[str, ast.TableRef]) -> ops.Relation:
+                      refs: Dict[str, ast.TableRef],
+                      scan_cap: Optional[int] = None) -> ops.Relation:
         """Walk a plan tree bottom-up, joining with the planned strategies."""
         if isinstance(node, planlib.ScanPlan):
-            return self._scan(refs[node.qualifier], node)
+            return self._scan(refs[node.qualifier], node, scan_cap)
         if node.strategy == "index_nested_loop":
             left = self._execute_plan(node.left, refs)
             relation = self._index_join(left, node, refs)
@@ -502,12 +622,22 @@ class Engine:
         table_refs = list(node.from_tables) + [join.table for join in node.joins]
         for ref in table_refs:
             self._check(user, "SELECT", ref.name)
-        plan, _, remaining = self._plan_select(node, table_refs)
+        plan, _, remaining, order_hint = self._plan_select(node, table_refs)
         self.last_plan = plan
+        self.last_sort_elided = False
         text = planlib.format_plan(plan)
+        plan_dict = planlib.plan_to_dict(plan)
         if remaining:
             text += f"\nResidual filter: {len(remaining)} conjunct(s)"
-        return planlib.plan_to_dict(plan), text
+        if node.order_by and not self._select_has_aggregates(node):
+            elided = (order_hint is not None
+                      and planlib.plan_delivered_order(plan) == order_hint)
+            self.last_sort_elided = elided
+            if elided:
+                qualifier, column = order_hint
+                text += f"\nOrder: {qualifier}.{column} ASC [sort: elided]"
+                plan_dict["sort"] = "elided"
+        return plan_dict, text
 
     # ------------------------------------------------------------------
     # DDL

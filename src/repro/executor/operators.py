@@ -31,7 +31,8 @@ The propagation rules follow Section 3.4 of the paper:
 
 from __future__ import annotations
 
-from itertools import islice
+from itertools import chain, islice
+from operator import itemgetter
 from typing import (
     Any,
     Callable,
@@ -48,19 +49,22 @@ from typing import (
 from repro.catalog.table import Table
 from repro.core.errors import ExecutionError, PlanningError
 from repro.executor.row import (
+    BatchedRows,
     ColumnInfo,
     OutputSchema,
     Row,
+    RowBatch,
     merge_annotation_vectors,
 )
 from repro.planner.expressions import (
     AggregateState,
     AnnotationPredicate,
+    BatchFilter,
     Evaluator,
     find_aggregates,
     predicate_is_true,
 )
-from repro.planner.planner import referenced_columns
+from repro.planner.planner import referenced_columns, split_conjuncts
 from repro.sql import ast
 from repro.types.values import SortKey
 
@@ -73,6 +77,11 @@ Relation = Tuple[OutputSchema, Iterable[Row]]
 def materialize(relation: Relation) -> Tuple[OutputSchema, List[Row]]:
     """Drain a relation's iterator into a concrete ``(schema, list)`` pair."""
     schema, rows = relation
+    if isinstance(rows, BatchedRows):
+        out: List[Row] = []
+        for batch in rows.batches:
+            out.extend(batch.to_rows())
+        return schema, out
     return schema, rows if isinstance(rows, list) else list(rows)
 
 
@@ -112,16 +121,11 @@ class TableRowSource:
         self.schema = OutputSchema(columns)
 
     def make_row(self, tuple_id: int, values: Sequence[Any]) -> Row:
-        names = self._names
-        annotations: List[Set[Any]] = [set() for _ in names]
-        if self.propagation_index is not None and not self.propagation_index.is_empty():
-            for position in range(len(names)):
-                annotations[position] |= self.propagation_index.lookup(tuple_id, position)
-        if self.status_annotations:
-            for position in range(len(names)):
-                status = self.status_annotations.get((tuple_id, position))
-                if status is not None:
-                    annotations[position].add(status)
+        if not self.attaches_annotations():
+            if self.include_tuple_id:
+                return Row((tuple_id,) + tuple(values))
+            return Row(tuple(values))
+        annotations = self.annotation_vector(tuple_id, len(self._names))
         if self.include_tuple_id:
             values = (tuple_id,) + tuple(values)
             annotations = [set()] + annotations
@@ -139,6 +143,80 @@ class TableRowSource:
 
     def relation(self) -> Relation:
         return self.schema, self.iter_rows()
+
+    # -- batched access -------------------------------------------------
+    def attaches_annotations(self) -> bool:
+        """True when scans must build per-cell annotation vectors."""
+        return ((self.propagation_index is not None
+                 and not self.propagation_index.is_empty())
+                or bool(self.status_annotations))
+
+    def annotation_vector(self, tuple_id: int, arity: int) -> List[Set[Any]]:
+        annotations: List[Set[Any]] = [set() for _ in range(arity)]
+        if self.propagation_index is not None and not self.propagation_index.is_empty():
+            for position in range(arity):
+                annotations[position] |= self.propagation_index.lookup(tuple_id, position)
+        if self.status_annotations:
+            for position in range(arity):
+                status = self.status_annotations.get((tuple_id, position))
+                if status is not None:
+                    annotations[position].add(status)
+        return annotations
+
+    def iter_batches(self, batch_size: int,
+                     max_rows: Optional[int] = None) -> Iterator[RowBatch]:
+        """RowBatch stream in tuple-id order with a progressive size ramp.
+
+        Batches start at one row and double up to ``batch_size`` (capped in
+        steady state at the decoded page size, which lets whole pages flow
+        through without a re-chunking copy), so an early-stopping consumer
+        (LIMIT, ``Database.stream``) over-scans at most one row beyond what
+        it pulls at the start of the ramp, while a full scan amortizes
+        per-batch costs across the whole page.  ``max_rows`` is the engine's
+        limit pushdown: production stops for good once that many rows have
+        been emitted.
+        """
+        annotated = self.attaches_annotations()
+        arity = len(self._names)
+        if self.include_tuple_id:
+            raise PlanningError("batched scans do not expose __tid__")
+        target = 1
+        produced = 0
+
+        def emit(rows: List[Any]) -> RowBatch:
+            if annotated:
+                return RowBatch([values for _, values in rows],
+                                [self.annotation_vector(tuple_id, arity)
+                                 for tuple_id, _ in rows])
+            return RowBatch(rows)
+
+        for page_rows in self.table.scan_batches(with_tuple_ids=annotated):
+            if max_rows is not None:
+                budget = max_rows - produced
+                if budget <= 0:
+                    return
+                if len(page_rows) > budget:
+                    page_rows = page_rows[:budget]
+            start = 0
+            total = len(page_rows)
+            while start < total:
+                if start == 0 and target >= total:
+                    # Whole decoded page passes through as one batch — the
+                    # steady state, with no re-chunking copy at all.
+                    chunk = page_rows
+                    start = total
+                else:
+                    chunk = page_rows[start:start + target]
+                    start += len(chunk)
+                yield emit(chunk)
+                produced += len(chunk)
+                target = min(target * 2, batch_size)
+            if max_rows is not None and produced >= max_rows:
+                return
+
+    def batched_relation(self, batch_size: int,
+                         max_rows: Optional[int] = None) -> Relation:
+        return self.schema, BatchedRows(self.iter_batches(batch_size, max_rows))
 
 
 def scan_table(table: Table, qualifier: str,
@@ -172,11 +250,87 @@ def index_scan(source: TableRowSource, index: Any, key: Any) -> Relation:
     return source.schema, rows()
 
 
+def index_range_scan(source: TableRowSource, index: Any,
+                     low: Any = None, high: Any = None,
+                     include_low: bool = True, include_high: bool = True,
+                     batch_size: Optional[int] = None,
+                     order_position: Optional[int] = None) -> Relation:
+    """B-tree range scan: fetch tuples whose key falls inside [low, high].
+
+    Rows come back in *index-key order* — the property the planner's sort
+    elision relies on.  The bounds are advisory for correctness: the engine
+    always re-applies the full pushed conjunct list on top, so a wider range
+    never produces wrong answers.  When the bounds cannot be compared with
+    the indexed keys (cross-type literal that slipped past planning) the scan
+    degrades to a full sequential scan before yielding anything, and the
+    pushed predicate decides; ``order_position`` — the key column's position,
+    supplied when the engine elided a sort against this scan — makes that
+    fallback re-sort, so the ordering contract survives degradation.  With
+    ``batch_size`` the fetched rows are chunked into a :class:`RowBatch`
+    stream for the vectorized pipeline.
+    """
+    def fallback_rows() -> Iterator[Row]:
+        if order_position is None:
+            yield from source.iter_rows()
+            return
+        rows = list(source.iter_rows())
+        rows.sort(key=lambda row: SortKey(row.values[order_position]))
+        yield from rows
+
+    def fetched() -> Iterator[Row]:
+        iterator = index.iter_range(low, high, include_low, include_high)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            return
+        except TypeError:
+            yield from fallback_rows()
+            return
+        for _key, tuple_id in chain([first], iterator):
+            row = source.fetch(tuple_id)
+            if row is not None:
+                yield row
+
+    if batch_size is None:
+        return source.schema, fetched()
+    return source.schema, BatchedRows(rebatch(fetched(), batch_size))
+
+
+# ---------------------------------------------------------------------------
+# Batching adapters
+# ---------------------------------------------------------------------------
+def rebatch(rows: Iterable[Row], batch_size: int) -> Iterator[RowBatch]:
+    """Chunk a row stream into progressively growing batches (lazy)."""
+    iterator = iter(rows)
+    target = 1
+    while True:
+        buffered = list(islice(iterator, target))
+        if not buffered:
+            return
+        yield RowBatch.from_rows(buffered)
+        target = min(target * 2, batch_size)
+
+
+def ensure_batched(relation: Relation, batch_size: int) -> Relation:
+    """Wrap a row relation in batches; no-op when it already flows batched.
+
+    This is how pipeline breakers *produce* batches at their boundary: their
+    row output is re-chunked so downstream vectorized operators (filters over
+    join outputs, projections, LIMIT) stay on the batch path.
+    """
+    schema, rows = relation
+    if isinstance(rows, BatchedRows):
+        return relation
+    return schema, BatchedRows(rebatch(rows, batch_size))
+
+
 # ---------------------------------------------------------------------------
 # Selection (data predicates)
 # ---------------------------------------------------------------------------
 def filter_rows(relation: Relation, predicate: ast.Expression) -> Relation:
     schema, rows = relation
+    if isinstance(rows, BatchedRows):
+        return _filter_batches(schema, rows, predicate)
     evaluate = Evaluator(schema).compile(predicate)
 
     def kept() -> Iterator[Row]:
@@ -184,6 +338,53 @@ def filter_rows(relation: Relation, predicate: ast.Expression) -> Relation:
             if predicate_is_true(evaluate(row)):
                 yield row
     return schema, kept()
+
+
+class FilteredBatchedRows(BatchedRows):
+    """A lazily filtered batch stream that downstream operators can fuse.
+
+    Iterating (or reading ``.batches``) applies the filter batch by batch,
+    so any consumer sees the filtered relation.  A vectorized projection
+    directly above instead grabs ``source``/``batch_filter`` and compiles
+    filter + projection into a *single* generated comprehension — one pass
+    over the batch, no intermediate kept-row list.
+    """
+
+    __slots__ = ("source", "batch_filter")
+
+    def __init__(self, source: BatchedRows, batch_filter: BatchFilter):
+        self.source = source
+        self.batch_filter = batch_filter
+        super().__init__(self._filtered())
+
+    def _filtered(self) -> Iterator[RowBatch]:
+        batch_filter = self.batch_filter
+        for batch in self.source.batches:
+            if batch.annotations is None:
+                kept = batch_filter.keep_values(batch.values)
+                if kept:
+                    yield RowBatch(kept)
+                continue
+            filtered = _apply_mask(batch, batch_filter.mask(batch.values))
+            if filtered is not None:
+                yield filtered
+
+
+def _apply_mask(batch: RowBatch, mask: List[bool]) -> Optional[RowBatch]:
+    values = [v for v, keep in zip(batch.values, mask) if keep]
+    if not values:
+        return None
+    annotations = None
+    if batch.annotations is not None:
+        annotations = [a for a, keep in zip(batch.annotations, mask) if keep]
+    return RowBatch(values, annotations)
+
+
+def _filter_batches(schema: OutputSchema, rows: BatchedRows,
+                    predicate: ast.Expression) -> Relation:
+    """Vectorized selection: one fused predicate pass per batch."""
+    batch_filter = BatchFilter(schema, split_conjuncts(predicate))
+    return schema, FilteredBatchedRows(rows, batch_filter)
 
 
 # ---------------------------------------------------------------------------
@@ -492,39 +693,45 @@ def _annotation_sources(expr: ast.Expression, schema: OutputSchema) -> List[int]
     return positions
 
 
-def project(relation: Relation, items: Sequence[ast.SelectItem]) -> Relation:
-    """Projection: only annotations of projected (or PROMOTEd) columns survive."""
-    schema, rows = relation
-    evaluator = Evaluator(schema)
+def _projection_spec(schema: OutputSchema, items: Sequence[ast.SelectItem],
+                     ) -> Tuple[OutputSchema, List[Any],
+                                List[Callable[[Tuple[Any, ...]], Any]],
+                                List[List[int]]]:
+    """Expand a projection list into output columns, getters, and sources.
 
-    # Expand the projection list into (output column, value getter, annotation
-    # source positions) triples.  Resolution errors surface eagerly, before
-    # any row is pulled.
+    Returns ``(output schema, positions-or-None, value getters, annotation
+    source positions)``: each projected item is either a plain input position
+    (``positions[i]`` is an int — the vectorized gather path) or a compiled
+    expression over the input value tuple.  Resolution errors surface
+    eagerly, before any row is pulled.
+    """
+    evaluator = Evaluator(schema)
     output_columns: List[ColumnInfo] = []
-    getters: List[Callable[[Row], Any]] = []
+    positions: List[Optional[int]] = []
+    getters: List[Callable[[Tuple[Any, ...]], Any]] = []
     annotation_sources: List[List[int]] = []
 
     for item in items:
         expr = item.expr
         if isinstance(expr, ast.Star):
-            positions = (range(len(schema))
-                         if expr.table is None
-                         else schema.positions_for_qualifier(expr.table))
-            positions = list(positions)
-            if expr.table is not None and not positions:
+            star_positions = (range(len(schema))
+                              if expr.table is None
+                              else schema.positions_for_qualifier(expr.table))
+            star_positions = list(star_positions)
+            if expr.table is not None and not star_positions:
                 raise PlanningError(f"unknown table alias {expr.table!r} in projection")
-            for position in positions:
+            for position in star_positions:
                 column = schema.columns[position]
                 if column.name == "__tid__":
                     continue
                 output_columns.append(ColumnInfo(column.name, column.qualifier))
-                getters.append(lambda row, p=position: row.values[p])
+                positions.append(position)
+                getters.append(itemgetter(position))
                 annotation_sources.append([position])
             continue
         name = item.alias
         if name is None:
             name = expr.name if isinstance(expr, ast.ColumnRef) else f"expr_{len(output_columns) + 1}"
-        compiled = evaluator.compile(expr)
         sources = _annotation_sources(expr, schema)
         for promoted in item.promote:
             position = schema.try_resolve(promoted.name, promoted.table)
@@ -534,22 +741,104 @@ def project(relation: Relation, items: Sequence[ast.SelectItem]) -> Relation:
                 )
             sources.append(position)
         output_columns.append(ColumnInfo(name))
-        getters.append(compiled)
+        if isinstance(expr, ast.ColumnRef):
+            position = schema.resolve(expr.name, expr.table)
+            positions.append(position)
+            getters.append(itemgetter(position))
+        else:
+            positions.append(None)
+            getters.append(evaluator.compile_values(expr))
         annotation_sources.append(sources)
+    return OutputSchema(output_columns), positions, getters, annotation_sources
 
-    output_schema = OutputSchema(output_columns)
+
+def project(relation: Relation, items: Sequence[ast.SelectItem]) -> Relation:
+    """Projection: only annotations of projected (or PROMOTEd) columns survive."""
+    schema, rows = relation
+    output_schema, positions, getters, annotation_sources = \
+        _projection_spec(schema, items)
+
+    if isinstance(rows, BatchedRows):
+        return output_schema, BatchedRows(
+            _project_batches(rows, positions, getters, annotation_sources))
 
     def output_rows() -> Iterator[Row]:
         for row in rows:
-            values = tuple(getter(row) for getter in getters)
+            row_values = row.values
+            values = tuple(getter(row_values) for getter in getters)
+            if row._annotations is None:
+                yield Row(values)
+                continue
+            row_annotations = row.annotations
             annotations = []
             for sources in annotation_sources:
                 merged: Set[Any] = set()
                 for position in sources:
-                    merged |= row.annotations[position]
+                    merged |= row_annotations[position]
                 annotations.append(merged)
             yield Row(values, annotations)
     return output_schema, output_rows()
+
+
+def _project_batches(rows: BatchedRows, positions: List[Optional[int]],
+                     getters: List[Callable[[Tuple[Any, ...]], Any]],
+                     annotation_sources: List[List[int]]) -> Iterator[RowBatch]:
+    """Vectorized projection: a C-level gather for plain column lists.
+
+    When the input is a :class:`FilteredBatchedRows` and the projection is a
+    plain column gather, selection and projection fuse into one generated
+    comprehension — ``[(r[i], r[j]) for r in rows if <predicate>]`` — so a
+    scan → filter → project pipeline does a single pass per batch.
+    """
+    gather = None
+    pure_gather = positions and all(position is not None for position in positions)
+    if pure_gather:
+        if len(positions) == 1:
+            single = itemgetter(positions[0])
+            gather = lambda values: [(v,) for v in map(single, values)]
+        else:
+            many = itemgetter(*positions)
+            gather = lambda values: list(map(many, values))
+
+    def project_annotated(batch: RowBatch, out_values: List[Tuple[Any, ...]]
+                          ) -> RowBatch:
+        out_annotations = []
+        for row_annotations in batch.annotations:
+            vector = []
+            for sources in annotation_sources:
+                merged: Set[Any] = set()
+                for position in sources:
+                    merged |= row_annotations[position]
+                vector.append(merged)
+            out_annotations.append(vector)
+        return RowBatch(out_values, out_annotations)
+
+    if pure_gather and isinstance(rows, FilteredBatchedRows):
+        batch_filter = rows.batch_filter
+        tail = "," if len(positions) == 1 else ""
+        projection = "(" + ", ".join(f"r[{p}]" for p in positions) + tail + ")"
+        fused = batch_filter.compile_keep(projection)
+        for batch in rows.source.batches:
+            if batch.annotations is None:
+                out_values = batch_filter.run(fused, batch.values)
+                if out_values:
+                    yield RowBatch(out_values)
+                continue
+            filtered = _apply_mask(batch, batch_filter.mask(batch.values))
+            if filtered is not None:
+                yield project_annotated(filtered, gather(filtered.values))
+        return
+
+    for batch in rows.batches:
+        if gather is not None:
+            out_values = gather(batch.values)
+        else:
+            out_values = [tuple(getter(row) for getter in getters)
+                          for row in batch.values]
+        if batch.annotations is None:
+            yield RowBatch(out_values)
+            continue
+        yield project_annotated(batch, out_values)
 
 
 # ---------------------------------------------------------------------------
@@ -766,6 +1055,32 @@ def limit_offset(relation: Relation, limit: Optional[int],
     """LIMIT/OFFSET with short-circuiting: stops pulling once satisfied."""
     schema, rows = relation
     start = offset or 0
+
+    if isinstance(rows, BatchedRows):
+        def output_batches() -> Iterator[RowBatch]:
+            if limit is not None and limit <= 0:
+                return
+            to_skip = start
+            remaining = limit
+            for batch in rows.batches:
+                values, annotations = batch.values, batch.annotations
+                if to_skip:
+                    if to_skip >= len(values):
+                        to_skip -= len(values)
+                        continue
+                    values = values[to_skip:]
+                    annotations = annotations[to_skip:] if annotations else None
+                    to_skip = 0
+                if remaining is not None and len(values) > remaining:
+                    values = values[:remaining]
+                    annotations = annotations[:remaining] if annotations else None
+                if values:
+                    yield RowBatch(values, annotations)
+                    if remaining is not None:
+                        remaining -= len(values)
+                        if remaining <= 0:
+                            return
+        return schema, BatchedRows(output_batches())
 
     def output_rows() -> Iterator[Row]:
         if limit is not None and limit <= 0:

@@ -92,25 +92,44 @@ class OutputSchema:
 
 
 class Row:
-    """A tuple of values plus per-column annotation sets."""
+    """A tuple of values plus per-column annotation sets.
 
-    __slots__ = ("values", "annotations")
+    The annotation vector is materialized lazily: most rows of most queries
+    carry no annotations, and the hot scan/filter/project pipeline never
+    needs to allocate their empty sets.  ``row.annotations`` materializes
+    (and caches) the vector on first access, so every operator keeps its
+    familiar view.
+    """
+
+    __slots__ = ("values", "_annotations")
 
     def __init__(self, values: Tuple[Any, ...],
                  annotations: Optional[List[Set[Any]]] = None):
-        self.values = tuple(values)
+        self.values = values if type(values) is tuple else tuple(values)
+        if annotations is not None and len(annotations) != len(self.values):
+            raise PlanningError("annotation vector length does not match row arity")
+        self._annotations = annotations
+
+    @property
+    def annotations(self) -> List[Set[Any]]:
+        annotations = self._annotations
         if annotations is None:
             annotations = [set() for _ in self.values]
-        if len(annotations) != len(self.values):
-            raise PlanningError("annotation vector length does not match row arity")
-        self.annotations = annotations
+            self._annotations = annotations
+        return annotations
+
+    def has_annotations(self) -> bool:
+        """True when some column of this row carries at least one annotation."""
+        annotations = self._annotations
+        return annotations is not None and any(annotations)
 
     # ------------------------------------------------------------------
     def all_annotations(self) -> Set[Any]:
         """Union of the annotations attached to any column of this row."""
         merged: Set[Any] = set()
-        for anns in self.annotations:
-            merged |= anns
+        if self._annotations is not None:
+            for anns in self._annotations:
+                merged |= anns
         return merged
 
     def with_values(self, values: Tuple[Any, ...],
@@ -118,9 +137,13 @@ class Row:
         return Row(values, annotations)
 
     def copy(self) -> "Row":
-        return Row(self.values, [set(anns) for anns in self.annotations])
+        if self._annotations is None:
+            return Row(self.values)
+        return Row(self.values, [set(anns) for anns in self._annotations])
 
     def concat(self, other: "Row") -> "Row":
+        if self._annotations is None and other._annotations is None:
+            return Row(self.values + other.values)
         return Row(self.values + other.values,
                    [set(a) for a in self.annotations] + [set(a) for a in other.annotations])
 
@@ -144,9 +167,64 @@ def merge_annotation_vectors(rows: Iterable[Row], arity: int) -> List[Set[Any]]:
     """
     merged: List[Set[Any]] = [set() for _ in range(arity)]
     for row in rows:
-        for index in range(min(arity, len(row.annotations))):
-            merged[index] |= row.annotations[index]
+        annotations = row._annotations
+        if annotations is None:
+            continue
+        for index in range(min(arity, len(annotations))):
+            merged[index] |= annotations[index]
     return merged
+
+
+class RowBatch:
+    """A batch of rows flowing through the vectorized operator pipeline.
+
+    ``values`` is row-major: one value tuple per row.  ``annotations`` is
+    either ``None`` — meaning no row in the batch carries any annotation, the
+    common case the batch operators exploit — or a parallel list of per-row
+    annotation vectors (one ``List[Set]`` per row, as on :class:`Row`).
+    """
+
+    __slots__ = ("values", "annotations")
+
+    def __init__(self, values: List[Tuple[Any, ...]],
+                 annotations: Optional[List[List[Set[Any]]]] = None):
+        self.values = values
+        self.annotations = annotations
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def to_rows(self) -> Iterable[Row]:
+        if self.annotations is None:
+            return map(Row, self.values)
+        return (Row(values, anns)
+                for values, anns in zip(self.values, self.annotations))
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Row]) -> "RowBatch":
+        values = [row.values for row in rows]
+        if any(row._annotations is not None for row in rows):
+            return cls(values, [row.annotations for row in rows])
+        return cls(values)
+
+
+class BatchedRows:
+    """An ``Iterable[Row]`` view over a one-shot stream of row batches.
+
+    Operators with a vectorized implementation detect this wrapper on their
+    input's row part and consume ``.batches`` directly; everything else (the
+    pipeline breakers, the annotation operators) just iterates rows, which is
+    how batches are consumed at those operators' boundaries.
+    """
+
+    __slots__ = ("batches",)
+
+    def __init__(self, batches: Iterable[RowBatch]):
+        self.batches = batches
+
+    def __iter__(self):
+        for batch in self.batches:
+            yield from batch.to_rows()
 
 
 class StreamingResultSet:

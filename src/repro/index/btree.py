@@ -217,29 +217,48 @@ class BPlusTree(Generic[K, V]):
     def range_search(self, low: Optional[K] = None, high: Optional[K] = None,
                      include_low: bool = True, include_high: bool = True) -> List[Tuple[K, V]]:
         """All (key, value) pairs with low <= key <= high (bounds optional)."""
-        results: List[Tuple[K, V]] = []
+        return list(self.iter_range(low, high, include_low, include_high))
+
+    def iter_range(self, low: Optional[K] = None, high: Optional[K] = None,
+                   include_low: bool = True,
+                   include_high: bool = True) -> Iterator[Tuple[K, V]]:
+        """Lazily yield (key, value) pairs with low <= key <= high, in key order.
+
+        The start position is found by descending to the leaf that would hold
+        ``low`` and bisecting inside it (instead of linearly skipping keys
+        below the bound); from there the scan walks the leaf chain and stops
+        at the first key above ``high``.  Reversed or empty bounds yield
+        nothing.  This is the access method behind the planner's
+        ``IndexRangeScan`` and the executor's sort elision: consumers that
+        stop early (LIMIT) never touch the rest of the leaf chain.
+        """
         if low is not None:
             node = self._find_leaf(low)
+            start = (bisect.bisect_left(node.keys, low) if include_low
+                     else bisect.bisect_right(node.keys, low))
         else:
             node = self._root
             self._touch_read(node)
             while not node.is_leaf:
                 node = node.children[0]
                 self._touch_read(node)
+            start = 0
         while node is not None:
-            for key, values in zip(node.keys, node.values):
-                if low is not None:
-                    if key < low or (not include_low and key == low):
-                        continue
-                if high is not None:
-                    if key > high or (not include_high and key == high):
-                        return results
-                for value in values:
-                    results.append((key, value))
+            keys = node.keys
+            end = len(keys)
+            if high is not None:
+                end = (bisect.bisect_right(keys, high, start) if include_high
+                       else bisect.bisect_left(keys, high, start))
+            for index in range(start, end):
+                key = keys[index]
+                for value in node.values[index]:
+                    yield key, value
+            if end < len(keys):
+                return
             node = node.next_leaf
+            start = 0
             if node is not None:
                 self._touch_read(node)
-        return results
 
     def prefix_search(self, prefix: K) -> List[Tuple[K, V]]:
         """All entries whose key starts with ``prefix``.
@@ -248,11 +267,10 @@ class BPlusTree(Generic[K, V]):
         """
         results: List[Tuple[K, V]] = []
         node = self._find_leaf(prefix)
+        first = bisect.bisect_left(node.keys, prefix)
         while node is not None:
             advanced = False
-            for key, values in zip(node.keys, node.values):
-                if key < prefix:
-                    continue
+            for key, values in zip(node.keys[first:], node.values[first:]):
                 if _has_prefix(key, prefix):
                     for value in values:
                         results.append((key, value))
@@ -260,6 +278,7 @@ class BPlusTree(Generic[K, V]):
                 elif key > prefix:
                     return results
             node = node.next_leaf
+            first = 0
             if node is not None:
                 self._touch_read(node)
             if not advanced and results:

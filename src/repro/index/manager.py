@@ -22,13 +22,25 @@ SUPPORTED_METHODS = ("btree", "hash")
 
 @dataclass
 class SecondaryIndex:
-    """A named secondary index over one or more columns of a table."""
+    """A named secondary index over one or more columns of a table.
+
+    Rows whose key contains NULL or NaN are *not* inserted into the ordered
+    structure: SQL equality never matches NULL, and NaN compares unordered
+    under Python's ``<`` so it would silently corrupt the B-tree's bisect
+    invariants.  The ``null_keys`` / ``nan_keys`` counters record how many
+    live rows are missing from the structure for each reason, so the planner
+    can tell when an index-order or range scan would drop rows (NULLs fail
+    every range predicate, but NaN rows satisfy lower-bound-only ranges —
+    ``compare_values`` orders NaN above every number).
+    """
 
     name: str
     table: str
     columns: Tuple[str, ...]
     method: str
     structure: Any
+    null_keys: int = 0
+    nan_keys: int = 0
 
     def key_of(self, row: Dict[str, Any]) -> Any:
         values = tuple(row[column] for column in self.columns)
@@ -40,6 +52,30 @@ class SecondaryIndex:
         if isinstance(key, tuple):
             return any(value is None for value in key)
         return key is None
+
+    def key_has_nan(self, key: Any) -> bool:
+        """NaN key columns are not indexed (unordered under ``<``)."""
+        if isinstance(key, tuple):
+            return any(isinstance(value, float) and value != value
+                       for value in key)
+        return isinstance(key, float) and key != key
+
+    # -- maintenance (keeps the skip counters in lock-step) -------------
+    def add_entry(self, key: Any, tuple_id: int) -> None:
+        if self.key_is_null(key):
+            self.null_keys += 1
+        elif self.key_has_nan(key):
+            self.nan_keys += 1
+        else:
+            self.structure.insert(key, tuple_id)
+
+    def remove_entry(self, key: Any, tuple_id: int) -> None:
+        if self.key_is_null(key):
+            self.null_keys -= 1
+        elif self.key_has_nan(key):
+            self.nan_keys -= 1
+        else:
+            self.structure.delete(key, tuple_id)
 
 
 class IndexManager:
@@ -65,12 +101,11 @@ class IndexManager:
         resolved = [catalog_table.schema.column(column).name for column in columns]
         structure = BPlusTree() if method == "btree" else HashIndex()
         index = SecondaryIndex(name, catalog_table.name, tuple(resolved), method, structure)
-        # Bulk-build from the current contents (NULL keys stay unindexed).
+        # Bulk-build from the current contents (NULL/NaN keys stay unindexed
+        # and are counted so the planner knows the structure is incomplete).
         names = catalog_table.schema.column_names
         for tuple_id, row in catalog_table.scan():
-            row_key = index.key_of(dict(zip(names, row)))
-            if not index.key_is_null(row_key):
-                index.structure.insert(row_key, tuple_id)
+            index.add_entry(index.key_of(dict(zip(names, row))), tuple_id)
         self._indexes[key] = index
         return index
 
@@ -104,25 +139,19 @@ class IndexManager:
     # ------------------------------------------------------------------
     def on_insert(self, table: str, tuple_id: int, row: Dict[str, Any]) -> None:
         for index in self.indexes_for(table):
-            key = index.key_of(row)
-            if not index.key_is_null(key):
-                index.structure.insert(key, tuple_id)
+            index.add_entry(index.key_of(row), tuple_id)
 
     def on_delete(self, table: str, tuple_id: int, row: Dict[str, Any]) -> None:
         for index in self.indexes_for(table):
-            key = index.key_of(row)
-            if not index.key_is_null(key):
-                index.structure.delete(key, tuple_id)
+            index.remove_entry(index.key_of(row), tuple_id)
 
     def on_update(self, table: str, tuple_id: int, old_row: Dict[str, Any],
                   new_row: Dict[str, Any]) -> None:
         for index in self.indexes_for(table):
             old_key, new_key = index.key_of(old_row), index.key_of(new_row)
             if old_key != new_key:
-                if not index.key_is_null(old_key):
-                    index.structure.delete(old_key, tuple_id)
-                if not index.key_is_null(new_key):
-                    index.structure.insert(new_key, tuple_id)
+                index.remove_entry(old_key, tuple_id)
+                index.add_entry(new_key, tuple_id)
 
     # ------------------------------------------------------------------
     def lookup(self, index_name: str, key: Any) -> List[int]:

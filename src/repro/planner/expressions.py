@@ -23,6 +23,7 @@ pseudo-columns available inside those predicates are:
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.errors import ExecutionError, PlanningError
@@ -89,8 +90,14 @@ SCALAR_FUNCTIONS: Dict[str, Callable[..., Any]] = {
 AGGREGATE_FUNCTIONS = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
 
 
+@lru_cache(maxsize=512)
 def like_to_regex(pattern: str) -> "re.Pattern[str]":
-    """Translate a SQL LIKE pattern (%, _) into a compiled regex."""
+    """Translate a SQL LIKE pattern (%, _) into a compiled regex.
+
+    Cached: a LIKE predicate evaluated over a million rows compiles its
+    pattern once, not once per row (dynamic patterns — ``x LIKE y || '%'`` —
+    still hit the cache per distinct pattern string).
+    """
     out = []
     for ch in pattern:
         if ch == "%":
@@ -106,25 +113,37 @@ def like_to_regex(pattern: str) -> "re.Pattern[str]":
 # Compiled scalar expressions
 # ---------------------------------------------------------------------------
 class Evaluator:
-    """Compiles an AST expression against a schema and evaluates it per row."""
+    """Compiles an AST expression against a schema and evaluates it per row.
+
+    Compilation resolves column references to positions once and builds a
+    closure tree over plain *value tuples*; :meth:`compile` wraps that core in
+    a ``Row`` adapter for the row-at-a-time operators, while
+    :meth:`compile_values` exposes the core directly for the batched
+    operators (no per-row ``Row`` allocation or attribute hop).
+    """
 
     def __init__(self, schema: OutputSchema):
         self.schema = schema
 
     def compile(self, expr: ast.Expression) -> Callable[[Row], Any]:
+        core = self._compile(expr)
+        return lambda row: core(row.values)
+
+    def compile_values(self, expr: ast.Expression) -> Callable[[Tuple[Any, ...]], Any]:
+        """Compile to a callable over a bare value tuple (batch pipelines)."""
         return self._compile(expr)
 
     def evaluate(self, expr: ast.Expression, row: Row) -> Any:
-        return self._compile(expr)(row)
+        return self._compile(expr)(row.values)
 
     # -- compilation -----------------------------------------------------
-    def _compile(self, expr: ast.Expression) -> Callable[[Row], Any]:
+    def _compile(self, expr: ast.Expression) -> Callable[[Tuple[Any, ...]], Any]:
         if isinstance(expr, ast.Literal):
             value = expr.value
             return lambda row: value
         if isinstance(expr, ast.ColumnRef):
             position = self.schema.resolve(expr.name, expr.table)
-            return lambda row: row.values[position]
+            return lambda row: row[position]
         if isinstance(expr, ast.Star):
             raise PlanningError("'*' is only valid in a projection list or COUNT(*)")
         if isinstance(expr, ast.UnaryOp):
@@ -247,8 +266,22 @@ class Evaluator:
 
     def _compile_like(self, expr: ast.Like) -> Callable[[Row], Any]:
         operand = self._compile(expr.operand)
-        pattern_eval = self._compile(expr.pattern)
         negated = expr.negated
+        if isinstance(expr.pattern, ast.Literal):
+            # The common shape: the pattern is a constant, so its regex is
+            # compiled exactly once, at expression-compile time.
+            if expr.pattern.value is None:
+                return lambda row: None
+            regex = like_to_regex(str(expr.pattern.value))
+
+            def like_constant(row: Row) -> Optional[bool]:
+                value = operand(row)
+                if value is None:
+                    return None
+                matched = regex.match(str(value)) is not None
+                return (not matched) if negated else matched
+            return like_constant
+        pattern_eval = self._compile(expr.pattern)
 
         def like(row: Row) -> Optional[bool]:
             value, pattern = operand(row), pattern_eval(row)
@@ -294,6 +327,272 @@ class Evaluator:
 def predicate_is_true(value: Any) -> bool:
     """SQL predicate semantics: NULL/unknown counts as not satisfied."""
     return value is True or (value not in (None, False) and bool(value))
+
+
+# ---------------------------------------------------------------------------
+# Batch (vectorized) predicate compilation
+# ---------------------------------------------------------------------------
+#: ``type(v) in _NUM`` is the numeric fast-path guard: an exact type test, so
+#: ``bool`` (whose comparisons against numbers must go through
+#: ``compare_values``' bool-as-int rule only via the slow path... it actually
+#: matches, but exactness keeps the proof trivial) and arbitrary subclasses
+#: fall back to the slow, reference comparator.
+_NUMERIC_TYPES = (int, float)
+
+_COMPARE_OPS = ("=", "<>", "<", "<=", ">", ">=")
+_PY_OP = {"=": "==", "<>": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+def _slow_compare(op: str, literal: Any) -> Callable[[Any], bool]:
+    """Reference semantics for values the inline fast path does not cover."""
+    def check(value: Any) -> bool:
+        cmp = compare_values(value, literal)
+        if cmp is None:
+            return False
+        if op == "=":
+            return cmp == 0
+        if op == "<>":
+            return cmp != 0
+        if op == "<":
+            return cmp < 0
+        if op == "<=":
+            return cmp <= 0
+        if op == ">":
+            return cmp > 0
+        return cmp >= 0
+    return check
+
+
+def _fragment_with_guard(ref: str, fast: str, guard: str, slow_name: str) -> str:
+    """Type-guarded fragment: inline compare, NULL rejection, slow fallback."""
+    return (f"(({fast}) if type({ref}) {guard} else "
+            f"False if {ref} is None else {slow_name}({ref}))")
+
+
+class BatchFilter:
+    """A WHERE conjunct chain compiled to run over whole value batches.
+
+    The fast path is *generated source code*: every conjunct that matches a
+    supported shape (column-vs-literal comparison, BETWEEN, IN over literals,
+    IS [NOT] NULL, LIKE with a constant pattern) contributes an inline,
+    type-guarded fragment, and all fragments are fused into one list
+    comprehension — one Python-level loop per batch instead of a closure-tree
+    call per row per conjunct.  Unsupported conjuncts compile through
+    :meth:`Evaluator.compile_values` and are evaluated as per-conjunct mask
+    vectors, exactly like the row-at-a-time engine evaluates them (eagerly,
+    with identical NULL/NaN and exception behaviour).
+
+    The inline fragments reproduce ``compare_values`` semantics bit for bit
+    on the types they claim (`type(v) is`-exact guards): NULL fails every
+    predicate, NaN orders above every number (hence the ``or v != v`` arm on
+    ``>``/``>=``), and any value outside the guard falls back to the shared
+    slow comparator.
+    """
+
+    __slots__ = ("_slow_masks", "_env", "_condition", "_keep", "_mask")
+
+    def __init__(self, schema: OutputSchema,
+                 conjuncts: Sequence[ast.Expression]):
+        evaluator = Evaluator(schema)
+        env: Dict[str, Any] = {"_NUM": _NUMERIC_TYPES, "zip": zip}
+        fragments: List[str] = []
+        self._slow_masks: List[Callable[[List[Tuple[Any, ...]]], List[bool]]] = []
+        for index, conjunct in enumerate(conjuncts):
+            fragment = self._fast_fragment(conjunct, schema, env, index)
+            if fragment is not None:
+                fragments.append(fragment)
+            else:
+                core = evaluator.compile_values(conjunct)
+                self._slow_masks.append(
+                    lambda rows, _core=core:
+                        [predicate_is_true(_core(r)) for r in rows])
+        mask_names = [f"m{i}" for i in range(len(self._slow_masks))]
+        self._env = env
+        self._condition = " and ".join(mask_names + fragments) or "True"
+        self._keep = self.compile_keep("r")
+        self._mask = self.compile_keep(f"({self._condition})", unconditional=True)
+
+    def compile_keep(self, element: str,
+                     unconditional: bool = False) -> Callable[..., List[Any]]:
+        """Generate ``rows -> [element for passing rows]`` over this filter.
+
+        ``element`` is a source expression over the row tuple ``r`` — ``"r"``
+        itself for plain filtering, or a projection like ``"(r[0], r[2])"``
+        to fuse selection and projection into one comprehension pass.  With
+        ``unconditional`` the comprehension emits ``element`` for *every*
+        row (used to produce the boolean mask).
+        """
+        mask_names = [f"m{i}" for i in range(len(self._slow_masks))]
+        suffix = "" if unconditional else f" if {self._condition}"
+        if self._slow_masks:
+            heads = ", ".join(["r"] + mask_names)
+            zipped = "zip(rows, " + ", ".join(
+                f"masks[{i}]" for i in range(len(mask_names))) + ")"
+            source = f"lambda rows, masks: [{element} for {heads} in {zipped}{suffix}]"
+        else:
+            source = f"lambda rows: [{element} for r in rows{suffix}]"
+        return eval(source, self._env)  # noqa: S307 - generated by us
+
+    def run(self, compiled: Callable[..., List[Any]],
+            rows: List[Tuple[Any, ...]]) -> List[Any]:
+        """Invoke a ``compile_keep`` product, supplying slow masks if any."""
+        if self._slow_masks:
+            return compiled(rows, [mask(rows) for mask in self._slow_masks])
+        return compiled(rows)
+
+    # -- runtime ---------------------------------------------------------
+    def keep_values(self, rows: List[Tuple[Any, ...]]) -> List[Tuple[Any, ...]]:
+        """The value tuples satisfying every conjunct (annotation-free path)."""
+        return self.run(self._keep, rows)
+
+    def mask(self, rows: List[Tuple[Any, ...]]) -> List[bool]:
+        """Per-row keep decisions (used when annotations ride along)."""
+        return self.run(self._mask, rows)
+
+    # -- compilation of one conjunct -------------------------------------
+    def _fast_fragment(self, conjunct: ast.Expression, schema: OutputSchema,
+                       env: Dict[str, Any], index: int) -> Optional[str]:
+        if isinstance(conjunct, ast.IsNull) and isinstance(conjunct.operand,
+                                                           ast.ColumnRef):
+            position = schema.resolve(conjunct.operand.name,
+                                      conjunct.operand.table)
+            return (f"(r[{position}] is not None)" if conjunct.negated
+                    else f"(r[{position}] is None)")
+        if isinstance(conjunct, ast.BinaryOp) and conjunct.op in _COMPARE_OPS:
+            return self._compare_fragment(conjunct, schema, env, index)
+        if isinstance(conjunct, ast.Between):
+            return self._between_fragment(conjunct, schema, env, index)
+        if isinstance(conjunct, ast.InList):
+            return self._in_fragment(conjunct, schema, env, index)
+        if isinstance(conjunct, ast.Like):
+            return self._like_fragment(conjunct, schema, env, index)
+        return None
+
+    @staticmethod
+    def _column_and_literal(expr: ast.BinaryOp) -> Tuple[Optional[ast.ColumnRef],
+                                                         Any, Optional[str]]:
+        """Decompose ``col <op> literal`` in either orientation."""
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+                   "=": "=", "<>": "<>"}
+        if isinstance(expr.left, ast.ColumnRef) and isinstance(expr.right,
+                                                               ast.Literal):
+            return expr.left, expr.right.value, expr.op
+        if isinstance(expr.right, ast.ColumnRef) and isinstance(expr.left,
+                                                                ast.Literal):
+            return expr.right, expr.left.value, flipped[expr.op]
+        return None, None, None
+
+    @staticmethod
+    def _literal_kind(value: Any) -> Optional[str]:
+        """"num" / "text" when the inline fast path supports the literal."""
+        if isinstance(value, bool):
+            return None
+        if isinstance(value, (int, float)):
+            if isinstance(value, float) and value != value:
+                return None  # NaN literal: slow path keeps the total order
+            return "num"
+        if isinstance(value, str):
+            return "text"
+        return None
+
+    def _compare_fragment(self, expr: ast.BinaryOp, schema: OutputSchema,
+                          env: Dict[str, Any], index: int) -> Optional[str]:
+        column, literal, op = self._column_and_literal(expr)
+        if column is None:
+            return None
+        kind = self._literal_kind(literal)
+        if kind is None:
+            return None
+        position = schema.resolve(column.name, column.table)
+        ref = f"r[{position}]"
+        constant, slow = f"_k{index}", f"_s{index}"
+        env[constant] = literal
+        env[slow] = _slow_compare(op, literal)
+        fast = f"{ref} {_PY_OP[op]} {constant}"
+        if kind == "num":
+            if op in (">", ">="):
+                # NaN sorts above every number: NaN > x and NaN >= x hold.
+                fast = f"{fast} or {ref} != {ref}"
+            return _fragment_with_guard(ref, fast, "in _NUM", slow)
+        return _fragment_with_guard(ref, fast, "is str", slow)
+
+    def _between_fragment(self, expr: ast.Between, schema: OutputSchema,
+                          env: Dict[str, Any], index: int) -> Optional[str]:
+        if not isinstance(expr.operand, ast.ColumnRef) \
+                or not isinstance(expr.low, ast.Literal) \
+                or not isinstance(expr.high, ast.Literal):
+            return None
+        low_kind = self._literal_kind(expr.low.value)
+        high_kind = self._literal_kind(expr.high.value)
+        if low_kind is None or low_kind != high_kind:
+            return None
+        position = schema.resolve(expr.operand.name, expr.operand.table)
+        ref = f"r[{position}]"
+        low_name, high_name, slow = f"_lo{index}", f"_hi{index}", f"_s{index}"
+        env[low_name] = expr.low.value
+        env[high_name] = expr.high.value
+        low_check = _slow_compare(">=", expr.low.value)
+        high_check = _slow_compare("<=", expr.high.value)
+        if expr.negated:
+            env[slow] = lambda value: not (low_check(value) and high_check(value))
+            fast = f"not ({low_name} <= {ref} <= {high_name})"
+        else:
+            env[slow] = lambda value: low_check(value) and high_check(value)
+            fast = f"{low_name} <= {ref} <= {high_name}"
+        guard = "in _NUM" if low_kind == "num" else "is str"
+        return _fragment_with_guard(ref, fast, guard, slow)
+
+    def _in_fragment(self, expr: ast.InList, schema: OutputSchema,
+                     env: Dict[str, Any], index: int) -> Optional[str]:
+        if not isinstance(expr.operand, ast.ColumnRef):
+            return None
+        if not all(isinstance(item, ast.Literal) for item in expr.items):
+            return None
+        values = [item.value for item in expr.items]
+        kinds = {self._literal_kind(value) for value in values
+                 if value is not None}
+        if len(kinds) != 1 or None in kinds:
+            return None
+        try:
+            members = frozenset(value for value in values if value is not None)
+        except TypeError:
+            return None
+        position = schema.resolve(expr.operand.name, expr.operand.table)
+        ref = f"r[{position}]"
+        set_name, slow = f"_set{index}", f"_s{index}"
+        env[set_name] = members
+        negated = expr.negated
+
+        def slow_contains(value: Any) -> bool:
+            found = any(values_equal(value, item) for item in values)
+            return (not found) if negated else found
+        env[slow] = slow_contains
+        fast = (f"{ref} not in {set_name}" if negated
+                else f"{ref} in {set_name}")
+        guard = "in _NUM" if kinds == {"num"} else "is str"
+        return _fragment_with_guard(ref, fast, guard, slow)
+
+    def _like_fragment(self, expr: ast.Like, schema: OutputSchema,
+                       env: Dict[str, Any], index: int) -> Optional[str]:
+        if not isinstance(expr.operand, ast.ColumnRef) \
+                or not isinstance(expr.pattern, ast.Literal):
+            return None
+        if expr.pattern.value is None:
+            return None
+        position = schema.resolve(expr.operand.name, expr.operand.table)
+        ref = f"r[{position}]"
+        regex_name, slow = f"_re{index}", f"_s{index}"
+        regex = like_to_regex(str(expr.pattern.value))
+        env[regex_name] = regex
+        negated = expr.negated
+
+        def slow_like(value: Any) -> bool:
+            matched = regex.match(str(value)) is not None
+            return (not matched) if negated else matched
+        env[slow] = slow_like
+        fast = (f"{regex_name}.match({ref}) is None" if negated
+                else f"{regex_name}.match({ref}) is not None")
+        return _fragment_with_guard(ref, fast, "is str", slow)
 
 
 # ---------------------------------------------------------------------------

@@ -44,6 +44,7 @@ from repro.planner.planner import (
     split_conjuncts,
 )
 from repro.sql import ast
+from repro.types.values import compare_values
 
 #: Valid values of ``EngineConfig.join_strategy``.
 JOIN_STRATEGIES = ("auto", "hash", "merge", "nested_loop", "index_nested_loop")
@@ -62,11 +63,18 @@ STRATEGY_LABELS = {
 class ScanPlan:
     """Leaf: a base-table access (with pushed-down conjuncts already applied).
 
-    ``access_path`` is ``"seq"`` for a full scan or ``"index_lookup"`` when a
-    secondary index covers equality conjuncts pushed to this table; in the
-    latter case ``index_name`` / ``index_columns`` / ``index_key`` describe
-    the lookup (the full pushed conjunct list is still applied on top, so
-    consuming a conjunct into the index key never loses a filter).
+    ``access_path`` is ``"seq"`` for a full scan, ``"index_lookup"`` when a
+    secondary index covers equality conjuncts pushed to this table, or
+    ``"index_range"`` when a B-tree serves an inequality/BETWEEN range (or a
+    full key-order traversal chosen to make an ORDER BY free).  For lookups,
+    ``index_name`` / ``index_columns`` / ``index_key`` describe the probe;
+    for ranges, ``range_low`` / ``range_high`` (with their inclusivity flags)
+    describe the bounds — ``None`` meaning unbounded.  The full pushed
+    conjunct list is always re-applied on top, so consuming a conjunct into
+    the access path never loses a filter.  ``ordered`` records that the scan
+    delivers rows in ascending index-key order *and* that no qualifying row
+    is missing from the index (the NULL/NaN completeness proof), which is
+    what entitles the engine to elide a matching ORDER BY sort.
     """
 
     table: str
@@ -77,6 +85,11 @@ class ScanPlan:
     index_name: Optional[str] = None
     index_columns: Tuple[str, ...] = ()
     index_key: Any = None
+    range_low: Any = None
+    range_high: Any = None
+    range_include_low: bool = True
+    range_include_high: bool = True
+    ordered: bool = False
 
 
 @dataclass
@@ -281,18 +294,202 @@ def covering_join_index(table: str, right_keys: Sequence[ast.ColumnRef],
     return matches[0]
 
 
-def _apply_index_access_path(node: ScanPlan,
-                             list_indexes: Optional[ListIndexes],
-                             type_category: Optional[TypeCategory]) -> None:
-    choice = choose_index_lookup(node.table, node.qualifier, node.pushed,
-                                 list_indexes, type_category)
-    if choice is None:
-        return
-    index, key_values = choice
-    node.access_path = "index_lookup"
+@dataclass
+class RangeBounds:
+    """The tightest [low, high] window implied by pushed range conjuncts."""
+
+    low: Any = None
+    high: Any = None
+    include_low: bool = True
+    include_high: bool = True
+
+    @property
+    def bounded(self) -> bool:
+        return self.low is not None or self.high is not None
+
+    def tighten_low(self, value: Any, inclusive: bool) -> None:
+        if self.low is None:
+            self.low, self.include_low = value, inclusive
+            return
+        cmp = compare_values(value, self.low)
+        if cmp is None:
+            return
+        if cmp > 0:
+            self.low, self.include_low = value, inclusive
+        elif cmp == 0:
+            self.include_low = self.include_low and inclusive
+
+    def tighten_high(self, value: Any, inclusive: bool) -> None:
+        if self.high is None:
+            self.high, self.include_high = value, inclusive
+            return
+        cmp = compare_values(value, self.high)
+        if cmp is None:
+            return
+        if cmp < 0:
+            self.high, self.include_high = value, inclusive
+        elif cmp == 0:
+            self.include_high = self.include_high and inclusive
+
+
+def extract_range_bounds(conjuncts: Sequence[ast.Expression], column: str,
+                         qualifier: str,
+                         literal_ok: Callable[[Any], bool]) -> RangeBounds:
+    """Fold the ``column </<=/>/>=/BETWEEN literal`` conjuncts into bounds.
+
+    Only conjuncts whose literal passes ``literal_ok`` (the type-category
+    guard) participate; everything else is simply left for the residual
+    re-check, which keeps the extraction conservative-but-correct.
+    """
+    bounds = RangeBounds()
+    flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+    for conjunct in conjuncts:
+        if isinstance(conjunct, ast.Between) and not conjunct.negated:
+            if isinstance(conjunct.operand, ast.ColumnRef) \
+                    and _ref_matches(conjunct.operand, column, qualifier) \
+                    and isinstance(conjunct.low, ast.Literal) \
+                    and isinstance(conjunct.high, ast.Literal) \
+                    and literal_ok(conjunct.low.value) \
+                    and literal_ok(conjunct.high.value):
+                bounds.tighten_low(conjunct.low.value, True)
+                bounds.tighten_high(conjunct.high.value, True)
+            continue
+        if not isinstance(conjunct, ast.BinaryOp) \
+                or conjunct.op not in ("<", "<=", ">", ">="):
+            continue
+        op = conjunct.op
+        if isinstance(conjunct.left, ast.ColumnRef) \
+                and isinstance(conjunct.right, ast.Literal):
+            ref, literal = conjunct.left, conjunct.right.value
+        elif isinstance(conjunct.right, ast.ColumnRef) \
+                and isinstance(conjunct.left, ast.Literal):
+            ref, literal, op = conjunct.right, conjunct.left.value, flipped[op]
+        else:
+            continue
+        if not _ref_matches(ref, column, qualifier) or not literal_ok(literal):
+            continue
+        if op == ">":
+            bounds.tighten_low(literal, False)
+        elif op == ">=":
+            bounds.tighten_low(literal, True)
+        elif op == "<":
+            bounds.tighten_high(literal, False)
+        else:
+            bounds.tighten_high(literal, True)
+    return bounds
+
+
+def _ref_matches(ref: ast.ColumnRef, column: str, qualifier: str) -> bool:
+    if ref.name.lower() != column.lower():
+        return False
+    return ref.table is None or ref.table.lower() == qualifier.lower()
+
+
+#: A bounded range scan must look at least this much more selective than the
+#: sequential scan before it pays off (point fetches cost more per row than
+#: the batched sequential reader).
+RANGE_SCAN_MAX_FRACTION = 0.45
+
+#: Below this many base rows a key-order scan is cheap in absolute terms, so
+#: eliding the sort is worth the per-row point fetches even without a
+#: selective range or a LIMIT.
+ORDER_SCAN_SMALL_TABLE_ROWS = 2_000.0
+
+
+def choose_index_range(node: ScanPlan,
+                       list_indexes: Optional[ListIndexes],
+                       type_category: Optional[TypeCategory],
+                       order_column: Optional[str] = None,
+                       base_rows: Optional[float] = None,
+                       limit_hint: Optional[int] = None) -> bool:
+    """Pick a B-tree range scan (and/or key-order scan) for this leaf.
+
+    Considers single-column B-tree indexes of the scanned table.  A
+    candidate is taken when the pushed conjuncts bound its key column and the
+    estimated selectivity clears :data:`RANGE_SCAN_MAX_FRACTION`, or when a
+    key-order traversal makes a requested ``ORDER BY`` free *and* the
+    per-row point fetches are worth it: the range is selective, the table is
+    small (:data:`ORDER_SCAN_SMALL_TABLE_ROWS`), or the query carries a
+    LIMIT (top-K: the lazy key-order stream stops after ~LIMIT fetches,
+    where a sort would pay for every row).  An unselective ordered scan over
+    a big, unlimited result would trade a fast batched scan + one sort for
+    per-row heap fetches — measurably slower — so it is refused.
+
+    Correctness gates (rows absent from the index must be provably
+    non-qualifying): NULL keys fail every range predicate, so they only
+    matter for the unbounded order scan, which requires ``null_keys == 0``;
+    NaN keys order *above* every number, so they satisfy lower-bound-only
+    ranges — those require ``nan_keys == 0``, while any upper bound excludes
+    NaN by itself.  Returns True when the node was rewritten.
+    """
+    if list_indexes is None:
+        return False
+    candidates: List[Tuple[Tuple[int, int, int, str], Any, RangeBounds, bool]] = []
+    for index in list_indexes(node.table):
+        if getattr(index, "method", "") != "btree" or len(index.columns) != 1:
+            continue
+        column = index.columns[0]
+        category = (type_category(node.qualifier, column)
+                    if type_category is not None else None)
+        if category not in ("num", "text"):
+            continue
+
+        def literal_ok(value: Any, _category: str = category) -> bool:
+            return _literal_category(value) == _category
+
+        bounds = extract_range_bounds(node.pushed, column, node.qualifier,
+                                      literal_ok)
+        null_keys = getattr(index, "null_keys", 0)
+        nan_keys = getattr(index, "nan_keys", 0)
+        if bounds.bounded and nan_keys > 0 and bounds.high is None:
+            continue  # NaN rows would be wrongly excluded
+        order_match = (order_column is not None
+                       and column.lower() == order_column.lower())
+        complete = bounds.bounded or (null_keys == 0 and nan_keys == 0)
+        selective = bounds.bounded and (
+            base_rows is None
+            or node.estimated_rows <= RANGE_SCAN_MAX_FRACTION * base_rows)
+        cheap = (base_rows is not None
+                 and base_rows <= ORDER_SCAN_SMALL_TABLE_ROWS)
+        ordered = (order_match and complete
+                   and (selective or cheap or limit_hint is not None))
+        if not ordered and not selective:
+            continue
+        rank = (0 if ordered else 1, 0 if bounds.bounded else 1,
+                len(index.columns), index.name)
+        candidates.append((rank, index, bounds, ordered))
+    if not candidates:
+        return False
+    candidates.sort(key=lambda entry: entry[0])
+    _, index, bounds, ordered = candidates[0]
+    node.access_path = "index_range"
     node.index_name = index.name
     node.index_columns = tuple(index.columns)
-    node.index_key = key_values[0] if len(key_values) == 1 else key_values
+    node.range_low = bounds.low
+    node.range_high = bounds.high
+    node.range_include_low = bounds.include_low
+    node.range_include_high = bounds.include_high
+    node.ordered = ordered
+    return True
+
+
+def _apply_index_access_path(node: ScanPlan,
+                             list_indexes: Optional[ListIndexes],
+                             type_category: Optional[TypeCategory],
+                             order_column: Optional[str] = None,
+                             base_rows: Optional[float] = None,
+                             limit_hint: Optional[int] = None) -> None:
+    choice = choose_index_lookup(node.table, node.qualifier, node.pushed,
+                                 list_indexes, type_category)
+    if choice is not None:
+        index, key_values = choice
+        node.access_path = "index_lookup"
+        node.index_name = index.name
+        node.index_columns = tuple(index.columns)
+        node.index_key = key_values[0] if len(key_values) == 1 else key_values
+        return
+    choose_index_range(node, list_indexes, type_category, order_column,
+                       base_rows, limit_hint)
 
 
 def _order_keys_for_index(index: Any, left_keys: List[ast.ColumnRef],
@@ -355,6 +552,9 @@ def plan_select_joins(from_refs: Sequence[ast.TableRef],
                       list_indexes: Optional[ListIndexes] = None,
                       strategy: str = "auto",
                       hash_max_build_rows: float = 4_000_000.0,
+                      order_hint: Optional[Tuple[str, str]] = None,
+                      base_row_estimate: Optional[RowEstimator] = None,
+                      limit_hint: Optional[int] = None,
                       ) -> Tuple[PlanNode, List[ast.Expression]]:
     """Build a join plan for a SELECT; returns (root, remaining residual).
 
@@ -362,7 +562,14 @@ def plan_select_joins(from_refs: Sequence[ast.TableRef],
     this planner consumes — as join keys or as per-node ``filters`` pushed to
     the lowest covering join — are removed from the list it returns.
     ``pushed`` is recorded on scan nodes (the engine applies it there) and
-    drives index access-path selection via ``list_indexes``.
+    drives index access-path selection via ``list_indexes``.  ``order_hint``
+    is the interesting order the engine would like delivered for free — the
+    lower-cased ``(qualifier, column)`` of a single ascending ORDER BY key —
+    and biases access-path selection toward ordered range scans;
+    ``base_row_estimate`` supplies unfiltered table cardinalities for the
+    range-vs-sequential selectivity gate, and ``limit_hint`` (the query's
+    LIMIT, when present) marks top-K queries where key-order scans win
+    regardless of selectivity.
     """
     if strategy not in JOIN_STRATEGIES:
         raise PlanningError(
@@ -374,7 +581,13 @@ def plan_select_joins(from_refs: Sequence[ast.TableRef],
                         estimated_rows=row_estimate(qualifier),
                         pushed=list(pushed.get(qualifier, [])))
         if strategy != "nested_loop":
-            _apply_index_access_path(node, list_indexes, type_category)
+            order_column = (order_hint[1]
+                            if order_hint is not None and order_hint[0] == qualifier
+                            else None)
+            base = (base_row_estimate(qualifier)
+                    if base_row_estimate is not None else None)
+            _apply_index_access_path(node, list_indexes, type_category,
+                                     order_column, base, limit_hint)
         return node
 
     if strategy == "nested_loop":
@@ -550,6 +763,34 @@ def _plan_explicit_join(plan: PlanNode, right: ScanPlan, join: ast.Join,
 
 
 # ---------------------------------------------------------------------------
+# Interesting-order propagation
+# ---------------------------------------------------------------------------
+#: Join strategies whose output preserves the order of their *left* input:
+#: the probe side of a hash join streams in order, nested-loop and
+#: index-nested-loop iterate the outer side in order (LEFT padding is
+#: emitted in place), and a cross product keeps the outer loop's order.
+#: Merge joins re-sort both inputs, so they are excluded.
+_LEFT_ORDER_PRESERVING = {"hash", "nested_loop", "index_nested_loop", "cross"}
+
+
+def plan_delivered_order(node: PlanNode) -> Optional[Tuple[str, str]]:
+    """The ``(qualifier, column)`` whose ascending order the plan delivers.
+
+    An ordered range/key-order scan establishes the order at a leaf; it
+    propagates to the root while that leaf stays on the left spine of
+    order-preserving joins.  Per-node residual filters only drop rows, so
+    they never disturb it.  ``None`` when no order is guaranteed.
+    """
+    if isinstance(node, ScanPlan):
+        if node.ordered and node.index_columns:
+            return node.qualifier, node.index_columns[0].lower()
+        return None
+    if node.strategy in _LEFT_ORDER_PRESERVING:
+        return plan_delivered_order(node.left)
+    return None
+
+
+# ---------------------------------------------------------------------------
 # Residual pushdown into the plan tree
 # ---------------------------------------------------------------------------
 def plan_qualifiers(node: PlanNode) -> Set[str]:
@@ -685,11 +926,28 @@ def _format_index_key(node: ScanPlan) -> str:
                      for column, value in zip(node.index_columns, values))
 
 
+def format_range_bounds(node: ScanPlan) -> str:
+    """Render a range scan's window, e.g. ``v > 5 AND v <= 9`` or ``full order``."""
+    column = node.index_columns[0] if node.index_columns else "?"
+    parts = []
+    if node.range_low is not None:
+        op = ">=" if node.range_include_low else ">"
+        parts.append(f"{column} {op} {_format_literal(node.range_low)}")
+    if node.range_high is not None:
+        op = "<=" if node.range_include_high else "<"
+        parts.append(f"{column} {op} {_format_literal(node.range_high)}")
+    return " AND ".join(parts) if parts else f"{column}: full key order"
+
+
+_SCAN_NODE_NAMES = {"seq": "Scan", "index_lookup": "IndexScan",
+                    "index_range": "IndexRangeScan"}
+
+
 def plan_to_dict(node: PlanNode) -> Dict[str, Any]:
     """Plan tree as a nested dict (stable surface for tests and tooling)."""
     if isinstance(node, ScanPlan):
-        return {
-            "node": "IndexScan" if node.access_path == "index_lookup" else "Scan",
+        result = {
+            "node": _SCAN_NODE_NAMES[node.access_path],
             "table": node.table,
             "qualifier": node.qualifier,
             "estimated_rows": round(node.estimated_rows, 2),
@@ -698,6 +956,10 @@ def plan_to_dict(node: PlanNode) -> Dict[str, Any]:
             "pushed_conjuncts": len(node.pushed),
             "pushed": [format_expression(conjunct) for conjunct in node.pushed],
         }
+        if node.access_path == "index_range":
+            result["range"] = format_range_bounds(node)
+            result["ordered"] = node.ordered
+        return result
     result = {
         "node": STRATEGY_LABELS[node.strategy],
         "join_type": node.join_type,
@@ -726,6 +988,11 @@ def format_plan(node: PlanNode, indent: int = 0) -> str:
         if node.access_path == "index_lookup":
             return (f"{pad}IndexScan {label} using {node.index_name} "
                     f"({_format_index_key(node)}) "
+                    f"(est. rows={node.estimated_rows:.0f}){suffix}")
+        if node.access_path == "index_range":
+            ordered = " [ordered]" if node.ordered else ""
+            return (f"{pad}IndexRangeScan {label} using {node.index_name} "
+                    f"({format_range_bounds(node)}){ordered} "
                     f"(est. rows={node.estimated_rows:.0f}){suffix}")
         return (f"{pad}Scan {label} "
                 f"(est. rows={node.estimated_rows:.0f}){suffix}")

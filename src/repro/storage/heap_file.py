@@ -15,7 +15,7 @@ from typing import Any, Iterator, List, Optional, Sequence, Tuple
 from repro.core.errors import PageFullError, StorageError
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.page import RecordId
-from repro.types.values import deserialize_row, serialize_row
+from repro.types.values import deserialize_records, deserialize_row, serialize_row
 
 
 class HeapFile:
@@ -92,6 +92,29 @@ class HeapFile:
             for slot, record in page.records():
                 stored = deserialize_row(record)
                 yield RecordId(page_id, slot), int(stored[0]), tuple(stored[1:])
+
+    def scan_page(self, page_id: int) -> List[Tuple[int, int, Tuple[Any, ...]]]:
+        """Decode every live row of one page: ``(slot, tuple_id, values)``.
+
+        This is the batched read path: one buffer-pool fetch and one
+        vectorized decode call per page instead of one of each per row.
+        """
+        page = self.pool.fetch_page(page_id)
+        pairs = list(page.records())
+        decoded = deserialize_records([record for _, record in pairs])
+        return [(slot, tuple_id, values)
+                for (slot, _), (tuple_id, values) in zip(pairs, decoded)]
+
+    def scan_page_rows(self, page_id: int,
+                       with_tuple_ids: bool = True) -> List[Any]:
+        """Decode one page's live rows in slot order, without slot bookkeeping.
+
+        Returns ``(tuple_id, values)`` pairs, or bare value tuples when
+        ``with_tuple_ids`` is False — the no-overhead path for scans that
+        neither attach annotations nor address cells.
+        """
+        page = self.pool.fetch_page(page_id)
+        return deserialize_records(page.live_records(), with_tuple_ids)
 
     def count(self) -> int:
         return sum(1 for _ in self.scan())

@@ -86,12 +86,26 @@ QUERY_SHAPES = {
         "SELECT g.gid, p.pid FROM gene g, protein p "
         "WHERE LENGTH(g.gid) + p.pid = 4"
     ),
+    "range_filter_join": (
+        "SELECT g.gid, g.score, p.pid FROM gene ANNOTATION(gnote) g, "
+        "protein ANNOTATION(pnote) p "
+        "WHERE g.gid = p.gid AND g.score > 14 AND p.score < 12"
+    ),
+    "range_between_order": (
+        "SELECT g.gid, g.score FROM gene ANNOTATION(gnote) g "
+        "WHERE g.score BETWEEN 13 AND 16 ORDER BY g.score"
+    ),
 }
 
 STRATEGIES = ("auto", "hash", "merge")
 #: With covering indexes present, the index-nested-loop path joins the matrix.
 INDEXED_STRATEGIES = ("auto", "hash", "merge", "index_nested_loop")
-MODES = ("streaming", "materialized")
+#: "streaming" is the batched (vectorized) pipeline, "row" the row-at-a-time
+#: pipeline, "materialized" the drained baseline.
+MODES = ("streaming", "row", "materialized")
+#: Batch sizes the vectorized pipeline must be invariant under: degenerate
+#: one-row batches, a tiny ramp, and the full default.
+BATCH_SIZES = (1, 2, 1024)
 
 
 def canonical(result):
@@ -106,15 +120,18 @@ def canonical(result):
     return sorted(rows, key=repr)
 
 
-def run_query(db: Database, query: str, strategy: str, mode: str):
-    """Run one query under a forced (strategy, execution mode) pair."""
+def run_query(db: Database, query: str, strategy: str, mode: str,
+              batch_size: int = 1024):
+    """Run one query under a forced (strategy, mode, batch size) triple."""
     db.config.join_strategy = strategy
     db.config.execution_mode = mode
+    db.config.batch_size = batch_size
     try:
         return db.query(query)
     finally:
         db.config.join_strategy = "auto"
         db.config.execution_mode = "streaming"
+        db.config.batch_size = 1024
 
 
 def materialized_baseline(db: Database, query: str):
@@ -133,6 +150,7 @@ def indexed_db() -> Database:
     db.execute("CREATE INDEX ix_gene_gid ON gene (gid) USING btree")
     db.execute("CREATE INDEX ix_protein_gid ON protein (gid) USING btree")
     db.execute("CREATE INDEX ix_protein_kind ON protein (kind) USING hash")
+    db.execute("CREATE INDEX ix_gene_score ON gene (score) USING btree")
     return db
 
 
@@ -147,14 +165,31 @@ def test_strategy_agrees_with_nested_loop(diff_db, shape, strategy, mode):
 
 
 @pytest.mark.parametrize("shape", sorted(QUERY_SHAPES))
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_batched_execution_invariant_under_batch_size(diff_db, shape, strategy,
+                                                      batch_size):
+    """The vectorized pipeline must return identical rows *and* annotations
+    at every batch size — one-row batches exercise the ramp edges, the full
+    default the fused comprehension paths."""
+    query = QUERY_SHAPES[shape]
+    baseline = materialized_baseline(diff_db, query)
+    candidate = canonical(run_query(diff_db, query, strategy, "streaming",
+                                    batch_size))
+    assert candidate == baseline
+
+
+@pytest.mark.parametrize("shape", sorted(QUERY_SHAPES))
 @pytest.mark.parametrize("strategy", INDEXED_STRATEGIES)
-def test_indexed_strategy_agrees_with_nested_loop(indexed_db, shape, strategy):
-    """With covering indexes the planner may pick index scans and
-    index-nested-loop joins; rows *and* annotations must still match the
-    materialized nested-loop baseline."""
+@pytest.mark.parametrize("mode", MODES)
+def test_indexed_strategy_agrees_with_nested_loop(indexed_db, shape, strategy,
+                                                  mode):
+    """With covering indexes the planner may pick index scans, range scans,
+    and index-nested-loop joins; rows *and* annotations must still match the
+    materialized nested-loop baseline in every execution mode."""
     query = QUERY_SHAPES[shape]
     baseline = materialized_baseline(indexed_db, query)
-    candidate = canonical(run_query(indexed_db, query, strategy, "streaming"))
+    candidate = canonical(run_query(indexed_db, query, strategy, mode))
     assert candidate == baseline
 
 
@@ -164,6 +199,25 @@ def test_indexed_auto_picks_index_nested_loop(indexed_db):
     assert "index_nested_loop" in plan_strategies(indexed_db.engine.last_plan)
     explained = indexed_db.explain(QUERY_SHAPES["equi_join"])
     assert "IndexNestedLoopJoin" in explained.message
+
+
+def test_indexed_auto_picks_range_scan_and_elides_sort(indexed_db):
+    """The matrix genuinely exercises IndexRangeScan plans: the BETWEEN +
+    ORDER BY shape runs off the score index with the sort elided."""
+    from repro.planner.plan import plan_access_paths
+    indexed_db.config.join_strategy = "auto"
+    indexed_db.query(QUERY_SHAPES["range_between_order"])
+    assert "index_range" in plan_access_paths(indexed_db.engine.last_plan)
+    assert indexed_db.engine.last_sort_elided
+    explained = indexed_db.explain(QUERY_SHAPES["range_between_order"])
+    assert "IndexRangeScan" in explained.message
+    assert "[sort: elided]" in explained.message
+    # The returned order matches the explicit sort of the naive pipeline.
+    ordered = run_query(indexed_db, QUERY_SHAPES["range_between_order"],
+                        "auto", "streaming").values()
+    baseline = run_query(indexed_db, QUERY_SHAPES["range_between_order"],
+                         "nested_loop", "materialized").values()
+    assert ordered == baseline
 
 
 def test_forced_index_join_on_left_join(indexed_db):
@@ -235,7 +289,10 @@ def test_limit_over_large_scan_peaks_at_o_limit_memory(wide_db):
 
 def test_stream_is_lazy_and_short_circuits(wide_db):
     """Database.stream produces rows on demand: pulling a handful of rows
-    must not scan the whole 100k-row table."""
+    must not scan the whole 100k-row table.  Row mode gives the row-exact
+    guarantee via Table.scan; the batched default is checked at its own
+    granularity (pages decoded) below."""
+    wide_db.config.execution_mode = "row"
     scanned = 0
     original_scan = type(wide_db.table("big")).scan
 
@@ -252,8 +309,27 @@ def test_stream_is_lazy_and_short_circuits(wide_db):
         first_three = [next(stream) for _ in range(3)]
     finally:
         table_cls.scan = original_scan
+        wide_db.config.execution_mode = "streaming"
     assert [row.values for row in first_three] == [(0,), (1,), (2,)]
-    assert scanned <= 3
+    assert 0 < scanned <= 3
+
+
+def test_batched_stream_decodes_lazily(wide_db, monkeypatch):
+    """The batched pipeline's laziness unit is the page: pulling a handful
+    of rows from a 100k-row stream decodes at most a couple of pages."""
+    from repro.storage.heap_file import HeapFile
+    pages = []
+    original = HeapFile.scan_page_rows
+
+    def counting(self, page_id, with_tuple_ids=True):
+        pages.append(page_id)
+        return original(self, page_id, with_tuple_ids)
+
+    monkeypatch.setattr(HeapFile, "scan_page_rows", counting)
+    stream = wide_db.stream("SELECT id FROM big WHERE v >= 0")
+    first_three = [next(stream) for _ in range(3)]
+    assert [row.values for row in first_three] == [(0,), (1,), (2,)]
+    assert 0 < len(pages) <= 2
 
 
 def test_forced_strategies_actually_differ(diff_db):
