@@ -48,13 +48,19 @@ class Database:
     batch_size:
         Convenience override for ``config.batch_size`` (rows per batch of
         the vectorized executor); validated eagerly.
+    memory_budget_rows:
+        Convenience override for ``config.memory_budget_rows``: the maximum
+        rows a pipeline breaker (hash-join build, GROUP BY, DISTINCT, sort)
+        buffers in memory before spilling to temp files.  ``None`` (default)
+        disables spilling.
     """
 
     def __init__(self, path: Optional[str] = None,
                  page_size: int = DEFAULT_PAGE_SIZE,
                  pool_size: int = DEFAULT_POOL_SIZE,
                  config: Optional[EngineConfig] = None,
-                 batch_size: Optional[int] = None):
+                 batch_size: Optional[int] = None,
+                 memory_budget_rows: Optional[int] = None):
         self.disk = open_disk_manager(path, page_size)
         self.catalog = SystemCatalog(self.disk, pool_size)
         self.access = AccessControl()
@@ -68,6 +74,9 @@ class Database:
             # Copy before overriding: the caller's config object may be
             # shared with other Database instances.
             self.config = replace(self.config, batch_size=batch_size)
+        if memory_budget_rows is not None:
+            self.config = replace(self.config,
+                                  memory_budget_rows=memory_budget_rows)
         self.engine = Engine(
             catalog=self.catalog,
             annotations=self.annotations,

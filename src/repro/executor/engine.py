@@ -43,6 +43,7 @@ from repro.executor.row import (
 )
 from repro.index.manager import IndexManager
 from repro.planner import plan as planlib
+from repro.storage.spill import SpillManager, SpillStats
 from repro.planner.expressions import Evaluator, contains_aggregate
 from repro.planner.planner import combine_conjuncts, push_down_conjuncts
 from repro.provenance.manager import ProvenanceManager
@@ -99,6 +100,14 @@ class EngineConfig:
     #: row to this size so early-stopping consumers stay cheap; 1 degrades
     #: to per-row batches (useful for differential testing).
     batch_size: int = 1024
+    #: Maximum rows a pipeline breaker (hash-join build, GROUP BY, DISTINCT,
+    #: sort) may buffer in memory before spilling to temp files.  ``None``
+    #: (the default) keeps every breaker fully in memory.  The budget is
+    #: per-operator and approximate: it may be overshot by up to one batch,
+    #: and a single over-represented key's rows must still fit in memory.
+    memory_budget_rows: Optional[int] = None
+    #: Directory for spill temp files (``None`` = the platform temp dir).
+    spill_directory: Optional[str] = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -117,6 +126,13 @@ class EngineConfig:
                 or self.batch_size <= 0:
             raise PlanningError(
                 f"batch_size must be a positive integer, got {self.batch_size!r}")
+        if self.memory_budget_rows is not None and (
+                not isinstance(self.memory_budget_rows, int)
+                or isinstance(self.memory_budget_rows, bool)
+                or self.memory_budget_rows <= 0):
+            raise PlanningError(
+                f"memory_budget_rows must be a positive integer or None, "
+                f"got {self.memory_budget_rows!r}")
 
 
 @dataclass
@@ -157,6 +173,12 @@ class Engine:
         #: Whether the most recent SELECT's ORDER BY was satisfied by index
         #: order (sort elision) instead of an explicit sort.
         self.last_sort_elided: bool = False
+        #: Spill activity of the most recent query (see
+        #: :class:`~repro.storage.spill.SpillStats`): partition/run counts
+        #: per spilling operator plus aggregate row/byte counters.  Updated
+        #: while rows are drained, so a streaming consumer sees the final
+        #: numbers once the stream is exhausted.
+        self.last_spill: SpillStats = SpillStats()
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -217,6 +239,7 @@ class Engine:
     # Queries
     # ------------------------------------------------------------------
     def execute_query(self, node: Any, user: str = "admin") -> ResultSet:
+        self.last_spill = SpillStats()
         schema, rows = ops.materialize(self._evaluate_query(node, user))
         return ResultSet(schema, rows)
 
@@ -227,8 +250,24 @@ class Engine:
         eagerly; rows are computed only as the returned stream is consumed,
         so an early-stopping consumer never pays for the full scan.
         """
+        self.last_spill = SpillStats()
         schema, rows = self._evaluate_query(node, user)
         return StreamingResultSet(schema, rows)
+
+    def _spill_manager(self) -> Optional[SpillManager]:
+        """A spill coordinator, or ``None`` without a budget.
+
+        One manager is created per SELECT block (and per set operation in a
+        compound query) — each with its own annotation registry, which is
+        fine because spill files only ever read through the manager that
+        wrote them.  What *is* shared query-wide is the stats object,
+        ``self.last_spill``: every manager reports into it.
+        """
+        budget = self.config.memory_budget_rows
+        if budget is None:
+            return None
+        return SpillManager(budget, stats=self.last_spill,
+                            directory=self.config.spill_directory)
 
     def _stage(self, relation: ops.Relation) -> ops.Relation:
         """Adapt one pipeline stage's output to the configured execution mode.
@@ -251,10 +290,11 @@ class Engine:
             left = self._evaluate_query(node.left, user)
             right = self._evaluate_query(node.right, user)
             if node.op == "UNION":
-                return ops.union(left, right, keep_all=node.all)
+                return ops.union(left, right, keep_all=node.all,
+                                 spill=self._spill_manager())
             if node.op == "INTERSECT":
                 return ops.intersect(left, right)
-            return ops.except_(left, right)
+            return ops.except_(left, right, spill=self._spill_manager())
         if isinstance(node, ast.Select):
             return self._evaluate_select(node, user)
         raise ExecutionError(f"not a query: {type(node).__name__}")
@@ -284,15 +324,20 @@ class Engine:
         # Sort elision: the plan already delivers rows in the requested
         # order (an ordered index scan surviving the left spine of
         # order-preserving joins), so ORDER BY needs no sort operator.
+        # With a memory budget, hash joins may spill adaptively — which
+        # reorders the probe side — so order never propagates through them.
         elide_sort = (bool(select.order_by) and not has_aggregates
                       and order_hint is not None
-                      and planlib.plan_delivered_order(plan) == order_hint)
+                      and planlib.plan_delivered_order(
+                          plan, self._order_through_hash()) == order_hint)
         self.last_sort_elided = elide_sort
 
         refs = {ref.effective_name.lower(): ref for ref in table_refs}
+        spill = self._spill_manager()
         relation = self._execute_plan(plan, refs,
                                       scan_cap=self._scan_cap(select, plan,
-                                                              remaining))
+                                                              remaining),
+                                      spill=spill)
         # Join reordering may have permuted the column blocks; restore the
         # syntactic FROM order so SELECT * stays deterministic.
         relation = self._restore_from_order(relation, table_refs)
@@ -303,10 +348,11 @@ class Engine:
         if select.awhere is not None:
             relation = stage(ops.awhere_filter(relation, select.awhere))
 
+        input_rows_hint = plan.estimated_rows
         if has_aggregates:
-            relation = stage(ops.group_and_aggregate(relation, select.group_by,
-                                                     select.items, select.having,
-                                                     select.ahaving))
+            relation = stage(ops.group_and_aggregate(
+                relation, select.group_by, select.items, select.having,
+                select.ahaving, spill=spill, input_rows_hint=input_rows_hint))
             if select.filter is not None:
                 relation = stage(ops.filter_annotations(relation, select.filter))
         else:
@@ -321,24 +367,30 @@ class Engine:
             ordered_early = False
             if select.order_by and not elide_sort:
                 try:
-                    relation = stage(ops.order_by(relation, select.order_by))
+                    relation = stage(ops.order_by(relation, select.order_by,
+                                                  spill=spill))
                     ordered_early = True
                 except PlanningError:
                     ordered_early = False
             relation = stage(ops.project(relation, select.items))
             if select.order_by and not ordered_early and not elide_sort:
-                relation = stage(ops.order_by(relation, select.order_by))
+                relation = stage(ops.order_by(relation, select.order_by,
+                                              spill=spill))
             if select.distinct:
-                relation = stage(ops.distinct(relation))
+                relation = stage(ops.distinct(relation, spill=spill,
+                                              input_rows_hint=input_rows_hint))
             if select.limit is not None or select.offset is not None:
                 relation = stage(ops.limit_offset(relation, select.limit,
                                                   select.offset))
             return relation
 
         if select.distinct:
-            relation = stage(ops.distinct(relation))
+            relation = stage(ops.distinct(
+                relation, spill=spill,
+                input_rows_hint=self._estimated_group_rows(select, plan,
+                                                           table_refs)))
         if select.order_by:
-            relation = stage(ops.order_by(relation, select.order_by))
+            relation = stage(ops.order_by(relation, select.order_by, spill=spill))
         if select.limit is not None or select.offset is not None:
             relation = stage(ops.limit_offset(relation, select.limit, select.offset))
         return relation
@@ -473,13 +525,28 @@ class Engine:
             type_category=type_category,
             list_indexes=list_indexes,
             strategy=self.config.join_strategy,
-            hash_max_build_rows=self.config.hash_join_max_build_rows,
+            # With a memory budget, huge builds are what the Grace hash
+            # join handles; auto must not escape to merge join, whose
+            # inputs cannot spill yet and would materialize unbounded.
+            hash_max_build_rows=(float("inf")
+                                 if self.config.memory_budget_rows is not None
+                                 else self.config.hash_join_max_build_rows),
             order_hint=order_hint,
             base_row_estimate=lambda qualifier: float(
                 statistics.row_count_estimate(table_of[qualifier])),
             limit_hint=select.limit if order_hint is not None else None,
         )
+        planlib.annotate_spill_expectations(plan, self.config.memory_budget_rows)
         return plan, pushed, remaining, order_hint
+
+    def _order_through_hash(self) -> bool:
+        """Whether hash joins may be trusted to preserve probe-side order.
+
+        Only without a memory budget: a Grace spill (an adaptive runtime
+        decision) emits partition order, so sort elision must not reach
+        through a hash join that could spill.
+        """
+        return self.config.memory_budget_rows is None
 
     def _interesting_order(self, select: ast.Select,
                            resolvable: Dict[str, Any],
@@ -502,20 +569,22 @@ class Engine:
 
     def _execute_plan(self, node: planlib.PlanNode,
                       refs: Dict[str, ast.TableRef],
-                      scan_cap: Optional[int] = None) -> ops.Relation:
+                      scan_cap: Optional[int] = None,
+                      spill=None) -> ops.Relation:
         """Walk a plan tree bottom-up, joining with the planned strategies."""
         if isinstance(node, planlib.ScanPlan):
             return self._scan(refs[node.qualifier], node, scan_cap)
         if node.strategy == "index_nested_loop":
-            left = self._execute_plan(node.left, refs)
+            left = self._execute_plan(node.left, refs, spill=spill)
             relation = self._index_join(left, node, refs)
         else:
-            left = self._execute_plan(node.left, refs)
-            right = self._execute_plan(node.right, refs)
+            left = self._execute_plan(node.left, refs, spill=spill)
+            right = self._execute_plan(node.right, refs, spill=spill)
             if node.strategy == "hash":
                 relation = ops.hash_join(left, right, node.left_keys,
                                          node.right_keys, node.join_type,
-                                         node.condition)
+                                         node.condition, spill=spill,
+                                         spill_partitions=node.spill_partitions)
             elif node.strategy == "merge":
                 relation = ops.merge_join(left, right, node.left_keys,
                                           node.right_keys, node.join_type,
@@ -629,15 +698,71 @@ class Engine:
         plan_dict = planlib.plan_to_dict(plan)
         if remaining:
             text += f"\nResidual filter: {len(remaining)} conjunct(s)"
-        if node.order_by and not self._select_has_aggregates(node):
+        budget = self.config.memory_budget_rows
+        has_aggregates = self._select_has_aggregates(node)
+        if budget is not None:
+            plan_dict["memory_budget_rows"] = budget
+            if has_aggregates and node.group_by \
+                    and plan.estimated_rows > budget:
+                partitions = planlib.estimated_spill_partitions(
+                    plan.estimated_rows, budget)
+                text += f"\nAggregate [spill: {partitions} partitions]"
+                plan_dict["aggregate_spill_partitions"] = partitions
+            if has_aggregates and node.order_by:
+                # The sort runs over the *grouped* output, so its spill
+                # expectation uses the estimated group count, not the
+                # aggregation input.
+                grouped = self._estimated_group_rows(node, plan, table_refs)
+                if grouped > budget:
+                    runs = planlib.estimated_sort_runs(grouped, budget)
+                    text += f"\nSort [external: {runs} runs]"
+                    plan_dict["sort"] = "external"
+        if node.order_by and not has_aggregates:
             elided = (order_hint is not None
-                      and planlib.plan_delivered_order(plan) == order_hint)
+                      and planlib.plan_delivered_order(
+                          plan, self._order_through_hash()) == order_hint)
             self.last_sort_elided = elided
             if elided:
                 qualifier, column = order_hint
                 text += f"\nOrder: {qualifier}.{column} ASC [sort: elided]"
                 plan_dict["sort"] = "elided"
+            elif budget is not None and plan.estimated_rows > budget:
+                runs = planlib.estimated_sort_runs(plan.estimated_rows, budget)
+                text += f"\nSort [external: {runs} runs]"
+                plan_dict["sort"] = "external"
         return plan_dict, text
+
+    def _estimated_group_rows(self, select: ast.Select,
+                              plan: planlib.PlanNode,
+                              table_refs: Sequence[ast.TableRef]) -> float:
+        """Estimated cardinality of the grouped output of ``select``.
+
+        The product of the group-key NDVs when every key is a plain column
+        reference (capped at the input estimate); the input estimate when a
+        key is an arbitrary expression; 1 for a global aggregate.
+        """
+        if not select.group_by:
+            return 1.0
+        statistics = self.catalog.statistics
+        table_of = {ref.effective_name.lower(): ref.name for ref in table_refs}
+        resolvable = {
+            ref.effective_name.lower(): {
+                name.lower()
+                for name in self.catalog.table(ref.name).schema.column_names
+            }
+            for ref in table_refs
+        }
+        input_rows = max(plan.estimated_rows, 1.0)
+        estimate = 1.0
+        for expr in select.group_by:
+            if not isinstance(expr, ast.ColumnRef):
+                return input_rows
+            qualifier = planlib.resolve_column(expr, resolvable)
+            if qualifier is None:
+                return input_rows
+            estimate *= max(1.0, float(
+                statistics.distinct_estimate(table_of[qualifier], expr.name)))
+        return min(estimate, input_rows)
 
     # ------------------------------------------------------------------
     # DDL

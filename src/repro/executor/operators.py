@@ -31,6 +31,7 @@ The propagation rules follow Section 3.4 of the paper:
 
 from __future__ import annotations
 
+import heapq
 from itertools import chain, islice
 from operator import itemgetter
 from typing import (
@@ -54,8 +55,11 @@ from repro.executor.row import (
     OutputSchema,
     Row,
     RowBatch,
+    batch_from_entries,
+    concat_annotation_vectors,
     merge_annotation_vectors,
 )
+from repro.storage.spill import MAX_SPILL_DEPTH, SpillFile, SpillManager
 from repro.planner.expressions import (
     AggregateState,
     AnnotationPredicate,
@@ -66,7 +70,7 @@ from repro.planner.expressions import (
 )
 from repro.planner.planner import referenced_columns, split_conjuncts
 from repro.sql import ast
-from repro.types.values import SortKey
+from repro.types.values import ReverseSortKey, SortKey
 
 #: A relation flowing between operators: an output schema plus a row
 #: iterable.  Streaming operators produce one-shot generators; consumers that
@@ -483,50 +487,356 @@ def _hash_key(value: Any) -> Any:
     return value
 
 
+#: Per-row entry flowing through the batched join internals: a value tuple
+#: plus its annotation vector (or ``None`` — the unannotated fast path).
+_Entry = Tuple[Tuple[Any, ...], Optional[List[Set[Any]]]]
+
+
+#: Rows per chunk when adapting a row/entry stream to the batched shape.
+_ENTRY_CHUNK_ROWS = 1024
+
+
+def _chunk_entries(entries: Iterable[_Entry],
+                   chunk_rows: int = _ENTRY_CHUNK_ROWS
+                   ) -> Iterator[Tuple[List[Tuple[Any, ...]],
+                                       Optional[List[Any]]]]:
+    """Chunk an entry stream into ``(values_list, annotations_list | None)``
+    pairs — the shape the batched build/probe loops consume.  Annotation
+    lists may contain ``None`` entries for unannotated rows."""
+    iterator = iter(entries)
+    while True:
+        chunk = list(islice(iterator, chunk_rows))
+        if not chunk:
+            return
+        values = [entry[0] for entry in chunk]
+        if any(entry[1] is not None for entry in chunk):
+            yield values, [entry[1] for entry in chunk]
+        else:
+            yield values, None
+
+
+def _as_entry_batches(rows: Iterable[Row]
+                      ) -> Iterator[Tuple[List[Tuple[Any, ...]],
+                                          Optional[List[Any]]]]:
+    """``(values_list, annotations_list | None)`` chunks from any row input.
+
+    Batched inputs pass their batches through untouched (no per-row ``Row``
+    allocation); row iterators chunk through :func:`_chunk_entries`.
+    """
+    if isinstance(rows, BatchedRows):
+        for batch in rows.batches:
+            yield batch.values, batch.annotations
+        return
+    yield from _chunk_entries((row.values, row._annotations) for row in rows)
+
+
+class _HashJoin:
+    """Batched hash-join core with Grace-style spilling.
+
+    The build side inserts per batch into ``{key: [(values, annotations)]}``;
+    the probe side emits matched *batches*.  When a :class:`SpillManager`
+    budget is exceeded during the build, both sides are partitioned on the
+    key hash into temp files and each partition pair is joined independently
+    (recursing with a re-salted hash on partitions that still exceed the
+    budget, up to :data:`MAX_SPILL_DEPTH`).
+    """
+
+    def __init__(self, left_schema: OutputSchema, right_schema: OutputSchema,
+                 schema: OutputSchema,
+                 left_keys: Sequence[ast.ColumnRef],
+                 right_keys: Sequence[ast.ColumnRef],
+                 join_type: str, condition: Optional[ast.Expression],
+                 spill: Optional[SpillManager],
+                 spill_partitions: Optional[int]):
+        self.build_keys = [Evaluator(right_schema).compile_values(key)
+                           for key in right_keys]
+        self.probe_keys = [Evaluator(left_schema).compile_values(key)
+                           for key in left_keys]
+        self.residual = (Evaluator(schema).compile_values(condition)
+                         if condition is not None else None)
+        self.left_arity = len(left_schema)
+        self.right_arity = len(right_schema)
+        self.arity = self.left_arity + self.right_arity
+        self.join_type = join_type
+        self.spill = spill
+        self.partitions = (spill_partitions if spill_partitions
+                           else (spill.partition_count() if spill else 0))
+        self._pad = (None,) * self.right_arity
+
+    # -- keys ------------------------------------------------------------
+    def _key_of(self, getters, values) -> Optional[Tuple[Any, ...]]:
+        """Normalized key tuple, or ``None`` when any component is NULL."""
+        key = []
+        for getter in getters:
+            value = getter(values)
+            if value is None:
+                return None
+            if value != value:  # NaN: canonical bucket, like compare_values
+                value = _NAN_KEY
+            key.append(value)
+        return tuple(key)
+
+    @staticmethod
+    def _bucket(key: Tuple[Any, ...], salt: int, fanout: int) -> int:
+        return hash((salt, key)) % fanout
+
+    # -- build -----------------------------------------------------------
+    def build(self, right_rows: Iterable[Row]
+              ) -> Tuple[Optional[Dict], Optional[List[SpillFile]]]:
+        """Consume the build input; returns ``(table, None)`` in memory or
+        ``(None, partition files)`` once the budget forces a spill."""
+        table: Dict[Tuple[Any, ...], List[_Entry]] = {}
+        budget = self.spill.budget_rows if self.spill is not None else None
+        count = 0
+        batches = _as_entry_batches(right_rows)
+        for values_list, anns_list in batches:
+            self._insert_batch(table, values_list, anns_list)
+            count += len(values_list)
+            if budget is not None and count > budget:
+                return None, self._spill_build(table, batches)
+        return table, None
+
+    def _insert_batch(self, table: Dict, values_list, anns_list) -> None:
+        setdefault = table.setdefault
+        getters = self.build_keys
+        if len(getters) == 1 and anns_list is None:
+            # The hot path: single join key, unannotated batch.
+            get = getters[0]
+            for values in values_list:
+                key = get(values)
+                if key is None:
+                    continue
+                if key != key:
+                    key = _NAN_KEY
+                setdefault((key,), []).append((values, None))
+            return
+        annotations = anns_list if anns_list is not None else (None,) * len(values_list)
+        for values, anns in zip(values_list, annotations):
+            key = self._key_of(getters, values)
+            if key is not None:
+                setdefault(key, []).append((values, anns))
+
+    def _spill_build(self, table: Dict, remaining_batches) -> List[SpillFile]:
+        """Grace partitioning: dump the in-memory table plus the rest of the
+        build input into hash partitions on disk."""
+        fanout = self.partitions
+        files = [self.spill.new_file() for _ in range(fanout)]
+        self.event = self.spill.stats.record("hash_join", partitions=fanout,
+                                             recursive_splits=0)
+        for key, bucket in table.items():
+            handle = files[self._bucket(key, 0, fanout)]
+            for values, anns in bucket:
+                handle.append(values, anns)
+        for values_list, anns_list in remaining_batches:
+            annotations = (anns_list if anns_list is not None
+                           else (None,) * len(values_list))
+            for values, anns in zip(values_list, annotations):
+                key = self._key_of(self.build_keys, values)
+                if key is not None:
+                    files[self._bucket(key, 0, fanout)].append(values, anns)
+        self.event["build_rows"] = sum(f.rows_written for f in files)
+        return files
+
+    def _table_from_entries(self, entries: Iterable[_Entry]) -> Dict:
+        table: Dict[Tuple[Any, ...], List[_Entry]] = {}
+        setdefault = table.setdefault
+        for values, anns in entries:
+            key = self._key_of(self.build_keys, values)
+            if key is not None:
+                setdefault(key, []).append((values, anns))
+        return table
+
+    # -- probe (in-memory table) ----------------------------------------
+    def _probe_one_batch(self, table: Dict, values_list,
+                         anns_list) -> Optional[RowBatch]:
+        """Probe one batch against the table, emitting one matched batch."""
+        out_values: List[Tuple[Any, ...]] = []
+        out_anns: List[Optional[List[Set[Any]]]] = []
+        getters = self.probe_keys
+        left_join = self.join_type == "LEFT"
+        residual = self.residual
+        pad = self._pad
+        get_single = getters[0] if len(getters) == 1 else None
+        for index, values in enumerate(values_list):
+            lann = anns_list[index] if anns_list is not None else None
+            if get_single is not None:
+                key = get_single(values)
+                if key is not None and key != key:
+                    key = _NAN_KEY
+                key = (key,) if key is not None else None
+            else:
+                key = self._key_of(getters, values)
+            matched = False
+            if key is not None:
+                for rvalues, ranns in table.get(key, ()):
+                    combined = values + rvalues
+                    if residual is not None \
+                            and not predicate_is_true(residual(combined)):
+                        continue
+                    out_values.append(combined)
+                    out_anns.append(concat_annotation_vectors(
+                        lann, ranns, self.left_arity, self.right_arity))
+                    matched = True
+            if left_join and not matched:
+                out_values.append(values + pad)
+                out_anns.append(concat_annotation_vectors(
+                    lann, None, self.left_arity, self.right_arity))
+        if not out_values:
+            return None
+        return batch_from_entries(out_values, out_anns, self.arity)
+
+    def probe_batches(self, table: Dict,
+                      left_rows: Iterable[Row]) -> Iterator[RowBatch]:
+        for values_list, anns_list in _as_entry_batches(left_rows):
+            batch = self._probe_one_batch(table, values_list, anns_list)
+            if batch is not None:
+                yield batch
+
+    def probe_rows(self, table: Dict, left_rows: Iterable[Row]) -> Iterator[Row]:
+        """Row-at-a-time probe, preserving the row pipeline's laziness."""
+        residual = self.residual
+        left_join = self.join_type == "LEFT"
+        for row in left_rows:
+            values = row.values
+            lann = row._annotations
+            key = self._key_of(self.probe_keys, values)
+            matched = False
+            if key is not None:
+                for rvalues, ranns in table.get(key, ()):
+                    combined = values + rvalues
+                    if residual is not None \
+                            and not predicate_is_true(residual(combined)):
+                        continue
+                    yield Row(combined, concat_annotation_vectors(
+                        lann, ranns, self.left_arity, self.right_arity))
+                    matched = True
+            if left_join and not matched:
+                yield Row(values + self._pad, concat_annotation_vectors(
+                    lann, None, self.left_arity, self.right_arity))
+
+    # -- spilled (Grace) path --------------------------------------------
+    def grace_batches(self, build_files: List[SpillFile],
+                      left_rows: Iterable[Row]) -> Iterator[RowBatch]:
+        """Partition the probe side to match the spilled build partitions,
+        then join each partition pair."""
+        fanout = len(build_files)
+        probe_files = [self.spill.new_file() for _ in range(fanout)]
+        left_join = self.join_type == "LEFT"
+        for values_list, anns_list in _as_entry_batches(left_rows):
+            pad_values: List[Tuple[Any, ...]] = []
+            pad_anns: List[Optional[List[Set[Any]]]] = []
+            annotations = (anns_list if anns_list is not None
+                           else (None,) * len(values_list))
+            for values, anns in zip(values_list, annotations):
+                key = self._key_of(self.probe_keys, values)
+                if key is None:
+                    # NULL probe keys match nothing: LEFT pads immediately,
+                    # INNER drops the row without spilling it.
+                    if left_join:
+                        pad_values.append(values + self._pad)
+                        pad_anns.append(concat_annotation_vectors(
+                            anns, None, self.left_arity, self.right_arity))
+                    continue
+                probe_files[self._bucket(key, 0, fanout)].append(values, anns)
+            if pad_values:
+                yield batch_from_entries(pad_values, pad_anns, self.arity)
+        self.event["probe_rows"] = sum(f.rows_written for f in probe_files)
+        for build_file, probe_file in zip(build_files, probe_files):
+            yield from self._join_partition(build_file, probe_file, depth=1)
+
+    def _join_partition(self, build_file: SpillFile, probe_file: SpillFile,
+                        depth: int) -> Iterator[RowBatch]:
+        budget = self.spill.budget_rows
+        if build_file.rows_written > budget and depth < MAX_SPILL_DEPTH:
+            yield from self._repartition(build_file, probe_file, depth)
+            return
+        table = self._table_from_entries(build_file.entries())
+        build_file.close()
+        for values_list, anns_list in _chunk_entries(probe_file.entries()):
+            batch = self._probe_one_batch(table, values_list, anns_list)
+            if batch is not None:
+                yield batch
+        probe_file.close()
+
+    def _repartition(self, build_file: SpillFile, probe_file: SpillFile,
+                     depth: int) -> Iterator[RowBatch]:
+        """An oversized partition: split it again with a re-salted hash."""
+        fanout = self.partitions
+        salt = depth
+        self.event["recursive_splits"] += 1
+        sub_build = [self.spill.new_file() for _ in range(fanout)]
+        for values, anns in build_file.entries():
+            key = self._key_of(self.build_keys, values)
+            sub_build[self._bucket(key, salt, fanout)].append(values, anns)
+        build_file.close()
+        next_depth = depth + 1
+        if max(f.rows_written for f in sub_build) == \
+                sum(f.rows_written for f in sub_build):
+            # Rehashing did not split the rows (one dominant key): further
+            # recursion cannot help, so join the partition in memory.
+            next_depth = MAX_SPILL_DEPTH + 1
+        sub_probe = [self.spill.new_file() for _ in range(fanout)]
+        for values, anns in probe_file.entries():
+            key = self._key_of(self.probe_keys, values)
+            sub_probe[self._bucket(key, salt, fanout)].append(values, anns)
+        probe_file.close()
+        for build_part, probe_part in zip(sub_build, sub_probe):
+            yield from self._join_partition(build_part, probe_part, next_depth)
+
+
 def hash_join(left: Relation, right: Relation,
               left_keys: Sequence[ast.ColumnRef],
               right_keys: Sequence[ast.ColumnRef],
               join_type: str = "INNER",
-              condition: Optional[ast.Expression] = None) -> Relation:
+              condition: Optional[ast.Expression] = None,
+              spill: Optional[SpillManager] = None,
+              spill_partitions: Optional[int] = None) -> Relation:
     """Equi-join by hashing the right (build) side on its key columns.
 
     The build side is the pipeline breaker; the probe (left) side streams.
-    Annotation propagation is identical to the nested loop: the output row
-    concatenates the input rows together with their per-column annotation
-    sets.  NULL keys never match (SQL semantics); ``condition`` is an extra
-    predicate evaluated on the combined row before a match is accepted,
-    which keeps LEFT join padding correct for composite ON clauses.
+    Both sides are *batch-aware*: a batched build input inserts whole batches
+    into the hash table and a batched probe input emits matched
+    :class:`RowBatch` es directly (row inputs keep the row-at-a-time path, so
+    the "row" pipeline's laziness contract is unchanged).  Annotation
+    propagation is identical to the nested loop: the output row concatenates
+    the input rows together with their per-column annotation sets.  NULL keys
+    never match (SQL semantics); ``condition`` is an extra predicate
+    evaluated on the combined row before a match is accepted, which keeps
+    LEFT join padding correct for composite ON clauses.
+
+    With ``spill`` (a :class:`~repro.storage.spill.SpillManager`), a build
+    side exceeding ``spill.budget_rows`` switches to a Grace hash join:
+    both inputs are hash-partitioned into temp files (``spill_partitions``
+    is the planner's fan-out hint) and partition pairs are joined
+    independently, recursing on oversized partitions.
     """
     left_schema, left_rows = left
     right_schema, right_rows = right
     if len(left_keys) != len(right_keys) or not left_keys:
         raise PlanningError("hash join requires matching, non-empty key lists")
     schema = left_schema.concat(right_schema)
-    build = _compile_keys(right_schema, right_keys)
-    probe = _compile_keys(left_schema, left_keys)
-    residual = Evaluator(schema).compile(condition) if condition is not None else None
-    right_arity = len(right_schema)
+    joiner = _HashJoin(left_schema, right_schema, schema, left_keys,
+                       right_keys, join_type, condition, spill,
+                       spill_partitions)
 
-    def rows() -> Iterator[Row]:
-        table: Dict[Tuple[Any, ...], List[Row]] = {}
-        for row in right_rows:
-            key = tuple(_hash_key(getter(row)) for getter in build)
-            if any(value is None for value in key):
-                continue
-            table.setdefault(key, []).append(row)
+    def out_batches() -> Iterator[RowBatch]:
+        table, files = joiner.build(right_rows)
+        if files is None:
+            yield from joiner.probe_batches(table, left_rows)
+        else:
+            yield from joiner.grace_batches(files, left_rows)
 
-        for left_row in left_rows:
-            key = tuple(_hash_key(getter(left_row)) for getter in probe)
-            matched = False
-            if not any(value is None for value in key):
-                for right_row in table.get(key, ()):
-                    combined = left_row.concat(right_row)
-                    if residual is None or predicate_is_true(residual(combined)):
-                        yield combined
-                        matched = True
-            if join_type == "LEFT" and not matched:
-                yield left_row.concat(Row(tuple([None] * right_arity)))
-    return schema, rows()
+    def out_rows() -> Iterator[Row]:
+        table, files = joiner.build(right_rows)
+        if files is None:
+            yield from joiner.probe_rows(table, left_rows)
+        else:
+            for batch in joiner.grace_batches(files, left_rows):
+                yield from batch.to_rows()
+
+    if isinstance(left_rows, BatchedRows):
+        return schema, BatchedRows(out_batches())
+    return schema, out_rows()
 
 
 def merge_join(left: Relation, right: Relation,
@@ -847,17 +1157,32 @@ def _project_batches(rows: BatchedRows, positions: List[Optional[int]],
 def group_and_aggregate(relation: Relation, group_by: Sequence[ast.Expression],
                         items: Sequence[ast.SelectItem],
                         having: Optional[ast.Expression] = None,
-                        ahaving: Optional[ast.Expression] = None) -> Relation:
+                        ahaving: Optional[ast.Expression] = None,
+                        spill: Optional[SpillManager] = None,
+                        input_rows_hint: Optional[float] = None) -> Relation:
     """GROUP BY + aggregate evaluation with annotation union per group.
 
     A pipeline breaker: every input row must be seen before the first group
     can be emitted.  The output tuple of each group carries, on every output
     column, the union of all annotations of the group's input rows (the
     paper's rule for operators that combine multiple tuples into one).
+
+    Memory bounding: a query with aggregates but *no* GROUP BY streams its
+    single global group through incremental :class:`AggregateState`
+    accumulators (O(1) memory regardless of input size).  Keyed grouping
+    buffers member rows; with ``spill`` set, an input exceeding
+    ``spill.budget_rows`` is hash-partitioned on the group key into temp
+    files and each partition is grouped independently (rows of one group
+    always share a partition, so the results are exact), recursing on
+    oversized partitions.  Group keys bucket NaN values together (the
+    ``compare_values`` order, matching the hash join), so partitioning and
+    the in-memory dict agree.  ``input_rows_hint`` (the cost model's input
+    estimate) sizes the spill fan-out, matching EXPLAIN's prediction.
     """
     schema, rows = relation
     evaluator = Evaluator(schema)
     group_keys = [evaluator.compile(expr) for expr in group_by]
+    arity = len(schema)
 
     # Column list of the output (checked eagerly).
     output_columns: List[ColumnInfo] = []
@@ -877,45 +1202,153 @@ def group_and_aggregate(relation: Relation, group_by: Sequence[ast.Expression],
 
     ahaving_predicate = AnnotationPredicate(ahaving) if ahaving is not None else None
 
-    def output_rows() -> Iterator[Row]:
+    def normalized_key(row: Row) -> Tuple[Any, ...]:
+        return tuple(_hash_key(key(row)) for key in group_keys)
+
+    def finish_group(values: List[Any], union_all: Set[Any],
+                     passed_having: bool) -> Optional[Row]:
+        if not passed_having:
+            return None
+        if ahaving_predicate is not None:
+            if not any(ahaving_predicate.matches(a) for a in union_all):
+                return None
+        annotations = [set(union_all) for _ in values]
+        return Row(tuple(values), annotations)
+
+    def emit_group(members: List[Row]) -> Optional[Row]:
+        representative = members[0] if members else None
+        values = [_evaluate_group_expression(item.expr, evaluator, members,
+                                             representative)
+                  for item in items]
+        union_all: Set[Any] = set()
+        if members:
+            for anns in merge_annotation_vectors(members, arity):
+                union_all |= anns
+        passed = True
+        if having is not None:
+            passed = predicate_is_true(
+                _evaluate_group_expression(having, evaluator, members,
+                                           representative))
+        return finish_group(values, union_all, passed)
+
+    def stream_global_group(row_iterator: Iterable[Row]) -> Optional[Row]:
+        """One pass over the input with incremental aggregate states — the
+        global group never buffers its member rows."""
+        aggregates: List[ast.FunctionCall] = []
+        for item in items:
+            aggregates.extend(find_aggregates(item.expr))
+        if having is not None:
+            aggregates.extend(find_aggregates(having))
+        states = [(aggregate, AggregateState(aggregate, evaluator))
+                  for aggregate in aggregates]
+        representative: Optional[Row] = None
+        union_all: Set[Any] = set()
+        for row in row_iterator:
+            if representative is None:
+                representative = row
+            for _, state in states:
+                state.add(row)
+            if row._annotations is not None:
+                for anns in row._annotations:
+                    union_all |= anns
+        results = {id(aggregate): state.result() for aggregate, state in states}
+
+        def evaluate(expr: ast.Expression) -> Any:
+            if not find_aggregates(expr):
+                if representative is None:
+                    return None
+                return evaluator.compile(expr)(representative)
+            return _evaluate_with_aggregates(expr, evaluator, representative,
+                                             results)
+
+        values = [evaluate(item.expr) for item in items]
+        passed = True
+        if having is not None:
+            passed = predicate_is_true(evaluate(having))
+        return finish_group(values, union_all, passed)
+
+    def grouped_partition(entries: Iterable[_Entry],
+                          total_rows: int, depth: int) -> Iterator[Row]:
+        """Group one spilled partition, re-partitioning while oversized."""
+        budget = spill.budget_rows
+        if total_rows > budget and depth < MAX_SPILL_DEPTH:
+            fanout = spill.partition_count(total_rows)
+            files = [spill.new_file() for _ in range(fanout)]
+            for values, anns in entries:
+                row = Row(values, anns)
+                bucket = hash((depth, normalized_key(row))) % fanout
+                files[bucket].append(values, anns)
+            split = max(f.rows_written for f in files) < \
+                sum(f.rows_written for f in files)
+            for handle in files:
+                # A partition the rehash failed to split (one dominant key)
+                # is grouped in memory — recursion cannot shrink it.
+                next_depth = depth + 1 if split else MAX_SPILL_DEPTH
+                yield from grouped_partition(handle.entries(),
+                                             handle.rows_written, next_depth)
+                handle.close()
+            return
         groups: Dict[Tuple[Any, ...], List[Row]] = {}
         order: List[Tuple[Any, ...]] = []
-        if group_keys:
-            for row in rows:
-                key = tuple(key(row) for key in group_keys)
-                if key not in groups:
-                    groups[key] = []
-                    order.append(key)
-                groups[key].append(row)
-        else:
-            # A query with aggregates but no GROUP BY forms one global group.
-            key = ()
-            groups[key] = _as_list(rows)
-            order.append(key)
-
+        for values, anns in entries:
+            row = Row(values, anns)
+            key = normalized_key(row)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
         for key in order:
-            members = groups[key]
-            representative = members[0] if members else None
-            values: List[Any] = []
-            for item in items:
-                values.append(_evaluate_group_expression(item.expr, evaluator,
-                                                         members, representative))
-            merged = merge_annotation_vectors(members, len(schema)) if members else []
-            union_all: Set[Any] = set()
-            for anns in merged:
-                union_all |= anns
-            annotations = [set(union_all) for _ in values]
-            candidate = Row(tuple(values), annotations)
-            if having is not None:
-                if not predicate_is_true(
-                    _evaluate_group_expression(having, evaluator, members,
-                                               representative)
-                ):
-                    continue
-            if ahaving_predicate is not None:
-                if not any(ahaving_predicate.matches(a) for a in union_all):
-                    continue
-            yield candidate
+            candidate = emit_group(groups[key])
+            if candidate is not None:
+                yield candidate
+
+    def spilled_groups(groups: Dict[Tuple[Any, ...], List[Row]],
+                       rest: Iterable[Row]) -> Iterator[Row]:
+        """The budget was exceeded: partition everything seen so far plus
+        the rest of the input on the group-key hash, then group partitions
+        independently."""
+        fanout = spill.partition_count(input_rows_hint)
+        event = spill.stats.record("group_by", partitions=fanout)
+        files = [spill.new_file() for _ in range(fanout)]
+        for key, members in groups.items():
+            handle = files[hash((0, key)) % fanout]
+            for row in members:
+                handle.append(row.values, row._annotations)
+        for row in rest:
+            bucket = hash((0, normalized_key(row))) % fanout
+            files[bucket].append(row.values, row._annotations)
+        event["spilled_rows"] = sum(f.rows_written for f in files)
+        for handle in files:
+            yield from grouped_partition(handle.entries(),
+                                         handle.rows_written, depth=1)
+            handle.close()
+
+    def output_rows() -> Iterator[Row]:
+        if not group_keys:
+            # A query with aggregates but no GROUP BY forms one global group.
+            candidate = stream_global_group(rows)
+            if candidate is not None:
+                yield candidate
+            return
+        budget = spill.budget_rows if spill is not None else None
+        groups: Dict[Tuple[Any, ...], List[Row]] = {}
+        order: List[Tuple[Any, ...]] = []
+        buffered = 0
+        iterator = iter(rows)
+        for row in iterator:
+            key = normalized_key(row)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+            buffered += 1
+            if budget is not None and buffered > budget:
+                yield from spilled_groups(groups, iterator)
+                return
+        for key in order:
+            candidate = emit_group(groups[key])
+            if candidate is not None:
+                yield candidate
     return output_schema, output_rows()
 
 
@@ -1012,36 +1445,206 @@ def _apply_binary(op: str, left: Any, right: Any) -> Any:
 # ---------------------------------------------------------------------------
 # Duplicate elimination, ordering, limits
 # ---------------------------------------------------------------------------
-def distinct(relation: Relation) -> Relation:
+def _distinct_key(values: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    """Duplicate-detection key: NaNs collapse to one bucket (the
+    ``compare_values`` order), everything else compares as the dict does."""
+    return tuple(_hash_key(value) for value in values)
+
+
+def distinct(relation: Relation,
+             spill: Optional[SpillManager] = None,
+             input_rows_hint: Optional[float] = None) -> Relation:
     """DISTINCT: equal value-tuples collapse; their annotations are unioned.
 
     A pipeline breaker: the annotation union over duplicates is only known
-    once every input row has been seen.
+    once every input row has been seen.  With ``spill``, an input exceeding
+    the budget is hash-partitioned on the value tuple; each spilled row is
+    tagged with its first-seen sequence number so the merged output keeps
+    the first-occurrence order the in-memory path produces (which is what
+    makes ``ORDER BY`` upstream of DISTINCT survive a spill).
     """
     schema, rows = relation
+    arity = len(schema)
+
+    def spilled_distinct(seen: Dict[Tuple[Any, ...], List[Row]],
+                         order: List[Tuple[Any, ...]],
+                         rest: Iterable[Row]) -> Iterator[Row]:
+        budget = spill.budget_rows
+        fanout = spill.partition_count(input_rows_hint)
+        event = spill.stats.record("distinct", partitions=fanout)
+        files = [spill.new_file() for _ in range(fanout)]
+        # Buffered rows: every member of a group is tagged with the group's
+        # first-seen rank, which is all the order restoration needs.
+        for rank, key in enumerate(order):
+            handle = files[hash(key) % fanout]
+            for row in seen[key]:
+                handle.append((rank,) + row.values, row._annotations)
+        sequence = len(order)
+        for row in rest:
+            key = _distinct_key(row.values)
+            files[hash(key) % fanout].append((sequence,) + row.values,
+                                             row._annotations)
+            sequence += 1
+        event["spilled_rows"] = sum(f.rows_written for f in files)
+
+        def read_back(out: SpillFile):
+            for tagged_values, anns in out.entries():
+                yield tagged_values[0], tagged_values[1:], anns
+
+        def dedup_leaf(handle: SpillFile) -> SpillFile:
+            """Dedup one partition in memory; write its output back to disk,
+            ordered by first-seen sequence."""
+            groups: Dict[Tuple[Any, ...], List[Any]] = {}
+            ordered: List[Tuple[Any, ...]] = []
+            for tagged_values, anns in handle.entries():
+                sequence_no, values = tagged_values[0], tagged_values[1:]
+                key = _distinct_key(values)
+                entry = groups.get(key)
+                if entry is None:
+                    # [first seq, first values, running annotation union] —
+                    # the union vector stays None until some member is
+                    # annotated, so unannotated data pays no per-group sets.
+                    groups[key] = entry = [sequence_no, values, None]
+                    ordered.append(key)
+                if anns is not None:
+                    merged = entry[2]
+                    if merged is None:
+                        entry[2] = merged = [set() for _ in range(arity)]
+                    for position in range(min(arity, len(anns))):
+                        merged[position] |= anns[position]
+            handle.close()
+            out = spill.new_file()
+            for sequence_no, values, merged in sorted(
+                    (groups[key] for key in ordered),
+                    key=lambda entry: entry[0]):
+                out.append((sequence_no,) + values, merged)
+            return out
+
+        def merge_outputs(outputs: List[SpillFile], sink: SpillFile) -> None:
+            merged = heapq.merge(*(read_back(out) for out in outputs),
+                                 key=lambda entry: entry[0])
+            for sequence_no, values, anns in merged:
+                sink.append((sequence_no,) + values, anns)
+            for out in outputs:
+                out.close()
+
+        def distinct_partition(handle: SpillFile, depth: int) -> SpillFile:
+            """Dedup one partition, re-partitioning while it exceeds the
+            budget (so per-leaf memory stays near the budget, not
+            distinct-count / fan-out), and return its seq-ordered output
+            file.  Sub-outputs are merged back into one file per level,
+            which bounds every merge's fan-in — and therefore its read
+            buffers — by one level's fan-out."""
+            if handle.rows_written > budget and depth < MAX_SPILL_DEPTH:
+                fanout = spill.partition_count(handle.rows_written)
+                subfiles = [spill.new_file() for _ in range(fanout)]
+                for tagged_values, anns in handle.entries():
+                    key = _distinct_key(tagged_values[1:])
+                    subfiles[hash((depth, key)) % fanout].append(tagged_values,
+                                                                 anns)
+                handle.close()
+                split = max(f.rows_written for f in subfiles) < \
+                    sum(f.rows_written for f in subfiles)
+                # A partition rehashing cannot split (one dominant value)
+                # dedups in memory — its distinct set is tiny by definition.
+                next_depth = depth + 1 if split else MAX_SPILL_DEPTH
+                outputs = [distinct_partition(sub, next_depth)
+                           for sub in subfiles]
+                sink = spill.new_file()
+                merge_outputs(outputs, sink)
+                return sink
+            return dedup_leaf(handle)
+
+        # Dedup each partition (recursively), then k-way merge the
+        # seq-ordered partition outputs to restore the exact first-seen
+        # order — streaming from disk, never holding the operator's whole
+        # output in memory.
+        output_files = [distinct_partition(handle, depth=1)
+                        for handle in files]
+        merged_entries = heapq.merge(*(read_back(out) for out in output_files),
+                                     key=lambda entry: entry[0])
+        for _, values, anns in merged_entries:
+            yield Row(values, anns if anns is not None
+                      else [set() for _ in range(arity)])
+        for out in output_files:
+            out.close()
 
     def output_rows() -> Iterator[Row]:
+        budget = spill.budget_rows if spill is not None else None
         seen: Dict[Tuple[Any, ...], List[Row]] = {}
         order: List[Tuple[Any, ...]] = []
-        for row in rows:
-            if row.values not in seen:
-                seen[row.values] = []
-                order.append(row.values)
-            seen[row.values].append(row)
-        for values in order:
-            members = seen[values]
-            annotations = merge_annotation_vectors(members, len(schema))
-            yield Row(values, annotations)
+        buffered = 0
+        iterator = iter(rows)
+        for row in iterator:
+            key = _distinct_key(row.values)
+            if key not in seen:
+                seen[key] = []
+                order.append(key)
+            seen[key].append(row)
+            buffered += 1
+            if budget is not None and buffered > budget:
+                yield from spilled_distinct(seen, order, iterator)
+                return
+        for key in order:
+            members = seen[key]
+            annotations = merge_annotation_vectors(members, arity)
+            yield Row(members[0].values, annotations)
     return schema, output_rows()
 
 
-def order_by(relation: Relation, order_items: Sequence[ast.OrderItem]) -> Relation:
-    """ORDER BY: a pipeline breaker (compiled eagerly, sorted on first pull)."""
+def order_by(relation: Relation, order_items: Sequence[ast.OrderItem],
+             spill: Optional[SpillManager] = None) -> Relation:
+    """ORDER BY: a pipeline breaker (compiled eagerly, sorted on first pull).
+
+    With ``spill``, inputs beyond the budget use an *external sort*: sorted
+    runs of at most ``budget_rows`` rows are spilled to temp files and a lazy
+    k-way merge (``heapq.merge`` over the run readers) produces the output,
+    so peak memory stays O(budget + runs) instead of O(input).  The last run
+    stays in memory (hybrid), and ties preserve input order in both paths
+    (stable sort in memory; the merge prefers earlier runs).
+    """
     schema, rows = relation
     evaluator = Evaluator(schema)
     compiled = [(evaluator.compile(item.expr), item.ascending) for item in order_items]
 
+    def sort_key(row: Row) -> Tuple[Any, ...]:
+        return tuple(
+            SortKey(evaluate(row)) if ascending else ReverseSortKey(evaluate(row))
+            for evaluate, ascending in compiled)
+
+    def external_rows(iterator: Iterator[Row], budget: int) -> Iterator[Row]:
+        runs: List[SpillFile] = []
+        buffer: List[Row] = []
+        for row in iterator:
+            buffer.append(row)
+            if len(buffer) >= budget:
+                buffer.sort(key=sort_key)
+                run = spill.new_file()
+                for sorted_row in buffer:
+                    run.append(sorted_row.values, sorted_row._annotations)
+                runs.append(run)
+                buffer = []
+        buffer.sort(key=sort_key)
+        if not runs:
+            yield from buffer
+            return
+        spill.stats.record("sort", runs=len(runs) + (1 if buffer else 0),
+                           spilled_rows=sum(run.rows_written for run in runs))
+        streams: List[Iterator[Row]] = [
+            (Row(values, anns) for values, anns in run.entries())
+            for run in runs
+        ]
+        if buffer:
+            streams.append(iter(buffer))
+        yield from heapq.merge(*streams, key=sort_key)
+        for run in runs:
+            run.close()
+
     def output_rows() -> Iterator[Row]:
+        budget = spill.budget_rows if spill is not None else None
+        if budget is not None:
+            yield from external_rows(iter(rows), budget)
+            return
         decorated = list(rows)
         # Sort by the last key first so earlier keys take precedence (stable sort).
         for evaluate, ascending in reversed(compiled):
@@ -1102,7 +1705,8 @@ def _check_arity(left: Relation, right: Relation, op: str) -> None:
         )
 
 
-def union(left: Relation, right: Relation, keep_all: bool = False) -> Relation:
+def union(left: Relation, right: Relation, keep_all: bool = False,
+          spill: Optional[SpillManager] = None) -> Relation:
     """UNION [ALL]: annotations of matching tuples from both sides are unioned."""
     _check_arity(left, right, "UNION")
     schema = left[0]
@@ -1112,7 +1716,7 @@ def union(left: Relation, right: Relation, keep_all: bool = False) -> Relation:
         yield from right[1]
     if keep_all:
         return schema, combined()
-    return distinct((schema, combined()))
+    return distinct((schema, combined()), spill)
 
 
 def intersect(left: Relation, right: Relation) -> Relation:
@@ -1145,7 +1749,8 @@ def intersect(left: Relation, right: Relation) -> Relation:
     return schema, output_rows()
 
 
-def except_(left: Relation, right: Relation) -> Relation:
+def except_(left: Relation, right: Relation,
+            spill: Optional[SpillManager] = None) -> Relation:
     """EXCEPT: tuples of the left side absent from the right, annotations kept."""
     _check_arity(left, right, "EXCEPT")
     schema = left[0]
@@ -1155,4 +1760,4 @@ def except_(left: Relation, right: Relation) -> Relation:
         for row in left[1]:
             if row.values not in right_values:
                 yield row
-    return distinct((schema, kept()))
+    return distinct((schema, kept()), spill)

@@ -175,6 +175,38 @@ def merge_annotation_vectors(rows: Iterable[Row], arity: int) -> List[Set[Any]]:
     return merged
 
 
+def concat_annotation_vectors(left: Optional[Sequence[Set[Any]]],
+                              right: Optional[Sequence[Set[Any]]],
+                              left_arity: int,
+                              right_arity: int) -> Optional[List[Set[Any]]]:
+    """Annotation vector of a joined row (copying sets, like ``Row.concat``).
+
+    ``None`` inputs mean "no annotations on that side"; when both sides are
+    ``None`` the combined row carries none either (the common fast path the
+    batched join exploits — no per-row set allocation at all).
+    """
+    if left is None and right is None:
+        return None
+    left_part = ([set(anns) for anns in left] if left is not None
+                 else [set() for _ in range(left_arity)])
+    right_part = ([set(anns) for anns in right] if right is not None
+                  else [set() for _ in range(right_arity)])
+    return left_part + right_part
+
+
+def batch_from_entries(values: List[Tuple[Any, ...]],
+                       annotations: List[Optional[List[Set[Any]]]],
+                       arity: int) -> "RowBatch":
+    """Build a :class:`RowBatch` from per-row ``(values, vector-or-None)``
+    entries, materializing empty vectors only when some row is annotated."""
+    if any(vector is not None for vector in annotations):
+        return RowBatch(values,
+                        [vector if vector is not None
+                         else [set() for _ in range(arity)]
+                         for vector in annotations])
+    return RowBatch(values)
+
+
 class RowBatch:
     """A batch of rows flowing through the vectorized operator pipeline.
 

@@ -599,22 +599,34 @@ class BatchFilter:
 # Aggregates
 # ---------------------------------------------------------------------------
 class AggregateState:
-    """Accumulator for one aggregate call over the rows of a group."""
+    """Accumulator for one aggregate call over the rows of a group.
+
+    All accumulators are *running* — O(1) state per aggregate regardless of
+    the group size, which is what lets the executor stream a global
+    aggregate (no GROUP BY) over arbitrarily large inputs without buffering.
+    The one exception is ``DISTINCT``, whose duplicate-detection set is
+    inherently O(distinct values).
+    """
 
     def __init__(self, call: ast.FunctionCall, evaluator: Evaluator):
         self.name = call.name.upper()
+        if self.name not in ("COUNT", "SUM", "AVG", "MIN", "MAX"):
+            raise PlanningError(f"unknown aggregate {self.name}")
         self.distinct = call.distinct
         self.is_star = call.is_star
         if not self.is_star:
             if len(call.args) != 1:
                 raise PlanningError(f"{self.name} takes exactly one argument")
             self._arg = evaluator.compile(call.args[0])
-        self._values: List[Any] = []
+        self._count = 0
+        self._sum: Any = 0
+        self._min: Any = None
+        self._max: Any = None
         self._seen: Set[Any] = set()
 
     def add(self, row: Row) -> None:
         if self.is_star:
-            self._values.append(1)
+            self._count += 1
             return
         value = self._arg(row)
         if value is None:
@@ -623,22 +635,28 @@ class AggregateState:
             if value in self._seen:
                 return
             self._seen.add(value)
-        self._values.append(value)
+        self._count += 1
+        if self.name in ("SUM", "AVG"):
+            self._sum = self._sum + value
+        elif self.name == "MIN":
+            if self._min is None or value < self._min:
+                self._min = value
+        elif self.name == "MAX":
+            if self._max is None or value > self._max:
+                self._max = value
 
     def result(self) -> Any:
         if self.name == "COUNT":
-            return len(self._values)
-        if not self._values:
+            return self._count
+        if self._count == 0:
             return None
         if self.name == "SUM":
-            return sum(self._values)
+            return self._sum
         if self.name == "AVG":
-            return sum(self._values) / len(self._values)
+            return self._sum / self._count
         if self.name == "MIN":
-            return min(self._values)
-        if self.name == "MAX":
-            return max(self._values)
-        raise PlanningError(f"unknown aggregate {self.name}")
+            return self._min
+        return self._max
 
 
 def find_aggregates(expr: ast.Expression) -> List[ast.FunctionCall]:

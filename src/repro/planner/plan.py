@@ -112,6 +112,12 @@ class JoinPlan:
     #: Secondary index probed per left row (index-nested-loop joins only).
     index_name: Optional[str] = None
     estimated_rows: float = 0.0
+    #: Cost-model spill expectation (hash joins under a memory budget): the
+    #: Grace-partition fan-out the executor should use when the estimated
+    #: build side exceeds ``EngineConfig.memory_budget_rows``; ``None`` when
+    #: the build is expected to fit in memory.  Set by
+    #: :func:`annotate_spill_expectations`, rendered by EXPLAIN.
+    spill_partitions: Optional[int] = None
 
 
 PlanNode = Union[ScanPlan, JoinPlan]
@@ -763,6 +769,44 @@ def _plan_explicit_join(plan: PlanNode, right: ScanPlan, join: ast.Join,
 
 
 # ---------------------------------------------------------------------------
+# Spill expectations (memory-budgeted pipeline breakers)
+# ---------------------------------------------------------------------------
+def estimated_spill_partitions(rows: float, budget_rows: int) -> int:
+    """Expected Grace-partition fan-out for ``rows`` under a budget."""
+    from repro.storage.spill import clamp_partitions
+    return clamp_partitions(rows, budget_rows)
+
+
+def estimated_sort_runs(rows: float, budget_rows: int) -> int:
+    """Expected external-sort run count for ``rows`` under a budget."""
+    if budget_rows <= 0:
+        return 1
+    return max(1, -(-int(rows) // budget_rows))
+
+
+def annotate_spill_expectations(node: PlanNode,
+                                budget_rows: Optional[int]) -> None:
+    """Mark the hash joins whose build side is expected to exceed the memory
+    budget with the partition fan-out the executor should use.
+
+    This is the cost model's spill decision: EXPLAIN renders it
+    (``HashJoin ... [spill: N partitions]``) and the engine passes the
+    fan-out to the operator as its ``spill_partitions`` hint.  The executor
+    still spills adaptively when estimates are wrong — the annotation is a
+    prediction, actual activity lands in ``engine.last_spill``.
+    """
+    if isinstance(node, ScanPlan):
+        return
+    annotate_spill_expectations(node.left, budget_rows)
+    annotate_spill_expectations(node.right, budget_rows)
+    node.spill_partitions = None
+    if budget_rows is not None and node.strategy == "hash" \
+            and node.right.estimated_rows > budget_rows:
+        node.spill_partitions = estimated_spill_partitions(
+            node.right.estimated_rows, budget_rows)
+
+
+# ---------------------------------------------------------------------------
 # Interesting-order propagation
 # ---------------------------------------------------------------------------
 #: Join strategies whose output preserves the order of their *left* input:
@@ -773,20 +817,31 @@ def _plan_explicit_join(plan: PlanNode, right: ScanPlan, join: ast.Join,
 _LEFT_ORDER_PRESERVING = {"hash", "nested_loop", "index_nested_loop", "cross"}
 
 
-def plan_delivered_order(node: PlanNode) -> Optional[Tuple[str, str]]:
+def plan_delivered_order(node: PlanNode,
+                         allow_spilling_hash: bool = True,
+                         ) -> Optional[Tuple[str, str]]:
     """The ``(qualifier, column)`` whose ascending order the plan delivers.
 
     An ordered range/key-order scan establishes the order at a leaf; it
     propagates to the root while that leaf stays on the left spine of
     order-preserving joins.  Per-node residual filters only drop rows, so
     they never disturb it.  ``None`` when no order is guaranteed.
+
+    ``allow_spilling_hash=False`` (set by the engine whenever a memory
+    budget is configured) refuses to propagate order through hash joins: a
+    Grace spill emits rows partition-by-partition, not in probe order, and
+    spilling is an *adaptive* runtime decision the estimates cannot rule
+    out — so elision across a possibly-spilling hash join would silently
+    return unsorted rows.
     """
     if isinstance(node, ScanPlan):
         if node.ordered and node.index_columns:
             return node.qualifier, node.index_columns[0].lower()
         return None
     if node.strategy in _LEFT_ORDER_PRESERVING:
-        return plan_delivered_order(node.left)
+        if node.strategy == "hash" and not allow_spilling_hash:
+            return None
+        return plan_delivered_order(node.left, allow_spilling_hash)
     return None
 
 
@@ -972,6 +1027,8 @@ def plan_to_dict(node: PlanNode) -> Dict[str, Any]:
     }
     if node.index_name is not None:
         result["index"] = node.index_name
+    if node.spill_partitions is not None:
+        result["spill_partitions"] = node.spill_partitions
     return result
 
 
@@ -1006,6 +1063,8 @@ def format_plan(node: PlanNode, indent: int = 0) -> str:
     if node.filters:
         predicates = " AND ".join(format_expression(c) for c in node.filters)
         detail += f" [filter: {predicates}]"
+    if node.spill_partitions is not None:
+        detail += f" [spill: {node.spill_partitions} partitions]"
     header = (f"{pad}{STRATEGY_LABELS[node.strategy]} [{node.join_type}]{detail} "
               f"(est. rows={node.estimated_rows:.0f})")
     return "\n".join([header,

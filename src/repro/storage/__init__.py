@@ -10,6 +10,7 @@ from repro.storage.disk import (
 )
 from repro.storage.heap_file import HeapFile
 from repro.storage.page import DEFAULT_PAGE_SIZE, Page, RecordId
+from repro.storage.spill import SpillFile, SpillManager, SpillStats
 
 __all__ = [
     "BufferPool",
@@ -24,4 +25,7 @@ __all__ = [
     "DEFAULT_PAGE_SIZE",
     "Page",
     "RecordId",
+    "SpillFile",
+    "SpillManager",
+    "SpillStats",
 ]

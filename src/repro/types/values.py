@@ -96,6 +96,28 @@ class SortKey:
         return compare_values(self.value, other.value) == 0
 
 
+class ReverseSortKey:
+    """Descending counterpart of :class:`SortKey`.
+
+    Lets a multi-key ``ORDER BY`` with mixed directions compile to a single
+    composite key tuple — the form the external sort's run generation and
+    k-way merge need (one total order instead of repeated stable passes).
+    """
+
+    __slots__ = ("key",)
+
+    def __init__(self, value: Any):
+        self.key = SortKey(value)
+
+    def __lt__(self, other: "ReverseSortKey") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ReverseSortKey):
+            return NotImplemented
+        return self.key == other.key
+
+
 def serialize_row(values: Sequence[Any]) -> bytes:
     """Serialize a row of Python values into a compact binary record."""
     parts: List[bytes] = [struct.pack("<H", len(values))]

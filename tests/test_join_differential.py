@@ -95,6 +95,11 @@ QUERY_SHAPES = {
         "SELECT g.gid, g.score FROM gene ANNOTATION(gnote) g "
         "WHERE g.score BETWEEN 13 AND 16 ORDER BY g.score"
     ),
+    "distinct_order": (
+        "SELECT DISTINCT p.kind, g.gid FROM gene ANNOTATION(gnote) g, "
+        "protein ANNOTATION(pnote) p WHERE g.gid = p.gid "
+        "ORDER BY p.kind, g.gid"
+    ),
 }
 
 STRATEGIES = ("auto", "hash", "merge")
@@ -330,6 +335,67 @@ def test_batched_stream_decodes_lazily(wide_db, monkeypatch):
     first_three = [next(stream) for _ in range(3)]
     assert [row.values for row in first_three] == [(0,), (1,), (2,)]
     assert 0 < len(pages) <= 2
+
+
+# ---------------------------------------------------------------------------
+# Spilling rows of the matrix: tiny memory budgets force every pipeline
+# breaker (hash-join build, GROUP BY, DISTINCT, sort) through the temp-file
+# partition/run machinery; values AND annotations must survive the
+# serialize/partition/merge round trip in every mode and batch size.
+# ---------------------------------------------------------------------------
+#: Budgets of roughly one and a few batches at the tiny differential sizes.
+SPILL_BUDGETS = (2, 7)
+#: Shapes that exercise every spilling operator: hash join (equi/3-way/LEFT),
+#: GROUP BY, DISTINCT + ORDER BY, and a plain sorted scan.
+SPILL_SHAPES = ("equi_join", "three_way_join", "explicit_left_join",
+                "join_with_group_by", "distinct_order", "range_between_order")
+
+
+def run_with_budget(db: Database, query: str, strategy: str, mode: str,
+                    budget: int, batch_size: int = 1024):
+    db.config.memory_budget_rows = budget
+    try:
+        return run_query(db, query, strategy, mode, batch_size)
+    finally:
+        db.config.memory_budget_rows = None
+
+
+@pytest.mark.parametrize("shape", SPILL_SHAPES)
+@pytest.mark.parametrize("strategy", ("auto", "hash"))
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("budget", SPILL_BUDGETS)
+def test_spilling_agrees_with_in_memory_baseline(diff_db, shape, strategy,
+                                                 mode, budget):
+    query = QUERY_SHAPES[shape]
+    baseline = materialized_baseline(diff_db, query)
+    candidate = canonical(run_with_budget(diff_db, query, strategy, mode,
+                                          budget))
+    assert candidate == baseline
+
+
+@pytest.mark.parametrize("shape", SPILL_SHAPES)
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_spilling_invariant_under_batch_size(diff_db, shape, batch_size):
+    query = QUERY_SHAPES[shape]
+    baseline = materialized_baseline(diff_db, query)
+    candidate = canonical(run_with_budget(diff_db, query, "hash", "streaming",
+                                          budget=2, batch_size=batch_size))
+    assert candidate == baseline
+
+
+def test_spill_budgets_actually_spill(diff_db):
+    """The spilling rows are only meaningful if the temp-file paths really
+    run: each operator family must report spill activity at budget 2."""
+    run_with_budget(diff_db, QUERY_SHAPES["equi_join"], "hash", "streaming", 2)
+    assert diff_db.engine.last_spill.events("hash_join")
+    run_with_budget(diff_db, QUERY_SHAPES["join_with_group_by"], "hash",
+                    "streaming", 2)
+    assert diff_db.engine.last_spill.events("group_by")
+    run_with_budget(diff_db, QUERY_SHAPES["distinct_order"], "hash",
+                    "streaming", 2)
+    spilled = {event["operator"]
+               for event in diff_db.engine.last_spill.operators}
+    assert "distinct" in spilled and "sort" in spilled
 
 
 def test_forced_strategies_actually_differ(diff_db):

@@ -1,0 +1,97 @@
+"""Docs sanity checker: every internal markdown link must resolve.
+
+Usage (CI): ``python tools/check_docs.py``
+
+Scans the maintained documentation — ``docs/*.md`` plus ROADMAP.md and
+CHANGES.md (PAPER.md / PAPERS.md / SNIPPETS.md are generated retrieval
+material and excluded) — for ``[text](target)`` links and verifies that
+
+* relative file targets exist on disk (anchors stripped), and
+* intra-repo anchors (``file.md#section`` or ``#section``) match a heading
+  of the target file, using GitHub's slug rules (lowercase, spaces to
+  dashes, punctuation dropped).
+
+External links (``http(s)://``, ``mailto:``) are skipped — this guards the
+*internal* consistency of the docs tree, not the internet.  Exits non-zero
+listing every broken link.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: [text](target) — excluding images' leading "!" is unnecessary: image
+#: targets should resolve too.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip markdown, lowercase, spaces to dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def doc_files() -> list:
+    files = sorted(glob.glob(os.path.join(REPO_ROOT, "docs", "*.md")))
+    for name in ("ROADMAP.md", "CHANGES.md", "README.md"):
+        path = os.path.join(REPO_ROOT, name)
+        if os.path.exists(path):
+            files.append(path)
+    return files
+
+
+def anchors_of(path: str) -> set:
+    with open(path, encoding="utf-8") as handle:
+        return {github_slug(match) for match in _HEADING.findall(handle.read())}
+
+
+def check_file(path: str) -> list:
+    problems = []
+    base = os.path.dirname(path)
+    relative = os.path.relpath(path, REPO_ROOT)
+    with open(path, encoding="utf-8") as handle:
+        content = handle.read()
+    for target in _LINK.findall(content):
+        if target.startswith(_EXTERNAL):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            resolved = os.path.normpath(os.path.join(base, file_part))
+            if not os.path.exists(resolved):
+                problems.append(f"{relative}: broken link target {target!r}")
+                continue
+        else:
+            resolved = path
+        if anchor and resolved.endswith(".md"):
+            if anchor not in anchors_of(resolved):
+                problems.append(
+                    f"{relative}: anchor {target!r} matches no heading of "
+                    f"{os.path.relpath(resolved, REPO_ROOT)}")
+    return problems
+
+
+def main() -> int:
+    files = doc_files()
+    if not os.path.isdir(os.path.join(REPO_ROOT, "docs")):
+        print("docs/ directory is missing")
+        return 1
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    print(f"checked {len(files)} markdown file(s): "
+          f"{len(problems)} broken link(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
