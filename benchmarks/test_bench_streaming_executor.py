@@ -334,3 +334,92 @@ def test_spill_breakers_full():
     assert series["groupby_spilled"]["peak_bytes"] \
         < series["groupby_in_memory"]["peak_bytes"] / 2
     write_bench_results("streaming", {"spill_breakers_60k": series})
+
+
+# ---------------------------------------------------------------------------
+# Prepared statements: cached-plan reuse vs. parse-per-call (PR 5)
+# ---------------------------------------------------------------------------
+def prepared_db(rows: int) -> Database:
+    db = scan_db(rows)
+    db.execute("CREATE INDEX ix_events_eid ON events (eid) USING btree")
+    db.analyze("events")
+    return db
+
+
+def run_prepared_reuse(rows: int, repeats: int, label: str) -> dict:
+    """Repeated parameterized point query through a reused cursor (plan
+    cached after the first execution) vs. the same point query as a fresh
+    SQL string per call through the legacy ``db.query`` (tokenize + parse +
+    plan every time).  Both arms hit the same B-tree index and fetch the
+    same rows; the delta is the per-call front-end work the plan cache
+    eliminates."""
+    import warnings
+    db = prepared_db(rows)
+    keys = [(i * 37) % rows for i in range(repeats)]
+    sql = "SELECT eid, kind, v FROM events WHERE eid = ?"
+    cursor = db.connect().cursor()
+
+    def best_of(batches, run):
+        """Min-of-N batch times: one GC pause cannot skew either arm."""
+        times = []
+        for _ in range(batches):
+            started = time.perf_counter()
+            run()
+            times.append(time.perf_counter() - started)
+        return min(times)
+
+    cursor.execute(sql, (0,)).fetchall()            # warm the plan cache
+
+    def cached_arm():
+        for key in keys:
+            cursor.execute(sql, (key,)).fetchall()
+    cached_seconds = best_of(5, cached_arm)
+    assert db.engine.last_plan_cached
+    stats = db.engine.plan_cache.stats
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        db.query(sql.replace("?", "0"))             # warm caches equally
+
+        def parsed_arm():
+            for key in keys:
+                db.query(f"SELECT eid, kind, v FROM events WHERE eid = {key}")
+        parsed_seconds = best_of(5, parsed_arm)
+
+    series = {
+        "cached_plan": {"seconds": round(cached_seconds, 6),
+                        "per_call_us": round(cached_seconds / repeats * 1e6, 1)},
+        "parse_per_call": {"seconds": round(parsed_seconds, 6),
+                           "per_call_us": round(parsed_seconds / repeats * 1e6, 1)},
+        "speedup": round(parsed_seconds / cached_seconds, 2),
+        "repeats": repeats,
+        "cache_hits": stats.hits,
+        "cache_misses": stats.misses,
+    }
+    print_table(
+        f"prepared point query x{repeats}, {rows} rows ({label})",
+        ["series", "seconds", "us/call"],
+        [[name, f"{m['seconds']:.4f}", m["per_call_us"]]
+         for name, m in series.items() if isinstance(m, dict)],
+    )
+    print(f"  speedup (parse-per-call / cached): {series['speedup']}x, "
+          f"plan cache hits={stats.hits} misses={stats.misses}")
+    return series
+
+
+def test_prepared_reuse_smoke():
+    series = run_prepared_reuse(5_000, repeats=300, label="smoke")
+    # The ISSUE-5 acceptance bar: >= 2x for cached-plan reuse.
+    assert series["speedup"] >= 2.0
+    assert series["cache_hits"] >= 5 * 300
+    write_bench_results("streaming", {"prepared_reuse_300": series})
+
+
+@pytest.mark.slow
+def test_prepared_reuse_full():
+    """The subject is per-call front-end cost, so full scales the repeat
+    count (tighter measurement), not the table: more rows only add
+    buffer-pool traffic both arms pay identically."""
+    series = run_prepared_reuse(20_000, repeats=3_000, label="full")
+    assert series["speedup"] >= 2.0
+    write_bench_results("streaming", {"prepared_reuse_3k": series})

@@ -11,6 +11,13 @@ Run with:  python examples/curated_gene_database.py
 from __future__ import annotations
 
 import random
+import warnings
+
+# These examples demo the legacy A-SQL string facade on purpose
+# (annotation/authorization statements take no parameters); see
+# docs/API.md and examples/quickstart.py for the DB-API surface.
+warnings.filterwarnings("ignore", category=DeprecationWarning)
+
 from datetime import datetime
 
 from repro import Database

@@ -13,6 +13,13 @@ Run with:  python examples/protein_pipeline.py
 from __future__ import annotations
 
 import random
+import warnings
+
+# These examples demo the legacy A-SQL string facade on purpose
+# (annotation/authorization statements take no parameters); see
+# docs/API.md and examples/quickstart.py for the DB-API surface.
+warnings.filterwarnings("ignore", category=DeprecationWarning)
+
 
 from repro import Database
 from repro.workloads import build_gene_protein_pipeline, dna_sequence

@@ -9,8 +9,17 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
+import warnings
+
+import repro
 from repro import Database
 from repro.annotations.xml_utils import annotation_text
+
+# This quickstart drives the A-SQL surface through the legacy Database
+# facade on purpose (annotation statements take no parameters); the DB-API
+# section below shows the preferred cursor surface.  Silence the shim
+# warnings so the demo output stays readable.
+warnings.filterwarnings("ignore", category=DeprecationWarning)
 
 
 def main() -> None:
@@ -147,6 +156,61 @@ def main() -> None:
 
     # -- batch mode, range scans, and disk spilling at scale -------------------
     demo_batches_and_spilling()
+
+    # -- the DB-API surface: parameters, prepared plans ------------------------
+    demo_parameterized_queries()
+
+
+def demo_parameterized_queries() -> None:
+    """PR-5: ``repro.connect()`` is a DB-API 2.0 (PEP 249) module surface.
+
+    Cursors bind qmark (``?``) parameters — values stay data, never SQL —
+    and repeated executions of the same statement reuse a cached plan
+    instead of re-tokenizing, re-parsing, and re-planning per call.  See
+    docs/API.md for the full guide.
+    """
+    conn = repro.connect()          # in-memory; repro.connect("file.db") works too
+    cur = conn.cursor()
+    cur.execute("CREATE TABLE variants (vid INTEGER PRIMARY KEY, gene TEXT, "
+                "impact FLOAT)")
+
+    # executemany batches every bound row into ONE multi-row INSERT.
+    cur.executemany("INSERT INTO variants VALUES (?, ?, ?)",
+                    [(i, f"G{i % 7}", (i * 13) % 100 / 10.0)
+                     for i in range(500)])
+    print(f"\n[DB-API] bulk-loaded {cur.rowcount} variants via executemany")
+
+    cur.execute("CREATE INDEX ix_variants_vid ON variants (vid) USING btree")
+
+    # The untrusted value rides a placeholder: injection-shaped input is
+    # matched literally instead of being spliced into the SQL text.
+    hostile = "G1' OR '1'='1"
+    cur.execute("SELECT COUNT(*) FROM variants WHERE gene = ?", (hostile,))
+    print(f"[DB-API] rows matching {hostile!r} as a *value*: "
+          f"{cur.fetchone()[0]}")
+
+    # A reused point query: first execution plans (and caches), the rest
+    # bind new values into the cached plan.
+    engine = conn.database.engine
+    for vid in (7, 42, 123):
+        cur.execute("SELECT gene, impact FROM variants WHERE vid = ?", (vid,))
+        gene, impact = cur.fetchone()
+        print(f"[DB-API] vid={vid}: gene={gene} impact={impact} "
+              f"(cached plan: {engine.last_plan_cached})")
+    stats = engine.plan_cache.stats
+    print(f"[DB-API] plan cache: {stats.hits} hits / {stats.misses} misses — "
+          f"repeat executions skip parse + plan entirely")
+
+    # DDL bumps the catalog schema version and evicts the cached plan: the
+    # next execution of the *same* statement re-plans against the new
+    # catalog state (a sequential scan now, not an IndexScan).
+    cur.execute("DROP INDEX ix_variants_vid")
+    cur.execute("SELECT gene, impact FROM variants WHERE vid = ?", (7,))
+    cur.fetchall()
+    print(f"[DB-API] after DROP INDEX: re-planned "
+          f"(cached: {engine.last_plan_cached}, "
+          f"invalidations: {stats.invalidations})")
+    conn.close()
 
 
 def demo_batches_and_spilling() -> None:

@@ -1,39 +1,84 @@
 """repro: a reproduction of bdbms (CIDR 2007), a DBMS for biological data.
 
-The public API centres on :class:`repro.Database`:
+``repro`` is a DB-API 2.0 (PEP 249) module: :func:`connect` opens a database
+and returns a :class:`Connection` whose cursors bind qmark (``?``)
+parameters, reuse prepared statements and cached query plans, and stream
+SELECT results lazily:
 
->>> from repro import Database
->>> db = Database()
->>> db.execute("CREATE TABLE Gene (GID TEXT PRIMARY KEY, GSequence SEQUENCE)")
->>> db.execute("CREATE ANNOTATION TABLE GAnnotation ON Gene")
->>> db.execute("INSERT INTO Gene VALUES ('JW0080', 'ATGATGGAAAA')")
->>> db.execute(
-...     "ADD ANNOTATION TO Gene.GAnnotation "
-...     "VALUE '<Annotation>obtained from GenoBase</Annotation>' "
-...     "ON (SELECT G.GSequence FROM Gene G)"
-... )
->>> result = db.query("SELECT GID FROM Gene ANNOTATION(GAnnotation)")
+>>> import repro
+>>> conn = repro.connect()          # or repro.connect("genes.db")
+>>> cur = conn.cursor()
+>>> cur.execute("CREATE TABLE Gene (GID TEXT PRIMARY KEY, GSequence SEQUENCE)")
+>>> cur.execute("INSERT INTO Gene VALUES (?, ?)", ("JW0080", "ATGATGGAAAA"))
+>>> cur.execute("SELECT GID FROM Gene WHERE GID = ?", ("JW0080",))
+>>> cur.fetchone().values
+('JW0080',)
+
+The lower-level :class:`Database` facade remains available (A-SQL annotation
+statements, engine knobs, direct table access); its string entry points
+(``db.execute(sql)``) are deprecated shims over the same engine.
 
 Sub-packages mirror the paper's architecture: ``annotations``, ``provenance``,
 ``dependencies``, ``authorization`` (the four bdbms pillars), ``index`` (the
 SP-GiST framework and the SBC-tree), and the relational substrate
-(``storage``, ``catalog``, ``sql``, ``planner``, ``executor``).
+(``storage``, ``catalog``, ``sql``, ``planner``, ``executor``, ``dbapi``).
 """
 
 from repro.core.database import Database, Session
-from repro.core.errors import BdbmsError
+from repro.core.errors import (
+    BdbmsError,
+    DataError,
+    DatabaseError,
+    Error,
+    IntegrityError,
+    InterfaceError,
+    InternalError,
+    NotSupportedError,
+    OperationalError,
+    ProgrammingError,
+    Warning,
+)
+from repro.dbapi import (
+    Connection,
+    Cursor,
+    apilevel,
+    connect,
+    paramstyle,
+    threadsafety,
+)
 from repro.executor.engine import EngineConfig, ExecutionSummary
-from repro.executor.row import ResultSet, StreamingResultSet
+from repro.executor.prepared import PreparedStatement
+from repro.executor.row import ResultSet, Row, StreamingResultSet
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
+    # DB-API 2.0 module interface (PEP 249)
+    "apilevel",
+    "threadsafety",
+    "paramstyle",
+    "connect",
+    "Connection",
+    "Cursor",
+    "Warning",
+    "Error",
+    "InterfaceError",
+    "DatabaseError",
+    "DataError",
+    "OperationalError",
+    "IntegrityError",
+    "InternalError",
+    "ProgrammingError",
+    "NotSupportedError",
+    # Engine facade
     "Database",
     "Session",
     "BdbmsError",
     "EngineConfig",
     "ExecutionSummary",
+    "PreparedStatement",
     "ResultSet",
+    "Row",
     "StreamingResultSet",
     "__version__",
 ]

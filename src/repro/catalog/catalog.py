@@ -26,8 +26,20 @@ class SystemCatalog:
         self.disk = disk or InMemoryDiskManager()
         self.pool = BufferPool(self.disk, pool_size)
         self._tables: Dict[str, Table] = {}
+        #: Monotone counter bumped by everything that can change what a
+        #: *plan* means: table DDL, index DDL (via :class:`IndexManager`),
+        #: and statistics refreshes (ANALYZE, including auto-refresh).  The
+        #: engine's plan cache records the version each plan was built under
+        #: and drops entries whose version no longer matches, so a cached
+        #: plan can never survive a dropped index or refreshed statistics.
+        self.schema_version = 0
         #: Planner statistics (row counts, NDV, histograms); see ANALYZE.
         self.statistics = StatisticsManager(self)
+
+    def bump_schema_version(self) -> int:
+        """Invalidate cached plans (called on DDL and statistics changes)."""
+        self.schema_version += 1
+        return self.schema_version
 
     # ------------------------------------------------------------------
     def create_table(self, schema: TableSchema) -> Table:
@@ -36,6 +48,7 @@ class SystemCatalog:
             raise CatalogError(f"table {schema.name!r} already exists")
         table = Table(schema, self.pool)
         self._tables[key] = table
+        self.bump_schema_version()
         return table
 
     def drop_table(self, name: str) -> None:
@@ -44,6 +57,7 @@ class SystemCatalog:
             raise CatalogError(f"table {name!r} does not exist")
         del self._tables[key]
         self.statistics.drop(name)
+        self.bump_schema_version()
 
     def has_table(self, name: str) -> bool:
         return name.lower() in self._tables

@@ -127,6 +127,9 @@ class StatisticsManager:
                 name, values_per_column[position], nulls[position])
         self._stats[key] = stats
         self._dml_since_analyze[key] = 0
+        # Fresh statistics change cardinality estimates, so any cached plan
+        # built against the old numbers must be re-planned.
+        self._catalog.bump_schema_version()
         return stats
 
     def analyze_all(self) -> Dict[str, TableStatistics]:
@@ -318,20 +321,40 @@ class StatisticsManager:
         return DEFAULT_SELECTIVITY
 
 
+#: Stand-in for the value of a parameter placeholder: the comparison shape is
+#: known at plan time but the value is not, so equality still uses ``1/NDV``
+#: (value-independent) while range estimates fall back to
+#: :data:`DEFAULT_SELECTIVITY` (``_range_selectivity`` treats any non-numeric
+#: "literal" that way).
+UNKNOWN_VALUE = object()
+
+_COMPARABLE_RHS = (ast.Literal, ast.Parameter)
+
+
+def _comparable_value(expr: ast.Expression) -> Any:
+    return expr.value if isinstance(expr, ast.Literal) else UNKNOWN_VALUE
+
+
 def _column_literal_comparison(
     conjunct: ast.Expression,
 ) -> Tuple[Optional[ast.ColumnRef], Optional[str], Any]:
-    """Decompose ``column <op> literal`` (either orientation) comparisons."""
+    """Decompose ``column <op> literal-or-parameter`` comparisons.
+
+    A parameter placeholder yields :data:`UNKNOWN_VALUE` — the estimator
+    then uses only value-independent rules (NDV for equality, defaults for
+    ranges), which is the classic "generic plan" behaviour of prepared
+    statements.
+    """
     if not isinstance(conjunct, ast.BinaryOp):
         return None, None, None
     if conjunct.op not in ("=", "<>", "<", "<=", ">", ">="):
         return None, None, None
     left, right = conjunct.left, conjunct.right
-    if isinstance(left, ast.ColumnRef) and isinstance(right, ast.Literal):
-        return left, conjunct.op, right.value
-    if isinstance(right, ast.ColumnRef) and isinstance(left, ast.Literal):
+    if isinstance(left, ast.ColumnRef) and isinstance(right, _COMPARABLE_RHS):
+        return left, conjunct.op, _comparable_value(right)
+    if isinstance(right, ast.ColumnRef) and isinstance(left, _COMPARABLE_RHS):
         flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
-        return right, flipped.get(conjunct.op, conjunct.op), left.value
+        return right, flipped.get(conjunct.op, conjunct.op), _comparable_value(left)
     return None, None, None
 
 

@@ -1,14 +1,18 @@
 """The bdbms facade: one object wiring every subsystem together.
 
 :class:`Database` owns the storage engine, the catalog, and the four bdbms
-managers (annotations, provenance, dependencies, authorization), and exposes
-the A-SQL entry points (`execute`, `query`).  :class:`Session` binds a user
-identity so that authorization and approval logging attribute operations to
-the right principal.
+managers (annotations, provenance, dependencies, authorization).  The
+preferred SQL surface is the PEP 249 one — ``repro.connect(path)`` or
+:meth:`Database.connect` hand out DB-API connections whose cursors bind
+``?`` parameters and reuse cached plans.  The historical string entry points
+(`execute`, `query`, `stream`) remain as thin delegating shims that warn
+:class:`DeprecationWarning`; :class:`Session` is the legacy user-bound
+facade, rebuilt on top of a :class:`~repro.dbapi.connection.Connection`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import replace
 from typing import Any, List, Optional, Union
 
@@ -16,18 +20,27 @@ from repro.annotations.manager import AnnotationManager
 from repro.authorization.approval import ApprovalManager
 from repro.authorization.grants import AccessControl
 from repro.catalog.catalog import SystemCatalog
-from repro.core.errors import ExecutionError
+from repro.core.errors import ExecutionError, ProgrammingError
+from repro.dbapi.connection import Connection, Cursor
 from repro.dependencies.tracker import DependencyTracker
 from repro.executor.engine import Engine, EngineConfig, ExecutionSummary
 from repro.executor.row import ResultSet, StreamingResultSet
 from repro.index.manager import IndexManager
 from repro.provenance.manager import ProvenanceManager
-from repro.sql.parser import parse_script, parse_statement
+from repro.sql.parser import parse_prepared, parse_script
 from repro.storage.buffer_pool import DEFAULT_POOL_SIZE
 from repro.storage.disk import IoStatistics, open_disk_manager
 from repro.storage.page import DEFAULT_PAGE_SIZE
 
 ExecutionResult = Union[ResultSet, ExecutionSummary]
+
+
+def _warn_legacy(method: str) -> None:
+    warnings.warn(
+        f"{method} is a legacy shim; prefer the DB-API surface — "
+        f"repro.connect() / Database.connect() cursors with '?' parameter "
+        f"binding and cached plans (see docs/API.md)",
+        DeprecationWarning, stacklevel=3)
 
 
 class Database:
@@ -89,11 +102,50 @@ class Database:
         )
 
     # ------------------------------------------------------------------
-    # SQL entry points
+    # DB-API surface
     # ------------------------------------------------------------------
+    def connect(self, user: str = "admin") -> Connection:
+        """A PEP 249 connection over this database, bound to ``user``.
+
+        Cursors of the connection execute SQL with qmark (``?``) parameter
+        binding, reuse prepared statements and cached plans, and stream
+        SELECT results lazily.  The connection does not own the database:
+        closing it leaves the database open (module-level
+        :func:`repro.connect` opens and owns one instead).
+        """
+        return Connection(self, user=user, owns_database=False)
+
+    # ------------------------------------------------------------------
+    # Legacy SQL entry points (thin shims over the engine)
+    # ------------------------------------------------------------------
+    def _parse_single(self, sql: str):
+        """Parse one statement, rejecting unbound ``?`` placeholders.
+
+        Placeholders only make sense with bound values, which the legacy
+        string API cannot supply — failing here (with a pointer at the
+        cursor API) beats a confusing error deep inside the executor.
+        ``EXPLAIN`` is exempt: planning a parameterized statement without
+        values is exactly what a generic-plan EXPLAIN is for.
+        """
+        from repro.sql import ast
+        statement, parameter_count = parse_prepared(sql)
+        if parameter_count and not isinstance(statement, ast.Explain):
+            raise ProgrammingError(
+                f"statement has {parameter_count} parameter placeholder(s) "
+                f"but this API takes no parameters; use "
+                f"Database.connect()/repro.connect() and "
+                f"cursor.execute(sql, params)")
+        return statement
+
     def execute(self, sql: str, user: str = "admin") -> ExecutionResult:
-        """Parse and execute a single SQL / A-SQL statement."""
-        return self.engine.execute(parse_statement(sql), user=user)
+        """Parse and execute a single SQL / A-SQL statement.
+
+        .. deprecated:: 0.2
+           Legacy shim — prefer :meth:`connect` and cursors (parameter
+           binding, prepared-plan reuse, PEP 249 errors).
+        """
+        _warn_legacy("Database.execute()")
+        return self.engine.execute(self._parse_single(sql), user=user)
 
     def execute_script(self, sql: str, user: str = "admin") -> List[ExecutionResult]:
         """Execute a semicolon-separated script, returning one result each."""
@@ -101,8 +153,13 @@ class Database:
                 for statement in parse_script(sql)]
 
     def query(self, sql: str, user: str = "admin") -> ResultSet:
-        """Execute a statement that must be a query and return its result set."""
-        result = self.execute(sql, user=user)
+        """Execute a statement that must be a query and return its result set.
+
+        .. deprecated:: 0.2
+           Legacy shim — prefer :meth:`connect` and cursors.
+        """
+        _warn_legacy("Database.query()")
+        result = self.engine.execute(self._parse_single(sql), user=user)
         if not isinstance(result, ResultSet):
             raise ExecutionError(f"statement is not a query: {sql!r}")
         return result
@@ -114,9 +171,13 @@ class Database:
         a consumer that stops early (for instance after a handful of rows of
         a million-row table) never materializes the rest.  Consume or discard
         the stream before issuing DML — it reads live table state.
+
+        .. deprecated:: 0.2
+           Legacy shim — cursors stream SELECT results lazily already.
         """
         from repro.sql import ast
-        statement = parse_statement(sql)
+        _warn_legacy("Database.stream()")
+        statement = self._parse_single(sql)
         if not isinstance(statement, (ast.Select, ast.SetOperation)):
             raise ExecutionError(f"statement is not a query: {sql!r}")
         return self.engine.stream_query(statement, user=user)
@@ -130,9 +191,13 @@ class Database:
         return result
 
     def explain(self, sql: str, user: str = "admin") -> ExecutionSummary:
-        """Plan a query without executing it; the summary holds the plan dump."""
+        """Plan a query without executing it; the summary holds the plan dump.
+
+        Parameter placeholders are allowed: the generic plan is rendered
+        with ``?N`` markers where bound values would go.
+        """
         from repro.sql import ast
-        statement = parse_statement(sql)
+        statement, _ = parse_prepared(sql)
         if not isinstance(statement, ast.Explain):
             statement = ast.Explain(statement)
         result = self.engine.execute(statement, user=user)
@@ -182,11 +247,24 @@ class Database:
 
 
 class Session:
-    """A connection-like handle bound to one user identity."""
+    """Legacy user-bound facade, rebuilt on top of :class:`Connection`.
+
+    ``session.connection`` is a full PEP 249 connection for the same user
+    (``session.cursor()`` is a shortcut onto it); the string-based
+    ``execute``/``query`` methods keep their historical return types and are
+    deprecated alongside the :class:`Database` shims they delegate to.
+    """
 
     def __init__(self, database: Database, user: str):
         self.database = database
         self.user = user
+        #: The PEP 249 connection this session rides on (shared engine,
+        #: shared statement/plan caches, not owning the database).
+        self.connection = Connection(database, user=user, owns_database=False)
+
+    def cursor(self) -> Cursor:
+        """A DB-API cursor bound to this session's user."""
+        return self.connection.cursor()
 
     def execute(self, sql: str) -> ExecutionResult:
         return self.database.execute(sql, user=self.user)

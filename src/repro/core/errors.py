@@ -80,3 +80,75 @@ class IndexError_(BdbmsError):
 
 class TransactionError(BdbmsError):
     """Raised for invalid transaction state transitions or undo failures."""
+
+
+# ---------------------------------------------------------------------------
+# PEP 249 (DB-API 2.0) exception hierarchy
+# ---------------------------------------------------------------------------
+# The DB-API surface (``repro.connect`` / Connection / Cursor) raises these;
+# :func:`map_error` translates the internal hierarchy above onto them.  Every
+# class still derives from :class:`BdbmsError`, so legacy callers catching
+# the library base class keep working unchanged.
+
+class Warning(Exception):  # noqa: A001 - the name is mandated by PEP 249
+    """Raised for important DB-API warnings (PEP 249)."""
+
+
+class Error(BdbmsError):
+    """Base class of the PEP 249 error hierarchy."""
+
+
+class InterfaceError(Error):
+    """Error in the database *interface* rather than the database itself
+    (e.g. operating on a closed connection or cursor)."""
+
+
+class DatabaseError(Error):
+    """Base class for errors related to the database."""
+
+
+class DataError(DatabaseError):
+    """Problems with the processed data: bad coercions, division by zero,
+    values out of range."""
+
+
+class OperationalError(DatabaseError):
+    """Errors related to the database's operation: storage failures,
+    authorization rejections, runtime execution faults."""
+
+
+class IntegrityError(DatabaseError):
+    """Relational integrity violations: duplicate primary keys, NOT NULL."""
+
+
+class InternalError(DatabaseError):
+    """The database hit an internal inconsistency."""
+
+
+class ProgrammingError(DatabaseError):
+    """Programming errors: SQL syntax errors, unknown tables or columns,
+    wrong parameter counts, multi-statement strings passed to execute()."""
+
+
+class NotSupportedError(DatabaseError):
+    """A method or feature the database does not support (e.g. rollback)."""
+
+
+def map_error(exc: BaseException) -> "Error":
+    """Translate an internal error into its PEP 249 equivalent.
+
+    Already-translated errors pass through unchanged; unknown exception
+    types map to :class:`OperationalError`.  The original exception should
+    be chained by the caller (``raise map_error(exc) from exc``).
+    """
+    if isinstance(exc, Error):
+        return exc
+    message = str(exc)
+    if isinstance(exc, ConstraintViolationError):
+        return IntegrityError(message)
+    if isinstance(exc, TypeMismatchError):
+        return DataError(message)
+    if isinstance(exc, (SqlSyntaxError, PlanningError, CatalogError,
+                        AnnotationError, DependencyError)):
+        return ProgrammingError(message)
+    return OperationalError(message)

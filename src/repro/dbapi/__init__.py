@@ -1,0 +1,60 @@
+"""DB-API 2.0 (PEP 249) interface to the bdbms reproduction.
+
+The module-level attributes required by PEP 249 live here and are re-exported
+from the top-level ``repro`` package, which is the canonical DB-API module::
+
+    import repro
+    conn = repro.connect("genes.db", user="curator")
+    cur = conn.cursor()
+    cur.execute("SELECT GName FROM Gene WHERE GID = ?", ("JW0080",))
+    for row in cur:
+        ...
+
+Parameter style is ``qmark`` (``?`` placeholders bound positionally).
+"""
+
+from repro.core.errors import (
+    DataError,
+    DatabaseError,
+    Error,
+    IntegrityError,
+    InterfaceError,
+    InternalError,
+    NotSupportedError,
+    OperationalError,
+    ProgrammingError,
+    Warning,
+)
+from repro.dbapi.connection import Connection, Cursor, connect
+
+#: PEP 249: DB-API level supported.
+apilevel = "2.0"
+#: PEP 249: threads may share the module, but not connections.  Connections
+#: from separate ``repro.connect()`` calls are fully independent (each owns
+#: its database).  Connections layered over one shared ``Database`` via
+#: ``Database.connect()`` share that database's single-threaded engine: the
+#: prepared planning/binding window is serialized by an engine lock, but the
+#: operator pipeline and storage layer are not thread-safe — treat a shared
+#: Database like a shared connection and confine it to one thread.
+threadsafety = 1
+#: PEP 249: qmark parameter style ("... WHERE name = ?").
+paramstyle = "qmark"
+
+__all__ = [
+    "apilevel",
+    "threadsafety",
+    "paramstyle",
+    "connect",
+    "Connection",
+    "Cursor",
+    "Warning",
+    "Error",
+    "InterfaceError",
+    "DatabaseError",
+    "DataError",
+    "OperationalError",
+    "IntegrityError",
+    "InternalError",
+    "ProgrammingError",
+    "NotSupportedError",
+]

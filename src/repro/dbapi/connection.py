@@ -1,0 +1,412 @@
+"""PEP 249 (DB-API 2.0) connections and cursors over the bdbms engine.
+
+``connect()`` opens a database and returns a :class:`Connection`; cursors
+execute SQL with qmark (``?``) parameter binding through the engine's
+prepared-statement machinery:
+
+* the SQL text is parsed once per connection (statement LRU);
+* query plans are cached engine-wide per (SQL text, config fingerprint) and
+  invalidated by the catalog schema version (DDL / ANALYZE), so re-executing
+  a prepared query skips tokenize + parse + planning;
+* SELECT results ride the lazy :class:`~repro.executor.row.StreamingResultSet`
+  — ``fetchone``/iteration never materializes more rows than consumed.
+
+Errors surface as the PEP 249 hierarchy (``repro.ProgrammingError``,
+``repro.IntegrityError``, ...), every class of which still derives from
+:class:`~repro.core.errors.BdbmsError`.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import (
+    BdbmsError,
+    Error,
+    InterfaceError,
+    NotSupportedError,
+    ProgrammingError,
+    map_error,
+)
+from repro.executor.prepared import PreparedStatement
+from repro.executor.row import ColumnInfo, OutputSchema, Row, StreamingResultSet
+from repro.sql import ast
+from repro.sql.parameters import bind_statement, validate_parameters
+
+#: Cursors with an open SELECT stream expose one 7-tuple per output column:
+#: (name, type_code, display_size, internal_size, precision, scale, null_ok).
+#: Only ``name`` is known in general; the rest are ``None`` as PEP 249 allows.
+Description = Tuple[Tuple[Any, ...], ...]
+
+#: Capacity of the per-connection SQL-text -> PreparedStatement LRU.
+STATEMENT_CACHE_SIZE = 128
+
+
+@contextmanager
+def translate_errors():
+    """Re-raise internal errors as their PEP 249 equivalents (chained)."""
+    try:
+        yield
+    except Error:
+        raise
+    except BdbmsError as exc:
+        raise map_error(exc) from exc
+
+
+def connect(path: Optional[str] = None, *, user: str = "admin",
+            **database_kwargs: Any) -> "Connection":
+    """Open a database file (or an in-memory database) as a DB-API connection.
+
+    ``path`` and the keyword arguments mirror
+    :class:`repro.core.database.Database` (``page_size``, ``pool_size``,
+    ``config``, ``batch_size``, ``memory_budget_rows``); ``user`` is the
+    principal all statements of this connection run as.  Closing the
+    connection closes the underlying database.
+
+    >>> import repro
+    >>> with repro.connect() as conn:
+    ...     cur = conn.cursor()
+    ...     cur.execute("CREATE TABLE g (id INTEGER PRIMARY KEY, name TEXT)")
+    ...     cur.execute("INSERT INTO g VALUES (?, ?)", (1, "mraW"))
+    ...     cur.execute("SELECT name FROM g WHERE id = ?", (1,))
+    ...     cur.fetchone().values
+    ('mraW',)
+    """
+    from repro.core.database import Database
+    with translate_errors():
+        database = Database(path, **database_kwargs)
+    return Connection(database, user=user, owns_database=True)
+
+
+class Connection:
+    """A PEP 249 connection bound to one user identity.
+
+    Wraps a :class:`~repro.core.database.Database` — either one it opened
+    itself (module-level :func:`connect`) or a shared one
+    (:meth:`Database.connect`); only an owning connection closes the
+    database on :meth:`close`.
+    """
+
+    #: PEP 249 optional extension: the exception classes as attributes, so
+    #: code holding only a connection can catch ``conn.ProgrammingError``.
+    from repro.core import errors as _errors
+    Warning = _errors.Warning
+    Error = _errors.Error
+    InterfaceError = _errors.InterfaceError
+    DatabaseError = _errors.DatabaseError
+    DataError = _errors.DataError
+    OperationalError = _errors.OperationalError
+    IntegrityError = _errors.IntegrityError
+    InternalError = _errors.InternalError
+    ProgrammingError = _errors.ProgrammingError
+    NotSupportedError = _errors.NotSupportedError
+    del _errors
+
+    def __init__(self, database: Any, *, user: str = "admin",
+                 owns_database: bool = False):
+        self._database = database
+        self._engine = database.engine
+        self.user = user
+        self._owns_database = owns_database
+        self._closed = False
+        self._cursors: "weakref.WeakSet[Cursor]" = weakref.WeakSet()
+        self._statements: "OrderedDict[str, PreparedStatement]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    @property
+    def database(self):
+        """The underlying :class:`Database` (engine knobs, table access)."""
+        return self._database
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("connection is closed")
+
+    def _prepare(self, sql: str) -> PreparedStatement:
+        """SQL text -> PreparedStatement, through the per-connection LRU."""
+        prepared = self._statements.get(sql) if isinstance(sql, str) else None
+        if prepared is not None:
+            self._statements.move_to_end(sql)
+            return prepared
+        with translate_errors():
+            prepared = self._engine.prepare(sql)
+        self._statements[sql] = prepared
+        while len(self._statements) > STATEMENT_CACHE_SIZE:
+            self._statements.popitem(last=False)
+        return prepared
+
+    # ------------------------------------------------------------------
+    # PEP 249 interface
+    # ------------------------------------------------------------------
+    def cursor(self) -> "Cursor":
+        self._check_open()
+        cursor = Cursor(self)
+        self._cursors.add(cursor)
+        return cursor
+
+    def commit(self) -> None:
+        """Flush dirty buffered pages to storage.
+
+        Statements auto-commit (there is no transaction manager yet), so
+        commit's durability obligation reduces to flushing the buffer pool.
+        """
+        self._check_open()
+        with translate_errors():
+            self._database.flush()
+
+    def rollback(self) -> None:
+        self._check_open()
+        raise NotSupportedError(
+            "transactions are not supported: every statement auto-commits")
+
+    def close(self) -> None:
+        """Close every cursor, drop cached statements, and (when owning)
+        close the underlying database.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for cursor in list(self._cursors):
+            cursor.close()
+        self._statements.clear()
+        if self._owns_database:
+            self._database.close()
+
+    # -- conveniences (sqlite3-style shortcuts) -------------------------
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> "Cursor":
+        """Shortcut: a fresh cursor with ``execute`` already called."""
+        return self.cursor().execute(sql, params)
+
+    def executemany(self, sql: str,
+                    seq_of_params: Iterable[Sequence[Any]]) -> "Cursor":
+        return self.cursor().executemany(sql, seq_of_params)
+
+    def executescript(self, script: str) -> "Cursor":
+        return self.cursor().executescript(script)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Connection":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"Connection(user={self.user!r}, {state})"
+
+
+class Cursor:
+    """A PEP 249 cursor: execute statements, fetch results, iterate lazily.
+
+    Rows are :class:`~repro.executor.row.Row` objects — sequences (indexable,
+    iterable, ``len()``-able) whose ``.values`` is the plain value tuple and
+    whose ``.annotations`` carries the propagated A-SQL annotations, so the
+    paper's annotation semantics survive the standard API.
+    """
+
+    def __init__(self, connection: Connection):
+        self.connection = connection
+        #: Default ``fetchmany`` size (PEP 249; mutable per cursor).
+        self.arraysize = 1
+        self._closed = False
+        self._result_schema = None
+        self._rowcount = -1
+        self._lastrowid: Optional[int] = None
+        self._stream = None
+
+    # ------------------------------------------------------------------
+    @property
+    def description(self) -> Optional[Description]:
+        """Column descriptions of the last SELECT, ``None`` for DML.
+
+        Built on demand from the result schema: a tight execute/fetch loop
+        that never reads it does not pay for the 7-tuples.
+        """
+        if self._result_schema is None:
+            return None
+        return tuple((column.name, None, None, None, None, None, None)
+                     for column in self._result_schema.columns)
+
+    @property
+    def rowcount(self) -> int:
+        """Rows affected by the last DML statement; ``-1`` for queries
+        (the lazy stream's length is unknown until drained)."""
+        return self._rowcount
+
+    @property
+    def lastrowid(self) -> Optional[int]:
+        """Tuple id of the last row inserted by the last INSERT, if any."""
+        return self._lastrowid
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("cursor is closed")
+        if self.connection.closed:
+            raise InterfaceError("connection is closed")
+
+    def _reset_results(self) -> None:
+        self._result_schema = None
+        self._rowcount = -1
+        self._lastrowid = None
+        self._stream = None
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> "Cursor":
+        """Execute one statement with qmark parameters bound.
+
+        Queries leave a lazy result stream on the cursor (``fetchone`` /
+        ``fetchmany`` / ``fetchall`` / iteration); DML sets ``rowcount``
+        and ``lastrowid``.  Returns the cursor (sqlite3-style chaining).
+        """
+        self._check_open()
+        prepared = self.connection._prepare(sql)
+        self._reset_results()
+        engine = self.connection._engine
+        with translate_errors():
+            if prepared.is_query:
+                stream = engine.stream_prepared(prepared, params,
+                                                user=self.connection.user)
+                self._stream = stream
+                self._result_schema = stream.schema
+            else:
+                summary = engine.execute_prepared(prepared, params,
+                                                  user=self.connection.user)
+                if isinstance(prepared.statement, ast.Explain):
+                    # EXPLAIN reads like a query: one "plan" row per line
+                    # of the plan dump (generic plans render ?N markers).
+                    self._result_schema = OutputSchema([ColumnInfo("plan")])
+                    self._stream = StreamingResultSet(
+                        self._result_schema,
+                        [Row((line,)) for line in summary.message.splitlines()])
+                    return self
+                self._rowcount = summary.rows_affected
+                tuple_ids = summary.details.get("tuple_ids") or ()
+                if isinstance(prepared.statement, ast.Insert) and tuple_ids:
+                    self._lastrowid = tuple_ids[-1]
+        return self
+
+    def executemany(self, sql: str,
+                    seq_of_params: Iterable[Sequence[Any]]) -> "Cursor":
+        """Execute one DML statement once per parameter set.
+
+        INSERTs take the batched fast path: every bound VALUES row is
+        collected into a *single* multi-row INSERT executed in one engine
+        call (one pass through validation, index maintenance bookkeeping,
+        and statistics), which is how bulk loads ride the vectorized
+        pipeline instead of paying per-call dispatch.
+        """
+        self._check_open()
+        prepared = self.connection._prepare(sql)
+        self._reset_results()
+        engine = self.connection._engine
+        with translate_errors():
+            if prepared.is_query:
+                raise ProgrammingError(
+                    "executemany() cannot be used with SELECT; iterate "
+                    "execute() instead")
+            total = 0
+            if isinstance(prepared.statement, ast.Insert):
+                rows: List[List[ast.Expression]] = []
+                for params in seq_of_params:
+                    bound_params = validate_parameters(
+                        params, prepared.parameter_count)
+                    bound = bind_statement(prepared.statement, bound_params)
+                    rows.extend(bound.rows)
+                if rows:
+                    statement = ast.Insert(prepared.statement.table,
+                                           prepared.statement.columns, rows)
+                    summary = engine.execute(statement,
+                                             user=self.connection.user)
+                    total = summary.rows_affected
+                    tuple_ids = summary.details.get("tuple_ids") or ()
+                    if tuple_ids:
+                        self._lastrowid = tuple_ids[-1]
+            else:
+                for params in seq_of_params:
+                    summary = engine.execute_prepared(
+                        prepared, params, user=self.connection.user)
+                    total += summary.rows_affected
+            self._rowcount = total
+        return self
+
+    def executescript(self, script: str) -> "Cursor":
+        """Execute a semicolon-separated, unparameterized script."""
+        self._check_open()
+        self._reset_results()
+        with translate_errors():
+            results = self.connection.database.execute_script(
+                script, user=self.connection.user)
+        self._rowcount = sum(getattr(result, "rows_affected", 0)
+                             for result in results)
+        return self
+
+    # ------------------------------------------------------------------
+    # Fetching
+    # ------------------------------------------------------------------
+    def _result_stream(self):
+        if self._stream is None:
+            raise ProgrammingError(
+                "no result set: execute a SELECT before fetching")
+        return self._stream
+
+    def fetchone(self) -> Optional[Row]:
+        """The next row of the stream, or ``None`` when exhausted."""
+        self._check_open()
+        stream = self._result_stream()
+        with translate_errors():
+            return next(iter(stream), None)
+
+    def fetchmany(self, size: Optional[int] = None) -> List[Row]:
+        self._check_open()
+        stream = self._result_stream()
+        with translate_errors():
+            return stream.fetchmany(self.arraysize if size is None else size)
+
+    def fetchall(self) -> List[Row]:
+        self._check_open()
+        stream = self._result_stream()
+        with translate_errors():
+            return list(stream)
+
+    def __iter__(self) -> "Cursor":
+        return self
+
+    def __next__(self) -> Row:
+        self._check_open()
+        stream = self._result_stream()
+        with translate_errors():
+            return next(iter(stream))
+
+    # ------------------------------------------------------------------
+    def setinputsizes(self, sizes: Sequence[Any]) -> None:  # pragma: no cover
+        """PEP 249 no-op: parameter types are inferred from the values."""
+
+    def setoutputsize(self, size: int,
+                      column: Optional[int] = None) -> None:  # pragma: no cover
+        """PEP 249 no-op: values are never truncated."""
+
+    def close(self) -> None:
+        """Discard any pending result stream.  Idempotent."""
+        self._closed = True
+        self._stream = None
+
+    def __enter__(self) -> "Cursor":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"Cursor({state}, rowcount={self._rowcount})"

@@ -17,7 +17,8 @@ the bdbms managers:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.annotations.manager import AnnotationManager
@@ -31,6 +32,7 @@ from repro.core.errors import (
     AuthorizationError,
     ExecutionError,
     PlanningError,
+    ProgrammingError,
 )
 from repro.dependencies.tracker import DependencyTracker, UpdateImpact
 from repro.executor import operators as ops
@@ -41,6 +43,12 @@ from repro.executor.row import (
     Row,
     StreamingResultSet,
 )
+from repro.executor.prepared import (
+    CachedPlan,
+    PlanCache,
+    PreparedStatement,
+    bind_plan,
+)
 from repro.index.manager import IndexManager
 from repro.planner import plan as planlib
 from repro.storage.spill import SpillManager, SpillStats
@@ -48,6 +56,13 @@ from repro.planner.expressions import Evaluator, contains_aggregate
 from repro.planner.planner import combine_conjuncts, push_down_conjuncts
 from repro.provenance.manager import ProvenanceManager
 from repro.sql import ast
+from repro.sql.parameters import (
+    bind_select_clauses,
+    bind_statement,
+    substitute_parameters,
+    validate_parameters,
+)
+from repro.sql.parser import parse_prepared
 from repro.types.datatypes import DataType, parse_timestamp
 
 
@@ -108,9 +123,24 @@ class EngineConfig:
     memory_budget_rows: Optional[int] = None
     #: Directory for spill temp files (``None`` = the platform temp dir).
     spill_directory: Optional[str] = None
+    #: Capacity of the engine's prepared-plan cache (entries; one entry per
+    #: SELECT block of a prepared statement under one config fingerprint).
+    #: ``0`` disables plan caching — prepared statements then still skip
+    #: tokenize + parse but re-plan on every execution.
+    plan_cache_size: int = 128
 
     def __post_init__(self) -> None:
         self.validate()
+
+    def fingerprint(self) -> Tuple[Any, ...]:
+        """All config values, as the plan-cache key component.
+
+        Any field may influence planning or staging (join strategy, index
+        usage, memory budget, batch size...), so the whole config
+        participates: executing the same SQL under a different configuration
+        plans afresh instead of reusing a plan built for other knobs.
+        """
+        return tuple(getattr(self, name) for name in _CONFIG_FIELD_NAMES)
 
     def validate(self) -> None:
         """Reject unknown modes/strategies and bad batch sizes eagerly."""
@@ -133,6 +163,17 @@ class EngineConfig:
             raise PlanningError(
                 f"memory_budget_rows must be a positive integer or None, "
                 f"got {self.memory_budget_rows!r}")
+        if not isinstance(self.plan_cache_size, int) \
+                or isinstance(self.plan_cache_size, bool) \
+                or self.plan_cache_size < 0:
+            raise PlanningError(
+                f"plan_cache_size must be a non-negative integer, "
+                f"got {self.plan_cache_size!r}")
+
+
+#: Field names of :class:`EngineConfig`, resolved once — ``fingerprint()``
+#: runs per prepared execution and must not pay dataclass reflection.
+_CONFIG_FIELD_NAMES = tuple(f.name for f in fields(EngineConfig))
 
 
 @dataclass
@@ -149,6 +190,27 @@ class ExecutionSummary:
 
 
 ExecutionResult = Union[ResultSet, ExecutionSummary]
+
+
+class _PreparedContext:
+    """Per-execution state of a prepared run: bound values + cache keying."""
+
+    __slots__ = ("sql", "params", "fingerprint", "_block")
+
+    def __init__(self, sql: str, params: Tuple[Any, ...],
+                 fingerprint: Tuple[Any, ...]):
+        self.sql = sql
+        self.params = params
+        self.fingerprint = fingerprint
+        self._block = 0
+
+    def next_block(self) -> int:
+        """Ordinal of the next SELECT block (compound queries plan several
+        blocks per statement; recursion order is deterministic, so the
+        ordinal disambiguates them within one SQL text)."""
+        block = self._block
+        self._block += 1
+        return block
 
 
 class Engine:
@@ -179,6 +241,21 @@ class Engine:
         #: while rows are drained, so a streaming consumer sees the final
         #: numbers once the stream is exhausted.
         self.last_spill: SpillStats = SpillStats()
+        #: Prepared-plan cache keyed on (SQL text, SELECT-block ordinal,
+        #: EngineConfig fingerprint), invalidated by the catalog schema
+        #: version (see :class:`~repro.executor.prepared.PlanCache`).
+        self.plan_cache = PlanCache(self.config.plan_cache_size)
+        #: Whether the most recent SELECT reused a cached plan (``last_plan``
+        #: then *is* the cached template object, identity-stable across
+        #: executions until something invalidates it).
+        self.last_plan_cached: bool = False
+        self._prepared_context: Optional[_PreparedContext] = None
+        #: Serializes the prepared planning/binding window.  The operator
+        #: pipeline itself is single-threaded per engine (documented), but
+        #: ``_prepared_context`` is engine-global state: without the lock,
+        #: two connections over one shared Database executing concurrently
+        #: could bind one thread's parameters into the other's statement.
+        self._prepared_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -234,6 +311,81 @@ class Engine:
     def _check_admin(self, user: str, action: str) -> None:
         if self.config.check_privileges and not self.access.is_superuser(user):
             raise AuthorizationError(f"only a superuser may {action}")
+
+    # ------------------------------------------------------------------
+    # Prepared statements
+    # ------------------------------------------------------------------
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Parse ``sql`` once into a reusable :class:`PreparedStatement`.
+
+        Counts the qmark placeholders and rejects statement types that
+        cannot carry parameters; a multi-statement string raises
+        :class:`ProgrammingError` (from the parser) pointing at scripts.
+        """
+        if not isinstance(sql, str):
+            raise ProgrammingError(
+                f"SQL must be a string, got {type(sql).__name__}")
+        statement, parameter_count = parse_prepared(sql)
+        if parameter_count and not isinstance(
+                statement, (ast.Select, ast.SetOperation, ast.Insert,
+                            ast.Update, ast.Delete, ast.Explain)):
+            raise ProgrammingError(
+                f"parameter placeholders are not supported in "
+                f"{type(statement).__name__} statements")
+        return PreparedStatement(sql, statement, parameter_count)
+
+    def execute_prepared(self, prepared: PreparedStatement,
+                         params: Sequence[Any] = (),
+                         user: str = "admin") -> ExecutionResult:
+        """Execute a prepared statement with ``params`` bound.
+
+        Parameter count and types are validated eagerly.  Queries run with
+        the plan cache engaged (plan once per SQL text + config fingerprint,
+        rebind values per execution); DML binds the values into the
+        statement and executes directly.
+        """
+        if isinstance(prepared.statement, ast.Explain):
+            # Generic-plan EXPLAIN: the statement is planned, never executed,
+            # so placeholders stay unbound and render as ?N markers.  Bound
+            # values, when supplied, are validated but unused.
+            if params:
+                validate_parameters(params, prepared.parameter_count)
+            return self.execute(prepared.statement, user=user)
+        bound_params = validate_parameters(params, prepared.parameter_count)
+        if not prepared.is_query:
+            return self.execute(bind_statement(prepared.statement, bound_params),
+                                user=user)
+        with self._prepared_lock:
+            previous = self._prepared_context
+            self._prepared_context = _PreparedContext(
+                prepared.sql, bound_params, self.config.fingerprint())
+            try:
+                return self.execute_query(prepared.statement, user)
+            finally:
+                self._prepared_context = previous
+
+    def stream_prepared(self, prepared: PreparedStatement,
+                        params: Sequence[Any] = (),
+                        user: str = "admin") -> StreamingResultSet:
+        """Like :meth:`execute_prepared` but returns a lazy row stream.
+
+        Planning (or a plan-cache hit), privilege checks, and parameter
+        binding all happen eagerly; only row production is deferred.
+        """
+        bound_params = validate_parameters(params, prepared.parameter_count)
+        if not prepared.is_query:
+            raise ProgrammingError(
+                f"statement is not a query: {prepared.sql!r}")
+        # Planning + binding happen eagerly inside the lock; the returned
+        # stream produces rows lazily outside it.
+        with self._prepared_lock:
+            previous = self._prepared_context
+            self._prepared_context = _PreparedContext(
+                prepared.sql, bound_params, self.config.fingerprint())
+            try:
+                return self.stream_query(prepared.statement, user)
+            finally:
+                self._prepared_context = previous
 
     # ------------------------------------------------------------------
     # Queries
@@ -309,8 +461,13 @@ class Engine:
     def _evaluate_select(self, select: ast.Select, user: str) -> ops.Relation:
         self.config.validate()
         stage = self._stage
-        # SELECT without FROM: evaluate the items against a single empty row.
+        # SELECT without FROM: evaluate the items against a single empty row
+        # (binding parameters first — ``SELECT ?`` is a legitimate probe).
         if not select.from_tables:
+            self.last_plan_cached = False   # no plan involved at all
+            context = self._prepared_context
+            if context is not None and context.params:
+                select = bind_select_clauses(select, context.params)
             relation: ops.Relation = (OutputSchema([]), [Row(())])
             return ops.project(relation, select.items)
 
@@ -318,8 +475,20 @@ class Engine:
         for ref in table_refs:
             self._check(user, "SELECT", ref.name)
 
-        plan, _pushed, remaining, order_hint = self._plan_select(select, table_refs)
+        plan, _pushed, remaining, order_hint = self._plan_with_cache(select,
+                                                                     table_refs)
+        # ``last_plan`` is the (possibly cached) template: identity-stable
+        # across cached executions, with parameter placeholders intact.
         self.last_plan = plan
+        context = self._prepared_context
+        if context is not None and context.params:
+            # Bind this execution's values: a substituted copy of the plan
+            # tree and of the post-planning clauses.  The cached template is
+            # never mutated, so the next execution rebinds from it.
+            plan = bind_plan(plan, context.params)
+            remaining = [substitute_parameters(conjunct, context.params)
+                         for conjunct in remaining]
+            select = bind_select_clauses(select, context.params)
         has_aggregates = self._select_has_aggregates(select)
         # Sort elision: the plan already delivers rows in the requested
         # order (an ordered index scan surviving the left spine of
@@ -395,6 +564,81 @@ class Engine:
             relation = stage(ops.limit_offset(relation, select.limit, select.offset))
         return relation
 
+    def _plan_with_cache(self, select: ast.Select,
+                         table_refs: Sequence[ast.TableRef],
+                         ) -> Tuple[planlib.PlanNode,
+                                    Dict[str, List[ast.Expression]],
+                                    List[ast.Expression],
+                                    Optional[Tuple[str, str]]]:
+        """:meth:`_plan_select`, memoized for prepared executions.
+
+        Outside a prepared run (or with ``plan_cache_size = 0``) this is a
+        plain pass-through.  Within one, the result is cached per (SQL text,
+        SELECT-block ordinal, config fingerprint) and validated against the
+        catalog schema version; on a hit the plan's base tables are poked
+        for statistics staleness first, so enough DML since planning
+        triggers auto-ANALYZE — which bumps the version and forces a
+        re-plan instead of trusting stale estimates forever.
+        """
+        context = self._prepared_context
+        cache = self.plan_cache
+        cache.capacity = self.config.plan_cache_size
+        if context is None or self.config.plan_cache_size <= 0:
+            self.last_plan_cached = False
+            return self._plan_select(select, table_refs)
+        key = (context.sql, context.next_block(), context.fingerprint)
+        entry = cache.lookup(key, self.catalog.schema_version)
+        if entry is not None:
+            statistics = self.catalog.statistics
+            for table in entry.tables:
+                if self.catalog.has_table(table):
+                    statistics.stats_for(table)
+            if self.catalog.schema_version == entry.schema_version \
+                    and self._range_scan_gates_hold(entry.plan):
+                cache.stats.hits += 1
+                self.last_plan_cached = True
+                return (entry.plan, entry.pushed, list(entry.remaining),
+                        entry.order_hint)
+            cache.discard(key)
+        cache.stats.misses += 1
+        self.last_plan_cached = False
+        plan, pushed, remaining, order_hint = self._plan_select(select,
+                                                                table_refs)
+        cache.store(key, CachedPlan(
+            self.catalog.schema_version, plan, pushed, list(remaining),
+            order_hint, tables=tuple(sorted({ref.name for ref in table_refs}))))
+        return plan, pushed, remaining, order_hint
+
+    def _range_scan_gates_hold(self, plan: planlib.PlanNode) -> bool:
+        """Re-check a cached plan's index-range completeness proofs.
+
+        ``choose_index_range`` only picks an ordered/unbounded key-order
+        scan (and lower-bound-only ranges) after proving no qualifying row
+        is missing from the index (``null_keys``/``nan_keys`` gates).  That
+        proof is *data*-dependent: a later INSERT of a NULL- or NaN-keyed
+        row breaks it without any schema change, and DML deliberately does
+        not bump the schema version.  So a cache hit re-validates the gates
+        against the live counters and forces a re-plan when they no longer
+        hold — otherwise the cached scan would silently drop those rows.
+        Index lookups need no re-check: an equality probe can never match a
+        NULL row, and a non-NaN key can never match a NaN row.
+        """
+        if isinstance(plan, planlib.JoinPlan):
+            return (self._range_scan_gates_hold(plan.left)
+                    and self._range_scan_gates_hold(plan.right))
+        if plan.access_path != "index_range" or plan.index_name is None:
+            return True
+        try:
+            index = self.indexes.get(plan.index_name)
+        except Exception:
+            return False
+        bounded = plan.range_low is not None or plan.range_high is not None
+        if bounded and plan.range_high is None and index.nan_keys > 0:
+            return False  # NaN rows satisfy a lower-bound-only range
+        if not bounded and (index.null_keys > 0 or index.nan_keys > 0):
+            return False  # full key-order scan must cover every row
+        return True
+
     def _scan_cap(self, select: ast.Select, plan: planlib.PlanNode,
                   remaining: Sequence[ast.Expression]) -> Optional[int]:
         """Limit pushdown: cap a bare single-table scan at LIMIT+OFFSET rows.
@@ -436,7 +680,8 @@ class Engine:
         """Execute one scan leaf along its planned access path."""
         source = self._row_source(ref)
         batched = self.config.execution_mode == "streaming"
-        if node.access_path == "index_lookup" and node.index_name is not None:
+        if node.access_path == "index_lookup" and node.index_name is not None \
+                and self._index_key_safe(node):
             index = self.indexes.get(node.index_name)
             relation = ops.index_scan(source, index.structure, node.index_key)
         elif node.access_path == "index_range" and node.index_name is not None:
@@ -460,6 +705,41 @@ class Engine:
         if pushdown is not None:
             relation = ops.filter_rows(relation, pushdown)
         return self._stage(relation)
+
+    def _index_key_safe(self, node: planlib.ScanPlan) -> bool:
+        """Whether an index-lookup key may be probed into the structure.
+
+        Bind-time keys (from parameters) can hold values a plan-time literal
+        never could: NULL (equality never matches, and the B-tree cannot
+        compare it), NaN (excluded from the structure at insert), or a value
+        whose type category differs from the indexed column's (the B-tree
+        bisect would compare across categories).  Any of those falls back to
+        a sequential scan — the full pushed conjunct list is re-applied on
+        top of every access path, so the fallback stays correct.
+        """
+        key = node.index_key
+        components = key if isinstance(key, tuple) else (key,)
+        for column, value in zip(node.index_columns, components):
+            if value is None:
+                return False
+            if isinstance(value, float) and value != value:
+                return False
+            category = planlib._literal_category(value)
+            if category is None:
+                return False
+            expected = self._column_category(node.table, column)
+            if expected is not None and expected != category:
+                return False
+        return True
+
+    def _column_category(self, table_name: str,
+                         column: str) -> Optional[str]:
+        """Coarse type category ("num"/"text"/"time") of a base column."""
+        try:
+            dtype = self.catalog.table(table_name).schema.column(column).dtype
+        except Exception:
+            return None
+        return self._TYPE_CATEGORIES.get(dtype)
 
     # ------------------------------------------------------------------
     # Join planning and plan execution
@@ -510,12 +790,7 @@ class Engine:
             return float(statistics.distinct_estimate(table_of[qualifier], column))
 
         def type_category(qualifier: str, column: str) -> Optional[str]:
-            schema = self.catalog.table(table_of[qualifier]).schema
-            try:
-                dtype = schema.column(column).dtype
-            except Exception:
-                return None
-            return self._TYPE_CATEGORIES.get(dtype)
+            return self._column_category(table_of[qualifier], column)
 
         list_indexes = self.indexes.indexes_for if self.config.use_indexes else None
         order_hint = self._interesting_order(select, resolvable)

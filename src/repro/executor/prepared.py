@@ -1,0 +1,181 @@
+"""Prepared statements and the schema-versioned plan cache.
+
+The DB-API surface (``repro.connect``) executes everything through
+:class:`PreparedStatement`: the SQL text is tokenized and parsed exactly once
+(statement cache on the connection), and for queries the plan tree is built
+exactly once per ``(SQL text, EngineConfig fingerprint)`` and reused until
+the catalog's schema version moves (DDL, index DDL, ANALYZE — including
+statistics auto-refresh).  Bound values are substituted into the cached
+plan's expressions per execution (:func:`bind_plan`), so re-executing a
+prepared statement skips tokenize + parse + join planning + access-path
+selection entirely.
+
+The cache is a plain LRU over ``OrderedDict`` — capacity comes from
+``EngineConfig.plan_cache_size`` — and every entry remembers the schema
+version it was planned under plus the base tables it touches (so a cache hit
+can poke statistics staleness before trusting the plan).
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.planner import plan as planlib
+from repro.sql import ast
+from repro.sql.parameters import substitute_parameters
+
+
+class PreparedStatement:
+    """A parsed statement plus its placeholder count.
+
+    Immutable after construction; holds the template AST (with
+    :class:`ast.Parameter` nodes intact) that planning and binding both
+    read.  Obtained from :meth:`repro.executor.engine.Engine.prepare`.
+    """
+
+    __slots__ = ("sql", "statement", "parameter_count", "is_query")
+
+    def __init__(self, sql: str, statement: Any, parameter_count: int):
+        self.sql = sql
+        self.statement = statement
+        self.parameter_count = parameter_count
+        self.is_query = isinstance(statement, (ast.Select, ast.SetOperation))
+
+    def __repr__(self) -> str:
+        return (f"PreparedStatement({self.sql!r}, "
+                f"parameters={self.parameter_count})")
+
+
+@dataclass
+class PlanCacheStats:
+    """Counters for observability: tests and benchmarks assert on these."""
+
+    hits: int = 0
+    misses: int = 0
+    #: Entries dropped because the catalog schema version moved under them.
+    invalidations: int = 0
+    #: Entries dropped by LRU capacity pressure.
+    evictions: int = 0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.invalidations = self.evictions = 0
+
+
+@dataclass
+class CachedPlan:
+    """One cached planning result for a single SELECT block."""
+
+    schema_version: int
+    plan: planlib.PlanNode
+    pushed: Dict[str, List[ast.Expression]]
+    remaining: List[ast.Expression]
+    order_hint: Optional[Tuple[str, str]]
+    #: Base tables the plan reads — poked for statistics staleness on a hit.
+    tables: Tuple[str, ...] = ()
+
+
+class PlanCache:
+    """LRU of :class:`CachedPlan` keyed on (sql, block, config fingerprint)."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[Any, ...], CachedPlan]" = OrderedDict()
+        self.stats = PlanCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: Tuple[Any, ...],
+               schema_version: int) -> Optional[CachedPlan]:
+        """A valid entry for ``key``, or ``None`` (stale entries are dropped
+        and counted as invalidations; the hit/miss tally is the caller's —
+        it may still re-validate the entry after poking statistics)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if entry.schema_version != schema_version:
+            del self._entries[key]
+            self.stats.invalidations += 1
+            return None
+        self._entries.move_to_end(key)
+        return entry
+
+    def discard(self, key: Tuple[Any, ...]) -> None:
+        if self._entries.pop(key, None) is not None:
+            self.stats.invalidations += 1
+
+    def store(self, key: Tuple[Any, ...], entry: CachedPlan) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > max(0, self.capacity):
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+# ---------------------------------------------------------------------------
+# Plan binding
+# ---------------------------------------------------------------------------
+def resolve_bound_value(value: Any, params: Sequence[Any]) -> Any:
+    """Resolve an index-key component that may be a parameter placeholder."""
+    if isinstance(value, ast.Parameter):
+        return params[value.index]
+    if isinstance(value, tuple) \
+            and any(isinstance(component, ast.Parameter)
+                    for component in value):
+        return tuple(resolve_bound_value(component, params)
+                     for component in value)
+    return value
+
+
+def bind_plan(node: planlib.PlanNode,
+              params: Sequence[Any]) -> planlib.PlanNode:
+    """A copy of the plan tree with bound parameter values substituted.
+
+    Expression lists (pushed conjuncts, join conditions, per-node filters)
+    get :func:`substitute_parameters`; index lookup keys get the raw bound
+    value.  With no parameters the original tree is returned unchanged —
+    which keeps ``engine.last_plan`` identity stable across cached
+    executions of unparameterized statements too.
+
+    The bound copy is what the executor walks; the cached template is never
+    mutated, so one plan serves concurrent bind sets sequentially.
+    Identity-preserving per subtree: nodes without placeholders below them
+    are shared, not copied (``copy.copy`` — not ``dataclasses.replace`` —
+    for the ones that do change, to keep the per-execution cost at a few
+    microseconds).
+    """
+    if not params:
+        return node
+    if isinstance(node, planlib.ScanPlan):
+        pushed = [substitute_parameters(conjunct, params)
+                  for conjunct in node.pushed]
+        index_key = resolve_bound_value(node.index_key, params)
+        if index_key is node.index_key \
+                and all(new is old for new, old in zip(pushed, node.pushed)):
+            return node
+        clone = copy.copy(node)
+        clone.pushed = pushed
+        clone.index_key = index_key
+        return clone
+    left = bind_plan(node.left, params)
+    right = bind_plan(node.right, params)
+    condition = (None if node.condition is None
+                 else substitute_parameters(node.condition, params))
+    filters = [substitute_parameters(conjunct, params)
+               for conjunct in node.filters]
+    if left is node.left and right is node.right \
+            and condition is node.condition \
+            and all(new is old for new, old in zip(filters, node.filters)):
+        return node
+    clone = copy.copy(node)
+    clone.left = left
+    clone.right = right
+    clone.condition = condition
+    clone.filters = filters
+    return clone

@@ -147,6 +147,16 @@ class Row:
         return Row(self.values + other.values,
                    [set(a) for a in self.annotations] + [set(a) for a in other.annotations])
 
+    # -- sequence protocol (PEP 249 rows are sequences) -----------------
+    def __getitem__(self, index):
+        return self.values[index]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self):
+        return iter(self.values)
+
     def __repr__(self) -> str:
         return f"Row({self.values!r})"
 

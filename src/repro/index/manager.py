@@ -107,6 +107,9 @@ class IndexManager:
         for tuple_id, row in catalog_table.scan():
             index.add_entry(index.key_of(dict(zip(names, row))), tuple_id)
         self._indexes[key] = index
+        # A new access path changes what the planner would choose: cached
+        # plans built without this index must be re-planned.
+        self.catalog.bump_schema_version()
         return index
 
     def drop_index(self, name: str) -> None:
@@ -114,12 +117,15 @@ class IndexManager:
         if key not in self._indexes:
             raise IndexError_(f"index {name!r} does not exist")
         del self._indexes[key]
+        self.catalog.bump_schema_version()
 
     def drop_indexes_for(self, table: str) -> None:
         doomed = [name for name, index in self._indexes.items()
                   if index.table.lower() == table.lower()]
         for name in doomed:
             del self._indexes[name]
+        if doomed:
+            self.catalog.bump_schema_version()
 
     def get(self, name: str) -> SecondaryIndex:
         try:

@@ -144,6 +144,11 @@ class Evaluator:
         if isinstance(expr, ast.ColumnRef):
             position = self.schema.resolve(expr.name, expr.table)
             return lambda row: row[position]
+        if isinstance(expr, ast.Parameter):
+            raise PlanningError(
+                f"unbound parameter placeholder ?{expr.index + 1}: "
+                f"parameterized statements must be executed with bound "
+                f"values through a prepared statement or cursor")
         if isinstance(expr, ast.Star):
             raise PlanningError("'*' is only valid in a projection list or COUNT(*)")
         if isinstance(expr, ast.UnaryOp):

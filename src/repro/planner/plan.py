@@ -263,6 +263,17 @@ def choose_index_lookup(table: str, qualifier: str,
             value = lookup_value(lookups, column, qualifier, _LOOKUP_MISSING)
             if value is _LOOKUP_MISSING or value is None:
                 break
+            if isinstance(value, ast.Parameter):
+                # The key value arrives at bind time.  The plan-time category
+                # check moves to execution (the engine falls back to a
+                # sequential scan when the bound value's category does not
+                # match the column's); here it is enough that the column is
+                # of an indexable category at all.
+                if type_category is not None \
+                        and type_category(qualifier, column) not in ("num", "text"):
+                    break
+                key_values.append(value)
+                continue
             category = _literal_category(value)
             if category is None:
                 break
@@ -922,6 +933,8 @@ def format_expression(expr: ast.Expression) -> str:
     """Render an expression AST back to SQL-ish text (for EXPLAIN output)."""
     if isinstance(expr, ast.Literal):
         return _format_literal(expr.value)
+    if isinstance(expr, ast.Parameter):
+        return f"?{expr.index + 1}"
     if isinstance(expr, ast.ColumnRef):
         return expr.display()
     if isinstance(expr, ast.Star):
@@ -963,6 +976,9 @@ def format_expression(expr: ast.Expression) -> str:
 
 
 def _format_literal(value: Any) -> str:
+    if isinstance(value, ast.Parameter):
+        # Index keys of a prepared plan hold the placeholder until bind time.
+        return f"?{value.index + 1}"
     if value is None:
         return "NULL"
     if value is True:

@@ -117,16 +117,27 @@ LookupKey = Tuple[Optional[str], str]
 
 
 def equality_lookups(conjuncts: Sequence[ast.Expression]) -> Dict[LookupKey, Any]:
-    """Extract ``column = literal`` equalities usable for index lookups."""
+    """Extract ``column = literal`` equalities usable for index lookups.
+
+    A ``column = ?`` equality participates too: its recorded value is the
+    :class:`ast.Parameter` node itself, which the consumer resolves to the
+    bound value at execution time (plan-time consumers that need a concrete
+    value — primary-key detection, NDV-based selectivity — only care that
+    the column *is* pinned, not what it is pinned to).
+    """
     lookups: Dict[LookupKey, Any] = {}
     for conjunct in conjuncts:
         if not isinstance(conjunct, ast.BinaryOp) or conjunct.op != "=":
             continue
         left, right = conjunct.left, conjunct.right
-        if isinstance(left, ast.ColumnRef) and isinstance(right, ast.Literal):
-            lookups[_lookup_key(left)] = right.value
-        elif isinstance(right, ast.ColumnRef) and isinstance(left, ast.Literal):
-            lookups[_lookup_key(right)] = left.value
+        if isinstance(left, ast.ColumnRef) \
+                and isinstance(right, (ast.Literal, ast.Parameter)):
+            lookups[_lookup_key(left)] = (
+                right.value if isinstance(right, ast.Literal) else right)
+        elif isinstance(right, ast.ColumnRef) \
+                and isinstance(left, (ast.Literal, ast.Parameter)):
+            lookups[_lookup_key(right)] = (
+                left.value if isinstance(left, ast.Literal) else left)
     return lookups
 
 

@@ -1,12 +1,18 @@
 """SQL and A-SQL front end: tokenizer, AST, and parser."""
 
 from repro.sql import ast
-from repro.sql.parser import parse_expression, parse_script, parse_statement
+from repro.sql.parser import (
+    parse_expression,
+    parse_prepared,
+    parse_script,
+    parse_statement,
+)
 from repro.sql.tokens import Token, TokenType, tokenize
 
 __all__ = [
     "ast",
     "parse_expression",
+    "parse_prepared",
     "parse_script",
     "parse_statement",
     "Token",

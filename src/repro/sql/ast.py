@@ -25,6 +25,21 @@ class Literal(Expression):
 
 
 @dataclass
+class Parameter(Expression):
+    """A qmark (``?``) placeholder of a prepared statement.
+
+    ``index`` is the zero-based position of the placeholder in the statement
+    text; execution substitutes the bound value for it (see
+    :mod:`repro.sql.parameters`).  The planner treats a parameter like a
+    literal of *unknown* value: equality predicates still estimate ``1/NDV``
+    selectivity and still qualify for index lookups (the key is resolved at
+    bind time), while range predicates fall back to default selectivities.
+    """
+
+    index: int
+
+
+@dataclass
 class ColumnRef(Expression):
     name: str
     table: Optional[str] = None

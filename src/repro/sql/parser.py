@@ -10,28 +10,59 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Tuple
 
-from repro.core.errors import SqlSyntaxError
+from repro.core.errors import ProgrammingError, SqlSyntaxError
 from repro.sql import ast
 from repro.sql.tokens import Token, TokenType, tokenize
 
 
 def parse_statement(text: str) -> Any:
     """Parse a single SQL / A-SQL statement and return its AST node."""
+    return parse_prepared(text)[0]
+
+
+def parse_prepared(text: str) -> Tuple[Any, int]:
+    """Parse a single statement, returning ``(node, parameter_count)``.
+
+    ``parameter_count`` is the number of qmark (``?``) placeholders found;
+    each becomes an :class:`~repro.sql.ast.Parameter` node carrying its
+    zero-based position.  A second statement after a semicolon raises
+    :class:`ProgrammingError` (one statement per call — scripts go through
+    :func:`parse_script` / ``execute_script``).
+    """
     parser = Parser(tokenize(text))
     statement = parser.parse_statement()
+    had_semicolon = parser.match_punct(";")
     parser.skip_semicolons()
+    if had_semicolon and not parser.at_end():
+        token = parser.peek()
+        raise ProgrammingError(
+            f"multi-statement strings are not allowed here (second statement "
+            f"starts at {token.value!r}, position {token.position}); execute "
+            f"one statement at a time, or use execute_script() / "
+            f"Cursor.executescript() for scripts"
+        )
     parser.expect_end()
-    return statement
+    return statement, parser.parameter_count
 
 
 def parse_script(text: str) -> List[Any]:
-    """Parse a script of semicolon-separated statements."""
+    """Parse a script of semicolon-separated statements.
+
+    Scripts are unparameterized: a ``?`` placeholder raises
+    :class:`ProgrammingError` (there is no way to bind values to a script).
+    """
     parser = Parser(tokenize(text))
     statements: List[Any] = []
     parser.skip_semicolons()
     while not parser.at_end():
         statements.append(parser.parse_statement())
         parser.skip_semicolons()
+    if parser.parameter_count:
+        raise ProgrammingError(
+            f"parameter placeholders are not allowed in scripts (found "
+            f"{parser.parameter_count}); execute parameterized statements "
+            f"one at a time through a cursor"
+        )
     return statements
 
 
@@ -49,6 +80,9 @@ class Parser:
     def __init__(self, tokens: List[Token]):
         self._tokens = tokens
         self._pos = 0
+        #: Number of qmark placeholders consumed so far; each ``?`` becomes a
+        #: :class:`ast.Parameter` carrying its zero-based position.
+        self.parameter_count = 0
 
     # ------------------------------------------------------------------
     # Token-stream helpers
@@ -681,6 +715,11 @@ class Parser:
         if token.type is TokenType.STRING:
             self.advance()
             return ast.Literal(token.value)
+        if token.type is TokenType.PUNCTUATION and token.value == "?":
+            self.advance()
+            parameter = ast.Parameter(self.parameter_count)
+            self.parameter_count += 1
+            return parameter
         if token.is_keyword("NULL"):
             self.advance()
             return ast.Literal(None)

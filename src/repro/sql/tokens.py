@@ -47,7 +47,7 @@ KEYWORDS = {
 
 #: Multi-character operators must be listed before their prefixes.
 _OPERATORS = ["<>", "!=", ">=", "<=", "=", "<", ">", "||", "+", "-", "*", "/", "%"]
-_PUNCTUATION = ["(", ")", ",", ".", ";"]
+_PUNCTUATION = ["(", ")", ",", ".", ";", "?"]
 
 
 @dataclass

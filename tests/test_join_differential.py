@@ -523,3 +523,89 @@ def test_mixed_type_join_keys_stay_on_nested_loop():
     db.config.join_strategy = "auto"
     assert canonical(db.query(query)) == baseline
     assert plan_strategies(db.engine.last_plan) == ["cross"]
+
+
+# ---------------------------------------------------------------------------
+# Parameterized differential: cursor.execute(sql, params) vs inlined literals
+# ---------------------------------------------------------------------------
+#: Each shape is (parameterized SQL, bound values, literal-inlined SQL); the
+#: two texts must be observationally equivalent — same row multisets AND the
+#: same propagated annotations — under every (strategy, mode, batch size)
+#: combination, executed twice so the second run exercises the cached plan.
+PARAMETERIZED_SHAPES = {
+    "param_equi_join_filters": (
+        "SELECT g.gid, p.pid, p.kind FROM gene ANNOTATION(gnote) g, "
+        "protein ANNOTATION(pnote) p "
+        "WHERE g.gid = p.gid AND g.score > ? AND p.kind = ?",
+        (3, "k1"),
+        QUERY_SHAPES["equi_join_with_filters"],
+    ),
+    "param_between_order": (
+        "SELECT g.gid, g.score FROM gene ANNOTATION(gnote) g "
+        "WHERE g.score BETWEEN ? AND ? ORDER BY g.score",
+        (13, 16),
+        QUERY_SHAPES["range_between_order"],
+    ),
+    "param_projection_in_like": (
+        "SELECT g.gid, g.score + ?, p.pid FROM gene ANNOTATION(gnote) g, "
+        "protein ANNOTATION(pnote) p "
+        "WHERE g.gid = p.gid AND p.kind IN (?, ?) AND g.name LIKE ?",
+        (10, "k0", "k2", "gene%"),
+        "SELECT g.gid, g.score + 10, p.pid FROM gene ANNOTATION(gnote) g, "
+        "protein ANNOTATION(pnote) p "
+        "WHERE g.gid = p.gid AND p.kind IN ('k0', 'k2') AND g.name LIKE 'gene%'",
+    ),
+    "param_group_having": (
+        "SELECT g.gid, COUNT(*), SUM(p.score + ?) FROM gene ANNOTATION(gnote) g, "
+        "protein ANNOTATION(pnote) p WHERE g.gid = p.gid AND p.score < ? "
+        "GROUP BY g.gid HAVING COUNT(*) >= ?",
+        (1, 12, 1),
+        "SELECT g.gid, COUNT(*), SUM(p.score + 1) FROM gene ANNOTATION(gnote) g, "
+        "protein ANNOTATION(pnote) p WHERE g.gid = p.gid AND p.score < 12 "
+        "GROUP BY g.gid HAVING COUNT(*) >= 1",
+    ),
+}
+
+
+def run_cursor_query(db: Database, sql: str, params, strategy: str,
+                     mode: str, batch_size: int = 1024):
+    """One cursor execution under a forced (strategy, mode, batch) triple."""
+    from types import SimpleNamespace
+    db.config.join_strategy = strategy
+    db.config.execution_mode = mode
+    db.config.batch_size = batch_size
+    try:
+        rows = db.connect().cursor().execute(sql, params).fetchall()
+        return SimpleNamespace(rows=rows)
+    finally:
+        db.config.join_strategy = "auto"
+        db.config.execution_mode = "streaming"
+        db.config.batch_size = 1024
+
+
+@pytest.mark.parametrize("shape", sorted(PARAMETERIZED_SHAPES))
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("batch_size", (1, 1024))
+def test_cursor_parameters_match_inlined_literals(diff_db, shape, strategy,
+                                                  mode, batch_size):
+    sql, params, literal_sql = PARAMETERIZED_SHAPES[shape]
+    expected = canonical(run_query(diff_db, literal_sql, strategy, mode,
+                                   batch_size))
+    first = canonical(run_cursor_query(diff_db, sql, params, strategy, mode,
+                                       batch_size))
+    assert first == expected
+    # Second execution reuses the cached plan — must stay equivalent.
+    second = canonical(run_cursor_query(diff_db, sql, params, strategy, mode,
+                                        batch_size))
+    assert second == expected
+
+
+@pytest.mark.parametrize("shape", sorted(PARAMETERIZED_SHAPES))
+def test_cursor_parameters_with_indexes_match_baseline(indexed_db, shape):
+    sql, params, literal_sql = PARAMETERIZED_SHAPES[shape]
+    expected = materialized_baseline(indexed_db, literal_sql)
+    for strategy in INDEXED_STRATEGIES:
+        got = canonical(run_cursor_query(indexed_db, sql, params, strategy,
+                                         "streaming"))
+        assert got == expected, f"strategy {strategy} diverged"

@@ -1,0 +1,360 @@
+"""Prepared statements: binding semantics and the schema-versioned plan cache.
+
+The contract under test (ISSUE 5 acceptance): re-executing a prepared query
+reuses the cached plan (``engine.last_plan`` is identity-stable and
+``engine.last_plan_cached`` flips true), while any DDL, ANALYZE, statistics
+auto-refresh, or config change between executions provably evicts it — the
+next execution re-plans (fresh ``last_plan`` object, access paths reflecting
+the new catalog state).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+import repro
+from repro import Database
+from repro.core.errors import PlanningError, ProgrammingError
+from repro.planner.plan import plan_access_paths
+from repro.sql.parser import parse_prepared, parse_statement
+
+
+def make_db(rows: int = 64) -> Database:
+    db = Database()
+    connection = db.connect()
+    cur = connection.cursor()
+    cur.execute("CREATE TABLE events (eid INTEGER PRIMARY KEY, kind TEXT, "
+                "v FLOAT)")
+    cur.executemany("INSERT INTO events VALUES (?, ?, ?)",
+                    [(i, f"k{i % 5}", i * 0.5) for i in range(rows)])
+    db.analyze("events")
+    return db
+
+
+POINT_QUERY = "SELECT eid, kind FROM events WHERE eid = ?"
+
+
+# ---------------------------------------------------------------------------
+# Binding semantics
+# ---------------------------------------------------------------------------
+class TestBinding:
+    def test_rebinding_changes_results_not_the_plan(self):
+        db = make_db()
+        cur = db.connect().cursor()
+        assert cur.execute(POINT_QUERY, (3,)).fetchone().values == (3, "k3")
+        plan = db.engine.last_plan
+        assert cur.execute(POINT_QUERY, (4,)).fetchone().values == (4, "k4")
+        assert db.engine.last_plan is plan
+        assert db.engine.last_plan_cached
+
+    def test_parameters_in_every_clause_position(self):
+        db = make_db()
+        cur = db.connect().cursor()
+        cur.execute(
+            "SELECT kind, COUNT(*), SUM(v + ?) FROM events "
+            "WHERE v >= ? AND kind <> ? GROUP BY kind HAVING COUNT(*) > ? "
+            "ORDER BY kind",
+            (1.0, 0.0, "k4", 2))
+        rows = [tuple(row) for row in cur.fetchall()]
+        assert [row[0] for row in rows] == ["k0", "k1", "k2", "k3"]
+
+    def test_parameter_as_like_pattern_and_in_list(self):
+        db = make_db(10)
+        cur = db.connect().cursor()
+        cur.execute("SELECT eid FROM events WHERE kind LIKE ? "
+                    "AND eid IN (?, ?, ?) ORDER BY eid", ("k%", 1, 2, 7))
+        assert [row[0] for row in cur.fetchall()] == [1, 2, 7]
+
+    def test_unbound_placeholder_fails_clearly_at_engine_level(self):
+        db = make_db(4)
+        statement = parse_statement("SELECT * FROM events WHERE eid = ?")
+        with pytest.raises(PlanningError) as excinfo:
+            db.engine.execute(statement)
+        assert "unbound parameter" in str(excinfo.value)
+
+    def test_prepare_rejects_parameters_in_unsupported_statements(self):
+        db = make_db(4)
+        with pytest.raises(ProgrammingError) as excinfo:
+            db.engine.prepare(
+                "ADD ANNOTATION TO events.note VALUE 'x' "
+                "ON (SELECT eid FROM events WHERE eid = ?)")
+        assert "not supported" in str(excinfo.value)
+
+    def test_parse_prepared_counts_placeholders(self):
+        statement, count = parse_prepared(
+            "SELECT * FROM t WHERE a = ? AND b BETWEEN ? AND ?")
+        assert count == 3
+
+    def test_injection_shaped_value_stays_data(self):
+        db = make_db(4)
+        cur = db.connect().cursor()
+        payload = "k0' OR '1'='1"
+        cur.execute("SELECT eid FROM events WHERE kind = ?", (payload,))
+        assert cur.fetchall() == []          # no row has that literal kind
+        assert len(db.table("events")) == 4  # and nothing else happened
+
+
+# ---------------------------------------------------------------------------
+# Index lookups with bind-time keys
+# ---------------------------------------------------------------------------
+class TestParameterizedIndexLookups:
+    def make_indexed_db(self, rows: int = 64) -> Database:
+        db = make_db(rows)
+        db.connect().cursor().execute(
+            "CREATE INDEX ix_events_eid ON events (eid) USING btree")
+        return db
+
+    def test_point_query_takes_index_lookup(self):
+        db = self.make_indexed_db()
+        cur = db.connect().cursor()
+        assert cur.execute(POINT_QUERY, (9,)).fetchone().values == (9, "k4")
+        assert plan_access_paths(db.engine.last_plan) == ["index_lookup"]
+        # Cached re-execution keeps the access path and returns fresh rows.
+        assert cur.execute(POINT_QUERY, (10,)).fetchone().values == (10, "k0")
+        assert db.engine.last_plan_cached
+
+    def test_null_key_returns_no_rows(self):
+        db = self.make_indexed_db()
+        cur = db.connect().cursor()
+        assert cur.execute(POINT_QUERY, (None,)).fetchall() == []
+
+    def test_nan_key_falls_back_to_scan_and_matches_nan_rows(self):
+        db = Database()
+        cur = db.connect().cursor()
+        cur.execute("CREATE TABLE m (id INTEGER PRIMARY KEY, x FLOAT)")
+        cur.executemany("INSERT INTO m VALUES (?, ?)",
+                        [(1, 1.0), (2, float("nan")), (3, 3.0)])
+        cur.execute("CREATE INDEX ix_m_x ON m (x) USING btree")
+        # NaN rows are not in the B-tree; the bind-time NaN key must fall
+        # back to a sequential scan, which finds the NaN row (the engine's
+        # comparison buckets NaN with NaN).
+        cur.execute("SELECT id FROM m WHERE x = ?", (float("nan"),))
+        assert [row[0] for row in cur.fetchall()] == [2]
+
+    def test_type_mismatched_key_is_safe(self):
+        db = self.make_indexed_db()
+        cur = db.connect().cursor()
+        cur.execute(POINT_QUERY, ("not-an-integer",))
+        assert cur.fetchall() == []          # no crash, no rows
+
+
+# ---------------------------------------------------------------------------
+# Plan cache: hits, invalidation, eviction
+# ---------------------------------------------------------------------------
+class TestPlanCache:
+    def test_hit_and_miss_counters(self):
+        db = make_db()
+        stats = db.engine.plan_cache.stats
+        cur = db.connect().cursor()
+        cur.execute(POINT_QUERY, (1,)).fetchall()
+        cur.execute(POINT_QUERY, (2,)).fetchall()
+        cur.execute(POINT_QUERY, (3,)).fetchall()
+        assert stats.misses == 1
+        assert stats.hits == 2
+
+    def test_create_index_evicts_and_replans(self):
+        db = make_db()
+        cur = db.connect().cursor()
+        cur.execute(POINT_QUERY, (1,)).fetchall()
+        seq_plan = db.engine.last_plan
+        assert plan_access_paths(seq_plan) == ["seq"]
+        cur.execute("CREATE INDEX ix_events_eid ON events (eid) USING btree")
+        cur.execute(POINT_QUERY, (1,)).fetchall()
+        assert db.engine.last_plan is not seq_plan
+        assert not db.engine.last_plan_cached or False  # re-planned this run
+        assert plan_access_paths(db.engine.last_plan) == ["index_lookup"]
+        assert db.engine.plan_cache.stats.invalidations >= 1
+
+    def test_drop_index_evicts_the_indexed_plan(self):
+        db = make_db()
+        cur = db.connect().cursor()
+        cur.execute("CREATE INDEX ix_events_eid ON events (eid) USING btree")
+        cur.execute(POINT_QUERY, (1,)).fetchall()
+        indexed_plan = db.engine.last_plan
+        assert plan_access_paths(indexed_plan) == ["index_lookup"]
+        cur.execute("DROP INDEX ix_events_eid")
+        cur.execute(POINT_QUERY, (1,)).fetchall()
+        assert db.engine.last_plan is not indexed_plan
+        assert plan_access_paths(db.engine.last_plan) == ["seq"]
+
+    def test_analyze_evicts(self):
+        db = make_db()
+        cur = db.connect().cursor()
+        cur.execute(POINT_QUERY, (1,)).fetchall()
+        plan = db.engine.last_plan
+        db.analyze("events")
+        cur.execute(POINT_QUERY, (1,)).fetchall()
+        assert db.engine.last_plan is not plan
+        assert db.engine.plan_cache.stats.invalidations >= 1
+
+    def test_statistics_auto_refresh_evicts(self):
+        # Enough DML since the last ANALYZE must not leave a stale plan
+        # cached forever: the cache hit pokes statistics staleness, the
+        # auto-refresh re-analyzes, and the plan is rebuilt.
+        db = make_db(16)
+        cur = db.connect().cursor()
+        cur.execute(POINT_QUERY, (1,)).fetchall()
+        plan = db.engine.last_plan
+        cur.executemany("INSERT INTO events VALUES (?, ?, ?)",
+                        [(1000 + i, "bulk", 0.0) for i in range(200)])
+        cur.execute(POINT_QUERY, (1,)).fetchall()
+        assert db.engine.last_plan is not plan
+
+    def test_config_change_plans_separately_per_fingerprint(self):
+        db = Database()
+        cur = db.connect().cursor()
+        cur.execute("CREATE TABLE a (x INTEGER PRIMARY KEY)")
+        cur.execute("CREATE TABLE b (x INTEGER PRIMARY KEY)")
+        for i in range(8):
+            cur.execute("INSERT INTO a VALUES (?)", (i,))
+            cur.execute("INSERT INTO b VALUES (?)", (i,))
+        join = "SELECT a.x FROM a, b WHERE a.x = b.x AND a.x = ?"
+        cur.execute(join, (1,)).fetchall()
+        auto_plan = db.engine.last_plan
+        db.config.join_strategy = "nested_loop"
+        cur.execute(join, (1,)).fetchall()
+        forced_plan = db.engine.last_plan
+        assert forced_plan is not auto_plan
+        # Flipping back rehits the original fingerprint's entry.
+        db.config.join_strategy = "auto"
+        cur.execute(join, (1,)).fetchall()
+        assert db.engine.last_plan is auto_plan
+        assert db.engine.last_plan_cached
+
+    def test_lru_eviction_respects_capacity(self):
+        db = make_db(8)
+        db.config.plan_cache_size = 2
+        cur = db.connect().cursor()
+        cur.execute("SELECT eid FROM events WHERE eid = ?", (1,)).fetchall()
+        cur.execute("SELECT kind FROM events WHERE eid = ?", (1,)).fetchall()
+        cur.execute("SELECT v FROM events WHERE eid = ?", (1,)).fetchall()
+        assert len(db.engine.plan_cache) == 2
+        assert db.engine.plan_cache.stats.evictions == 1
+
+    def test_plan_cache_can_be_disabled(self):
+        db = make_db(8)
+        db.config.plan_cache_size = 0
+        cur = db.connect().cursor()
+        cur.execute(POINT_QUERY, (1,)).fetchall()
+        cur.execute(POINT_QUERY, (2,)).fetchall()
+        assert not db.engine.last_plan_cached
+        assert len(db.engine.plan_cache) == 0
+
+    def test_compound_queries_cache_each_block(self):
+        db = make_db(16)
+        stats = db.engine.plan_cache.stats
+        cur = db.connect().cursor()
+        union = ("SELECT eid FROM events WHERE eid = ? "
+                 "UNION SELECT eid FROM events WHERE eid = ?")
+        rows = cur.execute(union, (1, 2)).fetchall()
+        assert sorted(row[0] for row in rows) == [1, 2]
+        first_misses = stats.misses
+        assert first_misses == 2             # one per SELECT block
+        rows = cur.execute(union, (3, 4)).fetchall()
+        assert sorted(row[0] for row in rows) == [3, 4]
+        assert stats.misses == first_misses  # both blocks hit
+        assert stats.hits >= 2
+
+    def test_explain_renders_generic_plan_with_placeholders(self):
+        db = make_db(8)
+        db.connect().cursor().execute(
+            "CREATE INDEX ix_events_eid ON events (eid) USING btree")
+        summary = db.explain("SELECT eid FROM events WHERE eid = ?")
+        assert "?1" in summary.message
+        assert "IndexScan" in summary.message
+
+    def test_cached_plan_sees_fresh_rows(self):
+        db = make_db(8)
+        cur = db.connect().cursor()
+        assert cur.execute(POINT_QUERY, (100,)).fetchall() == []
+        cur.execute("INSERT INTO events VALUES (?, ?, ?)", (100, "new", 1.0))
+        rows = cur.execute(POINT_QUERY, (100,)).fetchall()
+        assert [tuple(row) for row in rows] == [(100, "new")]
+
+    def test_null_insert_invalidates_cached_ordered_index_scan(self):
+        # A cached ordered key-order scan rests on a *data*-dependent proof
+        # (no NULL/NaN keys missing from the index).  One NULL insert —
+        # far below the auto-ANALYZE threshold, no DDL — must still force
+        # a re-plan, or the cached scan silently drops the new row.
+        db = Database()
+        cur = db.connect().cursor()
+        cur.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v FLOAT)")
+        cur.executemany("INSERT INTO t VALUES (?, ?)",
+                        [(i, float(i)) for i in range(20)])
+        cur.execute("CREATE INDEX ix_t_v ON t (v) USING btree")
+        db.analyze("t")
+        sql = "SELECT id, v FROM t ORDER BY v"
+        assert len(cur.execute(sql).fetchall()) == 20
+        assert plan_access_paths(db.engine.last_plan) == ["index_range"]
+        cur.execute("INSERT INTO t VALUES (?, ?)", (99, None))
+        rows = cur.execute(sql).fetchall()
+        assert len(rows) == 21                      # NULL row not dropped
+        assert 99 in {row[0] for row in rows}
+        assert not db.engine.last_plan_cached       # proof broke: re-planned
+
+    def test_nan_insert_invalidates_cached_lower_bound_range(self):
+        db = Database()
+        cur = db.connect().cursor()
+        cur.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v FLOAT)")
+        cur.executemany("INSERT INTO t VALUES (?, ?)",
+                        [(i, float(i)) for i in range(400)])
+        cur.execute("CREATE INDEX ix_t_v ON t (v) USING btree")
+        db.analyze("t")
+        sql = "SELECT id FROM t WHERE v > 390"      # lower-bound-only range
+        assert len(cur.execute(sql).fetchall()) == 9
+        assert plan_access_paths(db.engine.last_plan) == ["index_range"]
+        # NaN orders above every number, so it satisfies v > 390 — but it
+        # is not in the B-tree.  The cached range scan must be evicted.
+        cur.execute("INSERT INTO t VALUES (?, ?)", (999, float("nan")))
+        rows = cur.execute(sql).fetchall()
+        assert 999 in {row[0] for row in rows}
+        assert len(rows) == 10
+
+    def test_from_less_select_binds_parameters(self):
+        db = Database()
+        cur = db.connect().cursor()
+        assert cur.execute("SELECT ?", (42,)).fetchone().values == (42,)
+        assert cur.execute("SELECT ? + 1", (41,)).fetchone().values == (42,)
+        # And the second execution (cached block) rebinds correctly.
+        assert cur.execute("SELECT ?", ("ping",)).fetchone().values == ("ping",)
+
+    def test_from_less_select_resets_cached_flag(self):
+        db = make_db(8)
+        cur = db.connect().cursor()
+        cur.execute(POINT_QUERY, (1,)).fetchall()
+        cur.execute(POINT_QUERY, (1,)).fetchall()
+        assert db.engine.last_plan_cached
+        cur.execute("SELECT ?", (1,)).fetchone()
+        assert not db.engine.last_plan_cached  # no plan involved
+
+    def test_explain_parameterized_through_cursor(self):
+        db = make_db(16)
+        cur = db.connect().cursor()
+        cur.execute("CREATE INDEX ix_events_eid ON events (eid) USING btree")
+        # Generic-plan EXPLAIN works with or without bound values; the plan
+        # comes back as rows of a "plan" column with ?N markers intact.
+        for params in ((), (5,)):
+            cur.execute("EXPLAIN SELECT kind FROM events WHERE eid = ?", params)
+            assert [entry[0] for entry in cur.description] == ["plan"]
+            text = "\n".join(row[0] for row in cur.fetchall())
+            assert "IndexScan" in text and "?1" in text
+
+
+# ---------------------------------------------------------------------------
+# Costing with unknown bound values
+# ---------------------------------------------------------------------------
+class TestGenericPlanCosting:
+    def test_pk_equality_on_parameter_estimates_one_row(self):
+        db = make_db(64)
+        db.connect().cursor().execute(POINT_QUERY, (1,)).fetchall()
+        assert db.engine.last_plan.estimated_rows <= 1.0
+
+    def test_range_on_parameter_uses_default_selectivity(self):
+        from repro.catalog.statistics import DEFAULT_SELECTIVITY
+        db = make_db(60)
+        db.connect().cursor().execute(
+            "SELECT eid FROM events WHERE v > ?", (1.0,)).fetchall()
+        estimated = db.engine.last_plan.estimated_rows
+        assert estimated == pytest.approx(60 * DEFAULT_SELECTIVITY)

@@ -256,3 +256,51 @@ class TestAsqlParsing:
             "CREATE TABLE T (a INTEGER); INSERT INTO T VALUES (1); SELECT * FROM T;"
         )
         assert len(statements) == 3
+
+
+class TestParameterPlaceholders:
+    def test_qmark_tokenizes_as_punctuation(self):
+        tokens = tokenize("SELECT * FROM t WHERE a = ?")
+        assert tokens[-2].type is TokenType.PUNCTUATION
+        assert tokens[-2].value == "?"
+
+    def test_question_mark_inside_string_is_text(self):
+        tokens = tokenize("SELECT 'what?'")
+        assert tokens[1].type is TokenType.STRING
+        assert tokens[1].value == "what?"
+
+    def test_placeholders_number_left_to_right(self):
+        from repro.sql.parser import parse_prepared
+        statement, count = parse_prepared(
+            "SELECT a + ? FROM t WHERE b = ? AND c BETWEEN ? AND ?")
+        assert count == 4
+        assert isinstance(statement.items[0].expr.right, ast.Parameter)
+        assert statement.items[0].expr.right.index == 0
+        where = statement.where
+        assert where.left.right.index == 1          # b = ?2
+        assert where.right.low.index == 2           # BETWEEN ?3
+        assert where.right.high.index == 3          # AND ?4
+
+    def test_placeholders_in_dml(self):
+        from repro.sql.parser import parse_prepared
+        insert, count = parse_prepared("INSERT INTO t VALUES (?, ?, 3)")
+        assert count == 2
+        assert isinstance(insert.rows[0][0], ast.Parameter)
+        update, count = parse_prepared("UPDATE t SET a = ? WHERE b = ?")
+        assert count == 2
+        assert isinstance(update.assignments[0][1], ast.Parameter)
+
+    def test_multi_statement_raises_programming_error(self):
+        from repro.core.errors import ProgrammingError
+        with pytest.raises(ProgrammingError) as excinfo:
+            parse_statement("SELECT 1; SELECT 2")
+        assert "execute_script" in str(excinfo.value)
+
+    def test_trailing_semicolons_still_allowed(self):
+        statement = parse_statement("SELECT 1;;")
+        assert isinstance(statement, ast.Select)
+
+    def test_script_rejects_placeholders(self):
+        from repro.core.errors import ProgrammingError
+        with pytest.raises(ProgrammingError):
+            parse_script("INSERT INTO t VALUES (?);")
