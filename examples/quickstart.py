@@ -160,6 +160,9 @@ def main() -> None:
     # -- the DB-API surface: parameters, prepared plans ------------------------
     demo_parameterized_queries()
 
+    # -- transactions: rollback, durability, crash recovery --------------------
+    demo_transactions()
+
 
 def demo_parameterized_queries() -> None:
     """PR-5: ``repro.connect()`` is a DB-API 2.0 (PEP 249) module surface.
@@ -211,6 +214,65 @@ def demo_parameterized_queries() -> None:
           f"(cached: {engine.last_plan_cached}, "
           f"invalidations: {stats.invalidations})")
     conn.close()
+
+
+def demo_transactions() -> None:
+    """PR-6: WAL-backed transactions — commit is durable, rollback is real.
+
+    ``BEGIN``/``COMMIT``/``ROLLBACK`` work through SQL or the connection
+    methods; a write-ahead log fsyncs before every commit acknowledgment,
+    and reopening the file replays it.  See docs/API.md (transaction
+    semantics) and docs/ARCHITECTURE.md (WAL & recovery).
+    """
+    import os
+    import tempfile
+
+    directory = tempfile.mkdtemp(prefix="quickstart_txn_")
+    path = os.path.join(directory, "curated.db")
+
+    conn = repro.connect(path)
+    cur = conn.cursor()
+    cur.execute("CREATE TABLE curation (cid INTEGER PRIMARY KEY, verdict TEXT)")
+    cur.execute("INSERT INTO curation VALUES (1, 'approved')")
+
+    # A rolled-back transaction leaves no trace — values or annotations.
+    cur.execute("BEGIN")
+    cur.execute("INSERT INTO curation VALUES (2, 'mistake')")
+    cur.execute("UPDATE curation SET verdict = ? WHERE cid = ?", ("oops", 1))
+    conn.rollback()
+    cur.execute("SELECT cid, verdict FROM curation")
+    print(f"\n[txn] after rollback: {dict(cur.fetchall())}")
+
+    # A committed one is fsynced before commit() returns: reopening the
+    # file — what a process restart after a crash does — finds it.
+    cur.execute("BEGIN")
+    cur.execute("INSERT INTO curation VALUES (2, 'rejected')")
+    conn.commit()
+    conn.close()
+    with repro.connect(path) as conn2:
+        cur2 = conn2.cursor()
+        cur2.execute("SELECT cid, verdict FROM curation")
+        print(f"[txn] after reopen:   {dict(cur2.fetchall())}")
+
+    # The with-block behaves like sqlite3: commit on clean exit, rollback
+    # when an exception is propagating.  (Statements outside BEGIN
+    # autocommit immediately — only an open transaction is rolled back.)
+    try:
+        with repro.connect(path) as conn3:
+            cur3 = conn3.cursor()
+            cur3.execute("BEGIN")
+            cur3.execute("INSERT INTO curation VALUES (3, 'doomed')")
+            raise RuntimeError("pipeline failed downstream")
+    except RuntimeError:
+        pass
+    with repro.connect(path) as conn4:
+        cur4 = conn4.cursor()
+        cur4.execute("SELECT COUNT(*) FROM curation")
+        print(f"[txn] with-block rollback kept the table at "
+              f"{cur4.fetchone()[0]} rows")
+
+    import shutil
+    shutil.rmtree(directory, ignore_errors=True)
 
 
 def demo_batches_and_spilling() -> None:

@@ -28,6 +28,7 @@ from repro.annotations.storage import (
     SCHEME_COMPACT,
     AnnotationLinkageStore,
     create_linkage_store,
+    linkage_store_class,
 )
 from repro.annotations.xml_utils import wrap_annotation, is_xml
 from repro.catalog.catalog import SystemCatalog
@@ -215,6 +216,10 @@ class AnnotationManager:
         table = AnnotationTable(name, self.catalog.table(user_table).name,
                                 bodies, linkage, category)
         self._tables[key] = table
+        journal = getattr(self.catalog, "journal", None)
+        if journal is not None:
+            journal.note_ann_create(table.user_table, name,
+                                    linkage.scheme_name, category)
         return table
 
     def drop_annotation_table(self, user_table: str, name: str) -> None:
@@ -224,6 +229,9 @@ class AnnotationManager:
                 f"annotation table {user_table}.{name} does not exist"
             )
         table = self._tables.pop(key)
+        journal = getattr(self.catalog, "journal", None)
+        if journal is not None:
+            journal.note_ann_drop(user_table, name)
         self.catalog.drop_table(table.bodies.name)
         self.catalog.drop_table(table.linkage.backing.name)
 
@@ -231,6 +239,43 @@ class AnnotationManager:
         """Drop every annotation table attached to ``user_table`` (DROP TABLE)."""
         for table in list(self.tables_for(user_table)):
             self.drop_annotation_table(user_table, table.name)
+
+    # ------------------------------------------------------------------
+    # Crash recovery (see repro.core.transactions)
+    # ------------------------------------------------------------------
+    def register_recovered(self, user_table: str, name: str, scheme: str,
+                           category: str = CATEGORY_COMMENT) -> AnnotationTable:
+        """Re-attach an annotation table whose backing tables already exist.
+
+        WAL replay recreates the bodies and linkage tables through their own
+        ``create_table`` / ``row_insert`` records; this rebuilds only the
+        registry entry on top of them (the inverse of what
+        :meth:`create_annotation_table` would do, which would try — and fail
+        — to create the backing tables again).
+        """
+        bodies_name = f"__ann_{user_table}_{name}".lower()
+        linkage_name = f"__annlink_{user_table}_{name}".lower()
+        linkage = linkage_store_class(scheme)(self.catalog.table(linkage_name))
+        table = AnnotationTable(name, self.catalog.table(user_table).name,
+                                self.catalog.table(bodies_name), linkage,
+                                category)
+        self._tables[(user_table.lower(), name.lower())] = table
+        return table
+
+    def forget(self, user_table: str, name: str) -> None:
+        """Drop only the registry entry (undo/replay of DDL); tolerant."""
+        self._tables.pop((user_table.lower(), name.lower()), None)
+
+    def finish_recovery(self) -> None:
+        """Fix up per-table annotation-id counters after a WAL replay.
+
+        Annotation rows are replayed record-by-record after the registry
+        entry is re-attached, so the next-id watermark must be derived from
+        the recovered bodies once the whole log has been applied.
+        """
+        for table in self._tables.values():
+            ids = [row[0] for _, row in table.bodies.scan()]
+            table._next_ann_id = max(ids) + 1 if ids else 0
 
     # ------------------------------------------------------------------
     # Lookup

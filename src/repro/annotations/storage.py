@@ -208,14 +208,19 @@ _SCHEMES = {
 }
 
 
-def create_linkage_store(scheme: str, catalog: SystemCatalog, backing_name: str) -> AnnotationLinkageStore:
-    """Create the backing table for ``scheme`` and return its linkage store."""
+def linkage_store_class(scheme: str):
+    """The linkage-store class for ``scheme`` (creating no backing table)."""
     try:
-        store_cls = _SCHEMES[scheme.lower()]
+        return _SCHEMES[scheme.lower()]
     except KeyError as exc:
         raise AnnotationError(
             f"unknown annotation storage scheme {scheme!r}; expected one of "
             f"{sorted(_SCHEMES)}"
         ) from exc
+
+
+def create_linkage_store(scheme: str, catalog: SystemCatalog, backing_name: str) -> AnnotationLinkageStore:
+    """Create the backing table for ``scheme`` and return its linkage store."""
+    store_cls = linkage_store_class(scheme)
     backing = catalog.create_table(store_cls.backing_schema(backing_name))
     return store_cls(backing)

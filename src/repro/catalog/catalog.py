@@ -35,6 +35,11 @@ class SystemCatalog:
         self.schema_version = 0
         #: Planner statistics (row counts, NDV, histograms); see ANALYZE.
         self.statistics = StatisticsManager(self)
+        #: The transaction manager acting as DDL/DML journal (attached by
+        #: ``Database``/``Engine``; ``None`` for a standalone catalog).
+        #: Tables capture it at creation so their row mutations report redo
+        #: and undo images; CREATE/DROP TABLE report here directly.
+        self.journal = None
 
     def bump_schema_version(self) -> int:
         """Invalidate cached plans (called on DDL and statistics changes)."""
@@ -46,9 +51,11 @@ class SystemCatalog:
         key = schema.name.lower()
         if key in self._tables:
             raise CatalogError(f"table {schema.name!r} already exists")
-        table = Table(schema, self.pool)
+        table = Table(schema, self.pool, journal=self.journal)
         self._tables[key] = table
         self.bump_schema_version()
+        if self.journal is not None:
+            self.journal.note_create_table(schema)
         return table
 
     def drop_table(self, name: str) -> None:
@@ -58,6 +65,8 @@ class SystemCatalog:
         del self._tables[key]
         self.statistics.drop(name)
         self.bump_schema_version()
+        if self.journal is not None:
+            self.journal.note_drop_table(name)
 
     def has_table(self, name: str) -> bool:
         return name.lower() in self._tables

@@ -28,9 +28,15 @@ from repro.types.values import values_equal
 class Table:
     """A stored user relation."""
 
-    def __init__(self, schema: TableSchema, pool: BufferPool):
+    def __init__(self, schema: TableSchema, pool: BufferPool,
+                 journal: Optional[Any] = None):
         self.schema = schema
         self.heap = HeapFile(pool)
+        #: The transaction manager acting as mutation journal (see
+        #: :mod:`repro.core.transactions`), or ``None`` for a standalone
+        #: table.  Every committed-path mutation reports its after-image
+        #: (redo) and before-image (undo) through it.
+        self.journal = journal
         #: tuple_id -> record id in the heap file
         self._directory: Dict[int, RecordId] = {}
         #: primary key value(s) -> tuple_id, maintained when a PK is declared
@@ -85,6 +91,8 @@ class Table:
         self._directory[tuple_id] = record_id
         if pk is not None:
             self._pk_index[pk] = tuple_id
+        if self.journal is not None:
+            self.journal.note_row_insert(self, tuple_id, row)
         return tuple_id
 
     def update_row(self, tuple_id: int, changes: Dict[str, Any]) -> Tuple[Any, ...]:
@@ -100,16 +108,9 @@ class Table:
             raise ConstraintViolationError(
                 f"duplicate primary key {new_pk!r} in table {self.name!r}"
             )
-        record_id = self._directory[tuple_id]
-        new_record_id = self.heap.update(record_id, new_row, tuple_id)
-        if new_record_id != record_id:
-            self._page_order_is_tid_order = False
-        self._directory[tuple_id] = new_record_id
-        if old_pk != new_pk:
-            if old_pk is not None:
-                self._pk_index.pop(old_pk, None)
-            if new_pk is not None:
-                self._pk_index[new_pk] = tuple_id
+        self._store_update(tuple_id, old_pk, new_pk, new_row)
+        if self.journal is not None:
+            self.journal.note_row_update(self, tuple_id, old_row, new_row)
         return new_row
 
     def delete_row(self, tuple_id: int) -> Tuple[Any, ...]:
@@ -120,7 +121,52 @@ class Table:
         pk = self._pk_value(row)
         if pk is not None:
             self._pk_index.pop(pk, None)
+        if self.journal is not None:
+            self.journal.note_row_delete(self, tuple_id, row)
         return row
+
+    def _store_update(self, tuple_id: int, old_pk, new_pk,
+                      new_row: Tuple[Any, ...]) -> None:
+        record_id = self._directory[tuple_id]
+        new_record_id = self.heap.update(record_id, new_row, tuple_id)
+        if new_record_id != record_id:
+            self._page_order_is_tid_order = False
+        self._directory[tuple_id] = new_record_id
+        if old_pk != new_pk:
+            if old_pk is not None:
+                self._pk_index.pop(old_pk, None)
+            if new_pk is not None:
+                self._pk_index[new_pk] = tuple_id
+
+    # ------------------------------------------------------------------
+    # Raw appliers (transaction undo and WAL replay)
+    # ------------------------------------------------------------------
+    # These re-apply already-validated images: no coercion, no constraint
+    # checks, and no journaling (the transaction manager suppresses its
+    # hooks while using them), but full directory / primary-key upkeep.
+    def apply_insert(self, tuple_id: int, row: Sequence[Any]) -> None:
+        """Insert ``row`` under a forced ``tuple_id`` (replay / undo-delete)."""
+        row = tuple(row)
+        _, record_id = self.heap.insert(row, tuple_id)
+        self._directory[tuple_id] = record_id
+        pk = self._pk_value(row)
+        if pk is not None:
+            self._pk_index[pk] = tuple_id
+
+    def apply_update(self, tuple_id: int, new_row: Sequence[Any]) -> None:
+        """Overwrite the stored image of ``tuple_id`` with ``new_row``."""
+        new_row = tuple(new_row)
+        old_row = self.read_row(tuple_id)
+        self._store_update(tuple_id, self._pk_value(old_row),
+                           self._pk_value(new_row), new_row)
+
+    def apply_delete(self, tuple_id: int) -> None:
+        """Remove ``tuple_id`` physically (replay / undo-insert)."""
+        row = self.read_row(tuple_id)
+        self.heap.delete(self._directory.pop(tuple_id))
+        pk = self._pk_value(row)
+        if pk is not None:
+            self._pk_index.pop(pk, None)
 
     # ------------------------------------------------------------------
     # Reads

@@ -12,6 +12,7 @@ facade, rebuilt on top of a :class:`~repro.dbapi.connection.Connection`.
 
 from __future__ import annotations
 
+import os
 import warnings
 from dataclasses import replace
 from typing import Any, List, Optional, Union
@@ -21,6 +22,7 @@ from repro.authorization.approval import ApprovalManager
 from repro.authorization.grants import AccessControl
 from repro.catalog.catalog import SystemCatalog
 from repro.core.errors import ExecutionError, ProgrammingError
+from repro.core.transactions import TransactionManager
 from repro.dbapi.connection import Connection, Cursor
 from repro.dependencies.tracker import DependencyTracker
 from repro.executor.engine import Engine, EngineConfig, ExecutionSummary
@@ -31,6 +33,7 @@ from repro.sql.parser import parse_prepared, parse_script
 from repro.storage.buffer_pool import DEFAULT_POOL_SIZE
 from repro.storage.disk import IoStatistics, open_disk_manager
 from repro.storage.page import DEFAULT_PAGE_SIZE
+from repro.storage.wal import FileWAL, wal_path_for
 
 ExecutionResult = Union[ResultSet, ExecutionSummary]
 
@@ -74,7 +77,16 @@ class Database:
                  config: Optional[EngineConfig] = None,
                  batch_size: Optional[int] = None,
                  memory_budget_rows: Optional[int] = None):
-        self.disk = open_disk_manager(path, page_size)
+        wal_path = None
+        if path is not None and path != ":memory:":
+            wal_path = wal_path_for(path)
+        # A crash mid page write can leave the data file torn (size not a
+        # page multiple).  With a WAL present that is recoverable — the log
+        # is the authority and the data file gets rebuilt — so only then is
+        # a torn file tolerated.
+        self.disk = open_disk_manager(
+            path, page_size,
+            tolerate_torn=bool(wal_path and os.path.exists(wal_path)))
         self.catalog = SystemCatalog(self.disk, pool_size)
         self.access = AccessControl()
         self.annotations = AnnotationManager(self.catalog)
@@ -90,6 +102,23 @@ class Database:
         if memory_budget_rows is not None:
             self.config = replace(self.config,
                                   memory_budget_rows=memory_budget_rows)
+        synchronous = self.config.synchronous == "full"
+        self.disk.synchronous = synchronous
+        #: The write-ahead log, or ``None`` for in-memory databases.
+        self.wal: Optional[FileWAL] = None
+        if wal_path is not None:
+            self.wal = FileWAL(wal_path, synchronous=synchronous,
+                               group_commit=self.config.group_commit)
+        self.transactions = TransactionManager(
+            catalog=self.catalog,
+            annotations=self.annotations,
+            indexes=self.indexes,
+            tracker=self.tracker,
+            access=self.access,
+            pool=self.catalog.pool,
+            wal=self.wal,
+        )
+        self.catalog.journal = self.transactions
         self.engine = Engine(
             catalog=self.catalog,
             annotations=self.annotations,
@@ -99,7 +128,30 @@ class Database:
             access=self.access,
             indexes=self.indexes,
             config=self.config,
+            transactions=self.transactions,
         )
+        if self.wal is not None:
+            self._recover()
+
+    def _recover(self) -> None:
+        """Rebuild state from the WAL on open (crash recovery).
+
+        The catalog and the bdbms registries live in memory, so the WAL is
+        the complete logical history of the database: every committed
+        transaction since creation is one frame.  Recovery therefore resets
+        the page store and replays the whole log through the normal storage
+        paths; incomplete frames at the tail (a crash mid append) fail their
+        length or checksum and are truncated away by ``read_frames``, which
+        is exactly transaction atomicity.  The rebuilt pages are flushed so
+        the data file again materializes the log's final state.
+        """
+        frames = self.wal.read_frames()
+        if not frames:
+            return
+        self.disk.reset()
+        self.transactions.replay(frames)
+        self.flush()
+        self.disk.sync()
 
     # ------------------------------------------------------------------
     # DB-API surface
@@ -227,12 +279,45 @@ class Database:
     def reset_io_statistics(self) -> None:
         self.disk.stats.reset()
 
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    @property
+    def in_transaction(self) -> bool:
+        """True while the calling thread has an explicit transaction open."""
+        return self.transactions.in_transaction()
+
+    def begin(self) -> None:
+        """Open an explicit transaction (as the SQL ``BEGIN`` statement)."""
+        self.transactions.begin()
+
+    def commit(self) -> None:
+        """Commit the open transaction; durable once this returns.
+
+        Without an open transaction this is an autocommit durability point:
+        every statement already committed itself through the WAL, so only
+        the buffered pages are pushed to the data file — unless another
+        thread holds a transaction open (its uncommitted pages must not
+        reach disk).
+        """
+        if not self.transactions.commit():
+            if not self.catalog.pool.no_steal_active:
+                self.flush()
+                self.disk.sync()
+
+    def rollback(self) -> bool:
+        """Undo the open transaction; returns False when none is open."""
+        return self.transactions.rollback()
+
     def flush(self) -> None:
         """Write every dirty buffered page back to the disk manager."""
         self.catalog.pool.flush_all()
 
     def close(self) -> None:
+        self.transactions.rollback()
         self.flush()
+        if self.wal is not None:
+            self.wal.close()
         self.disk.close()
 
     # ------------------------------------------------------------------

@@ -1,0 +1,394 @@
+"""Transactions: atomicity, rollback, and WAL-backed durability.
+
+:class:`TransactionManager` plays three roles at once:
+
+* **journal** — the storage and registry layers report every logical
+  mutation to it (``note_row_insert``, ``note_create_table``, ...).  Inside a
+  transaction the notes accumulate as *redo* operations (shipped to the WAL
+  as one frame at commit) and *undo* operations (before-images applied in
+  reverse on rollback).  Outside any transaction a note becomes an immediate
+  single-operation commit frame, so direct Python-API writes stay durable.
+* **transaction manager** — ``BEGIN`` / ``COMMIT`` / ``ROLLBACK`` and the
+  per-statement autocommit scope the engine wraps around every mutating
+  statement.  Transactions are single-writer: a global re-entrant write lock
+  is held from BEGIN to COMMIT/ROLLBACK (and for the duration of each
+  autocommitted statement), serializing writers while readers stay lock-free
+  (concurrent readers see uncommitted state — READ UNCOMMITTED).
+* **recovery applier** — ``replay`` re-executes the redo operations of every
+  committed transaction through the normal storage paths, rebuilding tables,
+  indexes, annotation registries, and grants from an empty page store.
+
+Atomicity model (redo-only, no-steal):
+
+* nothing of an uncommitted transaction ever reaches the WAL *or* the data
+  file (the buffer pool pins dirty pages while a transaction is open), so
+  crash recovery never needs to undo anything;
+* rollback applies in-memory before-images: row-level inverse operations
+  plus registry inverses (drop a created table/index/annotation table), and
+  restores the dependency tracker's outdated-bitmap snapshot taken at BEGIN;
+* a statement that fails *inside* a transaction is undone back to its own
+  start mark, so statements stay atomic within a surviving transaction.
+
+Undo-ability is what gates which statements an *explicit* transaction may
+contain: ``DROP TABLE`` / ``DROP INDEX`` / ``DROP ANNOTATION TABLE`` and the
+authorization statements (GRANT/REVOKE, content approval) have no
+before-image to restore and are rejected with :class:`TransactionError`
+inside BEGIN...COMMIT (they work fine autocommitted).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.core.errors import TransactionError
+from repro.sql import ast
+
+
+def _row_dict(table: Any, row: Tuple[Any, ...]) -> dict:
+    return dict(zip(table.schema.column_names, row))
+
+
+class Transaction:
+    """One open transaction: buffered redo ops, undo ops, and begin-state."""
+
+    __slots__ = ("redo", "undo", "explicit", "thread_id", "tracker_state")
+
+    def __init__(self, explicit: bool, thread_id: int, tracker_state: Any):
+        self.redo: List[Tuple[Any, ...]] = []
+        self.undo: List[Tuple[Any, ...]] = []
+        self.explicit = explicit
+        self.thread_id = thread_id
+        self.tracker_state = tracker_state
+
+
+#: Statement types that cannot appear inside an explicit transaction: their
+#: effects have no before-image, so ROLLBACK could not restore them.
+_NOT_IN_TRANSACTION = (
+    ast.DropTable, ast.DropIndex, ast.DropAnnotationTable,
+    ast.Grant, ast.Revoke, ast.StartContentApproval, ast.StopContentApproval,
+)
+
+
+class TransactionManager:
+    """Journal + BEGIN/COMMIT/ROLLBACK + crash-recovery replay (see module doc)."""
+
+    def __init__(self, catalog: Any, annotations: Any, indexes: Any,
+                 tracker: Any, access: Any, pool: Any, wal: Any = None):
+        self.catalog = catalog
+        self.annotations = annotations
+        self.indexes = indexes
+        self.tracker = tracker
+        self.access = access
+        self.pool = pool
+        #: The write-ahead log (:class:`~repro.storage.wal.FileWAL`), or
+        #: ``None`` for in-memory databases — rollback still works without
+        #: one, only durability is off.
+        self.wal = wal
+        #: Re-entrant so that statements executing *inside* an explicit
+        #: transaction (same thread) re-acquire without deadlocking, while
+        #: other writer threads block until COMMIT/ROLLBACK.
+        self._write_lock = threading.RLock()
+        self._txn: Optional[Transaction] = None
+        #: True while applying undo or replaying the WAL: the storage hooks
+        #: must not journal the journal's own repair work.
+        self._suppress = False
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+    # ------------------------------------------------------------------
+    def _current(self) -> Optional[Transaction]:
+        txn = self._txn
+        if txn is not None and txn.thread_id == threading.get_ident():
+            return txn
+        return None
+
+    def in_transaction(self) -> bool:
+        """Whether the calling thread has an open explicit transaction."""
+        txn = self._current()
+        return txn is not None and txn.explicit
+
+    def begin(self, explicit: bool = True) -> None:
+        """Open a transaction, blocking while another writer holds one."""
+        if self._current() is not None:
+            raise TransactionError(
+                "already in a transaction; COMMIT or ROLLBACK it first")
+        self._write_lock.acquire()
+        tracker_state = (self.tracker.snapshot_state()
+                         if self.tracker is not None else None)
+        self._txn = Transaction(explicit, threading.get_ident(), tracker_state)
+        self.pool.begin_no_steal()
+
+    def commit(self) -> bool:
+        """Commit the calling thread's transaction; ``False`` if none is open.
+
+        The commit frame is appended to the WAL *before* the write lock is
+        released, but the fsync wait happens *after* — that is what lets
+        group commit batch concurrent committers into one fsync while the
+        engine keeps executing the next writer's statements.
+        """
+        txn = self._current()
+        if txn is None:
+            return False
+        lsn = None
+        if self.wal is not None and txn.redo:
+            # May raise InjectedCrash at a WAL crash point; the transaction
+            # then stays open and the database instance is abandoned, which
+            # is exactly the state a process crash would leave.
+            lsn = self.wal.append(txn.redo)
+        self._txn = None
+        self.pool.end_no_steal()
+        self._write_lock.release()
+        if lsn is not None:
+            self.wal.sync(lsn)
+        return True
+
+    def rollback(self) -> bool:
+        """Undo and close the calling thread's transaction; ``False`` if none."""
+        txn = self._current()
+        if txn is None:
+            return False
+        try:
+            self._undo_to(txn, 0)
+            if txn.tracker_state is not None:
+                self.tracker.restore_state(txn.tracker_state)
+        finally:
+            self._txn = None
+            self.pool.end_no_steal()
+            self._write_lock.release()
+        return True
+
+    @contextmanager
+    def statement(self, statement: Any):
+        """Scope one mutating statement: autocommit or undo-to-mark.
+
+        Outside a transaction the statement runs in an implicit transaction
+        of its own (commit on success — one WAL frame —, rollback on error).
+        Inside one, the statement's undo position is marked so a failure
+        undoes only the failed statement, leaving the transaction usable.
+        """
+        txn = self._current()
+        if txn is not None:
+            if txn.explicit:
+                self._check_allowed(statement)
+            redo_mark, undo_mark = len(txn.redo), len(txn.undo)
+            tracker_mark = (self.tracker.snapshot_state()
+                            if self.tracker is not None else None)
+            try:
+                yield
+            except BaseException:
+                self._undo_to(txn, undo_mark)
+                del txn.redo[redo_mark:]
+                if tracker_mark is not None:
+                    self.tracker.restore_state(tracker_mark)
+                raise
+            return
+        self.begin(explicit=False)
+        try:
+            yield
+        except BaseException:
+            self.rollback()
+            raise
+        self.commit()
+
+    def _check_allowed(self, statement: Any) -> None:
+        if isinstance(statement, _NOT_IN_TRANSACTION):
+            raise TransactionError(
+                f"{type(statement).__name__} cannot run inside an explicit "
+                f"transaction (its effects cannot be rolled back); COMMIT "
+                f"first and run it autocommitted")
+
+    # ------------------------------------------------------------------
+    # Journal hooks (called by Table, SystemCatalog, IndexManager,
+    # AnnotationManager, and the engine's GRANT/REVOKE handlers)
+    # ------------------------------------------------------------------
+    def _record(self, redo_op: Tuple[Any, ...],
+                undo_op: Optional[Tuple[Any, ...]]) -> None:
+        if self._suppress:
+            return
+        txn = self._current()
+        if txn is not None:
+            txn.redo.append(redo_op)
+            if undo_op is not None:
+                txn.undo.append(undo_op)
+        elif self.wal is not None:
+            # A write outside any statement scope (direct Python API):
+            # durable immediately as a single-operation transaction.
+            self.wal.commit([redo_op])
+
+    def note_row_insert(self, table: Any, tuple_id: int,
+                        row: Tuple[Any, ...]) -> None:
+        row = tuple(row)
+        self._record(("row_insert", table.name, tuple_id, row),
+                     ("undo_insert", table.name, tuple_id, row))
+
+    def note_row_update(self, table: Any, tuple_id: int,
+                        old_row: Tuple[Any, ...],
+                        new_row: Tuple[Any, ...]) -> None:
+        old_row, new_row = tuple(old_row), tuple(new_row)
+        self._record(("row_update", table.name, tuple_id, new_row),
+                     ("undo_update", table.name, tuple_id, old_row, new_row))
+
+    def note_row_delete(self, table: Any, tuple_id: int,
+                        old_row: Tuple[Any, ...]) -> None:
+        old_row = tuple(old_row)
+        self._record(("row_delete", table.name, tuple_id),
+                     ("undo_delete", table.name, tuple_id, old_row))
+
+    def note_create_table(self, schema: Any) -> None:
+        self._record(("create_table", schema),
+                     ("undo_create_table", schema.name))
+
+    def note_drop_table(self, name: str) -> None:
+        self._record(("drop_table", name), None)
+
+    def note_create_index(self, name: str, table: str,
+                          columns: Tuple[str, ...], method: str) -> None:
+        self._record(("create_index", name, table, tuple(columns), method),
+                     ("undo_create_index", name))
+
+    def note_drop_index(self, name: str) -> None:
+        self._record(("drop_index", name), None)
+
+    def note_ann_create(self, user_table: str, name: str, scheme: str,
+                        category: str) -> None:
+        self._record(("ann_create", user_table, name, scheme, category),
+                     ("undo_ann_create", user_table, name))
+
+    def note_ann_drop(self, user_table: str, name: str) -> None:
+        self._record(("ann_drop", user_table, name), None)
+
+    def note_grant(self, privileges: List[str], table: str,
+                   grantee: str) -> None:
+        self._record(("grant", list(privileges), table, grantee), None)
+
+    def note_revoke(self, privileges: List[str], table: str,
+                    grantee: str) -> None:
+        self._record(("revoke", list(privileges), table, grantee), None)
+
+    # ------------------------------------------------------------------
+    # Undo (rollback / failed-statement repair)
+    # ------------------------------------------------------------------
+    def _undo_to(self, txn: Transaction, mark: int) -> None:
+        self._suppress = True
+        try:
+            while len(txn.undo) > mark:
+                self._apply_undo(txn.undo.pop())
+        finally:
+            self._suppress = False
+
+    def _apply_undo(self, op: Tuple[Any, ...]) -> None:
+        kind = op[0]
+        if kind == "undo_insert":
+            _, name, tuple_id, row = op
+            table = self.catalog.table(name)
+            table.apply_delete(tuple_id)
+            self.indexes.on_delete(name, tuple_id, _row_dict(table, row))
+        elif kind == "undo_update":
+            _, name, tuple_id, old_row, new_row = op
+            table = self.catalog.table(name)
+            table.apply_update(tuple_id, old_row)
+            self.indexes.on_update(name, tuple_id, _row_dict(table, new_row),
+                                   _row_dict(table, old_row))
+        elif kind == "undo_delete":
+            _, name, tuple_id, old_row = op
+            table = self.catalog.table(name)
+            table.apply_insert(tuple_id, old_row)
+            self.indexes.on_insert(name, tuple_id, _row_dict(table, old_row))
+        elif kind == "undo_create_table":
+            _, name = op
+            # An annotation registry undone just before may already have
+            # dropped its backing tables; tolerate the gap.
+            if self.catalog.has_table(name):
+                self.indexes.drop_indexes_for(name)
+                self.catalog.drop_table(name)
+        elif kind == "undo_create_index":
+            _, name = op
+            try:
+                self.indexes.drop_index(name)
+            except Exception:
+                pass
+        elif kind == "undo_ann_create":
+            _, user_table, name = op
+            # Only the registry entry: the backing tables have their own
+            # undo_create_table records later in the (reversed) undo list.
+            self.annotations.forget(user_table, name)
+        else:  # pragma: no cover - would indicate a journal bug
+            raise TransactionError(f"unknown undo operation {kind!r}")
+
+    # ------------------------------------------------------------------
+    # Recovery replay
+    # ------------------------------------------------------------------
+    def replay(self, batches: Iterable[List[Tuple[Any, ...]]]) -> int:
+        """Re-apply committed redo batches (WAL frames) in log order.
+
+        Returns the number of operations applied.  The caller is expected to
+        have reset the page store first: replay rebuilds every table from
+        row zero through the normal insert/update/delete paths, so indexes
+        and primary keys come out consistent by construction.
+        """
+        applied = 0
+        self._suppress = True
+        try:
+            for ops in batches:
+                for op in ops:
+                    self._apply_redo(op)
+                    applied += 1
+        finally:
+            self._suppress = False
+        if applied:
+            self.annotations.finish_recovery()
+        return applied
+
+    def _apply_redo(self, op: Tuple[Any, ...]) -> None:
+        kind = op[0]
+        if kind == "row_insert":
+            _, name, tuple_id, row = op
+            table = self.catalog.table(name)
+            table.apply_insert(tuple_id, row)
+            self.indexes.on_insert(name, tuple_id, _row_dict(table, row))
+        elif kind == "row_update":
+            _, name, tuple_id, new_row = op
+            table = self.catalog.table(name)
+            old_row = table.read_row(tuple_id)
+            table.apply_update(tuple_id, new_row)
+            self.indexes.on_update(name, tuple_id, _row_dict(table, old_row),
+                                   _row_dict(table, new_row))
+        elif kind == "row_delete":
+            _, name, tuple_id = op
+            table = self.catalog.table(name)
+            old_row = table.read_row(tuple_id)
+            table.apply_delete(tuple_id)
+            self.indexes.on_delete(name, tuple_id, _row_dict(table, old_row))
+        elif kind == "create_table":
+            self.catalog.create_table(op[1])
+        elif kind == "drop_table":
+            _, name = op
+            if self.catalog.has_table(name):
+                self.indexes.drop_indexes_for(name)
+                self.catalog.drop_table(name)
+        elif kind == "create_index":
+            _, name, table, columns, method = op
+            self.indexes.create_index(name, table, columns, method)
+        elif kind == "drop_index":
+            _, name = op
+            try:
+                self.indexes.drop_index(name)
+            except Exception:
+                pass
+        elif kind == "ann_create":
+            _, user_table, name, scheme, category = op
+            self.annotations.register_recovered(user_table, name, scheme,
+                                                category)
+        elif kind == "ann_drop":
+            _, user_table, name = op
+            self.annotations.forget(user_table, name)
+        elif kind == "grant":
+            _, privileges, table, grantee = op
+            self.access.grant(privileges, table, grantee)
+        elif kind == "revoke":
+            _, privileges, table, grantee = op
+            self.access.revoke(privileges, table, grantee)
+        else:
+            raise TransactionError(f"unknown redo operation {kind!r} in WAL")

@@ -131,7 +131,10 @@ class Connection:
 
     def _prepare(self, sql: str) -> PreparedStatement:
         """SQL text -> PreparedStatement, through the per-connection LRU."""
-        prepared = self._statements.get(sql) if isinstance(sql, str) else None
+        if not isinstance(sql, str):
+            raise InterfaceError(
+                f"SQL must be a string, got {type(sql).__name__}")
+        prepared = self._statements.get(sql)
         if prepared is not None:
             self._statements.move_to_end(sql)
             return prepared
@@ -152,23 +155,30 @@ class Connection:
         return cursor
 
     def commit(self) -> None:
-        """Flush dirty buffered pages to storage.
+        """Commit the open transaction; durable once this returns.
 
-        Statements auto-commit (there is no transaction manager yet), so
-        commit's durability obligation reduces to flushing the buffer pool.
+        An explicit transaction (``BEGIN`` on any cursor) is written to the
+        write-ahead log and fsynced before this returns (under
+        ``synchronous="full"``).  Without an open transaction every
+        statement already committed itself, so this is just a durability
+        point for the buffered pages — never an error, per PEP 249.
         """
         self._check_open()
         with translate_errors():
-            self._database.flush()
+            self._database.commit()
 
     def rollback(self) -> None:
+        """Undo the open transaction (rows, schema, and annotations are
+        restored from before-images).  A no-op without an open transaction,
+        matching sqlite3."""
         self._check_open()
-        raise NotSupportedError(
-            "transactions are not supported: every statement auto-commits")
+        with translate_errors():
+            self._database.rollback()
 
     def close(self) -> None:
-        """Close every cursor, drop cached statements, and (when owning)
-        close the underlying database.  Idempotent."""
+        """Roll back any open transaction, close every cursor, drop cached
+        statements, and (when owning) close the underlying database.
+        Idempotent."""
         if self._closed:
             return
         self._closed = True
@@ -177,6 +187,10 @@ class Connection:
         self._statements.clear()
         if self._owns_database:
             self._database.close()
+        else:
+            # A shared database stays open, but this connection's
+            # uncommitted work must not leak into it.
+            self._database.rollback()
 
     # -- conveniences (sqlite3-style shortcuts) -------------------------
     def execute(self, sql: str, params: Sequence[Any] = ()) -> "Cursor":
@@ -196,6 +210,16 @@ class Connection:
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
+        """sqlite3-style transaction semantics, plus close.
+
+        A clean exit commits the open transaction; an exception rolls it
+        back (and propagates).  The connection is then closed either way.
+        """
+        if not self._closed:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.rollback()
         self.close()
 
     def __repr__(self) -> str:

@@ -42,6 +42,15 @@ class OutdatedBitmap:
     def is_outdated(self, tuple_id: int, column: str) -> bool:
         return tuple_id in self._column(column)
 
+    # -- transaction support --------------------------------------------
+    def snapshot(self) -> Dict[str, Set[int]]:
+        """A deep copy of the outdated sets (taken at transaction BEGIN)."""
+        return {column: set(ids) for column, ids in self._outdated.items()}
+
+    def restore(self, snapshot: Dict[str, Set[int]]) -> None:
+        """Reset the outdated sets to a previously taken :meth:`snapshot`."""
+        self._outdated = {column: set(ids) for column, ids in snapshot.items()}
+
     def outdated_cells(self) -> List[Tuple[int, str]]:
         cells = []
         for name in self.column_names:

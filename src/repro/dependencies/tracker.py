@@ -108,6 +108,44 @@ class DependencyTracker:
         return report
 
     # ------------------------------------------------------------------
+    # Transaction support
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Tuple[Any, ...]:
+        """Capture the mutable tracking state at transaction BEGIN.
+
+        Covers the outdated bitmaps, the instance-dependency adjacency (a
+        DELETE prunes edges of the deleted cells), and the status-annotation
+        id counter — everything ROLLBACK must rewind so that post-rollback
+        query answers (including outdated-status annotations) match the
+        pre-transaction ones.
+        """
+        graph = self.graph
+        return (
+            {key: bitmap.snapshot() for key, bitmap in self._bitmaps.items()},
+            {cell: list(edges) for cell, edges in graph._forward.items()},
+            {cell: list(edges) for cell, edges in graph._reverse.items()},
+            graph._edge_count,
+            self._next_status_id,
+        )
+
+    def restore_state(self, state: Tuple[Any, ...]) -> None:
+        """Reset the tracking state to a :meth:`snapshot_state` capture."""
+        bitmaps, forward, reverse, edge_count, next_status_id = state
+        for key in list(self._bitmaps):
+            if key not in bitmaps:
+                del self._bitmaps[key]
+        for key, snapshot in bitmaps.items():
+            bitmap = self._bitmaps.get(key)
+            if bitmap is not None:
+                bitmap.restore(snapshot)
+        self.graph._forward = {cell: list(edges)
+                               for cell, edges in forward.items()}
+        self.graph._reverse = {cell: list(edges)
+                               for cell, edges in reverse.items()}
+        self.graph._edge_count = edge_count
+        self._next_status_id = next_status_id
+
+    # ------------------------------------------------------------------
     # Modification handling
     # ------------------------------------------------------------------
     def handle_update(self, table: str, tuple_id: int,

@@ -33,7 +33,9 @@ from repro.core.errors import (
     ExecutionError,
     PlanningError,
     ProgrammingError,
+    TransactionError,
 )
+from repro.core.transactions import TransactionManager
 from repro.dependencies.tracker import DependencyTracker, UpdateImpact
 from repro.executor import operators as ops
 from repro.executor.row import (
@@ -71,6 +73,11 @@ from repro.types.datatypes import DataType, parse_timestamp
 #: and "materialized" drains every operator output into a list (the memory
 #: and differential baseline).
 EXECUTION_MODES = ("streaming", "row", "materialized")
+
+#: Valid values of ``EngineConfig.synchronous``: "full" fsyncs the WAL before
+#: a commit is acknowledged (and the data file at sync points); "off" leaves
+#: durability to the OS page cache (fast, loses recent commits on power loss).
+SYNCHRONOUS_MODES = ("full", "off")
 
 
 @dataclass
@@ -128,6 +135,13 @@ class EngineConfig:
     #: ``0`` disables plan caching — prepared statements then still skip
     #: tokenize + parse but re-plan on every execution.
     plan_cache_size: int = 128
+    #: Durability mode of file-backed databases: "full" fsyncs the WAL before
+    #: acknowledging a commit, "off" trusts the OS page cache.  Ignored (no
+    #: WAL) for in-memory databases.
+    synchronous: str = "full"
+    #: Batch concurrent committers into one WAL fsync (group commit).  With
+    #: it off every commit pays its own fsync.
+    group_commit: bool = True
 
     def __post_init__(self) -> None:
         self.validate()
@@ -169,6 +183,10 @@ class EngineConfig:
             raise PlanningError(
                 f"plan_cache_size must be a non-negative integer, "
                 f"got {self.plan_cache_size!r}")
+        if self.synchronous not in SYNCHRONOUS_MODES:
+            raise PlanningError(
+                f"unknown synchronous mode {self.synchronous!r}; "
+                f"expected one of {SYNCHRONOUS_MODES}")
 
 
 #: Field names of :class:`EngineConfig`, resolved once — ``fingerprint()``
@@ -190,6 +208,18 @@ class ExecutionSummary:
 
 
 ExecutionResult = Union[ResultSet, ExecutionSummary]
+
+#: Statements the engine wraps in a transaction scope: inside an explicit
+#: transaction their effects buffer until COMMIT; otherwise each one runs as
+#: an autocommitted transaction of its own (atomic, immediately durable).
+_MUTATING_STATEMENTS = (
+    ast.CreateTable, ast.DropTable, ast.CreateIndex, ast.DropIndex,
+    ast.Insert, ast.Update, ast.Delete,
+    ast.CreateAnnotationTable, ast.DropAnnotationTable,
+    ast.AddAnnotation, ast.ArchiveAnnotation, ast.RestoreAnnotation,
+    ast.Grant, ast.Revoke,
+    ast.StartContentApproval, ast.StopContentApproval,
+)
 
 
 class _PreparedContext:
@@ -220,7 +250,8 @@ class Engine:
                  provenance: ProvenanceManager, tracker: DependencyTracker,
                  approval: ApprovalManager, access: AccessControl,
                  indexes: Optional[IndexManager] = None,
-                 config: Optional[EngineConfig] = None):
+                 config: Optional[EngineConfig] = None,
+                 transactions: Optional[TransactionManager] = None):
         self.catalog = catalog
         self.annotations = annotations
         self.provenance = provenance
@@ -229,6 +260,11 @@ class Engine:
         self.access = access
         self.indexes = indexes or IndexManager(catalog)
         self.config = config or EngineConfig()
+        self.transactions = transactions or TransactionManager(
+            catalog=catalog, annotations=annotations, indexes=self.indexes,
+            tracker=tracker, access=access, pool=catalog.pool, wal=None)
+        if catalog.journal is None:
+            catalog.journal = self.transactions
         #: Plan tree of the most recently planned SELECT (observability
         #: surface used by EXPLAIN, tests, and benchmarks).
         self.last_plan: Optional[planlib.PlanNode] = None
@@ -263,6 +299,23 @@ class Engine:
     def execute(self, statement: Any, user: str = "admin") -> ExecutionResult:
         if isinstance(statement, (ast.Select, ast.SetOperation)):
             return self.execute_query(statement, user)
+        if isinstance(statement, ast.Begin):
+            self.transactions.begin()
+            return ExecutionSummary("BEGIN", message="transaction started")
+        if isinstance(statement, ast.Commit):
+            if not self.transactions.commit():
+                raise TransactionError("COMMIT: no transaction is active")
+            return ExecutionSummary("COMMIT", message="transaction committed")
+        if isinstance(statement, ast.Rollback):
+            if not self.transactions.rollback():
+                raise TransactionError("ROLLBACK: no transaction is active")
+            return ExecutionSummary("ROLLBACK", message="transaction rolled back")
+        if isinstance(statement, _MUTATING_STATEMENTS):
+            with self.transactions.statement(statement):
+                return self._dispatch(statement, user)
+        return self._dispatch(statement, user)
+
+    def _dispatch(self, statement: Any, user: str) -> ExecutionResult:
         if isinstance(statement, ast.CreateTable):
             return self._create_table(statement, user)
         if isinstance(statement, ast.DropTable):
@@ -1371,6 +1424,8 @@ class Engine:
         self._check_admin(user, "grant privileges")
         records = self.access.grant(statement.privileges, statement.table,
                                     statement.grantee)
+        self.transactions.note_grant(statement.privileges, statement.table,
+                                     statement.grantee)
         return ExecutionSummary(
             "GRANT", rows_affected=len(records),
             message=f"granted {', '.join(statement.privileges)} on "
@@ -1381,6 +1436,8 @@ class Engine:
         self._check_admin(user, "revoke privileges")
         removed = self.access.revoke(statement.privileges, statement.table,
                                      statement.grantee)
+        self.transactions.note_revoke(statement.privileges, statement.table,
+                                      statement.grantee)
         return ExecutionSummary(
             "REVOKE", rows_affected=removed,
             message=f"revoked {', '.join(statement.privileges)} on "

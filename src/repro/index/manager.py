@@ -110,6 +110,10 @@ class IndexManager:
         # A new access path changes what the planner would choose: cached
         # plans built without this index must be re-planned.
         self.catalog.bump_schema_version()
+        journal = getattr(self.catalog, "journal", None)
+        if journal is not None:
+            journal.note_create_index(index.name, index.table, index.columns,
+                                      method)
         return index
 
     def drop_index(self, name: str) -> None:
@@ -118,6 +122,9 @@ class IndexManager:
             raise IndexError_(f"index {name!r} does not exist")
         del self._indexes[key]
         self.catalog.bump_schema_version()
+        journal = getattr(self.catalog, "journal", None)
+        if journal is not None:
+            journal.note_drop_index(name)
 
     def drop_indexes_for(self, table: str) -> None:
         doomed = [name for name, index in self._indexes.items()

@@ -258,6 +258,24 @@ class Explain:
 
 
 # ---------------------------------------------------------------------------
+# Transaction control
+# ---------------------------------------------------------------------------
+@dataclass
+class Begin:
+    """BEGIN [TRANSACTION]: open an explicit transaction."""
+
+
+@dataclass
+class Commit:
+    """COMMIT [TRANSACTION]: durably commit the open transaction."""
+
+
+@dataclass
+class Rollback:
+    """ROLLBACK [TRANSACTION]: undo the open transaction."""
+
+
+# ---------------------------------------------------------------------------
 # A-SQL statements (Figures 4 and 6)
 # ---------------------------------------------------------------------------
 @dataclass

@@ -218,6 +218,18 @@ class Parser:
         if token.is_keyword("EXPLAIN"):
             self.advance()
             return ast.Explain(self.parse_statement())
+        if token.is_keyword("BEGIN"):
+            self.advance()
+            self.match_keyword("TRANSACTION")
+            return ast.Begin()
+        if token.is_keyword("COMMIT"):
+            self.advance()
+            self.match_keyword("TRANSACTION")
+            return ast.Commit()
+        if token.is_keyword("ROLLBACK"):
+            self.advance()
+            self.match_keyword("TRANSACTION")
+            return ast.Rollback()
         raise SqlSyntaxError(
             f"cannot parse statement starting with {token.value!r}", token.position
         )

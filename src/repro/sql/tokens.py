@@ -37,6 +37,7 @@ KEYWORDS = {
     "CREATE", "DROP", "TABLE", "INSERT", "INTO", "VALUES", "UPDATE", "SET",
     "DELETE", "PRIMARY", "KEY", "UNIQUE", "DEFAULT", "TRUE", "FALSE",
     "INDEX", "USING", "ANALYZE", "EXPLAIN",
+    "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION",
     # A-SQL (annotation management, Figures 4, 6, 7)
     "ANNOTATION", "ANNOTATIONS", "ADD", "VALUE", "ARCHIVE", "RESTORE",
     "PROMOTE", "AWHERE", "AHAVING", "FILTER", "TO",

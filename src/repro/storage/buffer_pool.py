@@ -44,6 +44,48 @@ class BufferPool:
         self.capacity = capacity
         self.stats = BufferPoolStatistics()
         self._frames: "OrderedDict[int, Page]" = OrderedDict()
+        #: Depth of open no-steal scopes.  While positive (a transaction is
+        #: in flight), eviction refuses to write dirty pages back to disk:
+        #: the WAL is redo-only, so an uncommitted change must never reach
+        #: the data file where a crash could expose it without a matching
+        #: commit record.  Dirty victims are skipped (clean pages evict
+        #: first); if *every* frame is dirty the pool overshoots its
+        #: capacity rather than steal.
+        self._no_steal_depth = 0
+
+    # ------------------------------------------------------------------
+    # No-steal discipline (transactions)
+    # ------------------------------------------------------------------
+    def begin_no_steal(self) -> None:
+        """Pin dirty pages in memory until :meth:`end_no_steal`."""
+        self._no_steal_depth += 1
+
+    def end_no_steal(self) -> None:
+        if self._no_steal_depth > 0:
+            self._no_steal_depth -= 1
+        if self._no_steal_depth == 0:
+            self._shrink_to_capacity()
+
+    def _shrink_to_capacity(self) -> None:
+        """Evict the overshoot a no-steal scope may have left behind.
+
+        Runs once steal is allowed again, so dirty victims are written back
+        normally — without this, a small pool filled with dirty pages would
+        keep growing (nothing else ever evicts outside ``_admit``).
+        """
+        while len(self._frames) > self.capacity:
+            victim_id = self._pick_victim()
+            if victim_id is None:  # pragma: no cover - depth is 0 here
+                break
+            victim = self._frames.pop(victim_id)
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.disk.write_page(victim)
+                victim.dirty = False
+
+    @property
+    def no_steal_active(self) -> bool:
+        return self._no_steal_depth > 0
 
     # ------------------------------------------------------------------
     def new_page(self) -> Page:
@@ -88,8 +130,20 @@ class BufferPool:
         self._frames[page.page_id] = page
         self._frames.move_to_end(page.page_id)
         while len(self._frames) > self.capacity:
-            victim_id, victim = self._frames.popitem(last=False)
+            victim_id = self._pick_victim()
+            if victim_id is None:
+                break  # no-steal: every frame is dirty, overshoot capacity
+            victim = self._frames.pop(victim_id)
             self.stats.evictions += 1
             if victim.dirty:
                 self.disk.write_page(victim)
                 victim.dirty = False
+
+    def _pick_victim(self) -> "int | None":
+        """LRU victim; under no-steal, the least-recently-used *clean* page."""
+        if self._no_steal_depth == 0:
+            return next(iter(self._frames))
+        for page_id, page in self._frames.items():
+            if not page.dirty:
+                return page_id
+        return None

@@ -90,6 +90,13 @@ class DiskManager:
     def close(self) -> None:
         """Release backend resources (no-op for the in-memory backend)."""
 
+    def sync(self) -> None:
+        """Force written pages to stable storage (no-op unless file-backed)."""
+
+    def reset(self) -> None:
+        """Drop every page (recovery rebuilds the store from the WAL)."""
+        self._next_page_id = 0
+
     def storage_bytes(self) -> int:
         """Total bytes occupied by allocated pages."""
         return self.num_pages * self.page_size
@@ -110,13 +117,31 @@ class InMemoryDiskManager(DiskManager):
     def _store(self, page_id: int, data: bytes) -> None:
         self._pages[page_id] = data
 
+    def reset(self) -> None:
+        super().reset()
+        self._pages.clear()
+
 
 class FileDiskManager(DiskManager):
-    """Page store backed by a single database file."""
+    """Page store backed by a single database file.
 
-    def __init__(self, path: str, page_size: int = DEFAULT_PAGE_SIZE):
+    ``synchronous`` (set from ``EngineConfig.synchronous`` by ``Database``)
+    controls whether :meth:`sync` and :meth:`close` call ``os.fsync``: a
+    flushed-but-unfsynced file can lose acknowledged writes on power loss,
+    which is exactly the bug the WAL + sync points fix.  ``fail_mid_page_write``
+    is a one-shot crash point for recovery tests: the next page write stores
+    only half the page and raises :class:`~repro.storage.wal.InjectedCrash`,
+    simulating a torn in-place write that recovery must survive (it does,
+    by rebuilding the page store from the WAL instead of trusting it).
+    """
+
+    def __init__(self, path: str, page_size: int = DEFAULT_PAGE_SIZE,
+                 tolerate_torn: bool = False):
         super().__init__(page_size)
         self.path = path
+        self.synchronous = True
+        self.fail_mid_page_write = False
+        self.fsync_count = 0
         directory = os.path.dirname(os.path.abspath(path))
         if directory:
             os.makedirs(directory, exist_ok=True)
@@ -125,10 +150,15 @@ class FileDiskManager(DiskManager):
         self._file = open(path, mode)
         size = os.path.getsize(path)
         if size % page_size != 0:
-            raise StorageError(
-                f"database file {path} has size {size}, not a multiple of the "
-                f"{page_size}-byte page size"
-            )
+            # A torn in-place page write (crash mid-store) leaves a partial
+            # trailing page.  With a WAL the file is about to be rebuilt
+            # anyway, so the caller opts into tolerating (and dropping) the
+            # tail; without one this is unrecoverable corruption.
+            if not tolerate_torn:
+                raise StorageError(
+                    f"database file {path} has size {size}, not a multiple of "
+                    f"the {page_size}-byte page size"
+                )
         self._next_page_id = size // page_size
 
     def _load(self, page_id: int) -> bytes:
@@ -142,11 +172,35 @@ class FileDiskManager(DiskManager):
 
     def _store(self, page_id: int, data: bytes) -> None:
         self._file.seek(page_id * self.page_size)
+        if self.fail_mid_page_write:
+            from repro.storage.wal import InjectedCrash
+            self.fail_mid_page_write = False
+            self._file.write(data[:len(data) // 2])
+            self._file.flush()
+            raise InjectedCrash("mid_page_write")
         self._file.write(data)
+
+    def sync(self) -> None:
+        """Flush and (when ``synchronous``) fsync the data file."""
+        if self._file.closed:
+            return
+        self._file.flush()
+        if self.synchronous:
+            os.fsync(self._file.fileno())
+            self.fsync_count += 1
+
+    def reset(self) -> None:
+        """Truncate the data file: recovery re-materializes it from the WAL."""
+        super().reset()
+        self._file.truncate(0)
+        self._file.flush()
 
     def close(self) -> None:
         if not self._file.closed:
             self._file.flush()
+            if self.synchronous:
+                os.fsync(self._file.fileno())
+                self.fsync_count += 1
             self._file.close()
 
     def storage_bytes(self) -> int:
@@ -154,8 +208,9 @@ class FileDiskManager(DiskManager):
         return os.path.getsize(self.path)
 
 
-def open_disk_manager(path: Optional[str], page_size: int = DEFAULT_PAGE_SIZE) -> DiskManager:
+def open_disk_manager(path: Optional[str], page_size: int = DEFAULT_PAGE_SIZE,
+                      tolerate_torn: bool = False) -> DiskManager:
     """Open a file-backed manager when ``path`` is given, in-memory otherwise."""
     if path is None or path == ":memory:":
         return InMemoryDiskManager(page_size)
-    return FileDiskManager(path, page_size)
+    return FileDiskManager(path, page_size, tolerate_torn=tolerate_torn)

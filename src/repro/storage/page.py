@@ -35,6 +35,10 @@ class Page:
         self.page_size = page_size
         self._slots: List[Tuple[int, int]] = []
         self._records: List[Optional[bytes]] = []
+        #: Running total of live record payload bytes, maintained on every
+        #: mutation: ``used_bytes`` runs per insert (the has-room check), so
+        #: it must not rescan the page.
+        self._payload_bytes = 0
         self.dirty = False
 
     # ------------------------------------------------------------------
@@ -45,8 +49,7 @@ class Page:
         return len(self._slots)
 
     def used_bytes(self) -> int:
-        payload = sum(len(record) for record in self._records if record is not None)
-        return _HEADER_SIZE + len(self._slots) * _SLOT_SIZE + payload
+        return _HEADER_SIZE + len(self._slots) * _SLOT_SIZE + self._payload_bytes
 
     def free_bytes(self) -> int:
         return self.page_size - self.used_bytes()
@@ -69,6 +72,7 @@ class Page:
         slot = len(self._slots)
         self._slots.append((0, len(record)))
         self._records.append(bytes(record))
+        self._payload_bytes += len(record)
         self.dirty = True
         return slot
 
@@ -92,14 +96,17 @@ class Page:
             return False
         self._records[slot] = bytes(record)
         self._slots[slot] = (0, len(record))
+        self._payload_bytes += growth
         self.dirty = True
         return True
 
     def delete(self, slot: int) -> None:
-        if self._record_at(slot) is None:
+        record = self._record_at(slot)
+        if record is None:
             raise StorageError(f"slot {slot} of page {self.page_id} is already deleted")
         self._records[slot] = None
         self._slots[slot] = (_TOMBSTONE_OFFSET, 0)
+        self._payload_bytes -= len(record)
         self.dirty = True
 
     def is_live(self, slot: int) -> bool:
@@ -160,6 +167,9 @@ class Page:
             else data[rec_offset:rec_offset + rec_length]
             for rec_offset, rec_length in page._slots
         ]
+        page._payload_bytes = sum(
+            length for offset, length in page._slots
+            if offset != _TOMBSTONE_OFFSET)
         page.dirty = False
         return page
 

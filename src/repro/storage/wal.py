@@ -1,0 +1,252 @@
+"""Write-ahead log: the durability substrate for transactions.
+
+The data file managed by :class:`~repro.storage.disk.FileDiskManager` is a
+*materialization*, not the source of truth: the system catalog, annotation
+registry, index registry, and grants all live in memory, so the only way to
+rebuild a database after a restart is to replay its logical history.  The WAL
+records exactly that history — one checksummed frame per committed
+transaction, holding the transaction's redo operations (row inserts/updates/
+deletes, table/index/annotation DDL, grants) — and recovery replays the log
+from the beginning through the normal storage paths (see
+``Database.__init__`` and :mod:`repro.core.transactions`).
+
+Commit protocol (ARIES-lite, redo-only):
+
+* a transaction buffers its redo operations in memory; nothing is logged
+  until commit, so an aborted transaction simply never reaches the log;
+* at commit the whole batch is appended as a *single frame* — length prefix,
+  CRC32, pickled payload — so torn writes are detected as a checksum/length
+  mismatch and atomicity falls out of the framing;
+* the commit is acknowledged only after the frame is fsync'ed
+  (``synchronous = "full"``); with ``group_commit`` enabled, concurrent
+  committers elect a leader that fsyncs once for every frame appended so
+  far, batching N commits into one fsync.
+
+Recovery scans frames in order, stops at the first short or corrupt frame
+(the torn tail of an interrupted append), truncates the log there, and
+replays everything before it.
+
+For deterministic crash testing, :class:`FileWAL` (and the file disk
+manager) expose *crash points*: setting ``wal.fail_point`` makes the next
+append or sync raise :class:`InjectedCrash` at the named point, leaving the
+on-disk state exactly as a power loss at that instant would.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import threading
+import zlib
+from typing import Any, List, Optional
+
+from repro.core.errors import StorageError
+
+#: File magic: identifies (and versions) the log format.
+WAL_MAGIC = b"BDBWAL01"
+
+#: Frame header: 4-byte payload length + 4-byte CRC32 of the payload.
+_FRAME_HEADER = struct.Struct("<II")
+
+#: Crash points honoured by :meth:`FileWAL.append` / :meth:`FileWAL.sync`.
+CRASH_MID_APPEND = "mid_append"        # torn frame: only a prefix reaches disk
+CRASH_AFTER_APPEND = "after_append"    # full frame written, fsync never runs
+CRASH_BEFORE_FSYNC = "before_fsync"    # sync reached, crash just before fsync
+WAL_CRASH_POINTS = (CRASH_MID_APPEND, CRASH_AFTER_APPEND, CRASH_BEFORE_FSYNC)
+
+
+class InjectedCrash(Exception):
+    """Raised by a fault-injection crash point to simulate a process crash.
+
+    Deliberately *not* a :class:`~repro.core.errors.BdbmsError`: the DB-API
+    error translation must not catch it, exactly as it could not catch a
+    power loss.
+    """
+
+    def __init__(self, point: str):
+        super().__init__(f"injected crash at {point!r}")
+        self.point = point
+
+
+def encode_frame(ops: List[Any]) -> bytes:
+    """Serialize one transaction's redo operations into a framed record."""
+    payload = pickle.dumps(ops, protocol=pickle.HIGHEST_PROTOCOL)
+    return _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+class FileWAL:
+    """Append-only write-ahead log stored next to the database file.
+
+    ``append`` and ``sync`` are thread-safe; the commit path appends under
+    the log mutex and waits for durability *outside* it, which is what lets
+    group commit overlap one committer's fsync with other committers' work.
+    """
+
+    def __init__(self, path: str, synchronous: bool = True,
+                 group_commit: bool = True):
+        self.path = path
+        self.synchronous = synchronous
+        self.group_commit = group_commit
+        #: One-shot fault-injection point (see WAL_CRASH_POINTS); cleared
+        #: when it fires so the test can reopen and recover.
+        self.fail_point: Optional[str] = None
+        self._mutex = threading.Lock()
+        self._sync_cond = threading.Condition()
+        self._syncing = False
+        mode = "r+b" if os.path.exists(path) else "w+b"
+        self._file = open(path, mode)
+        self._file.seek(0, os.SEEK_END)
+        if self._file.tell() == 0:
+            self._file.write(WAL_MAGIC)
+            self._file.flush()
+        #: Byte offset up to which frames have been appended / fsync'ed.
+        self._appended_lsn = self._file.tell()
+        self._synced_lsn = self._appended_lsn if synchronous else float("inf")
+        #: fsync calls actually issued (observability for the benchmarks:
+        #: group commit's whole point is that this grows slower than the
+        #: number of commits).
+        self.fsync_count = 0
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def _take_crash(self, point: str) -> bool:
+        if self.fail_point == point:
+            self.fail_point = None
+            return True
+        return False
+
+    def append(self, ops: List[Any]) -> int:
+        """Append one commit frame; returns its LSN (end byte offset).
+
+        The frame is written to the OS (buffered + flushed) but *not*
+        fsync'ed — call :meth:`sync` with the returned LSN before
+        acknowledging the commit.
+        """
+        frame = encode_frame(ops)
+        with self._mutex:
+            self._file.seek(0, os.SEEK_END)
+            if self._take_crash(CRASH_MID_APPEND):
+                # A torn write: only a prefix of the frame reaches the OS.
+                self._file.write(frame[:max(1, len(frame) // 2)])
+                self._file.flush()
+                raise InjectedCrash(CRASH_MID_APPEND)
+            self._file.write(frame)
+            self._file.flush()
+            self._appended_lsn = self._file.tell()
+            lsn = self._appended_lsn
+            if self._take_crash(CRASH_AFTER_APPEND):
+                raise InjectedCrash(CRASH_AFTER_APPEND)
+        return lsn
+
+    def sync(self, lsn: int) -> None:
+        """Block until the log is durable at least up to ``lsn``.
+
+        ``synchronous`` off: no-op (the OS decides when bytes hit disk).
+        ``group_commit`` off: every caller fsyncs for itself.
+        ``group_commit`` on: the first waiter becomes the leader, fsyncs once
+        for everything appended so far, and wakes every follower whose frame
+        that covered.
+        """
+        if not self.synchronous:
+            return
+        if not self.group_commit:
+            with self._mutex:
+                if self._synced_lsn < lsn:
+                    if self._take_crash(CRASH_BEFORE_FSYNC):
+                        raise InjectedCrash(CRASH_BEFORE_FSYNC)
+                    os.fsync(self._file.fileno())
+                    self.fsync_count += 1
+                    self._synced_lsn = self._appended_lsn
+            return
+        while True:
+            with self._sync_cond:
+                if self._synced_lsn >= lsn:
+                    return
+                if self._syncing:
+                    self._sync_cond.wait()
+                    continue
+                self._syncing = True
+            synced = False
+            try:
+                with self._mutex:
+                    target = self._appended_lsn
+                    if self._take_crash(CRASH_BEFORE_FSYNC):
+                        raise InjectedCrash(CRASH_BEFORE_FSYNC)
+                # fsync outside the mutex: committers keep appending (and the
+                # engine keeps executing) while the disk works.
+                os.fsync(self._file.fileno())
+                self.fsync_count += 1
+                synced = True
+            finally:
+                with self._sync_cond:
+                    self._syncing = False
+                    if synced:
+                        self._synced_lsn = max(self._synced_lsn, target)
+                    self._sync_cond.notify_all()
+
+    def commit(self, ops: List[Any]) -> int:
+        """Append + sync in one call (used for auto-committed single writes)."""
+        lsn = self.append(ops)
+        self.sync(lsn)
+        return lsn
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def read_frames(self) -> List[List[Any]]:
+        """Read every intact frame, truncating a torn/corrupt tail in place.
+
+        Returns the redo-operation batches of committed transactions in log
+        order.  The first frame whose header or checksum does not hold marks
+        the tail of an interrupted append; the log is truncated there so the
+        next append cannot splice new bytes onto garbage.
+        """
+        with self._mutex:
+            self._file.flush()
+            self._file.seek(0)
+            data = self._file.read()
+        if not data.startswith(WAL_MAGIC):
+            raise StorageError(
+                f"{self.path} is not a bdbms write-ahead log")
+        frames: List[List[Any]] = []
+        offset = len(WAL_MAGIC)
+        end = len(data)
+        while offset + _FRAME_HEADER.size <= end:
+            length, crc = _FRAME_HEADER.unpack_from(data, offset)
+            start = offset + _FRAME_HEADER.size
+            if start + length > end:
+                break  # torn tail: frame body never fully reached disk
+            payload = data[start:start + length]
+            if zlib.crc32(payload) != crc:
+                break  # corrupt tail (interrupted overwrite)
+            try:
+                frames.append(pickle.loads(payload))
+            except Exception:
+                break
+            offset = start + length
+        if offset < end:
+            with self._mutex:
+                self._file.truncate(offset)
+                self._file.flush()
+                self._appended_lsn = offset
+        return frames
+
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        with self._mutex:
+            self._file.flush()
+            return os.path.getsize(self.path)
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            if self.synchronous:
+                os.fsync(self._file.fileno())
+            self._file.close()
+
+
+def wal_path_for(database_path: str) -> str:
+    """The log path used for a database file (side file, same directory)."""
+    return database_path + ".wal"

@@ -76,9 +76,37 @@ class TestConnection:
     def test_commit_is_allowed(self, conn):
         conn.commit()  # auto-commit engine: flushes, never raises
 
-    def test_rollback_not_supported(self, conn):
-        with pytest.raises(repro.NotSupportedError):
-            conn.rollback()
+    def test_rollback_without_transaction_is_noop(self, conn):
+        conn.rollback()  # sqlite3-style: no open transaction, no error
+
+    def test_rollback_undoes_transaction(self, conn):
+        cur = conn.cursor()
+        cur.execute("CREATE TABLE t_rb (id INTEGER PRIMARY KEY, v TEXT)")
+        cur.execute("INSERT INTO t_rb VALUES (1, 'keep')")
+        conn.commit()
+        cur.execute("BEGIN")
+        cur.execute("INSERT INTO t_rb VALUES (2, 'discard')")
+        conn.rollback()
+        cur.execute("SELECT id FROM t_rb")
+        assert [row[0] for row in cur.fetchall()] == [1]
+
+    def test_exit_with_exception_rolls_back(self):
+        db = repro.Database()
+        conn = db.connect()
+        conn.execute("CREATE TABLE t_exc (id INTEGER PRIMARY KEY)")
+        with pytest.raises(RuntimeError):
+            with conn:
+                conn.execute("BEGIN")
+                conn.execute("INSERT INTO t_exc VALUES (1)")
+                raise RuntimeError("boom")
+        check = db.connect()
+        assert check.execute("SELECT id FROM t_exc").fetchall() == []
+
+    def test_non_string_sql_raises_interface_error(self, conn):
+        with pytest.raises(repro.InterfaceError):
+            conn.execute(42)
+        with pytest.raises(repro.InterfaceError):
+            conn.execute(b"SELECT 1")
 
     def test_close_is_idempotent(self, conn):
         conn.close()

@@ -1,0 +1,277 @@
+"""Transactions: BEGIN/COMMIT/ROLLBACK semantics, atomicity, and locking.
+
+Durability and crash recovery are exercised separately in
+``test_wal_recovery.py``; these tests cover the in-memory transaction
+semantics — rollback via before-images (rows, schema, annotations, outdated
+bitmaps), statement atomicity, the explicit-transaction statement
+restrictions, and the single-writer lock.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro
+from repro import Database
+from repro.core.errors import IntegrityError, OperationalError, TransactionError
+
+
+def ids(db, sql="SELECT id FROM t"):
+    return sorted(row[0] for row in db.connect().execute(sql).fetchall())
+
+
+@pytest.fixture
+def txn_db() -> Database:
+    database = Database()
+    conn = database.connect()
+    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+    conn.execute("INSERT INTO t VALUES (1, 'one'), (2, 'two')")
+    return database
+
+
+# ---------------------------------------------------------------------------
+# SQL surface
+# ---------------------------------------------------------------------------
+class TestSqlStatements:
+    def test_begin_commit_makes_changes_visible(self, txn_db):
+        conn = txn_db.connect()
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO t VALUES (3, 'three')")
+        conn.execute("COMMIT")
+        assert ids(txn_db) == [1, 2, 3]
+
+    def test_begin_transaction_keyword_is_optional(self, txn_db):
+        conn = txn_db.connect()
+        conn.execute("BEGIN TRANSACTION")
+        conn.execute("ROLLBACK TRANSACTION")
+        assert not txn_db.in_transaction
+
+    def test_rollback_discards_insert(self, txn_db):
+        conn = txn_db.connect()
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO t VALUES (3, 'three')")
+        conn.execute("ROLLBACK")
+        assert ids(txn_db) == [1, 2]
+
+    def test_rollback_restores_update_and_delete(self, txn_db):
+        conn = txn_db.connect()
+        conn.execute("BEGIN")
+        conn.execute("UPDATE t SET v = 'changed' WHERE id = 1")
+        conn.execute("DELETE FROM t WHERE id = 2")
+        conn.execute("ROLLBACK")
+        rows = dict(conn.execute("SELECT id, v FROM t").fetchall())
+        assert rows == {1: "one", 2: "two"}
+
+    def test_commit_without_transaction_raises(self, txn_db):
+        with pytest.raises(OperationalError):
+            txn_db.connect().execute("COMMIT")
+
+    def test_rollback_without_transaction_raises(self, txn_db):
+        with pytest.raises(OperationalError):
+            txn_db.connect().execute("ROLLBACK")
+
+    def test_nested_begin_raises(self, txn_db):
+        conn = txn_db.connect()
+        conn.execute("BEGIN")
+        with pytest.raises(OperationalError):
+            conn.execute("BEGIN")
+        conn.execute("ROLLBACK")
+
+    def test_transaction_spans_statements_until_commit(self, txn_db):
+        conn = txn_db.connect()
+        conn.execute("BEGIN")
+        for i in range(3, 7):
+            conn.execute("INSERT INTO t VALUES (?, ?)", (i, f"v{i}"))
+        # Uncommitted rows are visible to this (READ UNCOMMITTED) reader...
+        assert ids(txn_db) == [1, 2, 3, 4, 5, 6]
+        conn.execute("ROLLBACK")
+        # ...and all gone together after rollback.
+        assert ids(txn_db) == [1, 2]
+
+
+# ---------------------------------------------------------------------------
+# Rollback of schema and bdbms state
+# ---------------------------------------------------------------------------
+class TestRollbackRestoresState:
+    def test_rollback_undoes_create_table(self, txn_db):
+        conn = txn_db.connect()
+        conn.execute("BEGIN")
+        conn.execute("CREATE TABLE fresh (id INTEGER PRIMARY KEY)")
+        conn.execute("INSERT INTO fresh VALUES (1)")
+        conn.execute("ROLLBACK")
+        assert "fresh" not in [name.lower() for name in txn_db.table_names()]
+
+    def test_rollback_undoes_create_index(self, txn_db):
+        conn = txn_db.connect()
+        conn.execute("BEGIN")
+        conn.execute("CREATE INDEX idx_v ON t (v)")
+        conn.execute("ROLLBACK")
+        assert "idx_v" not in txn_db.indexes.index_names()
+
+    def test_rollback_undoes_annotation_table_and_annotations(self, txn_db):
+        conn = txn_db.connect()
+        conn.execute("BEGIN")
+        conn.execute("CREATE ANNOTATION TABLE note ON t")
+        conn.execute("ADD ANNOTATION TO t.note VALUE 'suspect' "
+                     "ON (SELECT v FROM t WHERE id = 1)")
+        conn.execute("ROLLBACK")
+        assert txn_db.annotations.tables_for("t") == []
+
+    def test_rollback_restores_annotations_of_existing_table(self, txn_db):
+        conn = txn_db.connect()
+        conn.execute("CREATE ANNOTATION TABLE note ON t")
+        conn.execute("ADD ANNOTATION TO t.note VALUE 'kept' "
+                     "ON (SELECT v FROM t WHERE id = 1)")
+        conn.execute("BEGIN")
+        conn.execute("ADD ANNOTATION TO t.note VALUE 'discarded' "
+                     "ON (SELECT v FROM t WHERE id = 2)")
+        conn.execute("ROLLBACK")
+        rows = conn.execute("SELECT id, v FROM t ANNOTATION(note)").fetchall()
+        notes = {row[0]: sorted(a.body for anns in row.annotations
+                                for a in anns)
+                 for row in rows}
+        assert len(notes[1]) == 1 and "kept" in notes[1][0]
+        assert notes[2] == []
+
+    def test_rollback_restores_outdated_bitmap(self, txn_db):
+        db = txn_db
+        db.tracker.register_instance_dependency(
+            ("t", 0, "id"), ("t", 1, "v"), "manual curation")
+        conn = db.connect()
+        conn.execute("BEGIN")
+        conn.execute("UPDATE t SET id = 9 WHERE id = 1")
+        assert db.tracker.is_outdated("t", 1, "v")
+        conn.execute("ROLLBACK")
+        assert not db.tracker.is_outdated("t", 1, "v")
+
+    def test_failed_statement_inside_transaction_is_undone(self, txn_db):
+        conn = txn_db.connect()
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO t VALUES (3, 'three')")
+        with pytest.raises(IntegrityError):
+            # Multi-row statement: second row violates the primary key, so
+            # the whole statement (including its first row) must be undone.
+            conn.execute("INSERT INTO t VALUES (4, 'four'), (3, 'dup')")
+        conn.execute("COMMIT")
+        assert ids(txn_db) == [1, 2, 3]
+
+    def test_autocommitted_statement_is_atomic(self, txn_db):
+        conn = txn_db.connect()
+        with pytest.raises(IntegrityError):
+            conn.execute("INSERT INTO t VALUES (4, 'four'), (4, 'dup')")
+        assert ids(txn_db) == [1, 2]
+
+
+# ---------------------------------------------------------------------------
+# Statements an explicit transaction may not contain
+# ---------------------------------------------------------------------------
+class TestExplicitTransactionRestrictions:
+    @pytest.mark.parametrize("sql", [
+        "DROP TABLE t",
+        "DROP INDEX nothing",
+        "DROP ANNOTATION TABLE note ON t",
+        "GRANT SELECT ON t TO alice",
+        "REVOKE SELECT ON t FROM alice",
+        "START CONTENT APPROVAL ON t APPROVED BY admin",
+        "STOP CONTENT APPROVAL ON t",
+    ])
+    def test_rejected_inside_transaction(self, txn_db, sql):
+        conn = txn_db.connect()
+        conn.execute("BEGIN")
+        with pytest.raises(OperationalError):
+            conn.execute(sql)
+        conn.execute("ROLLBACK")
+
+    def test_drop_table_works_autocommitted(self, txn_db):
+        txn_db.connect().execute("DROP TABLE t")
+        assert txn_db.table_names() == []
+
+
+# ---------------------------------------------------------------------------
+# Python API and connection lifecycle
+# ---------------------------------------------------------------------------
+class TestDatabaseApi:
+    def test_in_transaction_property(self, txn_db):
+        assert not txn_db.in_transaction
+        txn_db.begin()
+        assert txn_db.in_transaction
+        txn_db.rollback()
+        assert not txn_db.in_transaction
+
+    def test_begin_commit_via_python_api(self, txn_db):
+        txn_db.begin()
+        txn_db.connect().execute("INSERT INTO t VALUES (3, 'three')")
+        txn_db.commit()
+        assert ids(txn_db) == [1, 2, 3]
+
+    def test_rollback_returns_whether_anything_was_open(self, txn_db):
+        assert txn_db.rollback() is False
+        txn_db.begin()
+        assert txn_db.rollback() is True
+
+    def test_direct_table_writes_are_transactional(self, txn_db):
+        txn_db.begin()
+        table = txn_db.table("t")
+        table.insert_row({"id": 7, "v": "direct"})
+        txn_db.rollback()
+        assert ids(txn_db) == [1, 2]
+
+    def test_closing_shared_connection_rolls_back(self, txn_db):
+        conn = txn_db.connect()
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO t VALUES (3, 'three')")
+        conn.close()
+        assert not txn_db.in_transaction
+        assert ids(txn_db) == [1, 2]
+
+    def test_transaction_error_maps_to_operational_error(self):
+        assert issubclass(TransactionError, repro.Error) or issubclass(
+            OperationalError, repro.Error)
+
+
+# ---------------------------------------------------------------------------
+# Single-writer locking
+# ---------------------------------------------------------------------------
+class TestWriteLock:
+    def test_second_writer_blocks_until_commit(self, txn_db):
+        order = []
+        started = threading.Event()
+
+        txn_db.begin()
+        txn_db.connect().execute("INSERT INTO t VALUES (3, 'three')")
+
+        def other_writer():
+            conn = txn_db.connect()
+            started.set()
+            conn.execute("INSERT INTO t VALUES (4, 'four')")
+            order.append("writer")
+
+        thread = threading.Thread(target=other_writer)
+        thread.start()
+        started.wait()
+        thread.join(timeout=0.2)
+        assert thread.is_alive(), "second writer should block on the lock"
+        order.append("commit")
+        txn_db.commit()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert order == ["commit", "writer"]
+        assert ids(txn_db) == [1, 2, 3, 4]
+
+    def test_reader_is_not_blocked_by_open_transaction(self, txn_db):
+        txn_db.begin()
+        txn_db.connect().execute("INSERT INTO t VALUES (3, 'three')")
+        results = []
+
+        def reader():
+            results.append(ids(txn_db))
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        txn_db.rollback()
+        # READ UNCOMMITTED: the reader saw the in-flight row.
+        assert results == [[1, 2, 3]]
