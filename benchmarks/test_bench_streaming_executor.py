@@ -337,6 +337,176 @@ def test_spill_breakers_full():
 
 
 # ---------------------------------------------------------------------------
+# Intra-query parallelism: spilled join, serial vs. worker pool (PR 7)
+# ---------------------------------------------------------------------------
+def measure_parallel(db: Database, query: str, workers: int, budget: int,
+                     *, repeats: int = 3) -> dict:
+    """Best-of-N wall clock of a spilled hash join at a worker count.
+
+    Plain wall clock: tracemalloc's per-allocation hook is not worth paying
+    inside pool threads, and the subject here is elapsed I/O overlap."""
+    db.config.execution_mode = "streaming"
+    db.config.join_strategy = "hash"
+    db.config.memory_budget_rows = budget
+    db.config.parallel_workers = workers
+    best = None
+    try:
+        for _ in range(repeats):
+            started = time.perf_counter()
+            result = db.query(query)
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+    finally:
+        db.config.join_strategy = "auto"
+        db.config.memory_budget_rows = None
+        db.config.parallel_workers = 0
+    events = db.engine.last_spill.events("hash_join")
+    timings = events[0].get("partition_timings", []) if events else []
+    return {
+        "seconds": round(best, 6),
+        "rows": len(result),
+        "partitions": events[0]["partitions"] if events else 0,
+        "workers_seen": sorted({t["worker"] for t in timings}),
+    }
+
+
+def run_parallel_spill(rows: int, workers: int, label: str) -> dict:
+    """Grace hash join over budget: serial partition loop vs. the bounded
+    worker pool, identical budget, identical answers."""
+    import os
+    db = spill_db(rows)
+    budget = max(256, rows // 10)
+    query = "SELECT fact.id, dim.id FROM fact, dim WHERE fact.id = dim.fk"
+    series = {
+        "serial_spilled": measure_parallel(db, query, 0, budget),
+        f"parallel_{workers}w": measure_parallel(db, query, workers, budget),
+        "budget_rows": budget,
+        "cpu_count": os.cpu_count() or 1,
+    }
+    parallel = series[f"parallel_{workers}w"]
+    series["speedup"] = round(
+        series["serial_spilled"]["seconds"] / parallel["seconds"], 2)
+    print_table(
+        f"parallel spilled join, {rows} rows, budget {budget}, "
+        f"{workers} workers ({label})",
+        ["series", "seconds", "partitions", "workers", "rows"],
+        [[name, f"{m['seconds']:.4f}", m["partitions"],
+          ",".join(m["workers_seen"]), m["rows"]]
+         for name, m in series.items() if isinstance(m, dict)],
+    )
+    print(f"  speedup (serial / {workers} workers): {series['speedup']}x "
+          f"on {series['cpu_count']} CPU(s)")
+    # Both arms spilled (partitions recorded), fanned out wide enough to
+    # exercise the pool, agree exactly, and the parallel arm really ran on
+    # pool threads.
+    assert series["serial_spilled"]["partitions"] >= 4
+    assert parallel["partitions"] >= 4
+    assert parallel["rows"] == series["serial_spilled"]["rows"] == rows
+    assert series["serial_spilled"]["workers_seen"] == ["main"]
+    assert any(w.startswith("w") for w in parallel["workers_seen"])
+    return series
+
+
+def assert_parallel_speedup(series: dict, workers: int) -> None:
+    """>= 2x with real cores to overlap on; bounded overhead without.
+
+    The pool parallelizes spill-file read-back — on a single-core host (CI
+    containers included) the GIL serializes the decode work and the honest
+    bar is 'threads must not cost much', not a speedup the hardware cannot
+    produce.  Actual numbers are recorded either way."""
+    if series["cpu_count"] >= 2:
+        assert series["speedup"] >= 2.0, \
+            f"expected >= 2x on {series['cpu_count']} CPUs, got {series['speedup']}x"
+    else:
+        parallel = series[f"parallel_{workers}w"]["seconds"]
+        serial = series["serial_spilled"]["seconds"]
+        assert parallel <= serial * 1.35, \
+            f"single-core pool overhead too high: {parallel:.4f}s vs {serial:.4f}s"
+
+
+def test_parallel_spill_smoke():
+    series = run_parallel_spill(8_000, workers=4, label="smoke")
+    write_bench_results("streaming", {"parallel_spill_8k": series})
+
+
+@pytest.mark.slow
+def test_parallel_spill_full():
+    """The PR-7 acceptance number: 4-worker spilled join >= 2x the serial
+    spilled run at the same budget (hardware permitting — see
+    assert_parallel_speedup)."""
+    series = run_parallel_spill(60_000, workers=4, label="full")
+    assert_parallel_speedup(series, workers=4)
+    write_bench_results("streaming", {"parallel_spill_60k": series})
+
+
+# ---------------------------------------------------------------------------
+# Decoded-page cache: warm rescan vs. decode-every-scan (PR 7)
+# ---------------------------------------------------------------------------
+def run_decoded_cache_rescan(rows: int, pool_size: int, label: str) -> dict:
+    """Repeated filter scan with the decoded-page cache on vs. off.
+
+    The pool must hold the whole table: the cache drops entries whenever
+    their raw page is evicted (it must never outlive the bytes it mirrors),
+    so a pool smaller than the table invalidates continuously and the warm
+    path degenerates to the cold one."""
+    db = Database(pool_size=pool_size)
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v FLOAT)")
+    table = db.table("t")
+    for i in range(rows):
+        table.insert_row({"id": i, "v": i * 0.5})
+    db.analyze("t")
+    pages = db.catalog.table("t").num_pages()
+    assert pages < pool_size, "bench requires the table to fit in the pool"
+    query = f"SELECT id, v FROM t WHERE v >= {rows * 0.05}"
+
+    def best_of(repeats: int = 5) -> dict:
+        best = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            result = db.query(query)
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+        return {"seconds": round(best, 6), "rows": len(result)}
+
+    series = {"decode_every_scan": best_of()}
+    db.config.decoded_page_cache_pages = pool_size
+    db.query(query)                       # cold pass populates the cache
+    assert db.engine.last_cache.misses == pages
+    series["warm_rescan"] = best_of()
+    hit_ratio = db.engine.last_cache.hit_ratio
+    db.config.decoded_page_cache_pages = 0
+    series["speedup"] = round(series["decode_every_scan"]["seconds"]
+                              / series["warm_rescan"]["seconds"], 2)
+    series["table_pages"] = pages
+    series["hit_ratio"] = hit_ratio
+    print_table(
+        f"decoded-page cache rescan, {rows} rows / {pages} pages ({label})",
+        ["series", "seconds", "rows"],
+        [[name, f"{m['seconds']:.4f}", m["rows"]]
+         for name, m in series.items() if isinstance(m, dict)],
+    )
+    print(f"  speedup (decode-every-scan / warm rescan): {series['speedup']}x, "
+          f"hit ratio {hit_ratio:.2f}")
+    assert hit_ratio == 1.0
+    assert series["warm_rescan"]["rows"] == series["decode_every_scan"]["rows"]
+    return series
+
+
+def test_decoded_cache_rescan_smoke():
+    series = run_decoded_cache_rescan(6_000, pool_size=256, label="smoke")
+    assert series["speedup"] >= 1.2
+    write_bench_results("streaming", {"decoded_cache_rescan_6k": series})
+
+
+@pytest.mark.slow
+def test_decoded_cache_rescan_full():
+    """The PR-7 acceptance number: >= 1.5x for the warm rescan."""
+    series = run_decoded_cache_rescan(20_000, pool_size=512, label="full")
+    assert series["speedup"] >= 1.5
+    write_bench_results("streaming", {"decoded_cache_rescan": series})
+
+
+# ---------------------------------------------------------------------------
 # Prepared statements: cached-plan reuse vs. parse-per-call (PR 5)
 # ---------------------------------------------------------------------------
 def prepared_db(rows: int) -> Database:

@@ -51,7 +51,8 @@ class SystemCatalog:
         key = schema.name.lower()
         if key in self._tables:
             raise CatalogError(f"table {schema.name!r} already exists")
-        table = Table(schema, self.pool, journal=self.journal)
+        table = Table(schema, self.pool, journal=self.journal,
+                      version_source=lambda: self.schema_version)
         self._tables[key] = table
         self.bump_schema_version()
         if self.journal is not None:
@@ -62,8 +63,9 @@ class SystemCatalog:
         key = name.lower()
         if key not in self._tables:
             raise CatalogError(f"table {name!r} does not exist")
-        del self._tables[key]
+        table = self._tables.pop(key)
         self.statistics.drop(name)
+        self.pool.decoded.invalidate_table(table.name)
         self.bump_schema_version()
         if self.journal is not None:
             self.journal.note_drop_table(name)

@@ -16,6 +16,7 @@ when one is available), and unknown predicates default to ``1/3``.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -100,6 +101,10 @@ class StatisticsManager:
         self._stats: Dict[str, TableStatistics] = {}
         self._dml_since_analyze: Dict[str, int] = {}
         self.auto_refresh = auto_refresh
+        #: Guards the staleness counters: parallel spill workers may touch
+        #: planner statistics concurrently with the main thread's DML
+        #: bookkeeping, and ``dict.get`` + ``=`` is not atomic.
+        self._dml_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # ANALYZE
@@ -190,8 +195,10 @@ class StatisticsManager:
         stats = self._stats.get(key)
         if stats is None:
             return
-        stats.row_count = max(0, stats.row_count + row_delta)
-        self._dml_since_analyze[key] = self._dml_since_analyze.get(key, 0) + count
+        with self._dml_lock:
+            stats.row_count = max(0, stats.row_count + row_delta)
+            self._dml_since_analyze[key] = \
+                self._dml_since_analyze.get(key, 0) + count
 
     def drop(self, table_name: str) -> None:
         self._stats.pop(table_name.lower(), None)

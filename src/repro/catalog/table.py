@@ -15,7 +15,7 @@ primary key.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.catalog.schema import TableSchema
 from repro.core.errors import CatalogError, ConstraintViolationError
@@ -29,9 +29,15 @@ class Table:
     """A stored user relation."""
 
     def __init__(self, schema: TableSchema, pool: BufferPool,
-                 journal: Optional[Any] = None):
+                 journal: Optional[Any] = None,
+                 version_source: Optional[Callable[[], int]] = None):
         self.schema = schema
+        self.pool = pool
         self.heap = HeapFile(pool)
+        #: Supplies the catalog's ``schema_version`` for decoded-page cache
+        #: keys; a standalone table pins version 0 (still correct — DML
+        #: invalidation goes through the page-dirty path, not the version).
+        self._version_source = version_source
         #: The transaction manager acting as mutation journal (see
         #: :mod:`repro.core.transactions`), or ``None`` for a standalone
         #: table.  Every committed-path mutation reports its after-image
@@ -207,8 +213,15 @@ class Table:
         order with a per-page decode cache.
         """
         if self._page_order_is_tid_order:
+            cache = self.pool.decoded
+            version = (self._version_source()
+                       if self._version_source is not None else 0)
+            name = self.name
             for page_id in self.heap.page_ids:
-                decoded = self.heap.scan_page_rows(page_id, with_tuple_ids)
+                decoded = cache.get(name, page_id, version, with_tuple_ids)
+                if decoded is None:
+                    decoded = self.heap.scan_page_rows(page_id, with_tuple_ids)
+                    cache.put(name, page_id, version, with_tuple_ids, decoded)
                 if decoded:
                     yield decoded
             return

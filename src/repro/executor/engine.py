@@ -51,8 +51,10 @@ from repro.executor.prepared import (
     PreparedStatement,
     bind_plan,
 )
+from repro.executor.parallel import MaybeParallel, validated_worker_count
 from repro.index.manager import IndexManager
 from repro.planner import plan as planlib
+from repro.storage.buffer_pool import DecodedCacheView
 from repro.storage.spill import SpillManager, SpillStats
 from repro.planner.expressions import Evaluator, contains_aggregate
 from repro.planner.planner import combine_conjuncts, push_down_conjuncts
@@ -142,6 +144,18 @@ class EngineConfig:
     #: Batch concurrent committers into one WAL fsync (group commit).  With
     #: it off every commit pays its own fsync.
     group_commit: bool = True
+    #: Worker threads for intra-query parallelism over *spill partitions*
+    #: (Grace hash-join partitions, spilled GROUP BY / DISTINCT partitions,
+    #: external-sort runs).  ``0`` (the default) and ``1`` run serially on
+    #: the calling thread; ``N >= 2`` fans partitions out over a bounded
+    #: thread pool.  Output values, row order, and annotation identity are
+    #: identical at every worker count.
+    parallel_workers: int = 0
+    #: Pages held by the buffer pool's decoded-record cache (decoded tuple
+    #: lists keyed by ``(table, page, schema version)``), letting repeated
+    #: scans skip record deserialization.  ``0`` (the default) disables the
+    #: cache.
+    decoded_page_cache_pages: int = 0
 
     def __post_init__(self) -> None:
         self.validate()
@@ -187,6 +201,16 @@ class EngineConfig:
             raise PlanningError(
                 f"unknown synchronous mode {self.synchronous!r}; "
                 f"expected one of {SYNCHRONOUS_MODES}")
+        try:
+            validated_worker_count(self.parallel_workers)
+        except ValueError as exc:
+            raise PlanningError(str(exc)) from None
+        if not isinstance(self.decoded_page_cache_pages, int) \
+                or isinstance(self.decoded_page_cache_pages, bool) \
+                or self.decoded_page_cache_pages < 0:
+            raise PlanningError(
+                f"decoded_page_cache_pages must be a non-negative integer, "
+                f"got {self.decoded_page_cache_pages!r}")
 
 
 #: Field names of :class:`EngineConfig`, resolved once — ``fingerprint()``
@@ -277,6 +301,17 @@ class Engine:
         #: while rows are drained, so a streaming consumer sees the final
         #: numbers once the stream is exhausted.
         self.last_spill: SpillStats = SpillStats()
+        #: Decoded-page cache activity of the most recent query: a live
+        #: per-query window (hits/misses/evictions/invalidations) over the
+        #: buffer pool's :class:`DecodedCacheStatistics`.  Like
+        #: ``last_spill`` it keeps counting while a streaming result is
+        #: drained.
+        self.last_cache: DecodedCacheView = DecodedCacheView(
+            catalog.pool.decoded.stats)
+        #: The cached worker facade behind spill-partition parallelism.  One
+        #: pool lives across queries (thread startup is not free) and is
+        #: recreated only when ``config.parallel_workers`` changes.
+        self._parallel: Optional[MaybeParallel] = None
         #: Prepared-plan cache keyed on (SQL text, SELECT-block ordinal,
         #: EngineConfig fingerprint), invalidated by the catalog schema
         #: version (see :class:`~repro.executor.prepared.PlanCache`).
@@ -444,7 +479,7 @@ class Engine:
     # Queries
     # ------------------------------------------------------------------
     def execute_query(self, node: Any, user: str = "admin") -> ResultSet:
-        self.last_spill = SpillStats()
+        self._begin_query()
         schema, rows = ops.materialize(self._evaluate_query(node, user))
         return ResultSet(schema, rows)
 
@@ -455,9 +490,33 @@ class Engine:
         eagerly; rows are computed only as the returned stream is consumed,
         so an early-stopping consumer never pays for the full scan.
         """
-        self.last_spill = SpillStats()
+        self._begin_query()
         schema, rows = self._evaluate_query(node, user)
         return StreamingResultSet(schema, rows)
+
+    def _begin_query(self) -> None:
+        """Reset the per-query observability surfaces and sync the decoded
+        cache capacity with the (mutable) config knob."""
+        self.last_spill = SpillStats()
+        decoded = self.catalog.pool.decoded
+        decoded.set_capacity(self.config.decoded_page_cache_pages)
+        self.last_cache = DecodedCacheView(decoded.stats)
+
+    def _parallel_pool(self) -> MaybeParallel:
+        """The engine-wide worker facade, rebuilt on a knob change.
+
+        Worker threads persist across queries; changing
+        ``config.parallel_workers`` shuts the old pool down (waiting for any
+        straggling tasks) and starts fresh.
+        """
+        workers = self.config.parallel_workers
+        parallel = self._parallel
+        if parallel is None or parallel.workers != workers:
+            if parallel is not None:
+                parallel.shutdown()
+            parallel = MaybeParallel(workers)
+            self._parallel = parallel
+        return parallel
 
     def _spill_manager(self) -> Optional[SpillManager]:
         """A spill coordinator, or ``None`` without a budget.
@@ -472,7 +531,8 @@ class Engine:
         if budget is None:
             return None
         return SpillManager(budget, stats=self.last_spill,
-                            directory=self.config.spill_directory)
+                            directory=self.config.spill_directory,
+                            parallel=self._parallel_pool())
 
     def _stage(self, relation: ops.Relation) -> ops.Relation:
         """Adapt one pipeline stage's output to the configured execution mode.
@@ -498,7 +558,8 @@ class Engine:
                 return ops.union(left, right, keep_all=node.all,
                                  spill=self._spill_manager())
             if node.op == "INTERSECT":
-                return ops.intersect(left, right)
+                return ops.intersect(left, right,
+                                     spill=self._spill_manager())
             return ops.except_(left, right, spill=self._spill_manager())
         if isinstance(node, ast.Select):
             return self._evaluate_select(node, user)
@@ -863,8 +924,10 @@ class Engine:
             base_row_estimate=lambda qualifier: float(
                 statistics.row_count_estimate(table_of[qualifier])),
             limit_hint=select.limit if order_hint is not None else None,
+            memory_budget_rows=self.config.memory_budget_rows,
         )
-        planlib.annotate_spill_expectations(plan, self.config.memory_budget_rows)
+        planlib.annotate_spill_expectations(plan, self.config.memory_budget_rows,
+                                            self.config.parallel_workers)
         return plan, pushed, remaining, order_hint
 
     def _order_through_hash(self) -> bool:
@@ -916,7 +979,7 @@ class Engine:
             elif node.strategy == "merge":
                 relation = ops.merge_join(left, right, node.left_keys,
                                           node.right_keys, node.join_type,
-                                          node.condition)
+                                          node.condition, spill=spill)
             else:
                 join_type = "CROSS" if node.strategy == "cross" else node.join_type
                 relation = ops.nested_loop_join(left, right, node.condition,
@@ -1027,14 +1090,20 @@ class Engine:
         if remaining:
             text += f"\nResidual filter: {len(remaining)} conjunct(s)"
         budget = self.config.memory_budget_rows
+        workers = self.config.parallel_workers
+        parallel_suffix = (f" [parallel: {workers} workers]"
+                           if budget is not None and workers >= 2 else "")
         has_aggregates = self._select_has_aggregates(node)
         if budget is not None:
             plan_dict["memory_budget_rows"] = budget
+            if workers >= 2:
+                plan_dict["parallel_workers"] = workers
             if has_aggregates and node.group_by \
                     and plan.estimated_rows > budget:
                 partitions = planlib.estimated_spill_partitions(
                     plan.estimated_rows, budget)
-                text += f"\nAggregate [spill: {partitions} partitions]"
+                text += (f"\nAggregate [spill: {partitions} partitions]"
+                         f"{parallel_suffix}")
                 plan_dict["aggregate_spill_partitions"] = partitions
             if has_aggregates and node.order_by:
                 # The sort runs over the *grouped* output, so its spill
@@ -1043,7 +1112,7 @@ class Engine:
                 grouped = self._estimated_group_rows(node, plan, table_refs)
                 if grouped > budget:
                     runs = planlib.estimated_sort_runs(grouped, budget)
-                    text += f"\nSort [external: {runs} runs]"
+                    text += f"\nSort [external: {runs} runs]{parallel_suffix}"
                     plan_dict["sort"] = "external"
         if node.order_by and not has_aggregates:
             elided = (order_hint is not None
@@ -1056,7 +1125,7 @@ class Engine:
                 plan_dict["sort"] = "elided"
             elif budget is not None and plan.estimated_rows > budget:
                 runs = planlib.estimated_sort_runs(plan.estimated_rows, budget)
-                text += f"\nSort [external: {runs} runs]"
+                text += f"\nSort [external: {runs} runs]{parallel_suffix}"
                 plan_dict["sort"] = "external"
         return plan_dict, text
 

@@ -32,6 +32,7 @@ The propagation rules follow Section 3.4 of the paper:
 from __future__ import annotations
 
 import heapq
+import time
 from itertools import chain, islice
 from operator import itemgetter
 from typing import (
@@ -59,6 +60,7 @@ from repro.executor.row import (
     concat_annotation_vectors,
     merge_annotation_vectors,
 )
+from repro.executor.parallel import worker_label
 from repro.storage.spill import MAX_SPILL_DEPTH, SpillFile, SpillManager
 from repro.planner.expressions import (
     AggregateState,
@@ -495,6 +497,10 @@ _Entry = Tuple[Tuple[Any, ...], Optional[List[Set[Any]]]]
 #: Rows per chunk when adapting a row/entry stream to the batched shape.
 _ENTRY_CHUNK_ROWS = 1024
 
+#: Above this many external-sort runs, a parallel query pre-merges groups of
+#: this size on the worker pool before the final k-way merge.
+_SORT_PREMERGE_FANIN = 8
+
 
 def _chunk_entries(entries: Iterable[_Entry],
                    chunk_rows: int = _ENTRY_CHUNK_ROWS
@@ -539,6 +545,18 @@ class _HashJoin:
     key hash into temp files and each partition pair is joined independently
     (recursing with a re-salted hash on partitions that still exceed the
     budget, up to :data:`MAX_SPILL_DEPTH`).
+
+    Two refinements on the classic Grace scheme:
+
+    * **Hybrid**: partition 0 of the build side stays resident in memory
+      (it is already decoded when the spill triggers), so its probe rows
+      join immediately instead of taking a disk round trip.  If partition 0
+      alone outgrows the budget it is demoted to disk like the others.
+    * **Parallel**: with ``parallel_workers`` > 0 the spilled partition
+      pairs are joined on the spill manager's worker pool.  Results are
+      emitted strictly in partition order (identical to the serial path);
+      each worker buffers one partition's output batches, trading bounded
+      memory for overlap.
     """
 
     def __init__(self, left_schema: OutputSchema, right_schema: OutputSchema,
@@ -562,6 +580,11 @@ class _HashJoin:
         self.partitions = (spill_partitions if spill_partitions
                            else (spill.partition_count() if spill else 0))
         self._pad = (None,) * self.right_arity
+        #: Hybrid hash join: build partition 0 kept in memory (``None`` once
+        #: demoted to disk or before any spill happens).
+        self.resident: Optional[Dict[Tuple[Any, ...], List[_Entry]]] = None
+        self._resident_rows = 0
+        self.event: Optional[Dict[str, Any]] = None
 
     # -- keys ------------------------------------------------------------
     def _key_of(self, getters, values) -> Optional[Tuple[Any, ...]]:
@@ -616,26 +639,57 @@ class _HashJoin:
             if key is not None:
                 setdefault(key, []).append((values, anns))
 
-    def _spill_build(self, table: Dict, remaining_batches) -> List[SpillFile]:
+    def _spill_build(self, table: Dict,
+                     remaining_batches) -> List[Optional[SpillFile]]:
         """Grace partitioning: dump the in-memory table plus the rest of the
-        build input into hash partitions on disk."""
+        build input into hash partitions on disk — except partition 0, which
+        stays resident in memory (hybrid) unless it alone exceeds the
+        budget, in which case :meth:`_demote_resident` pushes it to disk."""
         fanout = self.partitions
-        files = [self.spill.new_file() for _ in range(fanout)]
+        budget = self.spill.budget_rows
+        files: List[Optional[SpillFile]] = \
+            [None] + [self.spill.new_file() for _ in range(fanout - 1)]
+        self.resident = {}
+        self._resident_rows = 0
         self.event = self.spill.stats.record("hash_join", partitions=fanout,
-                                             recursive_splits=0)
-        for key, bucket in table.items():
-            handle = files[self._bucket(key, 0, fanout)]
-            for values, anns in bucket:
-                handle.append(values, anns)
+                                             recursive_splits=0, hybrid=True)
+
+        def add(key: Tuple[Any, ...], values, anns) -> None:
+            bucket = self._bucket(key, 0, fanout)
+            if bucket == 0 and self.resident is not None:
+                self.resident.setdefault(key, []).append((values, anns))
+                self._resident_rows += 1
+                if self._resident_rows > budget:
+                    self._demote_resident(files)
+                return
+            files[bucket].append(values, anns)
+
+        for key, bucket_rows in table.items():
+            for values, anns in bucket_rows:
+                add(key, values, anns)
         for values_list, anns_list in remaining_batches:
             annotations = (anns_list if anns_list is not None
                            else (None,) * len(values_list))
             for values, anns in zip(values_list, annotations):
                 key = self._key_of(self.build_keys, values)
                 if key is not None:
-                    files[self._bucket(key, 0, fanout)].append(values, anns)
-        self.event["build_rows"] = sum(f.rows_written for f in files)
+                    add(key, values, anns)
+        resident_rows = self._resident_rows if self.resident is not None else 0
+        self.event["build_rows"] = resident_rows + sum(
+            f.rows_written for f in files if f is not None)
+        self.event["resident_build_rows"] = resident_rows
         return files
+
+    def _demote_resident(self, files: List[Optional[SpillFile]]) -> None:
+        """Partition 0 outgrew the budget on its own: spill it after all."""
+        handle = self.spill.new_file()
+        for bucket_rows in self.resident.values():
+            for values, anns in bucket_rows:
+                handle.append(values, anns)
+        files[0] = handle
+        self.resident = None
+        self._resident_rows = 0
+        self.event["hybrid"] = False
 
     def _table_from_entries(self, entries: Iterable[_Entry]) -> Dict:
         table: Dict[Tuple[Any, ...], List[_Entry]] = {}
@@ -715,16 +769,39 @@ class _HashJoin:
                     lann, None, self.left_arity, self.right_arity))
 
     # -- spilled (Grace) path --------------------------------------------
-    def grace_batches(self, build_files: List[SpillFile],
+    def _probe_resident(self, key: Tuple[Any, ...], values, anns,
+                        out_values: List, out_anns: List) -> None:
+        """Probe one row against the resident (hybrid) partition-0 table."""
+        residual = self.residual
+        matched = False
+        for rvalues, ranns in self.resident.get(key, ()):
+            combined = values + rvalues
+            if residual is not None \
+                    and not predicate_is_true(residual(combined)):
+                continue
+            out_values.append(combined)
+            out_anns.append(concat_annotation_vectors(
+                anns, ranns, self.left_arity, self.right_arity))
+            matched = True
+        if self.join_type == "LEFT" and not matched:
+            out_values.append(values + self._pad)
+            out_anns.append(concat_annotation_vectors(
+                anns, None, self.left_arity, self.right_arity))
+
+    def grace_batches(self, build_files: List[Optional[SpillFile]],
                       left_rows: Iterable[Row]) -> Iterator[RowBatch]:
         """Partition the probe side to match the spilled build partitions,
         then join each partition pair."""
         fanout = len(build_files)
-        probe_files = [self.spill.new_file() for _ in range(fanout)]
+        hybrid = self.resident is not None
+        probe_files: List[Optional[SpillFile]] = [
+            None if (index == 0 and hybrid) else self.spill.new_file()
+            for index in range(fanout)]
         left_join = self.join_type == "LEFT"
+        resident_probe_rows = 0
         for values_list, anns_list in _as_entry_batches(left_rows):
-            pad_values: List[Tuple[Any, ...]] = []
-            pad_anns: List[Optional[List[Set[Any]]]] = []
+            out_values: List[Tuple[Any, ...]] = []
+            out_anns: List[Optional[List[Set[Any]]]] = []
             annotations = (anns_list if anns_list is not None
                            else (None,) * len(values_list))
             for values, anns in zip(values_list, annotations):
@@ -733,16 +810,68 @@ class _HashJoin:
                     # NULL probe keys match nothing: LEFT pads immediately,
                     # INNER drops the row without spilling it.
                     if left_join:
-                        pad_values.append(values + self._pad)
-                        pad_anns.append(concat_annotation_vectors(
+                        out_values.append(values + self._pad)
+                        out_anns.append(concat_annotation_vectors(
                             anns, None, self.left_arity, self.right_arity))
                     continue
-                probe_files[self._bucket(key, 0, fanout)].append(values, anns)
-            if pad_values:
-                yield batch_from_entries(pad_values, pad_anns, self.arity)
-        self.event["probe_rows"] = sum(f.rows_written for f in probe_files)
-        for build_file, probe_file in zip(build_files, probe_files):
-            yield from self._join_partition(build_file, probe_file, depth=1)
+                bucket = self._bucket(key, 0, fanout)
+                if bucket == 0 and hybrid:
+                    # Hybrid: partition 0's build side never left memory,
+                    # so its probe rows join right here — no disk round
+                    # trip for either side of this partition.
+                    resident_probe_rows += 1
+                    self._probe_resident(key, values, anns,
+                                         out_values, out_anns)
+                    continue
+                probe_files[bucket].append(values, anns)
+            if out_values:
+                yield batch_from_entries(out_values, out_anns, self.arity)
+        self.event["probe_rows"] = resident_probe_rows + sum(
+            f.rows_written for f in probe_files if f is not None)
+        self.event["resident_probe_rows"] = resident_probe_rows
+        self.resident = None
+        yield from self._join_partitions(build_files, probe_files)
+
+    def _join_partitions(self, build_files: List[Optional[SpillFile]],
+                         probe_files: List[Optional[SpillFile]]
+                         ) -> Iterator[RowBatch]:
+        """Join the spilled partition pairs, fanning out across the worker
+        pool when the query runs parallel.  Output order is strictly
+        partition order either way."""
+        pairs = [(index, build, probe)
+                 for index, (build, probe)
+                 in enumerate(zip(build_files, probe_files))
+                 if build is not None]
+        stats = self.spill.stats
+
+        def join_pair(pair) -> List[RowBatch]:
+            index, build_file, probe_file = pair
+            started = time.perf_counter()
+            batches = list(self._join_partition(build_file, probe_file,
+                                                depth=1))
+            stats.note_partition(
+                self.event, partition=index,
+                rows=sum(len(batch.values) for batch in batches),
+                seconds=time.perf_counter() - started, worker=worker_label())
+            return batches
+
+        parallel = self.spill.parallel
+        if not parallel.parallel or len(pairs) <= 1:
+            # Serial: stream each partition's output instead of buffering it.
+            for index, build_file, probe_file in pairs:
+                started = time.perf_counter()
+                rows = 0
+                for batch in self._join_partition(build_file, probe_file,
+                                                  depth=1):
+                    rows += len(batch.values)
+                    yield batch
+                stats.note_partition(
+                    self.event, partition=index, rows=rows,
+                    seconds=time.perf_counter() - started,
+                    worker=worker_label())
+            return
+        for batches in parallel.map_ordered(join_pair, pairs):
+            yield from batches
 
     def _join_partition(self, build_file: SpillFile, probe_file: SpillFile,
                         depth: int) -> Iterator[RowBatch]:
@@ -763,7 +892,7 @@ class _HashJoin:
         """An oversized partition: split it again with a re-salted hash."""
         fanout = self.partitions
         salt = depth
-        self.event["recursive_splits"] += 1
+        self.spill.stats.note_event(self.event, "recursive_splits")
         sub_build = [self.spill.new_file() for _ in range(fanout)]
         for values, anns in build_file.entries():
             key = self._key_of(self.build_keys, values)
@@ -839,15 +968,68 @@ def hash_join(left: Relation, right: Relation,
     return schema, out_rows()
 
 
+class _SpillableRowBuffer:
+    """A row buffer that overflows to a spill file past the budget.
+
+    Below the budget it is a plain list; beyond it, the buffered rows are
+    written to a temp file and later additions append directly.  Encounter
+    order is preserved either way, and :meth:`iterate` may be called
+    repeatedly (spill files rewind on each read) — which is what lets a
+    merge join re-scan an oversized duplicate group per outer row.
+    """
+
+    __slots__ = ("spill", "budget", "rows", "file", "count", "on_spill")
+
+    def __init__(self, spill: Optional[SpillManager],
+                 on_spill: Optional[Callable[[], None]] = None):
+        self.spill = spill
+        self.budget = spill.budget_rows if spill is not None else None
+        self.rows: List[Row] = []
+        self.file: Optional[SpillFile] = None
+        self.count = 0
+        self.on_spill = on_spill
+
+    def add(self, row: Row) -> None:
+        self.count += 1
+        if self.file is not None:
+            self.file.append(row.values, row._annotations)
+            return
+        self.rows.append(row)
+        if self.budget is not None and len(self.rows) > self.budget:
+            self.file = self.spill.new_file()
+            for buffered in self.rows:
+                self.file.append(buffered.values, buffered._annotations)
+            self.rows = []
+            if self.on_spill is not None:
+                self.on_spill()
+
+    def iterate(self) -> Iterator[Row]:
+        if self.file is not None:
+            return (Row(values, anns) for values, anns in self.file.entries())
+        return iter(self.rows)
+
+    def close(self) -> None:
+        if self.file is not None:
+            self.file.close()
+            self.file = None
+        self.rows = []
+
+
 def merge_join(left: Relation, right: Relation,
                left_keys: Sequence[ast.ColumnRef],
                right_keys: Sequence[ast.ColumnRef],
                join_type: str = "INNER",
-               condition: Optional[ast.Expression] = None) -> Relation:
+               condition: Optional[ast.Expression] = None,
+               spill: Optional[SpillManager] = None) -> Relation:
     """Sort-merge equi-join: sort both sides on the keys and merge groups.
 
     Both inputs are pipeline breakers (they must be sorted), but the merge
-    itself emits output rows incrementally.
+    itself emits output rows incrementally.  With ``spill``, every buffer is
+    bounded by ``spill.budget_rows``: each side beyond the budget sorts
+    externally (runs + k-way merge, ties preferring earlier input — the same
+    order a stable in-memory sort produces), an oversized right duplicate
+    group spills and is re-scanned from disk per outer row, and LEFT joins'
+    unmatched/NULL-key buffers overflow to disk as well.
     """
     left_schema, left_rows_in = left
     right_schema, right_rows_in = right
@@ -858,54 +1040,114 @@ def merge_join(left: Relation, right: Relation,
     right_getters = _compile_keys(right_schema, right_keys)
     residual = Evaluator(schema).compile(condition) if condition is not None else None
     right_arity = len(right_schema)
+    budget = spill.budget_rows if spill is not None else None
 
-    def decorate(rows: Iterable[Row], getters) -> Tuple[list, List[Row]]:
-        keyed, null_keyed = [], []
-        for row in rows:
+    event: List[Optional[Dict[str, Any]]] = [None]
+
+    def note_spill(key: str) -> None:
+        if event[0] is None:
+            event[0] = spill.stats.record("merge_join", sort_runs=0,
+                                          spilled_groups=0,
+                                          spilled_unmatched=0)
+        spill.stats.note_event(event[0], key)
+
+    def sorted_pairs(rows_in: Iterable[Row], getters,
+                     nulls: Optional[_SpillableRowBuffer]
+                     ) -> Iterator[Tuple[Tuple[Any, ...], Row]]:
+        """``(sort key, row)`` pairs in key order; NULL-keyed rows are
+        diverted to ``nulls`` (or dropped).  External sort past the budget."""
+        def key_of(row: Row) -> Optional[Tuple[Any, ...]]:
             key = tuple(getter(row) for getter in getters)
             if any(value is None for value in key):
-                null_keyed.append(row)
-            else:
-                keyed.append((tuple(SortKey(value) for value in key), row))
-        keyed.sort(key=lambda pair: pair[0])
-        return keyed, null_keyed
+                return None
+            return tuple(SortKey(value) for value in key)
+
+        keyed: List[Tuple[Tuple[Any, ...], Row]] = []
+        runs: List[SpillFile] = []
+        for row in rows_in:
+            key = key_of(row)
+            if key is None:
+                if nulls is not None:
+                    nulls.add(row)
+                continue
+            keyed.append((key, row))
+            if budget is not None and len(keyed) >= budget:
+                keyed.sort(key=itemgetter(0))
+                run = spill.new_file()
+                for _, sorted_row in keyed:
+                    run.append(sorted_row.values, sorted_row._annotations)
+                runs.append(run)
+                keyed = []
+                note_spill("sort_runs")
+        keyed.sort(key=itemgetter(0))
+        if not runs:
+            yield from keyed
+            return
+
+        def run_pairs(run: SpillFile) -> Iterator[Tuple[Tuple[Any, ...], Row]]:
+            for values, anns in run.entries():
+                row = Row(values, anns)
+                yield key_of(row), row
+
+        streams = [run_pairs(run) for run in runs]
+        if keyed:
+            streams.append(iter(keyed))
+        yield from heapq.merge(*streams, key=itemgetter(0))
+        for run in runs:
+            run.close()
 
     def rows() -> Iterator[Row]:
-        left_sorted, left_nulls = decorate(left_rows_in, left_getters)
-        right_sorted, _ = decorate(right_rows_in, right_getters)
+        left_join = join_type == "LEFT"
+        # Emission order for LEFT padding matches the classic in-memory
+        # path: NULL-keyed left rows first, then unmatched rows in merge
+        # order, then the sorted tail — all after every matched row.
+        null_lefts = _SpillableRowBuffer(spill) if left_join else None
+        unmatched = (_SpillableRowBuffer(
+            spill, on_spill=lambda: note_spill("spilled_unmatched"))
+            if left_join else None)
+        left_pairs = sorted_pairs(left_rows_in, left_getters, null_lefts)
+        right_pairs = sorted_pairs(right_rows_in, right_getters, None)
 
-        unmatched_left: List[Row] = list(left_nulls) if join_type == "LEFT" else []
-        i = j = 0
-        while i < len(left_sorted) and j < len(right_sorted):
-            left_key = left_sorted[i][0]
-            right_key = right_sorted[j][0]
+        l = next(left_pairs, None)
+        r = next(right_pairs, None)
+        while l is not None and r is not None:
+            left_key, right_key = l[0], r[0]
             if left_key < right_key:
-                if join_type == "LEFT":
-                    unmatched_left.append(left_sorted[i][1])
-                i += 1
+                if left_join:
+                    unmatched.add(l[1])
+                l = next(left_pairs, None)
             elif right_key < left_key:
-                j += 1
+                r = next(right_pairs, None)
             else:
-                i_end = i
-                while i_end < len(left_sorted) and left_sorted[i_end][0] == left_key:
-                    i_end += 1
-                j_end = j
-                while j_end < len(right_sorted) and right_sorted[j_end][0] == left_key:
-                    j_end += 1
-                for _, left_row in left_sorted[i:i_end]:
+                group = _SpillableRowBuffer(
+                    spill, on_spill=lambda: note_spill("spilled_groups"))
+                while r is not None and r[0] == left_key:
+                    group.add(r[1])
+                    r = next(right_pairs, None)
+                while l is not None and l[0] == left_key:
+                    left_row = l[1]
                     matched = False
-                    for _, right_row in right_sorted[j:j_end]:
+                    for right_row in group.iterate():
                         combined = left_row.concat(right_row)
-                        if residual is None or predicate_is_true(residual(combined)):
+                        if residual is None \
+                                or predicate_is_true(residual(combined)):
                             yield combined
                             matched = True
-                    if join_type == "LEFT" and not matched:
-                        unmatched_left.append(left_row)
-                i, j = i_end, j_end
-        if join_type == "LEFT":
-            unmatched_left.extend(row for _, row in left_sorted[i:])
-            for left_row in unmatched_left:
-                yield left_row.concat(Row(tuple([None] * right_arity)))
+                    if left_join and not matched:
+                        unmatched.add(left_row)
+                    l = next(left_pairs, None)
+                group.close()
+        if left_join:
+            while l is not None:
+                unmatched.add(l[1])
+                l = next(left_pairs, None)
+            pad = Row(tuple([None] * right_arity))
+            for left_row in null_lefts.iterate():
+                yield left_row.concat(pad)
+            for left_row in unmatched.iterate():
+                yield left_row.concat(pad)
+            null_lefts.close()
+            unmatched.close()
     return schema, rows()
 
 
@@ -1239,7 +1481,7 @@ def group_and_aggregate(relation: Relation, group_by: Sequence[ast.Expression],
             aggregates.extend(find_aggregates(item.expr))
         if having is not None:
             aggregates.extend(find_aggregates(having))
-        states = [(aggregate, AggregateState(aggregate, evaluator))
+        states = [(aggregate, AggregateState(aggregate, evaluator, spill))
                   for aggregate in aggregates]
         representative: Optional[Row] = None
         union_all: Set[Any] = set()
@@ -1318,10 +1560,24 @@ def group_and_aggregate(relation: Relation, group_by: Sequence[ast.Expression],
             bucket = hash((0, normalized_key(row))) % fanout
             files[bucket].append(row.values, row._annotations)
         event["spilled_rows"] = sum(f.rows_written for f in files)
-        for handle in files:
-            yield from grouped_partition(handle.entries(),
-                                         handle.rows_written, depth=1)
+
+        def run_partition(pair: Tuple[int, SpillFile]) -> List[Row]:
+            index, handle = pair
+            started = time.perf_counter()
+            out = list(grouped_partition(handle.entries(),
+                                         handle.rows_written, depth=1))
             handle.close()
+            spill.stats.note_partition(
+                event, partition=index, rows=len(out),
+                seconds=time.perf_counter() - started, worker=worker_label())
+            return out
+
+        # Partitions are grouped independently (on the worker pool when the
+        # query runs parallel) and emitted in partition order — the same
+        # order the serial loop produced.
+        for out in spill.parallel.map_ordered(run_partition,
+                                              list(enumerate(files))):
+            yield from out
 
     def output_rows() -> Iterator[Row]:
         if not group_keys:
@@ -1558,9 +1814,20 @@ def distinct(relation: Relation,
         # Dedup each partition (recursively), then k-way merge the
         # seq-ordered partition outputs to restore the exact first-seen
         # order — streaming from disk, never holding the operator's whole
-        # output in memory.
-        output_files = [distinct_partition(handle, depth=1)
-                        for handle in files]
+        # output in memory.  Partition dedup fans out across the worker
+        # pool when the query runs parallel: each worker reads and writes
+        # only its own partition's files, so the outputs are identical.
+        def dedup_one(pair: Tuple[int, SpillFile]) -> SpillFile:
+            index, handle = pair
+            started = time.perf_counter()
+            out = distinct_partition(handle, depth=1)
+            spill.stats.note_partition(
+                event, partition=index, rows=out.rows_written,
+                seconds=time.perf_counter() - started, worker=worker_label())
+            return out
+
+        output_files = list(spill.parallel.map_ordered(
+            dedup_one, list(enumerate(files))))
         merged_entries = heapq.merge(*(read_back(out) for out in output_files),
                                      key=lambda entry: entry[0])
         for _, values, anns in merged_entries:
@@ -1613,27 +1880,74 @@ def order_by(relation: Relation, order_items: Sequence[ast.OrderItem],
             for evaluate, ascending in compiled)
 
     def external_rows(iterator: Iterator[Row], budget: int) -> Iterator[Row]:
-        runs: List[SpillFile] = []
+        parallel = spill.parallel
+        event: Optional[Dict[str, Any]] = None
+        pending: List[Any] = []  # futures of SpillFile, in run order
+
+        def write_run(index: int, run_buffer: List[Row]) -> SpillFile:
+            started = time.perf_counter()
+            run_buffer.sort(key=sort_key)
+            run = spill.new_file()
+            for sorted_row in run_buffer:
+                run.append(sorted_row.values, sorted_row._annotations)
+            spill.stats.note_partition(
+                event, run=index, rows=run.rows_written,
+                seconds=time.perf_counter() - started, worker=worker_label())
+            return run
+
         buffer: List[Row] = []
         for row in iterator:
             buffer.append(row)
             if len(buffer) >= budget:
-                buffer.sort(key=sort_key)
-                run = spill.new_file()
-                for sorted_row in buffer:
-                    run.append(sorted_row.values, sorted_row._annotations)
-                runs.append(run)
-                buffer = []
+                if event is None:
+                    event = spill.stats.record("sort", runs=0, spilled_rows=0)
+                index, chunk, buffer = len(pending), buffer, []
+                pending.append(parallel.submit(
+                    lambda index=index, chunk=chunk: write_run(index, chunk)))
+                # Backpressure: at most workers + 1 unsorted run buffers may
+                # be in flight, so parallel run generation stays within a
+                # small multiple of the row budget.
+                if len(pending) > parallel.workers:
+                    pending[-parallel.workers - 1].result()
         buffer.sort(key=sort_key)
-        if not runs:
+        if not pending:
             yield from buffer
             return
-        spill.stats.record("sort", runs=len(runs) + (1 if buffer else 0),
-                           spilled_rows=sum(run.rows_written for run in runs))
-        streams: List[Iterator[Row]] = [
-            (Row(values, anns) for values, anns in run.entries())
-            for run in runs
-        ]
+        runs: List[SpillFile] = [future.result() for future in pending]
+        event["runs"] = len(runs) + (1 if buffer else 0)
+        event["spilled_rows"] = sum(run.rows_written for run in runs)
+
+        def run_stream(run: SpillFile) -> Iterator[Row]:
+            return (Row(values, anns) for values, anns in run.entries())
+
+        if parallel.parallel and len(runs) > _SORT_PREMERGE_FANIN:
+            # Parallel pre-merge: groups of runs merge into single files on
+            # the pool, shrinking the final merge's fan-in.  Groups keep run
+            # order and the final merge prefers earlier groups, so ties
+            # still resolve to earlier runs — input order, like the serial
+            # path.
+            def merge_group(pair: Tuple[int, List[SpillFile]]) -> SpillFile:
+                index, group = pair
+                started = time.perf_counter()
+                sink = spill.new_file()
+                for merged_row in heapq.merge(*(run_stream(run)
+                                                for run in group),
+                                              key=sort_key):
+                    sink.append(merged_row.values, merged_row._annotations)
+                for run in group:
+                    run.close()
+                spill.stats.note_partition(
+                    event, merge_group=index, rows=sink.rows_written,
+                    seconds=time.perf_counter() - started,
+                    worker=worker_label())
+                return sink
+
+            groups = [runs[i:i + _SORT_PREMERGE_FANIN]
+                      for i in range(0, len(runs), _SORT_PREMERGE_FANIN)]
+            event["premerge_groups"] = len(groups)
+            runs = list(parallel.map_ordered(merge_group,
+                                             list(enumerate(groups))))
+        streams: List[Iterator[Row]] = [run_stream(run) for run in runs]
         if buffer:
             streams.append(iter(buffer))
         yield from heapq.merge(*streams, key=sort_key)
@@ -1719,45 +2033,226 @@ def union(left: Relation, right: Relation, keep_all: bool = False,
     return distinct((schema, combined()), spill)
 
 
-def intersect(left: Relation, right: Relation) -> Relation:
+def _ann_union(target: Optional[List[Set[Any]]],
+               anns: Optional[Sequence[Set[Any]]],
+               arity: int) -> Optional[List[Set[Any]]]:
+    """Fold one annotation vector into a running per-column union.
+
+    ``None`` target means "nothing annotated yet" — unannotated inputs never
+    allocate per-column sets."""
+    if anns is None or not any(anns):
+        return target
+    if target is None:
+        target = [set() for _ in range(arity)]
+    for position in range(min(arity, len(anns))):
+        target[position] |= anns[position]
+    return target
+
+
+def intersect(left: Relation, right: Relation,
+              spill: Optional[SpillManager] = None,
+              input_rows_hint: Optional[float] = None) -> Relation:
     """INTERSECT: data values must match; annotations from both sides merge.
 
     This is the paper's motivating example (Section 3): the genes common to
     DB1_Gene and DB2_Gene carry the annotations from *both* tables in the
     answer, something plain SQL needs three statements to achieve.
+
+    Memory bounding: the right side keeps one running annotation union per
+    distinct value (never the member rows), and the left side streams,
+    keeping state only for values the right side contains — so with the
+    right side under ``spill.budget_rows`` nothing else can grow.  A right
+    side beyond the budget hash-partitions both inputs on the value tuple;
+    partitions intersect independently (on the worker pool when the query
+    runs parallel) and a k-way merge on the left side's first-seen sequence
+    restores the exact in-memory output order.
     """
     _check_arity(left, right, "INTERSECT")
     schema = left[0]
+    arity = len(schema)
+
+    def emit(values: Tuple[Any, ...], left_union, right_union) -> Row:
+        merged = [set() for _ in range(arity)]
+        for source in (left_union, right_union):
+            if source is not None:
+                for position in range(arity):
+                    merged[position] |= source[position]
+        return Row(values, merged)
+
+    def spilled_intersect(right_union: Dict[Tuple[Any, ...], Any],
+                          right_rest: Iterator[Row],
+                          left_iter: Iterator[Row]) -> Iterator[Row]:
+        fanout = spill.partition_count(input_rows_hint)
+        event = spill.stats.record("intersect", partitions=fanout)
+        right_files = [spill.new_file() for _ in range(fanout)]
+        for values, union in right_union.items():
+            right_files[hash(values) % fanout].append(values, union)
+        for row in right_rest:
+            right_files[hash(row.values) % fanout].append(row.values,
+                                                          row._annotations)
+        left_files = [spill.new_file() for _ in range(fanout)]
+        sequence = 0
+        for row in left_iter:
+            left_files[hash(row.values) % fanout].append(
+                (sequence,) + row.values, row._annotations)
+            sequence += 1
+        event["spilled_rows"] = sum(f.rows_written for f in right_files) \
+            + sum(f.rows_written for f in left_files)
+
+        def intersect_partition(pair) -> SpillFile:
+            index, (right_file, left_file) = pair
+            started = time.perf_counter()
+            rmap: Dict[Tuple[Any, ...], Any] = {}
+            for values, anns in right_file.entries():
+                if values not in rmap:
+                    rmap[values] = None
+                rmap[values] = _ann_union(rmap[values], anns, arity)
+            right_file.close()
+            groups: Dict[Tuple[Any, ...], List[Any]] = {}
+            ordered: List[Tuple[Any, ...]] = []
+            for tagged, anns in left_file.entries():
+                sequence_no, values = tagged[0], tagged[1:]
+                entry = groups.get(values)
+                if entry is None:
+                    if values not in rmap:
+                        continue
+                    groups[values] = entry = [sequence_no, None]
+                    ordered.append(values)
+                entry[1] = _ann_union(entry[1], anns, arity)
+            left_file.close()
+            out = spill.new_file()
+            for values in ordered:
+                sequence_no, left_union = groups[values]
+                merged = emit(values, left_union, rmap[values])
+                out.append((sequence_no,) + values, merged.annotations)
+            spill.stats.note_partition(
+                event, partition=index, rows=out.rows_written,
+                seconds=time.perf_counter() - started, worker=worker_label())
+            return out
+
+        outputs = list(spill.parallel.map_ordered(
+            intersect_partition,
+            list(enumerate(zip(right_files, left_files)))))
+
+        def read_back(out: SpillFile):
+            for tagged, anns in out.entries():
+                yield tagged[0], tagged[1:], anns
+
+        merged_entries = heapq.merge(*(read_back(out) for out in outputs),
+                                     key=itemgetter(0))
+        for _, values, anns in merged_entries:
+            yield Row(values, anns if anns is not None
+                      else [set() for _ in range(arity)])
+        for out in outputs:
+            out.close()
 
     def output_rows() -> Iterator[Row]:
-        right_groups: Dict[Tuple[Any, ...], List[Row]] = {}
-        for row in right[1]:
-            right_groups.setdefault(row.values, []).append(row)
-        left_groups: Dict[Tuple[Any, ...], List[Row]] = {}
+        budget = spill.budget_rows if spill is not None else None
+        right_union: Dict[Tuple[Any, ...], Any] = {}
+        right_count = 0
+        right_iter = iter(right[1])
+        for row in right_iter:
+            values = row.values
+            if values not in right_union:
+                right_union[values] = None
+            right_union[values] = _ann_union(right_union[values],
+                                             row._annotations, arity)
+            right_count += 1
+            if budget is not None and right_count > budget:
+                yield from spilled_intersect(right_union, right_iter,
+                                             iter(left[1]))
+                return
+        left_state: Dict[Tuple[Any, ...], Any] = {}
         order: List[Tuple[Any, ...]] = []
         for row in left[1]:
-            if row.values not in left_groups:
-                left_groups[row.values] = []
-                order.append(row.values)
-            left_groups[row.values].append(row)
-        for values in order:
-            if values not in right_groups:
+            values = row.values
+            if values not in right_union:
                 continue
-            members = left_groups[values] + right_groups[values]
-            annotations = merge_annotation_vectors(members, len(schema))
-            yield Row(values, annotations)
+            if values not in left_state:
+                left_state[values] = None
+                order.append(values)
+            left_state[values] = _ann_union(left_state[values],
+                                            row._annotations, arity)
+        for values in order:
+            yield emit(values, left_state[values], right_union[values])
     return schema, output_rows()
 
 
 def except_(left: Relation, right: Relation,
-            spill: Optional[SpillManager] = None) -> Relation:
-    """EXCEPT: tuples of the left side absent from the right, annotations kept."""
+            spill: Optional[SpillManager] = None,
+            input_rows_hint: Optional[float] = None) -> Relation:
+    """EXCEPT: tuples of the left side absent from the right, annotations kept.
+
+    A right side beyond ``spill.budget_rows`` hash-partitions both inputs on
+    the value tuple; each partition filters its left rows against its right
+    value set independently and a merge on the left sequence numbers
+    restores input order before the (already spill-aware) DISTINCT on top.
+    """
     _check_arity(left, right, "EXCEPT")
     schema = left[0]
 
+    def spilled_except(right_values: Set[Tuple[Any, ...]],
+                       right_rest: Iterator[Row],
+                       left_iter: Iterator[Row]) -> Iterator[Row]:
+        fanout = spill.partition_count(input_rows_hint)
+        event = spill.stats.record("except", partitions=fanout)
+        right_files = [spill.new_file() for _ in range(fanout)]
+        for values in right_values:
+            right_files[hash(values) % fanout].append(values, None)
+        for row in right_rest:
+            right_files[hash(row.values) % fanout].append(row.values, None)
+        left_files = [spill.new_file() for _ in range(fanout)]
+        sequence = 0
+        for row in left_iter:
+            left_files[hash(row.values) % fanout].append(
+                (sequence,) + row.values, row._annotations)
+            sequence += 1
+        event["spilled_rows"] = sum(f.rows_written for f in right_files) \
+            + sum(f.rows_written for f in left_files)
+
+        def except_partition(pair) -> SpillFile:
+            index, (right_file, left_file) = pair
+            started = time.perf_counter()
+            excluded = {values for values, _ in right_file.entries()}
+            right_file.close()
+            out = spill.new_file()
+            for tagged, anns in left_file.entries():
+                if tagged[1:] not in excluded:
+                    out.append(tagged, anns)
+            left_file.close()
+            spill.stats.note_partition(
+                event, partition=index, rows=out.rows_written,
+                seconds=time.perf_counter() - started, worker=worker_label())
+            return out
+
+        outputs = list(spill.parallel.map_ordered(
+            except_partition,
+            list(enumerate(zip(right_files, left_files)))))
+
+        def read_back(out: SpillFile):
+            for tagged, anns in out.entries():
+                yield tagged[0], tagged[1:], anns
+
+        merged_entries = heapq.merge(*(read_back(out) for out in outputs),
+                                     key=itemgetter(0))
+        for _, values, anns in merged_entries:
+            yield Row(values, anns)
+        for out in outputs:
+            out.close()
+
     def kept() -> Iterator[Row]:
-        right_values = {row.values for row in right[1]}
+        budget = spill.budget_rows if spill is not None else None
+        right_values: Set[Tuple[Any, ...]] = set()
+        right_count = 0
+        right_iter = iter(right[1])
+        for row in right_iter:
+            right_values.add(row.values)
+            right_count += 1
+            if budget is not None and right_count > budget:
+                yield from spilled_except(right_values, right_iter,
+                                          iter(left[1]))
+                return
         for row in left[1]:
             if row.values not in right_values:
                 yield row
-    return distinct((schema, kept()), spill)
+    return distinct((schema, kept()), spill, input_rows_hint)

@@ -1,0 +1,175 @@
+"""Bounded worker pool for intra-query parallelism.
+
+Spill partitions are independent units of work by construction: every
+Grace-hash partition pair, spilled GROUP BY/DISTINCT partition, and
+external-sort run can be processed without looking at its siblings.  This
+module provides the one abstraction the executor uses to fan that work out —
+a bounded pool of daemon threads with *ordered* result delivery, so the
+serial path's emission order (partition 0, 1, ... N-1; run order for sort
+ties) is preserved exactly and the differential matrix can compare
+``parallel_workers`` ∈ {0, 1, 4} row for row.
+
+Threads (not processes) are deliberate: partition work is dominated by
+spill-file read-back and temp-file writes, the data flowing through contains
+interned annotation objects whose *identity* must survive (a process
+boundary would copy them), and the no-dependency constraint rules out
+anything heavier.  On a multi-core host the file I/O overlaps; on a
+single-core host the pool degrades to roughly serial cost — the knob is
+validated but can't manufacture cycles.
+
+Ordering contract: :meth:`WorkerPool.map_ordered` yields results in input
+order regardless of completion order, and :meth:`WorkerPool.submit` returns
+futures the caller collects in submission order.  Tasks must not share
+mutable state unless that state locks internally (see
+:class:`~repro.storage.spill.SpillStats` / ``SpillManager``, which do).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Upper bound accepted for ``EngineConfig.parallel_workers``.  Past this,
+#: thread-switch overhead dwarfs any I/O overlap a spill partition offers.
+MAX_PARALLEL_WORKERS = 64
+
+
+class WorkerPool:
+    """A bounded thread pool with ordered fan-out helpers.
+
+    One pool serves every spilling operator that shares a
+    :class:`MaybeParallel` facade (the engine keeps one across queries) and
+    is shut down when the facade is shut down or garbage collected; idle
+    workers just block on the task queue until then.
+    """
+
+    def __init__(self, workers: int, name: str = "repro-spill"):
+        if workers < 1:
+            raise ValueError(f"worker pool needs at least 1 worker, got {workers}")
+        self.workers = workers
+        self._counter = itertools.count()
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix=name)
+
+    # ------------------------------------------------------------------
+    def submit(self, fn: Callable[..., R], *args: Any, **kwargs: Any) -> "Future[R]":
+        """Schedule one task; returns its future."""
+        return self._executor.submit(fn, *args, **kwargs)
+
+    def map_ordered(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[R]:
+        """Run ``fn`` over ``items`` on the pool, yielding results in input
+        order (the serial emission order), independent of completion order.
+
+        All tasks are submitted up front — partitions are few (bounded by
+        ``MAX_SPILL_PARTITIONS``) and their inputs already live on disk, so
+        eager submission costs no memory while letting every worker start
+        immediately.  A task failure propagates on its turn; the remaining
+        futures are cancelled or drained so no worker outlives the error.
+        """
+        futures = [self._executor.submit(fn, item) for item in items]
+        try:
+            for future in futures:
+                yield future.result()
+        finally:
+            for future in futures:
+                future.cancel()
+
+    def run_tasks(self, tasks: Iterable[Callable[[], R]]) -> List[R]:
+        """Run independent thunks; returns their results in task order."""
+        futures = [self._executor.submit(task) for task in tasks]
+        try:
+            return [future.result() for future in futures]
+        finally:
+            for future in futures:
+                future.cancel()
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()
+
+
+def worker_label() -> str:
+    """Short identifier of the executing worker for spill-event attribution.
+
+    Returns ``"main"`` on the query thread and ``"w<n>"`` on pool threads,
+    so ``engine.last_spill`` partition timings read naturally.
+    """
+    name = threading.current_thread().name
+    if "repro-spill" not in name:
+        return "main"
+    return "w" + name.rsplit("_", 1)[-1]
+
+
+def validated_worker_count(workers: Any) -> int:
+    """Eager validation for ``EngineConfig.parallel_workers`` (0 = serial)."""
+    if not isinstance(workers, int) or isinstance(workers, bool) \
+            or workers < 0 or workers > MAX_PARALLEL_WORKERS:
+        raise ValueError(
+            f"parallel_workers must be an integer in [0, {MAX_PARALLEL_WORKERS}], "
+            f"got {workers!r}")
+    return workers
+
+
+class MaybeParallel:
+    """Serial/parallel dispatch facade the spilling operators call.
+
+    With ``workers == 0`` (or 1-item inputs) everything runs inline on the
+    calling thread — no pool is ever created, the serial path stays
+    allocation-identical to before this layer existed.  Otherwise a shared
+    :class:`WorkerPool` is created lazily on first use.
+    """
+
+    __slots__ = ("workers", "_pool", "_lock")
+
+    def __init__(self, workers: int = 0):
+        self.workers = validated_worker_count(workers)
+        self._pool: Optional[WorkerPool] = None
+        self._lock = threading.Lock()
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 0
+
+    def pool(self) -> WorkerPool:
+        with self._lock:
+            if self._pool is None:
+                self._pool = WorkerPool(self.workers)
+            return self._pool
+
+    def map_ordered(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[R]:
+        if not self.parallel or len(items) <= 1:
+            return map(fn, items)
+        return self.pool().map_ordered(fn, items)
+
+    def submit(self, fn: Callable[[], R]) -> "Future[R]":
+        """Schedule a thunk; inline (already-resolved future) when serial."""
+        if not self.parallel:
+            future: "Future[R]" = Future()
+            try:
+                future.set_result(fn())
+            except BaseException as exc:  # noqa: BLE001 - mirrored to future
+                future.set_exception(exc)
+            return future
+        return self.pool().submit(fn)
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.shutdown(wait=False)
+        except Exception:
+            pass

@@ -610,14 +610,19 @@ class AggregateState:
     the group size, which is what lets the executor stream a global
     aggregate (no GROUP BY) over arbitrarily large inputs without buffering.
     The one exception is ``DISTINCT``, whose duplicate-detection set is
-    inherently O(distinct values).
+    inherently O(distinct values) — with a spill manager, a seen-set beyond
+    ``spill.budget_rows`` freezes and later candidate values overflow to a
+    temp file, deduplicated by hash partition when the result is computed.
+    ``MIN``/``MAX`` ignore DISTINCT outright (duplicates cannot change the
+    extremum), so they never build a seen-set at all.
     """
 
-    def __init__(self, call: ast.FunctionCall, evaluator: Evaluator):
+    def __init__(self, call: ast.FunctionCall, evaluator: Evaluator,
+                 spill: Optional[Any] = None):
         self.name = call.name.upper()
         if self.name not in ("COUNT", "SUM", "AVG", "MIN", "MAX"):
             raise PlanningError(f"unknown aggregate {self.name}")
-        self.distinct = call.distinct
+        self.distinct = call.distinct and self.name in ("COUNT", "SUM", "AVG")
         self.is_star = call.is_star
         if not self.is_star:
             if len(call.args) != 1:
@@ -628,6 +633,8 @@ class AggregateState:
         self._min: Any = None
         self._max: Any = None
         self._seen: Set[Any] = set()
+        self._spill = spill if self.distinct else None
+        self._overflow: Optional[Any] = None
 
     def add(self, row: Row) -> None:
         if self.is_star:
@@ -639,7 +646,21 @@ class AggregateState:
         if self.distinct:
             if value in self._seen:
                 return
+            if self._overflow is not None:
+                # The seen-set is frozen at the budget: unseen candidates go
+                # to disk (possibly duplicated) and accumulate on demand in
+                # :meth:`result` after a partitioned dedup.
+                self._overflow.append((value,), None)
+                return
             self._seen.add(value)
+            if self._spill is not None \
+                    and len(self._seen) > self._spill.budget_rows:
+                self._overflow = self._spill.new_file()
+                self._event = self._spill.stats.record(
+                    "distinct_aggregate", aggregate=self.name)
+        self._accumulate(value)
+
+    def _accumulate(self, value: Any) -> None:
         self._count += 1
         if self.name in ("SUM", "AVG"):
             self._sum = self._sum + value
@@ -650,7 +671,32 @@ class AggregateState:
             if self._max is None or value > self._max:
                 self._max = value
 
+    def _drain_overflow(self) -> None:
+        """Dedup the spilled candidate values and fold them in.
+
+        One level of hash partitioning bounds each dedup set to roughly
+        ``distinct overflow / fanout``; candidates already in the frozen
+        seen-set were never written, so membership there needs no re-check.
+        """
+        overflow, self._overflow = self._overflow, None
+        self._event["spilled_values"] = overflow.rows_written
+        fanout = self._spill.partition_count(overflow.rows_written)
+        self._event["partitions"] = fanout
+        parts = [self._spill.new_file() for _ in range(fanout)]
+        for (value,), _ in overflow.entries():
+            parts[hash(value) % fanout].append((value,), None)
+        overflow.close()
+        for part in parts:
+            unique: Set[Any] = set()
+            for (value,), _ in part.entries():
+                if value not in unique:
+                    unique.add(value)
+                    self._accumulate(value)
+            part.close()
+
     def result(self) -> Any:
+        if self._overflow is not None:
+            self._drain_overflow()
         if self.name == "COUNT":
             return self._count
         if self._count == 0:

@@ -118,6 +118,11 @@ class JoinPlan:
     #: the build is expected to fit in memory.  Set by
     #: :func:`annotate_spill_expectations`, rendered by EXPLAIN.
     spill_partitions: Optional[int] = None
+    #: Worker fan-out the executor will apply to this node's spill
+    #: partitions (``EngineConfig.parallel_workers`` when >= 2 and the node
+    #: is expected to spill); ``None`` means serial partition processing.
+    #: Set by :func:`annotate_spill_expectations`, rendered by EXPLAIN.
+    parallel_workers: Optional[int] = None
 
 
 PlanNode = Union[ScanPlan, JoinPlan]
@@ -572,6 +577,7 @@ def plan_select_joins(from_refs: Sequence[ast.TableRef],
                       order_hint: Optional[Tuple[str, str]] = None,
                       base_row_estimate: Optional[RowEstimator] = None,
                       limit_hint: Optional[int] = None,
+                      memory_budget_rows: Optional[int] = None,
                       ) -> Tuple[PlanNode, List[ast.Expression]]:
     """Build a join plan for a SELECT; returns (root, remaining residual).
 
@@ -700,7 +706,8 @@ def plan_select_joins(from_refs: Sequence[ast.TableRef],
         right = scan_node(join.table)
         plan = _plan_explicit_join(plan, right, join, joined, resolvable,
                                    type_category, ndv_estimate, list_indexes,
-                                   strategy, hash_max_build_rows)
+                                   strategy, hash_max_build_rows,
+                                   memory_budget_rows)
         joined.add(right.qualifier)
 
     # Residual pushdown into the tree: each remaining conjunct is attached to
@@ -736,7 +743,8 @@ def _plan_explicit_join(plan: PlanNode, right: ScanPlan, join: ast.Join,
                         type_category: Optional[TypeCategory],
                         ndv_estimate: NdvEstimator,
                         list_indexes: Optional[ListIndexes],
-                        strategy: str, hash_max_build_rows: float) -> JoinPlan:
+                        strategy: str, hash_max_build_rows: float,
+                        memory_budget_rows: Optional[int] = None) -> JoinPlan:
     """Strategy selection for a JOIN ... ON clause (order is preserved)."""
     if join.join_type == "CROSS" or join.condition is None:
         return _nested_loop_node(plan, right, join)
@@ -773,7 +781,22 @@ def _plan_explicit_join(plan: PlanNode, right: ScanPlan, join: ast.Join,
                         condition=combine_conjuncts(rest),
                         index_name=join_index.name,
                         estimated_rows=estimate)
-    return JoinPlan(picked, join.join_type, plan, right,
+    left_node: PlanNode = plan
+    right_node: PlanNode = right
+    if picked == "hash" and join.join_type == "INNER" \
+            and memory_budget_rows is not None \
+            and right.estimated_rows > memory_budget_rows \
+            and plan.estimated_rows <= memory_budget_rows:
+        # Spill-aware build choice: the hash join builds on its right input,
+        # and with a memory budget an over-budget build means Grace
+        # partitioning (one extra spill round trip for *both* sides).  When
+        # the syntactic build side is expected to blow the budget but the
+        # other input fits, swap them — legal for INNER joins only (LEFT
+        # padding is tied to the probe side).  Column order is restored by
+        # the engine's FROM-order permutation, like every other reordering.
+        left_node, right_node = right, plan
+        left_keys, right_keys = right_keys, left_keys
+    return JoinPlan(picked, join.join_type, left_node, right_node,
                     left_keys=left_keys, right_keys=right_keys,
                     condition=combine_conjuncts(rest),
                     estimated_rows=estimate)
@@ -796,7 +819,8 @@ def estimated_sort_runs(rows: float, budget_rows: int) -> int:
 
 
 def annotate_spill_expectations(node: PlanNode,
-                                budget_rows: Optional[int]) -> None:
+                                budget_rows: Optional[int],
+                                parallel_workers: int = 0) -> None:
     """Mark the hash joins whose build side is expected to exceed the memory
     budget with the partition fan-out the executor should use.
 
@@ -804,17 +828,23 @@ def annotate_spill_expectations(node: PlanNode,
     (``HashJoin ... [spill: N partitions]``) and the engine passes the
     fan-out to the operator as its ``spill_partitions`` hint.  The executor
     still spills adaptively when estimates are wrong — the annotation is a
-    prediction, actual activity lands in ``engine.last_spill``.
+    prediction, actual activity lands in ``engine.last_spill``.  When the
+    engine runs spill partitions on a worker pool (``parallel_workers`` >=
+    2), the expected-to-spill nodes carry that fan-out too, so EXPLAIN shows
+    ``[parallel: N workers]`` exactly where workers would engage.
     """
     if isinstance(node, ScanPlan):
         return
-    annotate_spill_expectations(node.left, budget_rows)
-    annotate_spill_expectations(node.right, budget_rows)
+    annotate_spill_expectations(node.left, budget_rows, parallel_workers)
+    annotate_spill_expectations(node.right, budget_rows, parallel_workers)
     node.spill_partitions = None
+    node.parallel_workers = None
     if budget_rows is not None and node.strategy == "hash" \
             and node.right.estimated_rows > budget_rows:
         node.spill_partitions = estimated_spill_partitions(
             node.right.estimated_rows, budget_rows)
+        if parallel_workers >= 2:
+            node.parallel_workers = parallel_workers
 
 
 # ---------------------------------------------------------------------------
@@ -1045,6 +1075,8 @@ def plan_to_dict(node: PlanNode) -> Dict[str, Any]:
         result["index"] = node.index_name
     if node.spill_partitions is not None:
         result["spill_partitions"] = node.spill_partitions
+    if node.parallel_workers is not None:
+        result["parallel_workers"] = node.parallel_workers
     return result
 
 
@@ -1081,6 +1113,8 @@ def format_plan(node: PlanNode, indent: int = 0) -> str:
         detail += f" [filter: {predicates}]"
     if node.spill_partitions is not None:
         detail += f" [spill: {node.spill_partitions} partitions]"
+    if node.parallel_workers is not None:
+        detail += f" [parallel: {node.parallel_workers} workers]"
     header = (f"{pad}{STRATEGY_LABELS[node.strategy]} [{node.join_type}]{detail} "
               f"(est. rows={node.estimated_rows:.0f})")
     return "\n".join([header,

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.storage.disk import DiskManager
 from repro.storage.page import Page
@@ -34,6 +35,163 @@ class BufferPoolStatistics:
         return self.hits / total if total else 0.0
 
 
+@dataclass
+class DecodedCacheStatistics:
+    """Hit/miss counters for the decoded-page cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations}
+
+
+class DecodedCacheView:
+    """Per-query window over a :class:`DecodedCacheStatistics`.
+
+    The cache (and its counters) live as long as the buffer pool; a query
+    wants "what happened during *me*".  The view snapshots the counters at
+    construction and reports deltas, staying live while a streaming result
+    is still being drained.
+    """
+
+    __slots__ = ("_stats", "_base")
+
+    def __init__(self, stats: DecodedCacheStatistics):
+        self._stats = stats
+        self._base = (stats.hits, stats.misses, stats.evictions,
+                      stats.invalidations)
+
+    @property
+    def hits(self) -> int:
+        return self._stats.hits - self._base[0]
+
+    @property
+    def misses(self) -> int:
+        return self._stats.misses - self._base[1]
+
+    @property
+    def evictions(self) -> int:
+        return self._stats.evictions - self._base[2]
+
+    @property
+    def invalidations(self) -> int:
+        return self._stats.invalidations - self._base[3]
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations}
+
+
+class DecodedPageCache:
+    """LRU cache of *decoded* page record lists, keyed by
+    ``(table, page_id, schema_version, with_tuple_ids)``.
+
+    Decoding a page (``deserialize_records``) dominates warm scans — the
+    raw bytes may sit in the buffer pool, yet every scan pays the per-value
+    tag dispatch again.  This cache keeps the decoded tuple lists so a
+    repeated scan skips decoding entirely.  Consistency comes from three
+    invalidation paths, all driven by the buffer pool that owns the cache:
+
+    * **page dirty** — every heap mutation funnels through
+      ``BufferPool.mark_dirty``, which drops all entries for that page;
+    * **page evict** — an evicted frame drops its decoded entries too, so
+      the decoded cache never outlives the raw page it mirrors;
+    * **schema version** — the catalog's ``schema_version`` is part of the
+      key, so DDL (and ANALYZE) strands old entries, which age out by LRU.
+
+    ``capacity`` counts *pages* (entries); 0 disables the cache.  Cached
+    lists are shared across queries and must never be mutated by readers —
+    scan paths only slice them.
+    """
+
+    def __init__(self, capacity: int = 0):
+        self.capacity = capacity
+        self.stats = DecodedCacheStatistics()
+        self._entries: "OrderedDict[Tuple[Any, ...], List[Any]]" = OrderedDict()
+        #: page_id -> keys currently cached for that page (all versions).
+        self._by_page: Dict[int, Set[Tuple[Any, ...]]] = {}
+
+    def set_capacity(self, capacity: int) -> None:
+        if capacity != self.capacity:
+            self.capacity = capacity
+            self._shrink()
+
+    def get(self, table: str, page_id: int, schema_version: int,
+            with_tuple_ids: bool) -> Optional[List[Any]]:
+        if self.capacity <= 0:
+            return None
+        key = (table, page_id, schema_version, with_tuple_ids)
+        rows = self._entries.get(key)
+        if rows is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._entries.move_to_end(key)
+        return rows
+
+    def put(self, table: str, page_id: int, schema_version: int,
+            with_tuple_ids: bool, rows: List[Any]) -> None:
+        if self.capacity <= 0:
+            return
+        key = (table, page_id, schema_version, with_tuple_ids)
+        self._entries[key] = rows
+        self._entries.move_to_end(key)
+        self._by_page.setdefault(page_id, set()).add(key)
+        self._shrink()
+
+    def _shrink(self) -> None:
+        while len(self._entries) > max(self.capacity, 0):
+            key, _ = self._entries.popitem(last=False)
+            self.stats.evictions += 1
+            keys = self._by_page.get(key[1])
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._by_page[key[1]]
+
+    def invalidate_page(self, page_id: int) -> None:
+        keys = self._by_page.pop(page_id, None)
+        if not keys:
+            return
+        for key in keys:
+            if self._entries.pop(key, None) is not None:
+                self.stats.invalidations += 1
+
+    def invalidate_table(self, table: str) -> None:
+        doomed = [key for key in self._entries if key[0] == table]
+        for key in doomed:
+            del self._entries[key]
+            self.stats.invalidations += 1
+            keys = self._by_page.get(key[1])
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._by_page[key[1]]
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._by_page.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 class BufferPool:
     """A simple LRU page cache with write-back of dirty pages."""
 
@@ -43,6 +201,11 @@ class BufferPool:
         self.disk = disk
         self.capacity = capacity
         self.stats = BufferPoolStatistics()
+        #: Decoded-record cache tied to this pool's lifecycle: page dirty
+        #: and evict both invalidate, so decoded entries never outlive the
+        #: raw page bytes they were produced from.  Disabled (capacity 0)
+        #: until the engine syncs ``EngineConfig.decoded_page_cache_pages``.
+        self.decoded = DecodedPageCache()
         self._frames: "OrderedDict[int, Page]" = OrderedDict()
         #: Depth of open no-steal scopes.  While positive (a transaction is
         #: in flight), eviction refuses to write dirty pages back to disk:
@@ -79,6 +242,7 @@ class BufferPool:
                 break
             victim = self._frames.pop(victim_id)
             self.stats.evictions += 1
+            self.decoded.invalidate_page(victim_id)
             if victim.dirty:
                 self.disk.write_page(victim)
                 victim.dirty = False
@@ -109,6 +273,7 @@ class BufferPool:
 
     def mark_dirty(self, page: Page) -> None:
         page.dirty = True
+        self.decoded.invalidate_page(page.page_id)
 
     def flush_page(self, page_id: int) -> None:
         page = self._frames.get(page_id)
@@ -124,6 +289,7 @@ class BufferPool:
         """Flush and drop every cached page (used to force cold-cache runs)."""
         self.flush_all()
         self._frames.clear()
+        self.decoded.clear()
 
     # ------------------------------------------------------------------
     def _admit(self, page: Page) -> None:
@@ -135,6 +301,7 @@ class BufferPool:
                 break  # no-steal: every frame is dirty, overshoot capacity
             victim = self._frames.pop(victim_id)
             self.stats.evictions += 1
+            self.decoded.invalidate_page(victim_id)
             if victim.dirty:
                 self.disk.write_page(victim)
                 victim.dirty = False

@@ -1,0 +1,482 @@
+"""Intra-query parallelism over spill partitions.
+
+Three layers of coverage:
+
+* unit tests of the worker-pool abstraction (``executor/parallel.py``):
+  ordered delivery, serial inlining, error propagation, knob validation;
+* the parallel differential matrix: every spilling query shape runs at
+  ``parallel_workers`` ∈ {0, 1, 4} × join strategy × execution mode and must
+  return *byte-identical output* — same values, same row order, same
+  annotation identity — as the serial run (parallelism is an implementation
+  detail, never an observable);
+* thread-safety stress tests of the shared state workers touch
+  (``SpillStats``, statistics staleness counters) plus the observability
+  wiring (per-partition timings with worker attribution, EXPLAIN's
+  ``[parallel: N workers]`` markers, plan-cache fingerprinting of the knob).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.core.errors import PlanningError
+from repro.executor.parallel import (
+    MAX_PARALLEL_WORKERS,
+    MaybeParallel,
+    WorkerPool,
+    validated_worker_count,
+    worker_label,
+)
+from repro.storage.spill import SpillStats
+
+NAN = float("nan")
+
+
+# ---------------------------------------------------------------------------
+# Worker pool unit tests
+# ---------------------------------------------------------------------------
+class TestWorkerPool:
+    def test_map_ordered_preserves_input_order(self):
+        with WorkerPool(4) as pool:
+            # Make early items finish last: results must still arrive 0..19.
+            import time
+
+            def slow_inverse(i):
+                time.sleep((20 - i) * 0.001)
+                return i * i
+
+            assert list(pool.map_ordered(slow_inverse, range(20))) == \
+                [i * i for i in range(20)]
+
+    def test_map_ordered_propagates_task_error(self):
+        def boom(i):
+            if i == 3:
+                raise ValueError("partition 3 failed")
+            return i
+
+        with WorkerPool(2) as pool:
+            with pytest.raises(ValueError, match="partition 3"):
+                list(pool.map_ordered(boom, range(8)))
+
+    def test_run_tasks_returns_results_in_task_order(self):
+        with WorkerPool(3) as pool:
+            assert pool.run_tasks([lambda i=i: i + 100 for i in range(6)]) == \
+                [100, 101, 102, 103, 104, 105]
+
+    def test_worker_label_attribution(self):
+        assert worker_label() == "main"
+        with WorkerPool(2) as pool:
+            labels = set(pool.run_tasks([worker_label for _ in range(8)]))
+        assert labels <= {"w0", "w1"}
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+
+class TestMaybeParallel:
+    def test_serial_never_creates_a_pool(self):
+        facade = MaybeParallel(0)
+        assert not facade.parallel
+        assert list(facade.map_ordered(lambda x: x + 1, [1, 2, 3])) == [2, 3, 4]
+        assert facade._pool is None
+
+    def test_serial_submit_returns_resolved_future(self):
+        facade = MaybeParallel(0)
+        future = facade.submit(lambda: 42)
+        assert future.done() and future.result() == 42
+
+    def test_serial_submit_captures_exception(self):
+        facade = MaybeParallel(0)
+        future = facade.submit(lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            future.result()
+
+    def test_single_item_inlines_even_when_parallel(self):
+        facade = MaybeParallel(4)
+        assert list(facade.map_ordered(lambda x: x * 2, [21])) == [42]
+        assert facade._pool is None  # the pool is lazy; one item never needs it
+        facade.shutdown()
+
+    def test_parallel_map_ordered(self):
+        facade = MaybeParallel(4)
+        try:
+            assert list(facade.map_ordered(lambda x: x * 2, list(range(10)))) \
+                == [i * 2 for i in range(10)]
+            assert facade._pool is not None
+        finally:
+            facade.shutdown()
+
+    def test_validated_worker_count(self):
+        assert validated_worker_count(0) == 0
+        assert validated_worker_count(MAX_PARALLEL_WORKERS) == MAX_PARALLEL_WORKERS
+        for bad in (-1, MAX_PARALLEL_WORKERS + 1, True, 2.0, "4", None):
+            with pytest.raises(ValueError):
+                validated_worker_count(bad)
+
+
+# ---------------------------------------------------------------------------
+# Engine knob plumbing
+# ---------------------------------------------------------------------------
+class TestEngineKnobs:
+    def test_config_rejects_bad_parallel_workers(self):
+        with pytest.raises(PlanningError):
+            EngineConfig(parallel_workers=-1)
+        with pytest.raises(PlanningError):
+            EngineConfig(parallel_workers=MAX_PARALLEL_WORKERS + 1)
+        with pytest.raises(PlanningError):
+            EngineConfig(parallel_workers=True)
+
+    def test_config_rejects_bad_cache_pages(self):
+        with pytest.raises(PlanningError):
+            EngineConfig(decoded_page_cache_pages=-1)
+        with pytest.raises(PlanningError):
+            EngineConfig(decoded_page_cache_pages=True)
+
+    def test_mutated_knob_rechecked_at_query_time(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER)")
+        db.config.parallel_workers = -3
+        with pytest.raises(PlanningError):
+            db.query("SELECT id FROM t")
+
+    def test_knobs_participate_in_plan_cache_fingerprint(self):
+        config = EngineConfig()
+        base = config.fingerprint()
+        config.parallel_workers = 4
+        with_workers = config.fingerprint()
+        assert with_workers != base
+        config.decoded_page_cache_pages = 64
+        assert config.fingerprint() != with_workers
+
+    def test_engine_reuses_pool_until_knob_changes(self):
+        db = Database(memory_budget_rows=100)
+        db.config.parallel_workers = 2
+        first = db.engine._parallel_pool()
+        assert db.engine._parallel_pool() is first
+        db.config.parallel_workers = 4
+        second = db.engine._parallel_pool()
+        assert second is not first and second.workers == 4
+
+
+# ---------------------------------------------------------------------------
+# The parallel differential matrix
+# ---------------------------------------------------------------------------
+def build_spill_db() -> Database:
+    """Two annotated tables sized so every breaker spills under budget 48."""
+    db = Database()
+    db.execute("CREATE TABLE fact (id INTEGER, k INTEGER, v FLOAT, s TEXT)")
+    db.execute("CREATE TABLE dim (k INTEGER, label TEXT)")
+    db.execute("CREATE ANNOTATION TABLE fnote ON fact")
+    db.execute("CREATE ANNOTATION TABLE dnote ON dim")
+    for i in range(600):
+        k = "NULL" if i % 13 == 0 else str(i % 40)
+        db.execute(f"INSERT INTO fact VALUES ({i}, {k}, {(i * 37) % 100}.25, "
+                   f"'s{i % 23}')")
+    for i in range(90):
+        k = "NULL" if i % 11 == 0 else str(i % 50)
+        db.execute(f"INSERT INTO dim VALUES ({k}, 'd{i % 7}')")
+    # NaN sort/group keys can't be written as SQL literals; plant them
+    # through the catalog so the matrix covers NaN bucketing too.
+    fact = db.catalog.table("fact")
+    for tuple_id in range(0, 600, 17):
+        fact.update_row(tuple_id, {"v": NAN})
+    db.execute("ADD ANNOTATION TO fact.fnote VALUE 'hot row' "
+               "ON (SELECT f.id FROM fact f WHERE f.id < 120)")
+    db.execute("ADD ANNOTATION TO fact.fnote VALUE 'curated' "
+               "ON (SELECT f.s FROM fact f WHERE f.k = 7)")
+    db.execute("ADD ANNOTATION TO dim.dnote VALUE 'dimension' "
+               "ON (SELECT d.label FROM dim d WHERE d.k < 25)")
+    return db
+
+
+#: Every spilling breaker: Grace/hybrid hash join, spilled GROUP BY,
+#: spilled DISTINCT, external sort, merge-join duplicate groups,
+#: INTERSECT/EXCEPT partitioning, and spilled DISTINCT-aggregate seen-sets.
+SPILL_SHAPES = {
+    "join_ordered": (
+        "SELECT f.id, d.label FROM fact ANNOTATION(fnote) f, "
+        "dim ANNOTATION(dnote) d WHERE f.k = d.k ORDER BY f.id, d.label"
+    ),
+    "join_streamed": (
+        "SELECT f.id, d.label FROM fact ANNOTATION(fnote) f, "
+        "dim ANNOTATION(dnote) d WHERE f.k = d.k"
+    ),
+    "left_join": (
+        "SELECT f.id, d.label FROM fact ANNOTATION(fnote) f "
+        "LEFT JOIN dim ANNOTATION(dnote) d ON f.k = d.k ORDER BY f.id, d.label"
+    ),
+    "group_by": (
+        "SELECT k, COUNT(*), SUM(v) FROM fact ANNOTATION(fnote) GROUP BY k"
+    ),
+    "distinct": "SELECT DISTINCT k, s FROM fact ANNOTATION(fnote)",
+    "order_by": "SELECT id, v FROM fact ANNOTATION(fnote) ORDER BY v",
+    "distinct_aggregate": (
+        "SELECT COUNT(DISTINCT id), COUNT(DISTINCT s), SUM(v) "
+        "FROM fact ANNOTATION(fnote)"
+    ),
+    "intersect": "SELECT k FROM fact INTERSECT SELECT k FROM dim",
+    "except": "SELECT k FROM fact EXCEPT SELECT k FROM dim",
+}
+
+STRATEGIES = ("auto", "hash", "merge")
+MODES = ("streaming", "row", "materialized")
+BUDGET = 48
+
+
+def ordered_snapshot(result):
+    """Exact output: values, order, and annotation identity per column."""
+    rows = []
+    for row in result.rows:
+        annotations = tuple(
+            tuple(sorted((a.annotation_table, a.ann_id) for a in anns))
+            for anns in row.annotations
+        )
+        rows.append((tuple(repr(v) for v in row.values), annotations))
+    return rows
+
+
+def run_shape(db: Database, query: str, workers: int, strategy: str,
+              mode: str):
+    db.config.memory_budget_rows = BUDGET
+    db.config.parallel_workers = workers
+    db.config.join_strategy = strategy
+    db.config.execution_mode = mode
+    try:
+        return ordered_snapshot(db.query(query))
+    finally:
+        db.config.memory_budget_rows = None
+        db.config.parallel_workers = 0
+        db.config.join_strategy = "auto"
+        db.config.execution_mode = "streaming"
+
+
+@pytest.fixture(scope="module")
+def spill_db() -> Database:
+    return build_spill_db()
+
+
+@pytest.mark.parametrize("shape", sorted(SPILL_SHAPES))
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("mode", MODES)
+def test_parallel_output_identical_to_serial(spill_db, shape, strategy, mode):
+    """Workers {1, 4} must reproduce the serial spilled run *exactly* —
+    values, row order, and annotation identity — under every strategy and
+    execution mode."""
+    query = SPILL_SHAPES[shape]
+    serial = run_shape(spill_db, query, 0, strategy, mode)
+    for workers in (1, 4):
+        assert run_shape(spill_db, query, workers, strategy, mode) == serial
+
+
+@pytest.mark.parametrize("shape", sorted(SPILL_SHAPES))
+def test_spilled_serial_matches_in_memory(spill_db, shape):
+    """Anchor the matrix: the budgeted serial run agrees with the unbudgeted
+    in-memory run (as a multiset — spilling may legitimately reorder shapes
+    without ORDER BY)."""
+    query = SPILL_SHAPES[shape]
+    spilled = sorted(run_shape(spill_db, query, 0, "auto", "streaming"),
+                     key=repr)
+    spill_db.config.execution_mode = "streaming"
+    in_memory = sorted(ordered_snapshot(spill_db.query(query)), key=repr)
+    assert spilled == in_memory
+
+
+def test_matrix_actually_spills(spill_db):
+    """Guard against the matrix silently shrinking below the budget: the
+    join, group-by, distinct, sort, set-op, and distinct-aggregate shapes
+    must each report spill activity."""
+    seen = set()
+    for shape, query in SPILL_SHAPES.items():
+        run_shape(spill_db, query, 4, "hash" if "join" in shape else "auto",
+                  "streaming")
+        seen |= {event["operator"]
+                 for event in spill_db.engine.last_spill.operators}
+    assert {"hash_join", "group_by", "distinct", "sort", "intersect",
+            "except", "distinct_aggregate"} <= seen
+
+
+def test_merge_join_spills_under_budget(spill_db):
+    run_shape(spill_db, SPILL_SHAPES["join_streamed"], 4, "merge", "streaming")
+    operators = {event["operator"]
+                 for event in spill_db.engine.last_spill.operators}
+    assert "merge_join" in operators
+
+
+# ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+class TestObservability:
+    def test_partition_timings_carry_worker_attribution(self, spill_db):
+        # A tight budget forces a wide fan-out so several partition pairs
+        # actually run on pool threads (a single pair would inline on main).
+        spill_db.config.memory_budget_rows = 10
+        spill_db.config.parallel_workers = 4
+        spill_db.config.join_strategy = "hash"
+        try:
+            spill_db.query(SPILL_SHAPES["join_streamed"])
+        finally:
+            spill_db.config.memory_budget_rows = None
+            spill_db.config.parallel_workers = 0
+            spill_db.config.join_strategy = "auto"
+        (event,) = spill_db.engine.last_spill.events("hash_join")
+        timings = event["partition_timings"]
+        assert timings and all(t["seconds"] >= 0 for t in timings)
+        assert all(t["worker"].startswith("w") for t in timings)
+        assert event["hybrid"] is True
+        assert event["partitions"] >= 4
+        assert event["build_rows"] >= event["resident_build_rows"]
+
+    def test_serial_partition_timings_attribute_to_main(self, spill_db):
+        run_shape(spill_db, SPILL_SHAPES["join_streamed"], 0, "hash",
+                  "streaming")
+        (event,) = spill_db.engine.last_spill.events("hash_join")
+        assert {t["worker"] for t in event["partition_timings"]} == {"main"}
+
+    def test_explain_renders_parallel_workers_on_spilling_join(self, spill_db):
+        spill_db.config.memory_budget_rows = BUDGET
+        spill_db.config.parallel_workers = 4
+        spill_db.config.join_strategy = "hash"
+        try:
+            explained = spill_db.explain(SPILL_SHAPES["join_streamed"])
+            assert "[spill:" in explained.message
+            assert "[parallel: 4 workers]" in explained.message
+            assert explained.details["plan"]["parallel_workers"] == 4
+        finally:
+            spill_db.config.memory_budget_rows = None
+            spill_db.config.parallel_workers = 0
+            spill_db.config.join_strategy = "auto"
+
+    def test_explain_stays_serial_without_workers(self, spill_db):
+        spill_db.config.memory_budget_rows = BUDGET
+        spill_db.config.join_strategy = "hash"
+        try:
+            explained = spill_db.explain(SPILL_SHAPES["join_streamed"])
+            assert "[spill:" in explained.message
+            assert "parallel" not in explained.message
+        finally:
+            spill_db.config.memory_budget_rows = None
+            spill_db.config.join_strategy = "auto"
+
+    def test_explain_marks_parallel_aggregate_and_sort(self, spill_db):
+        spill_db.config.memory_budget_rows = BUDGET
+        spill_db.config.parallel_workers = 4
+        try:
+            explained = spill_db.explain(
+                "SELECT k, COUNT(*) FROM fact GROUP BY k ORDER BY k")
+            assert "Aggregate [spill:" in explained.message
+            assert "[parallel: 4 workers]" in explained.message
+        finally:
+            spill_db.config.memory_budget_rows = None
+            spill_db.config.parallel_workers = 0
+
+
+# ---------------------------------------------------------------------------
+# Spill-aware build-side choice (explicit INNER JOIN)
+# ---------------------------------------------------------------------------
+class TestBuildSideSwap:
+    def build_db(self):
+        db = Database()
+        db.execute("CREATE TABLE small (k INTEGER, a TEXT)")
+        db.execute("CREATE TABLE big (k INTEGER, b TEXT)")
+        for i in range(30):
+            db.execute(f"INSERT INTO small VALUES ({i % 20}, 'a{i}')")
+        for i in range(400):
+            db.execute(f"INSERT INTO big VALUES ({i % 20}, 'b{i}')")
+        db.execute("ANALYZE")
+        return db
+
+    QUERY = ("SELECT small.a, big.b FROM small JOIN big "
+             "ON small.k = big.k")
+
+    def test_under_budget_side_becomes_build(self):
+        db = self.build_db()
+        db.config.join_strategy = "hash"
+        db.config.memory_budget_rows = 100
+        db.query(self.QUERY)
+        plan = db.engine.last_plan
+        # big (400 rows) exceeds the budget, small (30) fits: the planner
+        # must make small the build (right) side instead of spilling big.
+        assert plan.right.table == "small" and plan.left.table == "big"
+        assert not db.engine.last_spill.operators
+
+    def test_no_swap_without_budget(self):
+        db = self.build_db()
+        db.config.join_strategy = "hash"
+        db.query(self.QUERY)
+        assert db.engine.last_plan.right.table == "big"
+
+    def test_left_join_never_swaps(self):
+        db = self.build_db()
+        db.config.join_strategy = "hash"
+        db.config.memory_budget_rows = 100
+        db.query("SELECT small.a, big.b FROM small LEFT JOIN big "
+                 "ON small.k = big.k")
+        assert db.engine.last_plan.right.table == "big"
+
+    def test_swapped_join_matches_unswapped_rows(self):
+        db = self.build_db()
+        db.config.join_strategy = "hash"
+        baseline = sorted(tuple(r.values) for r in db.query(self.QUERY).rows)
+        db.config.memory_budget_rows = 100
+        swapped = sorted(tuple(r.values) for r in db.query(self.QUERY).rows)
+        assert swapped == baseline
+
+
+# ---------------------------------------------------------------------------
+# Thread-safety stress
+# ---------------------------------------------------------------------------
+class TestSharedStateThreadSafety:
+    def hammer(self, fn, threads=8, iterations=400):
+        barrier = threading.Barrier(threads)
+
+        def worker():
+            barrier.wait()
+            for _ in range(iterations):
+                fn()
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        return threads * iterations
+
+    def test_spill_stats_counters_are_exact_under_contention(self):
+        stats = SpillStats()
+        event = stats.record("hash_join", recursive_splits=0)
+        total = self.hammer(lambda: (stats.note_io(1, 10),
+                                     stats.note_event(event, "recursive_splits"),
+                                     stats.note_partition(event, partition=0)))
+        assert stats.spilled_rows == total
+        assert stats.spilled_bytes == total * 10
+        assert event["recursive_splits"] == total
+        assert len(event["partition_timings"]) == total
+
+    def test_statistics_staleness_counters_are_exact_under_contention(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.execute("ANALYZE t")
+        statistics = db.catalog.statistics
+        statistics.auto_refresh = False
+        total = self.hammer(lambda: statistics.on_insert("t", 1))
+        assert statistics._dml_since_analyze["t"] == total
+        assert statistics._stats["t"].row_count == 1 + total
+
+    def test_repeated_parallel_queries_are_deterministic(self, spill_db):
+        """End-to-end stress: the same spilled join at 8 workers, repeatedly,
+        must return identical output and identical spill totals each time."""
+        reference_rows = None
+        reference_spill = None
+        for _ in range(5):
+            rows = run_shape(spill_db, SPILL_SHAPES["join_ordered"], 8,
+                             "hash", "streaming")
+            spilled = spill_db.engine.last_spill.spilled_rows
+            if reference_rows is None:
+                reference_rows, reference_spill = rows, spilled
+            assert rows == reference_rows
+            assert spilled == reference_spill
