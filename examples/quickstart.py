@@ -166,6 +166,9 @@ def main() -> None:
     # -- transactions: rollback, durability, crash recovery --------------------
     demo_transactions()
 
+    # -- the network front end: server + DB-API client over TCP ----------------
+    demo_server()
+
 
 def demo_parallel_and_decoded_cache() -> None:
     """PR-7 knobs: spill partitions fan out to a worker pool, and repeated
@@ -392,6 +395,50 @@ def demo_batches_and_spilling() -> None:
               if e["operator"] == "group_by"]
     print(f"\nGROUP BY over budget: {len(summary)} groups via "
           f"{events[0]['partitions']} spill partitions")
+
+
+def demo_server() -> None:
+    """The same DB-API surface, served over TCP (docs/SERVER.md).
+
+    ``start_server`` spins up the asyncio front end on an ephemeral port in
+    a background thread; ``repro.client.connect`` returns a PEP 249
+    connection whose cursors, parameters, transactions, and A-SQL
+    annotation queries behave exactly like the in-process ones.
+    """
+    import repro.client
+    from repro.server import start_server
+
+    server = start_server()  # in-memory database, ephemeral 127.0.0.1 port
+    try:
+        conn = repro.client.connect(port=server.port, user="admin")
+        cur = conn.cursor()
+        cur.execute("CREATE TABLE samples (id INTEGER PRIMARY KEY, "
+                    "name TEXT)")
+        cur.executemany("INSERT INTO samples VALUES (?, ?)",
+                        [(1, "liver"), (2, "kidney"), (3, "cortex")])
+        cur.execute("SELECT name FROM samples WHERE id >= ? ORDER BY id",
+                    (2,))
+        print(f"\nRows over the wire: {[row[0] for row in cur.fetchall()]}")
+
+        # Annotations survive the wire as real objects on each row.
+        cur.execute("CREATE ANNOTATION TABLE note ON samples")
+        cur.execute("ADD ANNOTATION TO samples.note VALUE 'checked' "
+                    "ON (SELECT s.name FROM samples s WHERE s.id = 2)")
+        cur.execute("SELECT name FROM samples ANNOTATION(note) "
+                    "WHERE id = 2")
+        row = cur.fetchone()
+        bodies = [a.body for column in row.annotations for a in column]
+        print(f"Annotated over the wire: {tuple(row)} -> {bodies}")
+
+        # Transactions are per-session; rollback works like in-process.
+        cur.execute("BEGIN")
+        cur.execute("DELETE FROM samples WHERE id = 1")
+        conn.rollback()
+        cur.execute("SELECT COUNT(*) FROM samples")
+        print(f"Rows after rollback over the wire: {cur.fetchone()[0]}")
+        conn.close()
+    finally:
+        server.shutdown()
 
 
 if __name__ == "__main__":

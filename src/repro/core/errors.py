@@ -82,6 +82,15 @@ class TransactionError(BdbmsError):
     """Raised for invalid transaction state transitions or undo failures."""
 
 
+class TransactionTimeoutError(TransactionError):
+    """Raised when a lock acquisition exceeds its scope's timeout.
+
+    Maps to :class:`OperationalError` at the DB-API boundary; the network
+    server additionally marks it retryable, since the statement was rejected
+    before doing any work and can safely be re-submitted.
+    """
+
+
 # ---------------------------------------------------------------------------
 # PEP 249 (DB-API 2.0) exception hierarchy
 # ---------------------------------------------------------------------------

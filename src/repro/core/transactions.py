@@ -10,10 +10,27 @@
   single-operation commit frame, so direct Python-API writes stay durable.
 * **transaction manager** — ``BEGIN`` / ``COMMIT`` / ``ROLLBACK`` and the
   per-statement autocommit scope the engine wraps around every mutating
-  statement.  Transactions are single-writer: a global re-entrant write lock
-  is held from BEGIN to COMMIT/ROLLBACK (and for the duration of each
-  autocommitted statement), serializing writers while readers stay lock-free
-  (concurrent readers see uncommitted state — READ UNCOMMITTED).
+  statement.  Transactions are single-writer: the write side of a global
+  :class:`ReaderWriterLock` is held from BEGIN to COMMIT/ROLLBACK (and for
+  the duration of each autocommitted statement), serializing writers.
+  Readers that do not opt in stay lock-free and see uncommitted state
+  (READ UNCOMMITTED — the in-process lazy streaming path).  Readers that
+  *do* opt in via :meth:`TransactionManager.read_access` (the network
+  server's query path) share the read side concurrently with each other
+  while excluding writers, so a statement executed plus materialized under
+  ``read_access()`` observes only committed state and is never torn by a
+  concurrent commit.
+
+Lock ownership is keyed by *scope*, not by thread.  The default scope is the
+calling thread (``("thread", ident)``), which preserves the historical
+behavior for in-process use.  The network server runs each client session's
+statements on pooled worker threads, so it wraps every request in
+:func:`session_scope`, making the session — not whichever worker picked the
+request up — the lock owner; a BEGIN handled by worker A can be committed by
+worker B.  Scopes may also carry a lock timeout:  acquisition that exceeds
+it raises :class:`TransactionTimeoutError`, which keeps a bounded worker
+pool from deadlocking when every worker is parked on a lock whose releaser
+is stuck behind them in the queue.
 * **recovery applier** — ``replay`` re-executes the redo operations of every
   committed transaction through the normal storage paths, rebuilding tables,
   indexes, annotation registries, and grants from an empty page store.
@@ -39,10 +56,11 @@ inside BEGIN...COMMIT (they work fine autocommitted).
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
-from typing import Any, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.core.errors import TransactionError
+from repro.core.errors import TransactionError, TransactionTimeoutError
 from repro.sql import ast
 
 
@@ -50,16 +68,154 @@ def _row_dict(table: Any, row: Tuple[Any, ...]) -> dict:
     return dict(zip(table.schema.column_names, row))
 
 
+# ---------------------------------------------------------------------------
+# Lock scopes
+# ---------------------------------------------------------------------------
+# A scope is an opaque hashable identity that owns lock state and open
+# transactions.  By default it is the calling thread; a server session
+# installs its own identity for the duration of each request so ownership
+# survives hopping between pooled worker threads.
+
+_scope_state = threading.local()
+
+
+def current_scope() -> Tuple[str, Any]:
+    """The lock/transaction owner identity of the calling thread."""
+    scope = getattr(_scope_state, "scope", None)
+    if scope is not None:
+        return scope
+    return ("thread", threading.get_ident())
+
+
+def current_lock_timeout() -> Optional[float]:
+    """Lock-acquire timeout (seconds) installed by :func:`session_scope`."""
+    return getattr(_scope_state, "timeout", None)
+
+
+@contextmanager
+def session_scope(scope_id: Any,
+                  lock_timeout: Optional[float] = None) -> Iterator[None]:
+    """Attribute lock/transaction ownership to ``scope_id`` for this block.
+
+    The network server wraps each request in this so the *session* owns
+    locks and transactions, regardless of which pooled worker thread runs
+    the request.  ``lock_timeout`` bounds every lock acquisition made inside
+    the block; on expiry :class:`TransactionTimeoutError` is raised.
+    """
+    previous = (getattr(_scope_state, "scope", None),
+                getattr(_scope_state, "timeout", None))
+    _scope_state.scope = ("session", scope_id)
+    _scope_state.timeout = lock_timeout
+    try:
+        yield
+    finally:
+        _scope_state.scope, _scope_state.timeout = previous
+
+
+class ReaderWriterLock:
+    """Scope-keyed reader-writer lock with writer preference.
+
+    * write is exclusive and re-entrant per scope (BEGIN then per-statement
+      scopes nest);
+    * read is shared among scopes and re-entrant; a scope that already holds
+      write acquires read as a no-op pass-through (a reader inside its own
+      transaction sees its own writes);
+    * waiting writers block *new* readers (writer preference) so a stream of
+      overlapping readers cannot starve commits — but re-entrant readers
+      always pass, which keeps a scope from deadlocking on itself;
+    * upgrading read → write is refused outright (:class:`TransactionError`)
+      instead of deadlocking two upgraders against each other;
+    * an acquisition that exceeds ``timeout`` raises
+      :class:`TransactionTimeoutError` and leaves the lock untouched.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._writer: Optional[Tuple[str, Any]] = None
+        self._write_depth = 0
+        self._readers: Dict[Tuple[str, Any], int] = {}
+        self._write_waiters = 0
+
+    def acquire_read(self, scope: Tuple[str, Any],
+                     timeout: Optional[float] = None) -> None:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                if self._writer == scope or scope in self._readers:
+                    self._readers[scope] = self._readers.get(scope, 0) + 1
+                    return
+                if self._writer is None and self._write_waiters == 0:
+                    self._readers[scope] = 1
+                    return
+                if not self._wait(deadline):
+                    raise TransactionTimeoutError(
+                        f"timed out after {timeout:.3f}s waiting for shared "
+                        f"read access (a writer holds or awaits the lock)")
+
+    def release_read(self, scope: Tuple[str, Any]) -> None:
+        with self._cond:
+            depth = self._readers.get(scope, 0)
+            if depth <= 0:
+                raise TransactionError("read lock not held by this scope")
+            if depth == 1:
+                del self._readers[scope]
+                self._cond.notify_all()
+            else:
+                self._readers[scope] = depth - 1
+
+    def acquire_write(self, scope: Tuple[str, Any],
+                      timeout: Optional[float] = None) -> None:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            if self._writer == scope:
+                self._write_depth += 1
+                return
+            if scope in self._readers:
+                raise TransactionError(
+                    "cannot upgrade a read lock to a write lock; release "
+                    "the read access first")
+            self._write_waiters += 1
+            try:
+                while self._writer is not None or self._readers:
+                    if not self._wait(deadline):
+                        raise TransactionTimeoutError(
+                            f"timed out after {timeout:.3f}s waiting for "
+                            f"exclusive write access")
+                self._writer = scope
+                self._write_depth = 1
+            finally:
+                self._write_waiters -= 1
+
+    def release_write(self, scope: Tuple[str, Any]) -> None:
+        with self._cond:
+            if self._writer != scope:
+                raise TransactionError("write lock not held by this scope")
+            self._write_depth -= 1
+            if self._write_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    def _wait(self, deadline: Optional[float]) -> bool:
+        if deadline is None:
+            self._cond.wait()
+            return True
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return False
+        return self._cond.wait(remaining)
+
+
 class Transaction:
     """One open transaction: buffered redo ops, undo ops, and begin-state."""
 
-    __slots__ = ("redo", "undo", "explicit", "thread_id", "tracker_state")
+    __slots__ = ("redo", "undo", "explicit", "scope", "tracker_state")
 
-    def __init__(self, explicit: bool, thread_id: int, tracker_state: Any):
+    def __init__(self, explicit: bool, scope: Tuple[str, Any],
+                 tracker_state: Any):
         self.redo: List[Tuple[Any, ...]] = []
         self.undo: List[Tuple[Any, ...]] = []
         self.explicit = explicit
-        self.thread_id = thread_id
+        self.scope = scope
         self.tracker_state = tracker_state
 
 
@@ -86,42 +242,70 @@ class TransactionManager:
         #: ``None`` for in-memory databases — rollback still works without
         #: one, only durability is off.
         self.wal = wal
-        #: Re-entrant so that statements executing *inside* an explicit
-        #: transaction (same thread) re-acquire without deadlocking, while
-        #: other writer threads block until COMMIT/ROLLBACK.
-        self._write_lock = threading.RLock()
+        #: Writers hold the exclusive side from BEGIN to COMMIT/ROLLBACK;
+        #: opted-in readers (the server's snapshot-on-scan path) share the
+        #: read side via :meth:`read_access`.  Ownership is scope-keyed so
+        #: pooled worker threads can act on behalf of one client session.
+        self._lock = ReaderWriterLock()
         self._txn: Optional[Transaction] = None
-        #: True while applying undo or replaying the WAL: the storage hooks
-        #: must not journal the journal's own repair work.
-        self._suppress = False
+        #: Per-thread flag: while applying undo or replaying the WAL the
+        #: storage hooks must not journal the journal's own repair work
+        #: (thread-local so a recovering writer cannot mute other threads).
+        self._suppress_state = threading.local()
+
+    @property
+    def _suppress(self) -> bool:
+        return getattr(self._suppress_state, "value", False)
+
+    @_suppress.setter
+    def _suppress(self, value: bool) -> None:
+        self._suppress_state.value = value
 
     # ------------------------------------------------------------------
     # Transaction lifecycle
     # ------------------------------------------------------------------
     def _current(self) -> Optional[Transaction]:
         txn = self._txn
-        if txn is not None and txn.thread_id == threading.get_ident():
+        if txn is not None and txn.scope == current_scope():
             return txn
         return None
 
     def in_transaction(self) -> bool:
-        """Whether the calling thread has an open explicit transaction."""
+        """Whether the calling scope has an open explicit transaction."""
         txn = self._current()
         return txn is not None and txn.explicit
+
+    @contextmanager
+    def read_access(self) -> Iterator[None]:
+        """Shared read access for the calling scope.
+
+        Hold it across *execute + materialize* of a read-only statement and
+        the result can never interleave with a writer's commit: concurrent
+        readers proceed in parallel, writers wait (and vice versa).  No-op
+        re-entrant when the scope already holds the write lock, so a reader
+        inside its own transaction sees its own uncommitted writes.
+        """
+        scope = current_scope()
+        self._lock.acquire_read(scope, timeout=current_lock_timeout())
+        try:
+            yield
+        finally:
+            self._lock.release_read(scope)
 
     def begin(self, explicit: bool = True) -> None:
         """Open a transaction, blocking while another writer holds one."""
         if self._current() is not None:
             raise TransactionError(
                 "already in a transaction; COMMIT or ROLLBACK it first")
-        self._write_lock.acquire()
+        scope = current_scope()
+        self._lock.acquire_write(scope, timeout=current_lock_timeout())
         tracker_state = (self.tracker.snapshot_state()
                          if self.tracker is not None else None)
-        self._txn = Transaction(explicit, threading.get_ident(), tracker_state)
+        self._txn = Transaction(explicit, scope, tracker_state)
         self.pool.begin_no_steal()
 
     def commit(self) -> bool:
-        """Commit the calling thread's transaction; ``False`` if none is open.
+        """Commit the calling scope's transaction; ``False`` if none is open.
 
         The commit frame is appended to the WAL *before* the write lock is
         released, but the fsync wait happens *after* — that is what lets
@@ -139,13 +323,13 @@ class TransactionManager:
             lsn = self.wal.append(txn.redo)
         self._txn = None
         self.pool.end_no_steal()
-        self._write_lock.release()
+        self._lock.release_write(txn.scope)
         if lsn is not None:
             self.wal.sync(lsn)
         return True
 
     def rollback(self) -> bool:
-        """Undo and close the calling thread's transaction; ``False`` if none."""
+        """Undo and close the calling scope's transaction; ``False`` if none."""
         txn = self._current()
         if txn is None:
             return False
@@ -156,7 +340,7 @@ class TransactionManager:
         finally:
             self._txn = None
             self.pool.end_no_steal()
-            self._write_lock.release()
+            self._lock.release_write(txn.scope)
         return True
 
     @contextmanager

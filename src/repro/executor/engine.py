@@ -267,6 +267,22 @@ class _PreparedContext:
         return block
 
 
+class _QueryLocal(threading.local):
+    """Per-thread query state: the ``last_*`` observability fields plus the
+    prepared-execution context.  ``threading.local`` re-runs ``__init__`` in
+    every thread that first touches an attribute, so each worker starts from
+    clean defaults instead of inheriting another thread's query."""
+
+    def __init__(self) -> None:
+        self.last_plan: Optional[planlib.PlanNode] = None
+        self.last_sort_elided = False
+        self.last_spill = SpillStats()
+        #: Built lazily by the engine property (needs the catalog's pool).
+        self.last_cache: Optional[DecodedCacheView] = None
+        self.last_plan_cached = False
+        self.prepared_context: Optional[_PreparedContext] = None
+
+
 class Engine:
     """Executes AST statements against the catalog and the bdbms managers."""
 
@@ -289,25 +305,13 @@ class Engine:
             tracker=tracker, access=access, pool=catalog.pool, wal=None)
         if catalog.journal is None:
             catalog.journal = self.transactions
-        #: Plan tree of the most recently planned SELECT (observability
-        #: surface used by EXPLAIN, tests, and benchmarks).
-        self.last_plan: Optional[planlib.PlanNode] = None
-        #: Whether the most recent SELECT's ORDER BY was satisfied by index
-        #: order (sort elision) instead of an explicit sort.
-        self.last_sort_elided: bool = False
-        #: Spill activity of the most recent query (see
-        #: :class:`~repro.storage.spill.SpillStats`): partition/run counts
-        #: per spilling operator plus aggregate row/byte counters.  Updated
-        #: while rows are drained, so a streaming consumer sees the final
-        #: numbers once the stream is exhausted.
-        self.last_spill: SpillStats = SpillStats()
-        #: Decoded-page cache activity of the most recent query: a live
-        #: per-query window (hits/misses/evictions/invalidations) over the
-        #: buffer pool's :class:`DecodedCacheStatistics`.  Like
-        #: ``last_spill`` it keeps counting while a streaming result is
-        #: drained.
-        self.last_cache: DecodedCacheView = DecodedCacheView(
-            catalog.pool.decoded.stats)
+        #: Per-thread observability surfaces (``last_plan`` and friends) plus
+        #: the prepared-execution context.  Thread-local because the network
+        #: server runs concurrent statements on pooled worker threads over
+        #: one shared engine: without isolation, thread A's EXPLAIN could
+        #: read the plan of thread B's query, and worse, B's bound
+        #: parameters could leak into A's statement.
+        self._query_local = _QueryLocal()
         #: The cached worker facade behind spill-partition parallelism.  One
         #: pool lives across queries (thread startup is not free) and is
         #: recreated only when ``config.parallel_workers`` changes.
@@ -316,17 +320,79 @@ class Engine:
         #: EngineConfig fingerprint), invalidated by the catalog schema
         #: version (see :class:`~repro.executor.prepared.PlanCache`).
         self.plan_cache = PlanCache(self.config.plan_cache_size)
-        #: Whether the most recent SELECT reused a cached plan (``last_plan``
-        #: then *is* the cached template object, identity-stable across
-        #: executions until something invalidates it).
-        self.last_plan_cached: bool = False
-        self._prepared_context: Optional[_PreparedContext] = None
         #: Serializes the prepared planning/binding window.  The operator
-        #: pipeline itself is single-threaded per engine (documented), but
-        #: ``_prepared_context`` is engine-global state: without the lock,
-        #: two connections over one shared Database executing concurrently
-        #: could bind one thread's parameters into the other's statement.
+        #: pipeline itself runs outside this lock; planning touches shared
+        #: mutable state (plan cache validation against statistics, which may
+        #: auto-ANALYZE and bump the schema version), so concurrent prepared
+        #: executions take turns through the planner only.
         self._prepared_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Per-thread observability surface.
+    #
+    # ``last_plan`` — plan tree of this thread's most recently planned
+    # SELECT (used by EXPLAIN, tests, and benchmarks).
+    # ``last_sort_elided`` — whether its ORDER BY was satisfied by index
+    # order (sort elision) instead of an explicit sort.
+    # ``last_spill`` — spill activity (partition/run counts, row/byte
+    # counters); updated while rows drain, so a streaming consumer sees
+    # final numbers once the stream is exhausted.
+    # ``last_cache`` — per-query window over the buffer pool's decoded-page
+    # cache statistics; also counts while a stream drains.
+    # ``last_plan_cached`` — whether the most recent SELECT reused a cached
+    # plan (``last_plan`` then *is* the identity-stable cached template).
+    # ------------------------------------------------------------------
+    @property
+    def last_plan(self) -> Optional[planlib.PlanNode]:
+        return self._query_local.last_plan
+
+    @last_plan.setter
+    def last_plan(self, value: Optional[planlib.PlanNode]) -> None:
+        self._query_local.last_plan = value
+
+    @property
+    def last_sort_elided(self) -> bool:
+        return self._query_local.last_sort_elided
+
+    @last_sort_elided.setter
+    def last_sort_elided(self, value: bool) -> None:
+        self._query_local.last_sort_elided = value
+
+    @property
+    def last_spill(self) -> SpillStats:
+        return self._query_local.last_spill
+
+    @last_spill.setter
+    def last_spill(self, value: SpillStats) -> None:
+        self._query_local.last_spill = value
+
+    @property
+    def last_cache(self) -> DecodedCacheView:
+        view = self._query_local.last_cache
+        if view is None:
+            view = DecodedCacheView(self.catalog.pool.decoded.stats)
+            self._query_local.last_cache = view
+        return view
+
+    @last_cache.setter
+    def last_cache(self, value: DecodedCacheView) -> None:
+        self._query_local.last_cache = value
+
+    @property
+    def last_plan_cached(self) -> bool:
+        return self._query_local.last_plan_cached
+
+    @last_plan_cached.setter
+    def last_plan_cached(self, value: bool) -> None:
+        self._query_local.last_plan_cached = value
+
+    @property
+    def _prepared_context(self) -> Optional["_PreparedContext"]:
+        return self._query_local.prepared_context
+
+    @_prepared_context.setter
+    def _prepared_context(self, value: Optional["_PreparedContext"]) -> None:
+        self._query_local.prepared_context = value
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -709,12 +775,12 @@ class Engine:
                     statistics.stats_for(table)
             if self.catalog.schema_version == entry.schema_version \
                     and self._range_scan_gates_hold(entry.plan):
-                cache.stats.hits += 1
+                cache.note_hit()
                 self.last_plan_cached = True
                 return (entry.plan, entry.pushed, list(entry.remaining),
                         entry.order_hint)
             cache.discard(key)
-        cache.stats.misses += 1
+        cache.note_miss()
         self.last_plan_cached = False
         plan, pushed, remaining, order_hint = self._plan_select(select,
                                                                 table_refs)

@@ -19,6 +19,7 @@ can poke statistics staleness before trusting the plan).
 from __future__ import annotations
 
 import copy
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -78,44 +79,66 @@ class CachedPlan:
 
 
 class PlanCache:
-    """LRU of :class:`CachedPlan` keyed on (sql, block, config fingerprint)."""
+    """LRU of :class:`CachedPlan` keyed on (sql, block, config fingerprint).
+
+    Internally locked: the network server shares one engine (hence one plan
+    cache) across pooled worker threads, and neither ``OrderedDict`` LRU
+    maintenance (``move_to_end`` + the eviction loop) nor the stats counters
+    are atomic under concurrent access.  The lock covers individual
+    operations only — the planner's lookup/validate/store window is
+    serialized one level up by the engine's prepared lock.
+    """
 
     def __init__(self, capacity: int):
         self.capacity = capacity
         self._entries: "OrderedDict[Tuple[Any, ...], CachedPlan]" = OrderedDict()
         self.stats = PlanCacheStats()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
+
+    def note_hit(self) -> None:
+        with self._lock:
+            self.stats.hits += 1
+
+    def note_miss(self) -> None:
+        with self._lock:
+            self.stats.misses += 1
 
     def lookup(self, key: Tuple[Any, ...],
                schema_version: int) -> Optional[CachedPlan]:
         """A valid entry for ``key``, or ``None`` (stale entries are dropped
         and counted as invalidations; the hit/miss tally is the caller's —
         it may still re-validate the entry after poking statistics)."""
-        entry = self._entries.get(key)
-        if entry is None:
-            return None
-        if entry.schema_version != schema_version:
-            del self._entries[key]
-            self.stats.invalidations += 1
-            return None
-        self._entries.move_to_end(key)
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            if entry.schema_version != schema_version:
+                del self._entries[key]
+                self.stats.invalidations += 1
+                return None
+            self._entries.move_to_end(key)
+            return entry
 
     def discard(self, key: Tuple[Any, ...]) -> None:
-        if self._entries.pop(key, None) is not None:
-            self.stats.invalidations += 1
+        with self._lock:
+            if self._entries.pop(key, None) is not None:
+                self.stats.invalidations += 1
 
     def store(self, key: Tuple[Any, ...], entry: CachedPlan) -> None:
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > max(0, self.capacity):
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > max(0, self.capacity):
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
 
 # ---------------------------------------------------------------------------

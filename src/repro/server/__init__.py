@@ -1,0 +1,30 @@
+"""Network front end: a TCP server speaking the repro wire protocol.
+
+>>> from repro.server import start_server
+>>> import repro.client
+>>> server = start_server()          # in-memory database, ephemeral port
+>>> conn = repro.client.connect(port=server.port)
+>>> conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)").rowcount
+0
+>>> conn.close(); server.shutdown()
+
+See docs/SERVER.md for the protocol, the admission-control knobs, and the
+isolation guarantees.
+"""
+
+from repro.server.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.server.server import (
+    DatabaseServer,
+    ServerConfig,
+    ServerStats,
+    start_server,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "DatabaseServer",
+    "ServerConfig",
+    "ServerStats",
+    "start_server",
+]

@@ -1,0 +1,50 @@
+"""``python -m repro.server`` — run a file-backed server from the shell.
+
+Example::
+
+    python -m repro.server --path /tmp/demo.db --port 7474
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from repro.server.server import DatabaseServer, ServerConfig
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve a repro database over TCP.")
+    parser.add_argument("--path", default=None,
+                        help="database file (default: in-memory)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7474)
+    parser.add_argument("--max-connections", type=int, default=64)
+    parser.add_argument("--max-inflight", type=int, default=8)
+    parser.add_argument("--worker-threads", type=int, default=4)
+    parser.add_argument("--lock-timeout", type=float, default=10.0,
+                        metavar="SECONDS")
+    parser.add_argument("--auth-token", default=None)
+    args = parser.parse_args(argv)
+
+    config = ServerConfig(
+        host=args.host, port=args.port,
+        max_connections=args.max_connections,
+        max_inflight=args.max_inflight,
+        worker_threads=args.worker_threads,
+        lock_timeout_seconds=args.lock_timeout,
+        auth_token=args.auth_token)
+    server = DatabaseServer(path=args.path, config=config)
+    print(f"repro server listening on {args.host}:{args.port} "
+          f"({'file ' + args.path if args.path else 'in-memory'})")
+    try:
+        asyncio.run(server.serve_forever())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

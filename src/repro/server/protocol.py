@@ -1,0 +1,194 @@
+"""Wire protocol shared by the network server and ``repro.client``.
+
+Framing is deliberately minimal: every message is one UTF-8 JSON document
+prefixed by its byte length as a 4-byte big-endian unsigned integer.  JSON
+keeps the protocol inspectable (``nc`` + a hex dump is a usable debugger)
+and the length prefix makes message boundaries explicit, so neither side
+ever parses a partial document.
+
+Requests are objects with an ``op`` field; the server answers every request
+with exactly one response frame — ``{"ok": true, ...}`` on success or
+``{"ok": false, "error": {...}}`` on failure (see :func:`encode_error`).
+Because responses are strictly one-per-request in order, the client never
+needs request ids.
+
+Values cross the wire with a small tagging scheme for what JSON cannot
+express natively: timestamps become ``{"$ts": "<ISO 8601>"}`` and the
+paper's annotations ride next to their rows as plain field dicts
+(:func:`encode_annotation`), reconstructed into real
+:class:`~repro.annotations.model.Annotation` objects client-side so
+``row.annotations`` behaves identically in-process and over the network.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from datetime import datetime
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.annotations.model import Annotation
+from repro.core.errors import OperationalError
+
+#: Protocol revision, exchanged in the ``hello`` handshake.
+PROTOCOL_VERSION = 1
+
+#: struct format of the frame length prefix (4-byte big-endian unsigned).
+_LENGTH = struct.Struct(">I")
+
+#: Hard ceiling a frame length may announce before the peer drops the
+#: connection — a corrupt or hostile prefix must not trigger a huge alloc.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(OperationalError):
+    """A malformed frame or an out-of-protocol message."""
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """One wire frame: length prefix + JSON payload."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Dict[str, Any]:
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return message
+
+
+def read_length(prefix: bytes, limit: int = MAX_MESSAGE_BYTES) -> int:
+    """Validate and unpack a length prefix."""
+    if len(prefix) != _LENGTH.size:
+        raise ProtocolError("truncated frame length prefix")
+    (length,) = _LENGTH.unpack(prefix)
+    if length > limit:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {limit}-byte limit")
+    return length
+
+
+# ---------------------------------------------------------------------------
+# Value encoding
+# ---------------------------------------------------------------------------
+def encode_value(value: Any) -> Any:
+    """A single column value in wire form (see module doc for the tags)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, datetime):
+        return {"$ts": value.isoformat()}
+    if isinstance(value, (bytes, bytearray)):
+        return {"$bytes": bytes(value).hex()}
+    # Engine value domains beyond the above do not exist today; keep the
+    # frame decodable rather than failing the whole result.
+    return {"$repr": repr(value)}
+
+
+def decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "$ts" in value:
+            return datetime.fromisoformat(value["$ts"])
+        if "$bytes" in value:
+            return bytes.fromhex(value["$bytes"])
+        if "$repr" in value:
+            return value["$repr"]
+        raise ProtocolError(f"unknown value tag {sorted(value)!r}")
+    return value
+
+
+def encode_values(values: Sequence[Any]) -> List[Any]:
+    return [encode_value(value) for value in values]
+
+
+def decode_values(values: Sequence[Any]) -> Tuple[Any, ...]:
+    return tuple(decode_value(value) for value in values)
+
+
+# ---------------------------------------------------------------------------
+# Annotations
+# ---------------------------------------------------------------------------
+def encode_annotation(annotation: Annotation) -> Dict[str, Any]:
+    return {
+        "ann_id": annotation.ann_id,
+        "annotation_table": annotation.annotation_table,
+        "body": annotation.body,
+        "curator": annotation.curator,
+        "created_at": annotation.created_at.isoformat(),
+        "archived": annotation.archived,
+        "category": annotation.category,
+    }
+
+
+def decode_annotation(fields: Dict[str, Any]) -> Annotation:
+    return Annotation(
+        ann_id=fields["ann_id"],
+        annotation_table=fields["annotation_table"],
+        body=fields["body"],
+        curator=fields.get("curator", "unknown"),
+        created_at=datetime.fromisoformat(fields["created_at"]),
+        archived=fields.get("archived", False),
+        category=fields.get("category", "comment"),
+    )
+
+
+def encode_row(values: Sequence[Any],
+               annotations: Optional[Sequence[Any]]) -> Dict[str, Any]:
+    """One result row: ``v`` is the value tuple, ``a`` the per-column
+    annotation lists (present only when the row carries any)."""
+    encoded: Dict[str, Any] = {"v": encode_values(values)}
+    if annotations is not None and any(annotations):
+        encoded["a"] = [[encode_annotation(a) for a in sorted(
+            column, key=lambda a: (a.annotation_table, a.ann_id))]
+            for column in annotations]
+    return encoded
+
+
+def decode_row(encoded: Dict[str, Any]) -> Tuple[Tuple[Any, ...],
+                                                 Optional[List[set]]]:
+    values = decode_values(encoded["v"])
+    raw = encoded.get("a")
+    if raw is None:
+        return values, None
+    return values, [{decode_annotation(a) for a in column} for column in raw]
+
+
+# ---------------------------------------------------------------------------
+# Errors
+# ---------------------------------------------------------------------------
+def encode_error(exc: BaseException, *, code: Optional[str] = None,
+                 retryable: bool = False) -> Dict[str, Any]:
+    """The ``error`` object of a failure response.
+
+    ``type`` is the PEP 249 class name the client re-raises (anything that
+    is not one maps to ``OperationalError`` client-side); ``retryable``
+    marks rejections that did no work — admission control and lock
+    timeouts — which a client may safely re-submit.
+    """
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "code": code,
+        "retryable": retryable,
+    }
+
+
+def error_response(exc: BaseException, *, code: Optional[str] = None,
+                   retryable: bool = False) -> Dict[str, Any]:
+    return {"ok": False, "error": encode_error(exc, code=code,
+                                               retryable=retryable)}
+
+
+__all__ = [
+    "PROTOCOL_VERSION", "MAX_MESSAGE_BYTES", "ProtocolError",
+    "encode_frame", "decode_payload", "read_length",
+    "encode_value", "decode_value", "encode_values", "decode_values",
+    "encode_annotation", "decode_annotation", "encode_row", "decode_row",
+    "encode_error", "error_response",
+]

@@ -10,6 +10,7 @@ claims rest on.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
@@ -126,34 +127,42 @@ class DecodedPageCache:
         self._entries: "OrderedDict[Tuple[Any, ...], List[Any]]" = OrderedDict()
         #: page_id -> keys currently cached for that page (all versions).
         self._by_page: Dict[int, Set[Tuple[Any, ...]]] = {}
+        #: Concurrent readers (the server's shared-read scans) hit get/put
+        #: from many threads, and LRU maintenance plus the ``_by_page``
+        #: index are multi-step mutations.  Re-entrant: ``put`` shrinks
+        #: while already holding it.
+        self._lock = threading.RLock()
 
     def set_capacity(self, capacity: int) -> None:
-        if capacity != self.capacity:
-            self.capacity = capacity
-            self._shrink()
+        with self._lock:
+            if capacity != self.capacity:
+                self.capacity = capacity
+                self._shrink()
 
     def get(self, table: str, page_id: int, schema_version: int,
             with_tuple_ids: bool) -> Optional[List[Any]]:
         if self.capacity <= 0:
             return None
         key = (table, page_id, schema_version, with_tuple_ids)
-        rows = self._entries.get(key)
-        if rows is None:
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        self._entries.move_to_end(key)
-        return rows
+        with self._lock:
+            rows = self._entries.get(key)
+            if rows is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return rows
 
     def put(self, table: str, page_id: int, schema_version: int,
             with_tuple_ids: bool, rows: List[Any]) -> None:
         if self.capacity <= 0:
             return
         key = (table, page_id, schema_version, with_tuple_ids)
-        self._entries[key] = rows
-        self._entries.move_to_end(key)
-        self._by_page.setdefault(page_id, set()).add(key)
-        self._shrink()
+        with self._lock:
+            self._entries[key] = rows
+            self._entries.move_to_end(key)
+            self._by_page.setdefault(page_id, set()).add(key)
+            self._shrink()
 
     def _shrink(self) -> None:
         while len(self._entries) > max(self.capacity, 0):
@@ -166,30 +175,34 @@ class DecodedPageCache:
                     del self._by_page[key[1]]
 
     def invalidate_page(self, page_id: int) -> None:
-        keys = self._by_page.pop(page_id, None)
-        if not keys:
-            return
-        for key in keys:
-            if self._entries.pop(key, None) is not None:
-                self.stats.invalidations += 1
+        with self._lock:
+            keys = self._by_page.pop(page_id, None)
+            if not keys:
+                return
+            for key in keys:
+                if self._entries.pop(key, None) is not None:
+                    self.stats.invalidations += 1
 
     def invalidate_table(self, table: str) -> None:
-        doomed = [key for key in self._entries if key[0] == table]
-        for key in doomed:
-            del self._entries[key]
-            self.stats.invalidations += 1
-            keys = self._by_page.get(key[1])
-            if keys is not None:
-                keys.discard(key)
-                if not keys:
-                    del self._by_page[key[1]]
+        with self._lock:
+            doomed = [key for key in self._entries if key[0] == table]
+            for key in doomed:
+                del self._entries[key]
+                self.stats.invalidations += 1
+                keys = self._by_page.get(key[1])
+                if keys is not None:
+                    keys.discard(key)
+                    if not keys:
+                        del self._by_page[key[1]]
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._by_page.clear()
+        with self._lock:
+            self._entries.clear()
+            self._by_page.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 class BufferPool:
@@ -207,6 +220,12 @@ class BufferPool:
         #: until the engine syncs ``EngineConfig.decoded_page_cache_pages``.
         self.decoded = DecodedPageCache()
         self._frames: "OrderedDict[int, Page]" = OrderedDict()
+        #: Guards frames, stats, and the no-steal depth: fetch is a
+        #: check-then-read-then-admit sequence and eviction walks the LRU
+        #: order, neither of which survives interleaving with concurrent
+        #: readers.  Re-entrant (``new_page`` admits while holding it);
+        #: always taken *before* the decoded cache's own lock, never after.
+        self._lock = threading.RLock()
         #: Depth of open no-steal scopes.  While positive (a transaction is
         #: in flight), eviction refuses to write dirty pages back to disk:
         #: the WAL is redo-only, so an uncommitted change must never reach
@@ -221,13 +240,15 @@ class BufferPool:
     # ------------------------------------------------------------------
     def begin_no_steal(self) -> None:
         """Pin dirty pages in memory until :meth:`end_no_steal`."""
-        self._no_steal_depth += 1
+        with self._lock:
+            self._no_steal_depth += 1
 
     def end_no_steal(self) -> None:
-        if self._no_steal_depth > 0:
-            self._no_steal_depth -= 1
-        if self._no_steal_depth == 0:
-            self._shrink_to_capacity()
+        with self._lock:
+            if self._no_steal_depth > 0:
+                self._no_steal_depth -= 1
+            if self._no_steal_depth == 0:
+                self._shrink_to_capacity()
 
     def _shrink_to_capacity(self) -> None:
         """Evict the overshoot a no-steal scope may have left behind.
@@ -236,16 +257,17 @@ class BufferPool:
         normally — without this, a small pool filled with dirty pages would
         keep growing (nothing else ever evicts outside ``_admit``).
         """
-        while len(self._frames) > self.capacity:
-            victim_id = self._pick_victim()
-            if victim_id is None:  # pragma: no cover - depth is 0 here
-                break
-            victim = self._frames.pop(victim_id)
-            self.stats.evictions += 1
-            self.decoded.invalidate_page(victim_id)
-            if victim.dirty:
-                self.disk.write_page(victim)
-                victim.dirty = False
+        with self._lock:
+            while len(self._frames) > self.capacity:
+                victim_id = self._pick_victim()
+                if victim_id is None:  # pragma: no cover - depth is 0 here
+                    break
+                victim = self._frames.pop(victim_id)
+                self.stats.evictions += 1
+                self.decoded.invalidate_page(victim_id)
+                if victim.dirty:
+                    self.disk.write_page(victim)
+                    victim.dirty = False
 
     @property
     def no_steal_active(self) -> bool:
@@ -254,57 +276,64 @@ class BufferPool:
     # ------------------------------------------------------------------
     def new_page(self) -> Page:
         """Allocate a fresh page on disk and pin it into the pool."""
-        page_id = self.disk.allocate_page()
-        page = Page(page_id, self.disk.page_size)
-        page.dirty = True
-        self._admit(page)
-        return page
+        with self._lock:
+            page_id = self.disk.allocate_page()
+            page = Page(page_id, self.disk.page_size)
+            page.dirty = True
+            self._admit(page)
+            return page
 
     def fetch_page(self, page_id: int) -> Page:
         """Return the page with ``page_id``, reading it from disk on a miss."""
-        if page_id in self._frames:
-            self.stats.hits += 1
-            self._frames.move_to_end(page_id)
-            return self._frames[page_id]
-        self.stats.misses += 1
-        page = self.disk.read_page(page_id)
-        self._admit(page)
-        return page
+        with self._lock:
+            if page_id in self._frames:
+                self.stats.hits += 1
+                self._frames.move_to_end(page_id)
+                return self._frames[page_id]
+            self.stats.misses += 1
+            page = self.disk.read_page(page_id)
+            self._admit(page)
+            return page
 
     def mark_dirty(self, page: Page) -> None:
-        page.dirty = True
-        self.decoded.invalidate_page(page.page_id)
+        with self._lock:
+            page.dirty = True
+            self.decoded.invalidate_page(page.page_id)
 
     def flush_page(self, page_id: int) -> None:
-        page = self._frames.get(page_id)
-        if page is not None and page.dirty:
-            self.disk.write_page(page)
-            page.dirty = False
+        with self._lock:
+            page = self._frames.get(page_id)
+            if page is not None and page.dirty:
+                self.disk.write_page(page)
+                page.dirty = False
 
     def flush_all(self) -> None:
-        for page_id in list(self._frames):
-            self.flush_page(page_id)
+        with self._lock:
+            for page_id in list(self._frames):
+                self.flush_page(page_id)
 
     def clear(self) -> None:
         """Flush and drop every cached page (used to force cold-cache runs)."""
-        self.flush_all()
-        self._frames.clear()
-        self.decoded.clear()
+        with self._lock:
+            self.flush_all()
+            self._frames.clear()
+            self.decoded.clear()
 
     # ------------------------------------------------------------------
     def _admit(self, page: Page) -> None:
-        self._frames[page.page_id] = page
-        self._frames.move_to_end(page.page_id)
-        while len(self._frames) > self.capacity:
-            victim_id = self._pick_victim()
-            if victim_id is None:
-                break  # no-steal: every frame is dirty, overshoot capacity
-            victim = self._frames.pop(victim_id)
-            self.stats.evictions += 1
-            self.decoded.invalidate_page(victim_id)
-            if victim.dirty:
-                self.disk.write_page(victim)
-                victim.dirty = False
+        with self._lock:
+            self._frames[page.page_id] = page
+            self._frames.move_to_end(page.page_id)
+            while len(self._frames) > self.capacity:
+                victim_id = self._pick_victim()
+                if victim_id is None:
+                    break  # no-steal: every frame is dirty, overshoot capacity
+                victim = self._frames.pop(victim_id)
+                self.stats.evictions += 1
+                self.decoded.invalidate_page(victim_id)
+                if victim.dirty:
+                    self.disk.write_page(victim)
+                    victim.dirty = False
 
     def _pick_victim(self) -> "int | None":
         """LRU victim; under no-steal, the least-recently-used *clean* page."""

@@ -5,6 +5,13 @@ the exception hierarchy, connection/cursor lifecycles, description and
 rowcount semantics, fetch behaviour, parameter binding, and the optional
 extensions this driver provides (``lastrowid``, ``executescript``,
 ``Connection.execute`` shortcuts, exception classes on the connection).
+
+The ``conn`` fixture is parameterized over the two ways of reaching the
+engine — in-process (``repro.connect``) and over the network
+(``repro.client.connect`` against a live :class:`repro.server.DatabaseServer`)
+— so every conformance case doubles as a wire-protocol parity check.  Cases
+that inherently need the in-process ``Database`` object call
+:func:`local_database`, which skips under the network parameterization.
 """
 
 from __future__ import annotations
@@ -14,19 +21,43 @@ import warnings
 import pytest
 
 import repro
+import repro.client
+from repro.server import start_server
 
 
-@pytest.fixture
-def conn():
-    connection = repro.connect()
+def _seed(connection):
     cur = connection.cursor()
     cur.execute("CREATE TABLE samples (id INTEGER PRIMARY KEY, name TEXT, "
                 "score FLOAT)")
     cur.executemany("INSERT INTO samples VALUES (?, ?, ?)",
                     [(1, "alpha", 0.5), (2, "beta", 1.5), (3, "gamma", 2.5),
                      (4, "delta", 3.5), (5, "epsilon", 4.5)])
-    yield connection
-    connection.close()
+
+
+@pytest.fixture(params=["inprocess", "server"])
+def conn(request):
+    if request.param == "inprocess":
+        connection = repro.connect()
+        _seed(connection)
+        yield connection
+        connection.close()
+        return
+    server = start_server()
+    connection = repro.client.connect(port=server.port)
+    try:
+        _seed(connection)
+        yield connection
+        connection.close()
+    finally:
+        server.shutdown()
+
+
+def local_database(conn):
+    """The in-process ``Database`` behind ``conn``; skips for the network
+    client, whose database lives in the server process."""
+    if not hasattr(conn, "database"):
+        pytest.skip("requires in-process access to the Database object")
+    return conn.database
 
 
 # ---------------------------------------------------------------------------
@@ -146,7 +177,7 @@ class TestConnection:
         assert os.path.getsize(path) > 0
 
     def test_database_connect_shares_database(self, conn):
-        other = conn.database.connect(user="admin")
+        other = local_database(conn).connect(user="admin")
         row = other.execute("SELECT COUNT(*) FROM samples").fetchone()
         assert row[0] == 5
         other.close()           # non-owning close leaves the database open
@@ -357,11 +388,12 @@ class TestErrorMapping:
             conn.execute("SELECT 1 / 0").fetchall()
 
     def test_authorization_error_is_operational(self, conn):
-        restricted = conn.database.connect(user="guest")
+        restricted = local_database(conn).connect(user="guest")
         with pytest.raises(repro.OperationalError):
             restricted.execute("DROP TABLE samples")
 
     def test_original_error_is_chained(self, conn):
+        local_database(conn)  # chaining cannot survive the wire
         from repro.core.errors import SqlSyntaxError
         with pytest.raises(repro.ProgrammingError) as excinfo:
             conn.execute("SELEKT 1")
@@ -378,18 +410,19 @@ class TestErrorMapping:
 # ---------------------------------------------------------------------------
 class TestLegacyShims:
     def test_database_execute_warns_deprecation(self, conn):
+        database = local_database(conn)
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
-            conn.database.execute("SELECT 1")
+            database.execute("SELECT 1")
         assert any(issubclass(w.category, DeprecationWarning) for w in caught)
 
     def test_database_execute_rejects_placeholders(self, conn):
         with pytest.raises(repro.ProgrammingError):
-            conn.database.execute("SELECT * FROM samples WHERE id = ?")
+            local_database(conn).execute("SELECT * FROM samples WHERE id = ?")
 
     def test_database_execute_rejects_multi_statement(self, conn):
         with pytest.raises(repro.ProgrammingError) as excinfo:
-            conn.database.execute(
+            local_database(conn).execute(
                 "INSERT INTO samples VALUES (50, 'a', 0.0); "
                 "INSERT INTO samples VALUES (51, 'b', 0.0)")
         assert "execute_script" in str(excinfo.value)
@@ -400,11 +433,11 @@ class TestLegacyShims:
 
     def test_execute_script_rejects_placeholders(self, conn):
         with pytest.raises(repro.ProgrammingError):
-            conn.database.execute_script(
+            local_database(conn).execute_script(
                 "INSERT INTO samples VALUES (?, 'x', 0.0);")
 
     def test_session_rides_a_connection(self, conn):
-        session = conn.database.session("admin")
+        session = local_database(conn).session("admin")
         assert isinstance(session.connection, repro.Connection)
         row = session.cursor().execute(
             "SELECT name FROM samples WHERE id = ?", (3,)).fetchone()

@@ -1,0 +1,458 @@
+"""Concurrency correctness: the reader-writer isolation layer, a randomized
+differential suite driving N network clients against a serial oracle, torn-
+read detection across commits, and shared-state hammer tests.
+
+The differential suite is the core check: every client performs a seeded
+random stream of inserts/updates/deletes/annotations/transactions over its
+own disjoint primary-key range, recording exactly the statements that
+committed.  Replaying those statements serially into a fresh in-process
+database must produce bit-identical table contents and annotation bodies —
+any lost update, dirty write, or torn commit shows up as a diff.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+import repro
+import repro.client
+from repro.core.errors import Error, TransactionError, TransactionTimeoutError
+from repro.core.transactions import (
+    ReaderWriterLock,
+    current_scope,
+    session_scope,
+)
+from repro.server import ServerConfig, start_server
+
+A = ("session", "a")
+B = ("session", "b")
+
+
+def retry(fn, timeout=120.0):
+    """Re-submit on the documented retryable rejections (``server_busy``,
+    ``lock_timeout``) with backoff; anything else propagates."""
+    deadline = time.monotonic() + timeout
+    pause = 0.005
+    while True:
+        try:
+            return fn()
+        except Error as exc:
+            if not getattr(exc, "retryable", False):
+                raise
+            if time.monotonic() >= deadline:
+                raise AssertionError(
+                    f"retryable rejection never cleared: {exc}") from exc
+            time.sleep(pause)
+            pause = min(pause * 1.5, 0.25)
+
+
+# ---------------------------------------------------------------------------
+# ReaderWriterLock unit behavior
+# ---------------------------------------------------------------------------
+class TestReaderWriterLock:
+    def test_readers_share(self):
+        lock = ReaderWriterLock()
+        lock.acquire_read(A, timeout=0.1)
+        lock.acquire_read(B, timeout=0.1)  # does not block
+        lock.release_read(A)
+        lock.release_read(B)
+
+    def test_writer_excludes_readers_and_writers(self):
+        lock = ReaderWriterLock()
+        lock.acquire_write(A)
+        with pytest.raises(TransactionTimeoutError):
+            lock.acquire_read(B, timeout=0.05)
+        with pytest.raises(TransactionTimeoutError):
+            lock.acquire_write(B, timeout=0.05)
+        lock.release_write(A)
+        lock.acquire_write(B, timeout=0.1)
+        lock.release_write(B)
+
+    def test_readers_block_writer_until_released(self):
+        lock = ReaderWriterLock()
+        lock.acquire_read(A)
+        with pytest.raises(TransactionTimeoutError):
+            lock.acquire_write(B, timeout=0.05)
+        lock.release_read(A)
+        lock.acquire_write(B, timeout=0.1)
+        lock.release_write(B)
+
+    def test_write_is_reentrant_per_scope(self):
+        lock = ReaderWriterLock()
+        lock.acquire_write(A)
+        lock.acquire_write(A)  # same scope re-enters
+        lock.release_write(A)
+        with pytest.raises(TransactionTimeoutError):
+            lock.acquire_write(B, timeout=0.05)  # still held once
+        lock.release_write(A)
+        lock.acquire_write(B, timeout=0.1)
+        lock.release_write(B)
+
+    def test_read_passes_through_own_write(self):
+        lock = ReaderWriterLock()
+        lock.acquire_write(A)
+        lock.acquire_read(A, timeout=0.05)  # no self-deadlock
+        lock.release_read(A)
+        lock.release_write(A)
+
+    def test_upgrade_is_refused(self):
+        lock = ReaderWriterLock()
+        lock.acquire_read(A)
+        with pytest.raises(TransactionError, match="upgrade"):
+            lock.acquire_write(A, timeout=0.05)
+        lock.release_read(A)
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = ReaderWriterLock()
+        lock.acquire_read(A)
+        writer_has_lock = threading.Event()
+        release_writer = threading.Event()
+
+        def writer():
+            lock.acquire_write(B, timeout=5.0)
+            writer_has_lock.set()
+            release_writer.wait(timeout=5.0)
+            lock.release_write(B)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        time.sleep(0.1)  # let the writer park in the wait queue
+        # Writer preference: a fresh reader must queue behind the waiting
+        # writer instead of starving it.
+        with pytest.raises(TransactionTimeoutError):
+            lock.acquire_read(("session", "c"), timeout=0.1)
+        lock.release_read(A)
+        assert writer_has_lock.wait(timeout=5.0)
+        release_writer.set()
+        thread.join(timeout=5.0)
+        lock.acquire_read(("session", "c"), timeout=1.0)
+        lock.release_read(("session", "c"))
+
+    def test_session_scope_installs_and_restores(self):
+        default = current_scope()
+        assert default == ("thread", threading.get_ident())
+        with session_scope("outer"):
+            assert current_scope() == ("session", "outer")
+            with session_scope("inner"):
+                assert current_scope() == ("session", "inner")
+            assert current_scope() == ("session", "outer")
+        assert current_scope() == default
+
+
+# ---------------------------------------------------------------------------
+# Randomized differential suite vs a serial oracle
+# ---------------------------------------------------------------------------
+class DifferentialClient:
+    """One network client: a seeded op stream over a private PK range.
+
+    Records every statement whose effects committed, plus any read-
+    consistency violations it observed against its private shadow model.
+    """
+
+    RANGE = 1000
+
+    def __init__(self, port, client_id, steps, seed):
+        self.port = port
+        self.client_id = client_id
+        self.steps = steps
+        self.rng = random.Random(seed)
+        self.base = client_id * self.RANGE
+        self.committed = []      # [(sql, params)] in commit order
+        self.pending = []
+        self.in_txn = False
+        self.shadow = {}         # committed id -> v
+        self.working = None      # shadow overlay while in a txn
+        self.next_id = self.base
+        self.failures = []
+
+    def visible(self):
+        return self.working if self.in_txn else self.shadow
+
+    def record(self, sql, params):
+        (self.pending if self.in_txn else self.committed).append(
+            (sql, params))
+
+    def run(self):
+        conn = repro.client.connect(port=self.port)
+        try:
+            cur = conn.cursor()
+            for step in range(self.steps):
+                self.step(conn, cur, step)
+            if self.in_txn:
+                self.commit(conn)
+            self.check_read(cur)
+        finally:
+            conn.close()
+        return self
+
+    def step(self, conn, cur, step):
+        roll = self.rng.random()
+        model = self.visible()
+        if roll < 0.30:
+            self.insert(cur, step)
+        elif roll < 0.50 and model:
+            self.update(cur, step)
+        elif roll < 0.60 and model:
+            self.delete(cur)
+        elif roll < 0.75:
+            self.check_read(cur)
+        elif roll < 0.85 and not self.in_txn and self.shadow:
+            self.annotate(cur, step)
+        else:
+            self.txn_control(conn, cur)
+
+    def insert(self, cur, step):
+        row_id, value = self.next_id, f"c{self.client_id}s{step}"
+        self.next_id += 1
+        retry(lambda: cur.execute(
+            "INSERT INTO kv VALUES (?, ?)", (row_id, value)))
+        self.record("INSERT INTO kv VALUES (?, ?)", (row_id, value))
+        self.visible()[row_id] = value
+
+    def update(self, cur, step):
+        row_id = self.rng.choice(sorted(self.visible()))
+        value = f"c{self.client_id}u{step}"
+        retry(lambda: cur.execute(
+            "UPDATE kv SET v = ? WHERE id = ?", (value, row_id)))
+        self.record("UPDATE kv SET v = ? WHERE id = ?", (value, row_id))
+        self.visible()[row_id] = value
+
+    def delete(self, cur):
+        row_id = self.rng.choice(sorted(self.visible()))
+        retry(lambda: cur.execute("DELETE FROM kv WHERE id = ?", (row_id,)))
+        self.record("DELETE FROM kv WHERE id = ?", (row_id,))
+        del self.visible()[row_id]
+
+    def annotate(self, cur, step):
+        row_id = self.rng.choice(sorted(self.shadow))
+        body = f"n{self.client_id}-{step}"
+        sql = (f"ADD ANNOTATION TO kv.note VALUE '{body}' "
+               f"ON (SELECT k.v FROM kv k WHERE k.id = {row_id})")
+        retry(lambda: cur.execute(sql))
+        self.record(sql, ())
+
+    def check_read(self, cur):
+        """Every read must see exactly this client's own committed state
+        plus its own in-transaction writes — nothing torn, lost, or leaked
+        from another client's range."""
+        retry(lambda: cur.execute(
+            "SELECT id, v FROM kv WHERE id >= ? AND id < ? ORDER BY id",
+            (self.base, self.base + self.RANGE)))
+        seen = {row[0]: row[1] for row in cur.fetchall()}
+        if seen != self.visible():
+            self.failures.append(
+                f"client {self.client_id}: read {seen!r} "
+                f"!= shadow {self.visible()!r}")
+
+    def txn_control(self, conn, cur):
+        if not self.in_txn:
+            retry(lambda: cur.execute("BEGIN"))
+            self.in_txn = True
+            self.working = dict(self.shadow)
+        elif self.rng.random() < 0.7:
+            self.commit(conn)
+        else:
+            retry(conn.rollback)
+            self.in_txn = False
+            self.pending.clear()
+            self.working = None
+
+    def commit(self, conn):
+        retry(conn.commit)
+        self.in_txn = False
+        self.committed.extend(self.pending)
+        self.pending.clear()
+        self.shadow = self.working
+        self.working = None
+
+
+def replay_oracle(clients):
+    """Serial single-threaded replay of exactly the committed statements."""
+    db = repro.Database()
+    conn = db.connect()
+    cur = conn.cursor()
+    cur.execute("CREATE TABLE kv (id INTEGER PRIMARY KEY, v TEXT)")
+    cur.execute("CREATE ANNOTATION TABLE note ON kv")
+    for client in clients:
+        for sql, params in client.committed:
+            cur.execute(sql, params)
+    return db
+
+
+def final_state(fetch_cursor):
+    fetch_cursor.execute("SELECT id, v FROM kv ANNOTATION(note) ORDER BY id")
+    state = []
+    for row in fetch_cursor.fetchall():
+        bodies = frozenset(
+            a.body for column in (row.annotations or []) for a in column)
+        state.append((tuple(row), bodies))
+    return state
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("clients,steps", [(1, 60), (8, 25), (32, 8)])
+    def test_network_run_matches_serial_oracle(self, clients, steps):
+        # A short lock timeout keeps the pool-starvation safety valve quick:
+        # when every worker blocks on the write lock held by a session whose
+        # next request sits queued behind them, the blocked ops bail out as
+        # retryable ``lock_timeout`` and the holder's request gets a worker.
+        server = start_server(config=ServerConfig(
+            max_connections=clients + 4, worker_threads=4,
+            lock_timeout_seconds=0.3))
+        try:
+            admin = repro.client.connect(port=server.port)
+            admin.execute("CREATE TABLE kv (id INTEGER PRIMARY KEY, v TEXT)")
+            admin.execute("CREATE ANNOTATION TABLE note ON kv")
+
+            with ThreadPoolExecutor(max_workers=clients) as pool:
+                done = [f.result() for f in [
+                    pool.submit(DifferentialClient(
+                        server.port, i, steps, seed=1000 + i).run)
+                    for i in range(clients)]]
+
+            failures = [msg for c in done for msg in c.failures]
+            assert not failures, "\n".join(failures)
+
+            live = final_state(admin.cursor())
+            admin.close()
+        finally:
+            server.shutdown()
+
+        oracle_db = replay_oracle(done)
+        oracle = final_state(oracle_db.connect().cursor())
+        assert live == oracle
+
+
+# ---------------------------------------------------------------------------
+# Torn reads: scans must never observe a half-applied transaction
+# ---------------------------------------------------------------------------
+class TestSnapshotScans:
+    ACCOUNTS = 8
+    OPENING = 1000
+
+    def transfer_worker(self, port, seed, moves):
+        rng = random.Random(seed)
+        conn = repro.client.connect(port=port)
+        try:
+            cur = conn.cursor()
+            for _ in range(moves):
+                src, dst = rng.sample(range(self.ACCOUNTS), 2)
+                amount = rng.randint(1, 50)
+
+                def move():
+                    cur.execute("BEGIN")
+                    cur.execute("SELECT id, v FROM acct WHERE id IN (?, ?)",
+                                (src, dst))
+                    balances = dict(cur.fetchall())
+                    cur.execute("UPDATE acct SET v = ? WHERE id = ?",
+                                (balances[src] - amount, src))
+                    cur.execute("UPDATE acct SET v = ? WHERE id = ?",
+                                (balances[dst] + amount, dst))
+                    conn.commit()
+                retry(move)
+        finally:
+            conn.close()
+
+    def test_scans_always_balance(self):
+        server = start_server()
+        total = self.ACCOUNTS * self.OPENING
+        try:
+            admin = repro.client.connect(port=server.port)
+            admin.execute("CREATE TABLE acct (id INTEGER PRIMARY KEY, "
+                          "v INTEGER)")
+            admin.cursor().executemany(
+                "INSERT INTO acct VALUES (?, ?)",
+                [(i, self.OPENING) for i in range(self.ACCOUNTS)])
+
+            writers = [threading.Thread(
+                target=self.transfer_worker, args=(server.port, 7 + i, 25))
+                for i in range(2)]
+            for thread in writers:
+                thread.start()
+
+            reader = repro.client.connect(port=server.port)
+            bad = []
+            while any(t.is_alive() for t in writers):
+                cur = retry(lambda: reader.execute("SELECT v FROM acct"))
+                seen = sum(row[0] for row in cur.fetchall())
+                if seen != total:
+                    bad.append(seen)
+            for thread in writers:
+                thread.join()
+            assert not bad, f"torn scans observed totals {bad[:5]}"
+
+            cur = reader.execute("SELECT v FROM acct")
+            assert sum(row[0] for row in cur.fetchall()) == total
+            reader.close()
+            admin.close()
+        finally:
+            server.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Shared-state hammer: thread-local query results, exact cache counters
+# ---------------------------------------------------------------------------
+class TestEngineSharedState:
+    def hammer(self, fn, threads=8, iterations=50):
+        barrier = threading.Barrier(threads)
+        failures = []
+
+        def worker(index):
+            barrier.wait()
+            try:
+                for _ in range(iterations):
+                    fn(index)
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                failures.append(repr(exc))
+
+        pool = [threading.Thread(target=worker, args=(i,))
+                for i in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert not failures, failures
+        return threads * iterations
+
+    def test_last_plan_is_thread_local(self):
+        db = repro.Database()
+        threads = 4
+        for i in range(threads):
+            conn = db.connect()
+            conn.execute(f"CREATE TABLE t{i} (id INTEGER PRIMARY KEY)")
+            conn.execute(f"INSERT INTO t{i} VALUES (1)")
+        connections = [db.connect() for _ in range(threads)]
+
+        def query_own_table(index):
+            cursor = connections[index].cursor()
+            cursor.execute(f"SELECT id FROM t{index}")
+            cursor.fetchall()
+            # The diagnostic must describe THIS thread's query even while
+            # other threads run their own.
+            assert f"table='t{index}'" in str(db.engine.last_plan)
+
+        self.hammer(query_own_table, threads=threads)
+
+    def test_plan_cache_counters_are_exact_under_contention(self):
+        db = repro.Database()
+        setup = db.connect()
+        setup.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        setup.execute("INSERT INTO t VALUES (1, 'x')")
+        db.engine.plan_cache.clear()
+        threads = 8
+        connections = [db.connect() for _ in range(threads)]
+
+        def query(index):
+            cursor = connections[index].cursor()
+            cursor.execute("SELECT v FROM t WHERE id = ?", (1,))
+            assert [tuple(row) for row in cursor.fetchall()] == [("x",)]
+
+        total = self.hammer(query, threads=threads)
+        stats = db.engine.plan_cache.stats
+        assert stats.hits + stats.misses == total
+        assert stats.misses < total // 2  # the shared plan actually caches

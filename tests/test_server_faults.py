@@ -1,0 +1,312 @@
+"""Fault injection against the network front end.
+
+Three failure families, each with a concrete invariant:
+
+* **Client death** — a connection that vanishes mid-stream or mid-transaction
+  must leak nothing: its open results are freed, its transaction rolls back,
+  and the write lock is released for the next session.
+* **Server crash between WAL append and ack** — driven through the WAL's
+  one-shot ``fail_point`` hooks.  A commit the client never saw acknowledged
+  may be lost or kept (redo-only logs can replay complete frames), but a
+  commit that WAS acknowledged must survive every crash point: zero
+  acked-commit loss.
+* **Admission control** — overload rejections (``server_busy``) and bounded
+  lock waits (``lock_timeout``) surface as the documented retryable errors
+  and leave the session usable.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+import repro
+import repro.client
+from repro.core.errors import InterfaceError, OperationalError
+from repro.server import DatabaseServer, ServerConfig, protocol, start_server
+from repro.storage.wal import WAL_CRASH_POINTS
+
+
+def ids(conn):
+    cur = conn.cursor()
+    cur.execute("SELECT id FROM t ORDER BY id")
+    return [row[0] for row in cur.fetchall()]
+
+
+@pytest.fixture
+def server():
+    handle = start_server()
+    yield handle
+    handle.shutdown()
+
+
+@pytest.fixture
+def seeded(server):
+    conn = repro.client.connect(port=server.port)
+    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+    conn.execute("INSERT INTO t VALUES (1, 'one')")
+    yield server, conn
+    conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Client disconnects
+# ---------------------------------------------------------------------------
+class TestClientDeath:
+    def kill(self, conn):
+        """Abrupt transport death: no ``close`` op, just a dropped socket."""
+        conn._sock.close()
+
+    def wait_for_cleanup(self, server, expected_active):
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if server.stats.active_connections == expected_active:
+                return
+            time.sleep(0.01)
+        raise AssertionError(
+            f"server still reports {server.stats.active_connections} "
+            f"active connections, expected {expected_active}")
+
+    def test_disconnect_mid_stream_frees_the_result(self, seeded):
+        server, admin = seeded
+        admin.cursor().executemany("INSERT INTO t VALUES (?, ?)",
+                                   [(i, "x") for i in range(100, 700)])
+        victim = repro.client.connect(port=server.port)
+        cur = victim.execute("SELECT id FROM t ORDER BY id")
+        assert cur.fetchone() is not None  # stream is live
+        self.kill(victim)
+        self.wait_for_cleanup(server, expected_active=1)
+        # The dead session's result was freed server-side and the database
+        # keeps serving: a fresh session can run the same scan to completion.
+        fresh = repro.client.connect(port=server.port)
+        assert len(ids(fresh)) == 601
+        fresh.close()
+
+    def test_disconnect_mid_transaction_rolls_back(self, seeded):
+        server, admin = seeded
+        victim = repro.client.connect(port=server.port)
+        cur = victim.cursor()
+        cur.execute("BEGIN")
+        cur.execute("INSERT INTO t VALUES (2, 'doomed')")
+        cur.execute("SELECT id FROM t ORDER BY id")
+        assert [row[0] for row in cur.fetchall()] == [1, 2]  # own write
+        self.kill(victim)
+        self.wait_for_cleanup(server, expected_active=1)
+        # Rollback happened and the write lock is free: the survivor both
+        # sees the pre-crash state and can immediately write.
+        assert ids(admin) == [1]
+        admin.execute("INSERT INTO t VALUES (3, 'after')")
+        assert ids(admin) == [1, 3]
+
+    def test_disconnect_between_requests_is_clean(self, seeded):
+        server, admin = seeded
+        victim = repro.client.connect(port=server.port)
+        assert victim.execute("SELECT 1").fetchone()[0] == 1
+        self.kill(victim)
+        self.wait_for_cleanup(server, expected_active=1)
+        assert ids(admin) == [1]
+
+    def test_half_frame_then_disconnect(self, seeded):
+        """A client dying mid-frame must not wedge the reader loop."""
+        server, admin = seeded
+        sock = socket.create_connection(("127.0.0.1", server.port),
+                                        timeout=5)
+        frame = protocol.encode_frame({"op": "hello", "user": "admin"})
+        sock.sendall(frame[: len(frame) // 2])
+        sock.close()
+        self.wait_for_cleanup(server, expected_active=1)
+        admin.execute("INSERT INTO t VALUES (9, 'alive')")
+        assert ids(admin) == [1, 9]
+
+
+# ---------------------------------------------------------------------------
+# Crashes between WAL append and commit ack
+# ---------------------------------------------------------------------------
+class TestWalCrash:
+    def serve(self, path):
+        db = repro.Database(path)
+        server = DatabaseServer(db).start_in_thread()
+        return db, server
+
+    @pytest.mark.parametrize("crash_point", WAL_CRASH_POINTS)
+    def test_acked_commits_survive_every_crash_point(self, tmp_path,
+                                                     crash_point):
+        path = str(tmp_path / "crash.db")
+        db, server = self.serve(path)
+        conn = repro.client.connect(port=server.port)
+        conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        # Two acked commits: one autocommit, one explicit.
+        conn.execute("INSERT INTO t VALUES (1, 'acked')")
+        cur = conn.cursor()
+        cur.execute("BEGIN")
+        cur.execute("INSERT INTO t VALUES (2, 'acked-txn')")
+        conn.commit()
+
+        # Arm the crash, then try a commit that will die before its ack.
+        db.wal.fail_point = crash_point
+        with pytest.raises(OperationalError):
+            conn.execute("INSERT INTO t VALUES (3, 'unacked')")
+            # The crash may also land on the implicit commit boundary of the
+            # execute itself; either way no ack ever arrives.
+
+        assert server.crashed is True
+        server.shutdown()  # leaves the crashed database untouched
+
+        recovered = repro.Database(path)
+        try:
+            survivors = [row[0] for row in recovered.connect().cursor()
+                         .execute("SELECT id FROM t ORDER BY id").fetchall()]
+            # Zero acked-commit loss, at every crash point.
+            assert {1, 2} <= set(survivors)
+            # The unacked commit may be replayed (complete frame on disk) or
+            # dropped (torn frame) — both are legal; silent corruption is not.
+            assert set(survivors) <= {1, 2, 3}
+            if crash_point == "mid_append":
+                assert survivors == [1, 2]  # torn frame must be discarded
+        finally:
+            recovered.close()
+
+    def test_crash_during_explicit_commit_loses_nothing_acked(self, tmp_path):
+        path = str(tmp_path / "crash2.db")
+        db, server = self.serve(path)
+        conn = repro.client.connect(port=server.port)
+        conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        conn.execute("INSERT INTO t VALUES (1, 'acked')")
+
+        cur = conn.cursor()
+        cur.execute("BEGIN")
+        cur.execute("INSERT INTO t VALUES (2, 'in-flight')")
+        db.wal.fail_point = "mid_append"
+        with pytest.raises(OperationalError):
+            conn.commit()
+        assert server.crashed is True
+        server.shutdown()
+
+        recovered = repro.Database(path)
+        try:
+            survivors = [row[0] for row in recovered.connect().cursor()
+                         .execute("SELECT id FROM t ORDER BY id").fetchall()]
+            assert survivors == [1]  # acked kept, torn commit discarded
+        finally:
+            recovered.close()
+
+    def test_crashed_server_stops_answering(self, tmp_path):
+        path = str(tmp_path / "crash3.db")
+        db, server = self.serve(path)
+        conn = repro.client.connect(port=server.port)
+        conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        db.wal.fail_point = "after_append"
+        with pytest.raises(OperationalError):
+            conn.execute("INSERT INTO t VALUES (1)")
+        # The dead connection is dead for good — not an error response.
+        # (The transport failure also closes the client side, so either the
+        # transport error or the closed-connection guard may fire.)
+        with pytest.raises((OperationalError, InterfaceError)):
+            conn.execute("SELECT 1")
+        server.shutdown()
+        repro.Database(path).close()  # recovery still runs cleanly
+
+
+# ---------------------------------------------------------------------------
+# Admission control and bounded lock waits
+# ---------------------------------------------------------------------------
+class TestAdmission:
+    def test_connection_limit_rejection_is_retryable(self):
+        server = start_server(config=ServerConfig(max_connections=1))
+        try:
+            keeper = repro.client.connect(port=server.port)
+            with pytest.raises(OperationalError) as excinfo:
+                repro.client.connect(port=server.port)
+            assert excinfo.value.code == "server_busy"
+            assert excinfo.value.retryable is True
+            keeper.close()
+            # The slot frees on disconnect; the next attempt is admitted.
+            deadline = time.monotonic() + 5.0
+            while True:
+                try:
+                    again = repro.client.connect(port=server.port)
+                    break
+                except OperationalError:
+                    if time.monotonic() >= deadline:
+                        raise
+                    time.sleep(0.01)
+            again.close()
+            assert server.stats.connections_rejected >= 1
+        finally:
+            server.shutdown()
+
+    def test_busy_and_lock_timeout_codes(self):
+        """With one execution slot and a short lock budget: a writer stuck
+        behind an open transaction times out as ``lock_timeout``, and while
+        it occupies the slot any other engine op bounces as ``server_busy``.
+        Both are retryable; the blocked session stays usable."""
+        server = start_server(config=ServerConfig(
+            max_inflight=1, worker_threads=1, lock_timeout_seconds=0.8))
+        try:
+            holder = repro.client.connect(port=server.port)
+            holder.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+            holder.cursor().execute("BEGIN")
+            holder.cursor().execute("INSERT INTO t VALUES (1)")
+
+            blocked = repro.client.connect(port=server.port)
+            outcome = {}
+
+            def blocked_write():
+                try:
+                    blocked.execute("INSERT INTO t VALUES (2)")
+                    outcome["error"] = None
+                except OperationalError as exc:
+                    outcome["error"] = exc
+
+            thread = threading.Thread(target=blocked_write)
+            thread.start()
+            time.sleep(0.2)  # the writer now owns the only slot, waiting
+
+            bystander = repro.client.connect(port=server.port)
+            with pytest.raises(OperationalError) as excinfo:
+                bystander.execute("SELECT 1")
+            assert excinfo.value.code == "server_busy"
+            assert excinfo.value.retryable is True
+
+            thread.join(timeout=10.0)
+            exc = outcome["error"]
+            assert exc is not None, "blocked write unexpectedly succeeded"
+            assert exc.code == "lock_timeout"
+            assert exc.retryable is True
+
+            # The holder was never harmed: its transaction commits and the
+            # rejected write succeeds on retry.
+            holder.commit()
+            blocked.execute("INSERT INTO t VALUES (2)")
+            cur = blocked.execute("SELECT id FROM t ORDER BY id")
+            assert [row[0] for row in cur.fetchall()] == [1, 2]
+            for connection in (holder, blocked, bystander):
+                connection.close()
+        finally:
+            server.shutdown()
+
+    def test_rejection_does_no_work(self):
+        server = start_server(config=ServerConfig(
+            max_inflight=1, worker_threads=1, lock_timeout_seconds=0.5))
+        try:
+            holder = repro.client.connect(port=server.port)
+            holder.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+            holder.cursor().execute("BEGIN")
+            holder.cursor().execute("INSERT INTO t VALUES (1)")
+
+            victim = repro.client.connect(port=server.port)
+            with pytest.raises(OperationalError) as excinfo:
+                victim.execute("INSERT INTO t VALUES (2)")
+            assert excinfo.value.code == "lock_timeout"
+
+            holder.commit()
+            cur = holder.execute("SELECT id FROM t ORDER BY id")
+            # The timed-out insert left no trace.
+            assert [row[0] for row in cur.fetchall()] == [1]
+            holder.close()
+            victim.close()
+        finally:
+            server.shutdown()
