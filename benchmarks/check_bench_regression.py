@@ -3,9 +3,10 @@
 Usage (CI): ``python benchmarks/check_bench_regression.py``
 
 Snapshots the committed ``BENCH_streaming.json``, runs the smoke benchmarks
-of ``test_bench_streaming_executor.py``, ``test_bench_txn_commit.py`` and
-``test_bench_qps_concurrent.py`` (which merge fresh numbers into the same
-file), and compares every ``seconds`` leaf present in both versions.
+of ``test_bench_streaming_executor.py``, ``test_bench_txn_commit.py``,
+``test_bench_qps_concurrent.py`` and ``test_bench_foreign_scan.py`` (which
+merge fresh numbers into the same file), and compares every ``seconds``
+leaf present in both versions.
 
 Because the committed baseline comes from a different machine, raw ratios
 are first normalized by the *median* fresh/baseline ratio across all shared
@@ -78,6 +79,7 @@ def main() -> int:
          "benchmarks/test_bench_streaming_executor.py",
          "benchmarks/test_bench_txn_commit.py",
          "benchmarks/test_bench_qps_concurrent.py",
+         "benchmarks/test_bench_foreign_scan.py",
          "-q", "-k", "smoke"],
         cwd=REPO_ROOT, env=env,
     )

@@ -29,6 +29,7 @@ from repro.executor.engine import Engine, EngineConfig, ExecutionSummary
 from repro.executor.row import ResultSet, StreamingResultSet
 from repro.index.manager import IndexManager
 from repro.provenance.manager import ProvenanceManager
+from repro.providers.manager import ForeignTableManager
 from repro.sql.parser import parse_prepared, parse_script
 from repro.storage.buffer_pool import DEFAULT_POOL_SIZE
 from repro.storage.disk import IoStatistics, open_disk_manager
@@ -94,6 +95,7 @@ class Database:
         self.provenance = ProvenanceManager(self.annotations, self.access)
         self.approval = ApprovalManager(self.catalog, self.access, self.tracker)
         self.indexes = IndexManager(self.catalog)
+        self.foreign = ForeignTableManager(self.catalog)
         self.config = config or EngineConfig()
         if batch_size is not None:
             # Copy before overriding: the caller's config object may be
@@ -117,8 +119,10 @@ class Database:
             access=self.access,
             pool=self.catalog.pool,
             wal=self.wal,
+            foreign=self.foreign,
         )
         self.catalog.journal = self.transactions
+        self.foreign.journal = self.transactions
         self.engine = Engine(
             catalog=self.catalog,
             annotations=self.annotations,
@@ -129,6 +133,7 @@ class Database:
             indexes=self.indexes,
             config=self.config,
             transactions=self.transactions,
+            foreign=self.foreign,
         )
         if self.wal is not None:
             self._recover()
@@ -270,6 +275,10 @@ class Database:
     def table_names(self) -> List[str]:
         return self.catalog.table_names()
 
+    def foreign_table_names(self) -> List[str]:
+        """Names of the attached foreign tables (ATTACH ... AS name)."""
+        return self.foreign.names()
+
     def session(self, user: str) -> "Session":
         return Session(self, user)
 
@@ -315,6 +324,7 @@ class Database:
 
     def close(self) -> None:
         self.transactions.rollback()
+        self.foreign.close()
         self.flush()
         if self.wal is not None:
             self.wal.close()

@@ -224,6 +224,7 @@ class Transaction:
 _NOT_IN_TRANSACTION = (
     ast.DropTable, ast.DropIndex, ast.DropAnnotationTable,
     ast.Grant, ast.Revoke, ast.StartContentApproval, ast.StopContentApproval,
+    ast.Detach,
 )
 
 
@@ -231,13 +232,18 @@ class TransactionManager:
     """Journal + BEGIN/COMMIT/ROLLBACK + crash-recovery replay (see module doc)."""
 
     def __init__(self, catalog: Any, annotations: Any, indexes: Any,
-                 tracker: Any, access: Any, pool: Any, wal: Any = None):
+                 tracker: Any, access: Any, pool: Any, wal: Any = None,
+                 foreign: Any = None):
         self.catalog = catalog
         self.annotations = annotations
         self.indexes = indexes
         self.tracker = tracker
         self.access = access
         self.pool = pool
+        #: The :class:`~repro.providers.manager.ForeignTableManager`, when
+        #: foreign tables are wired in — attach/detach redo records replay
+        #: through it.  May be set after construction (engine wiring).
+        self.foreign = foreign
         #: The write-ahead log (:class:`~repro.storage.wal.FileWAL`), or
         #: ``None`` for in-memory databases — rollback still works without
         #: one, only durability is off.
@@ -443,6 +449,16 @@ class TransactionManager:
     def note_ann_drop(self, user_table: str, name: str) -> None:
         self._record(("ann_drop", user_table, name), None)
 
+    def note_attach(self, entry: Any) -> None:
+        """Journal an ATTACH: redo re-registers the descriptor (schema
+        included, so recovery never touches the backing source)."""
+        self._record(("attach", entry.name, entry.uri, entry.provider_type,
+                      dict(entry.options), entry.schema),
+                     ("undo_attach", entry.name))
+
+    def note_detach(self, name: str) -> None:
+        self._record(("detach", name), None)
+
     def note_grant(self, privileges: List[str], table: str,
                    grantee: str) -> None:
         self._record(("grant", list(privileges), table, grantee), None)
@@ -498,6 +514,10 @@ class TransactionManager:
             # Only the registry entry: the backing tables have their own
             # undo_create_table records later in the (reversed) undo list.
             self.annotations.forget(user_table, name)
+        elif kind == "undo_attach":
+            _, name = op
+            if self.foreign is not None:
+                self.foreign.forget(name)
         else:  # pragma: no cover - would indicate a journal bug
             raise TransactionError(f"unknown undo operation {kind!r}")
 
@@ -574,5 +594,14 @@ class TransactionManager:
         elif kind == "revoke":
             _, privileges, table, grantee = op
             self.access.revoke(privileges, table, grantee)
+        elif kind == "attach":
+            _, name, uri, provider_type, options, schema = op
+            if self.foreign is not None:
+                self.foreign.register_recovered(name, uri, provider_type,
+                                                options, schema)
+        elif kind == "detach":
+            _, name = op
+            if self.foreign is not None:
+                self.foreign.forget(name)
         else:
             raise TransactionError(f"unknown redo operation {kind!r} in WAL")

@@ -30,7 +30,9 @@ from repro.catalog.schema import Column, TableSchema
 from repro.core.errors import (
     AnnotationError,
     AuthorizationError,
+    CatalogError,
     ExecutionError,
+    OperationalError,
     PlanningError,
     ProgrammingError,
     TransactionError,
@@ -54,10 +56,17 @@ from repro.executor.prepared import (
 from repro.executor.parallel import MaybeParallel, validated_worker_count
 from repro.index.manager import IndexManager
 from repro.planner import plan as planlib
+from repro.providers.manager import ForeignTableManager
 from repro.storage.buffer_pool import DecodedCacheView
 from repro.storage.spill import SpillManager, SpillStats
+from repro.catalog.statistics import DEFAULT_SELECTIVITY
 from repro.planner.expressions import Evaluator, contains_aggregate
-from repro.planner.planner import combine_conjuncts, push_down_conjuncts
+from repro.planner.planner import (
+    combine_conjuncts,
+    push_down_conjuncts,
+    referenced_columns,
+)
+from repro.providers.base import option_bool
 from repro.provenance.manager import ProvenanceManager
 from repro.sql import ast
 from repro.sql.parameters import (
@@ -243,6 +252,7 @@ _MUTATING_STATEMENTS = (
     ast.AddAnnotation, ast.ArchiveAnnotation, ast.RestoreAnnotation,
     ast.Grant, ast.Revoke,
     ast.StartContentApproval, ast.StopContentApproval,
+    ast.Attach, ast.Detach,
 )
 
 
@@ -291,7 +301,8 @@ class Engine:
                  approval: ApprovalManager, access: AccessControl,
                  indexes: Optional[IndexManager] = None,
                  config: Optional[EngineConfig] = None,
-                 transactions: Optional[TransactionManager] = None):
+                 transactions: Optional[TransactionManager] = None,
+                 foreign: Optional[ForeignTableManager] = None):
         self.catalog = catalog
         self.annotations = annotations
         self.provenance = provenance
@@ -305,6 +316,13 @@ class Engine:
             tracker=tracker, access=access, pool=catalog.pool, wal=None)
         if catalog.journal is None:
             catalog.journal = self.transactions
+        #: Attached foreign tables (ATTACH/DETACH); journaled through the
+        #: transaction manager so they redo from the WAL like DDL.
+        self.foreign = foreign or ForeignTableManager(catalog)
+        if self.transactions.foreign is None:
+            self.transactions.foreign = self.foreign
+        if self.foreign.journal is None:
+            self.foreign.journal = self.transactions
         #: Per-thread observability surfaces (``last_plan`` and friends) plus
         #: the prepared-execution context.  Thread-local because the network
         #: server runs concurrent statements on pooled worker threads over
@@ -449,6 +467,10 @@ class Engine:
             return self._start_approval(statement, user)
         if isinstance(statement, ast.StopContentApproval):
             return self._stop_approval(statement, user)
+        if isinstance(statement, ast.Attach):
+            return self._attach(statement, user)
+        if isinstance(statement, ast.Detach):
+            return self._detach(statement, user)
         if isinstance(statement, ast.Analyze):
             return self._analyze(statement, user)
         if isinstance(statement, ast.Explain):
@@ -749,7 +771,7 @@ class Engine:
                          ) -> Tuple[planlib.PlanNode,
                                     Dict[str, List[ast.Expression]],
                                     List[ast.Expression],
-                                    Optional[Tuple[str, str]]]:
+                                    Optional[Tuple[str, str, str]]]:
         """:meth:`_plan_select`, memoized for prepared executions.
 
         Outside a prepared run (or with ``plan_cache_size = 0``) this is a
@@ -858,6 +880,8 @@ class Engine:
     def _scan(self, ref: ast.TableRef, node: planlib.ScanPlan,
               scan_cap: Optional[int] = None) -> ops.Relation:
         """Execute one scan leaf along its planned access path."""
+        if isinstance(node, planlib.ForeignScanPlan):
+            return self._foreign_scan(ref, node, scan_cap)
         source = self._row_source(ref)
         batched = self.config.execution_mode == "streaming"
         if node.access_path == "index_lookup" and node.index_name is not None \
@@ -873,7 +897,8 @@ class Engine:
                 source, index.structure, node.range_low, node.range_high,
                 node.range_include_low, node.range_include_high,
                 batch_size=self.config.batch_size if batched else None,
-                order_position=order_position)
+                order_position=order_position,
+                descending=node.descending)
         elif batched:
             relation = source.batched_relation(self.config.batch_size, scan_cap)
         else:
@@ -885,6 +910,75 @@ class Engine:
         if pushdown is not None:
             relation = ops.filter_rows(relation, pushdown)
         return self._stage(relation)
+
+    def _foreign_scan(self, ref: ast.TableRef, node: planlib.ForeignScanPlan,
+                      scan_cap: Optional[int] = None) -> ops.Relation:
+        """Execute a foreign-table scan leaf through its provider.
+
+        The provider receives the projected columns and (when pushdown is
+        on) the pushed conjuncts, but the pushdown contract is advisory: the
+        engine re-applies the full conjunct list on top, so a provider that
+        filters lazily — or not at all — stays correct, just slower.
+        ``scan_cap`` is only ever non-None for plans without pushed
+        conjuncts (see :meth:`_scan_cap`), so capping at the source is safe.
+        """
+        relation = self.foreign.scan(
+            node.table, ref.effective_name,
+            columns=list(node.projected) or None,
+            pushed=list(node.pushed) if node.pushdown else [],
+            limit=scan_cap,
+            batch_size=self.config.batch_size)
+        pushdown = combine_conjuncts(node.pushed)
+        if pushdown is not None:
+            relation = ops.filter_rows(relation, pushdown)
+        return self._stage(relation)
+
+    def _foreign_projection(self, select: ast.Select, table: str,
+                            qualifiers: Sequence[str]) -> Tuple[str, ...]:
+        """Columns of foreign ``table`` this query can touch (``()`` = all).
+
+        Over-inclusion is safe (extra transfer); under-inclusion would break
+        the engine-side re-check of pushed filters, so anything that cannot
+        be proven column-precise — ``SELECT *``, annotation predicates whose
+        column coverage the walker cannot see — projects every column.
+        """
+        if select.filter is not None or select.awhere is not None \
+                or select.ahaving is not None:
+            return ()
+        columns = {name.lower() for name in self.foreign.column_names(table)}
+        qualifier_set = {qualifier.lower() for qualifier in qualifiers}
+        needed: Set[str] = set()
+
+        def note(expr: Optional[ast.Expression]) -> bool:
+            """Collect refs; False when a Star makes the set unprovable."""
+            if expr is None:
+                return True
+            if isinstance(expr, ast.Star):
+                return False
+            for column_ref in referenced_columns(expr):
+                name = column_ref.name.lower()
+                if column_ref.table is not None:
+                    if column_ref.table.lower() in qualifier_set:
+                        needed.add(name)
+                elif name in columns:
+                    # Unqualified: it *could* resolve here — include it.
+                    needed.add(name)
+            return True
+
+        exprs: List[Optional[ast.Expression]] = [select.where, select.having]
+        exprs.extend(item.expr for item in select.items)
+        exprs.extend(column_ref for item in select.items
+                     for column_ref in item.promote)
+        exprs.extend(join.condition for join in select.joins)
+        exprs.extend(item.expr for item in select.order_by)
+        exprs.extend(select.group_by)
+        for expr in exprs:
+            if not note(expr):
+                return ()
+        projected = tuple(sorted(needed & columns))
+        if not projected or len(projected) == len(columns):
+            return ()
+        return projected
 
     def _index_key_safe(self, node: planlib.ScanPlan) -> bool:
         """Whether an index-lookup key may be probed into the structure.
@@ -914,9 +1008,14 @@ class Engine:
 
     def _column_category(self, table_name: str,
                          column: str) -> Optional[str]:
-        """Coarse type category ("num"/"text"/"time") of a base column."""
+        """Coarse type category ("num"/"text"/"time") of a column (base or
+        attached foreign)."""
         try:
-            dtype = self.catalog.table(table_name).schema.column(column).dtype
+            if self.foreign.has(table_name):
+                schema = self.foreign.table(table_name).schema
+            else:
+                schema = self.catalog.table(table_name).schema
+            dtype = schema.column(column).dtype
         except Exception:
             return None
         return self._TYPE_CATEGORIES.get(dtype)
@@ -930,23 +1029,31 @@ class Engine:
         DataType.TIMESTAMP: "time",
     }
 
+    def _resolvable_columns(self, table_refs: Sequence[ast.TableRef],
+                            ) -> Dict[str, Set[str]]:
+        """Lower-cased column names per qualifier, base or foreign."""
+        resolvable: Dict[str, Set[str]] = {}
+        for ref in table_refs:
+            if self.foreign.has(ref.name):
+                names = self.foreign.column_names(ref.name)
+            else:
+                names = self.catalog.table(ref.name).schema.column_names
+            resolvable[ref.effective_name.lower()] = {
+                name.lower() for name in names}
+        return resolvable
+
     def _plan_select(self, select: ast.Select, table_refs: Sequence[ast.TableRef],
                      ) -> Tuple[planlib.PlanNode, Dict[str, List[ast.Expression]],
                                 List[ast.Expression],
-                                Optional[Tuple[str, str]]]:
+                                Optional[Tuple[str, str, str]]]:
         """Pushdown + cost-based join planning for one SELECT block.
 
         Returns the plan tree, the per-qualifier pushed conjuncts, the
         residual conjuncts still to be filtered after the joins, and the
-        interesting order (lower-cased ``(qualifier, column)`` of a single
-        ascending ORDER BY key) the planner was asked to deliver.
+        interesting order (lower-cased ``(qualifier, column, direction)`` of
+        a single ORDER BY key) the planner was asked to deliver.
         """
-        resolvable = {
-            ref.effective_name.lower(): {
-                name.lower() for name in self.catalog.table(ref.name).schema.column_names
-            }
-            for ref in table_refs
-        }
+        resolvable = self._resolvable_columns(table_refs)
         pushed, residual = push_down_conjuncts(select.where, table_refs, resolvable)
         # Standard SQL: a WHERE predicate on the nullable side of a LEFT JOIN
         # is evaluated after the join (NULL-padded rows fail it).  Pushing it
@@ -961,16 +1068,51 @@ class Engine:
 
         table_of = {ref.effective_name.lower(): ref.name for ref in table_refs}
         statistics = self.catalog.statistics
+        foreign_names = {ref.name for ref in table_refs
+                         if self.foreign.has(ref.name)}
 
         def row_estimate(qualifier: str) -> float:
+            table = table_of[qualifier]
+            if table in foreign_names:
+                # Provider-reported cardinality (or the default), degraded
+                # by the textbook selectivity per pushed conjunct — foreign
+                # sources have no ANALYZE histograms to consult.
+                selectivity = DEFAULT_SELECTIVITY ** len(pushed.get(qualifier, []))
+                return max(1.0, self.foreign.row_estimate(table) * selectivity)
             return statistics.estimate_scan_rows(
-                table_of[qualifier], pushed.get(qualifier, []), qualifier)
+                table, pushed.get(qualifier, []), qualifier)
 
         def ndv_estimate(qualifier: str, column: str) -> float:
-            return float(statistics.distinct_estimate(table_of[qualifier], column))
+            table = table_of[qualifier]
+            if table in foreign_names:
+                distinct = self.foreign.distinct_estimate(table, column)
+                if distinct is None:
+                    distinct = max(1.0, self.foreign.row_estimate(table) ** 0.5)
+                return float(distinct)
+            return float(statistics.distinct_estimate(table, column))
 
         def type_category(qualifier: str, column: str) -> Optional[str]:
             return self._column_category(table_of[qualifier], column)
+
+        def foreign_info(table: str) -> Optional[Dict[str, Any]]:
+            if table not in foreign_names:
+                return None
+            entry = self.foreign.table(table)
+            qualifiers = [ref.effective_name.lower() for ref in table_refs
+                          if ref.name == table]
+            try:
+                pushdown = option_bool(entry.options, "pushdown", True)
+            except OperationalError:
+                pushdown = True
+            return {
+                "provider": entry.provider_type,
+                # ``pushdown false`` means full transfer: no provider-side
+                # filtering *or* projection — the engine does all the work.
+                "projected": (self._foreign_projection(select, table,
+                                                       qualifiers)
+                              if pushdown else ()),
+                "pushdown": pushdown,
+            }
 
         list_indexes = self.indexes.indexes_for if self.config.use_indexes else None
         order_hint = self._interesting_order(select, resolvable)
@@ -979,6 +1121,7 @@ class Engine:
             row_estimate=row_estimate, ndv_estimate=ndv_estimate,
             type_category=type_category,
             list_indexes=list_indexes,
+            foreign_info=foreign_info if foreign_names else None,
             strategy=self.config.join_strategy,
             # With a memory budget, huge builds are what the Grace hash
             # join handles; auto must not escape to merge join, whose
@@ -1007,22 +1150,25 @@ class Engine:
 
     def _interesting_order(self, select: ast.Select,
                            resolvable: Dict[str, Any],
-                           ) -> Optional[Tuple[str, str]]:
-        """The (qualifier, column) an index-ordered scan could deliver.
+                           ) -> Optional[Tuple[str, str, str]]:
+        """The (qualifier, column, direction) an index-ordered scan could
+        deliver.
 
-        Only a single ascending ORDER BY key that is a plain column reference
-        resolving to one base table qualifies (and never under aggregation,
-        where ORDER BY applies to the grouped output).
+        Only a single ORDER BY key that is a plain column reference resolving
+        to one base table qualifies (and never under aggregation, where ORDER
+        BY applies to the grouped output).  DESC keys are served by reverse
+        B-tree traversal.
         """
         if len(select.order_by) != 1 or self._select_has_aggregates(select):
             return None
         item = select.order_by[0]
-        if not item.ascending or not isinstance(item.expr, ast.ColumnRef):
+        if not isinstance(item.expr, ast.ColumnRef):
             return None
         qualifier = planlib.resolve_column(item.expr, resolvable)
         if qualifier is None:
             return None
-        return qualifier, item.expr.name.lower()
+        return (qualifier, item.expr.name.lower(),
+                "asc" if item.ascending else "desc")
 
     def _execute_plan(self, node: planlib.PlanNode,
                       refs: Dict[str, ast.TableRef],
@@ -1186,8 +1332,9 @@ class Engine:
                           plan, self._order_through_hash()) == order_hint)
             self.last_sort_elided = elided
             if elided:
-                qualifier, column = order_hint
-                text += f"\nOrder: {qualifier}.{column} ASC [sort: elided]"
+                qualifier, column, direction = order_hint
+                text += (f"\nOrder: {qualifier}.{column} {direction.upper()}"
+                         f" [sort: elided]")
                 plan_dict["sort"] = "elided"
             elif budget is not None and plan.estimated_rows > budget:
                 runs = planlib.estimated_sort_runs(plan.estimated_rows, budget)
@@ -1208,13 +1355,7 @@ class Engine:
             return 1.0
         statistics = self.catalog.statistics
         table_of = {ref.effective_name.lower(): ref.name for ref in table_refs}
-        resolvable = {
-            ref.effective_name.lower(): {
-                name.lower()
-                for name in self.catalog.table(ref.name).schema.column_names
-            }
-            for ref in table_refs
-        }
+        resolvable = self._resolvable_columns(table_refs)
         input_rows = max(plan.estimated_rows, 1.0)
         estimate = 1.0
         for expr in select.group_by:
@@ -1223,8 +1364,14 @@ class Engine:
             qualifier = planlib.resolve_column(expr, resolvable)
             if qualifier is None:
                 return input_rows
-            estimate *= max(1.0, float(
-                statistics.distinct_estimate(table_of[qualifier], expr.name)))
+            table = table_of[qualifier]
+            if self.foreign.has(table):
+                distinct = self.foreign.distinct_estimate(table, expr.name)
+                if distinct is None:
+                    return input_rows
+            else:
+                distinct = statistics.distinct_estimate(table, expr.name)
+            estimate *= max(1.0, float(distinct))
         return min(estimate, input_rows)
 
     # ------------------------------------------------------------------
@@ -1232,6 +1379,10 @@ class Engine:
     # ------------------------------------------------------------------
     def _create_table(self, statement: ast.CreateTable, user: str) -> ExecutionSummary:
         self._check_admin(user, "create tables")
+        if self.foreign.has(statement.name):
+            raise CatalogError(
+                f"cannot create table {statement.name!r}: an attached "
+                f"foreign table with that name exists")
         columns = [
             Column(
                 name=definition.name,
@@ -1268,12 +1419,52 @@ class Engine:
         return ExecutionSummary("DROP INDEX", message=f"index {statement.name} dropped")
 
     # ------------------------------------------------------------------
+    # Foreign tables (ATTACH / DETACH)
+    # ------------------------------------------------------------------
+    def _attach(self, statement: ast.Attach, user: str) -> ExecutionSummary:
+        self._check_admin(user, "attach foreign tables")
+        entry = self.foreign.attach(statement.name, statement.uri,
+                                    statement.provider_type, statement.options)
+        return ExecutionSummary(
+            "ATTACH",
+            message=f"foreign table {entry.name} attached "
+                    f"[provider: {entry.provider_type}] from {entry.uri}",
+            details={"table": entry.describe()},
+        )
+
+    def _detach(self, statement: ast.Detach, user: str) -> ExecutionSummary:
+        self._check_admin(user, "detach foreign tables")
+        try:
+            self.foreign.detach(statement.name)
+        except CatalogError:
+            if statement.if_exists:
+                return ExecutionSummary(
+                    "DETACH",
+                    message=f"foreign table {statement.name} was not attached")
+            raise
+        return ExecutionSummary(
+            "DETACH", message=f"foreign table {statement.name} detached")
+
+    def _reject_foreign_dml(self, table: str, verb: str) -> None:
+        """Foreign tables are read-only through SQL for now.
+
+        Providers may advertise ``supports_write`` for direct API use; the
+        DML path would additionally need journaling and index/annotation
+        bookkeeping the foreign subsystem deliberately does not fake.
+        """
+        if self.foreign.has(table):
+            raise OperationalError(
+                f"{verb} on foreign table {table!r} is not supported; "
+                f"attached foreign tables are read-only")
+
+    # ------------------------------------------------------------------
     # DML
     # ------------------------------------------------------------------
     def _literal_evaluator(self) -> Evaluator:
         return Evaluator(OutputSchema([]))
 
     def _insert(self, statement: ast.Insert, user: str) -> ExecutionSummary:
+        self._reject_foreign_dml(statement.table, "INSERT")
         self._check(user, "INSERT", statement.table)
         table = self.catalog.table(statement.table)
         evaluator = self._literal_evaluator()
@@ -1322,6 +1513,7 @@ class Engine:
         return [(row.values[0], row) for row in rows]
 
     def _update(self, statement: ast.Update, user: str) -> ExecutionSummary:
+        self._reject_foreign_dml(statement.table, "UPDATE")
         self._check(user, "UPDATE", statement.table)
         table = self.catalog.table(statement.table)
         matches = self._matching_tuples(statement.table, statement.where)
@@ -1361,6 +1553,7 @@ class Engine:
         )
 
     def _delete(self, statement: ast.Delete, user: str) -> ExecutionSummary:
+        self._reject_foreign_dml(statement.table, "DELETE")
         self._check(user, "DELETE", statement.table)
         table = self.catalog.table(statement.table)
         matches = self._matching_tuples(statement.table, statement.where)

@@ -260,14 +260,17 @@ def index_range_scan(source: TableRowSource, index: Any,
                      low: Any = None, high: Any = None,
                      include_low: bool = True, include_high: bool = True,
                      batch_size: Optional[int] = None,
-                     order_position: Optional[int] = None) -> Relation:
+                     order_position: Optional[int] = None,
+                     descending: bool = False) -> Relation:
     """B-tree range scan: fetch tuples whose key falls inside [low, high].
 
     Rows come back in *index-key order* — the property the planner's sort
-    elision relies on.  The bounds are advisory for correctness: the engine
-    always re-applies the full pushed conjunct list on top, so a wider range
-    never produces wrong answers.  When the bounds cannot be compared with
-    the indexed keys (cross-type literal that slipped past planning) the scan
+    elision relies on; ``descending`` traverses the tree in reverse for
+    ``ORDER BY ... DESC``.  The bounds are advisory for correctness: the
+    engine always re-applies the full pushed conjunct list on top, so a wider
+    range never produces wrong answers.  When the bounds cannot be compared
+    with the indexed keys (cross-type value that slipped past planning, a
+    NULL or NaN bound arriving from a parameter at bind time) the scan
     degrades to a full sequential scan before yielding anything, and the
     pushed predicate decides; ``order_position`` — the key column's position,
     supplied when the engine elided a sort against this scan — makes that
@@ -280,11 +283,24 @@ def index_range_scan(source: TableRowSource, index: Any,
             yield from source.iter_rows()
             return
         rows = list(source.iter_rows())
-        rows.sort(key=lambda row: SortKey(row.values[order_position]))
+        rows.sort(key=lambda row: SortKey(row.values[order_position]),
+                  reverse=descending)
         yield from rows
 
+    def unsafe_bound(value: Any) -> bool:
+        # NULL and NaN bounds never reach the B-tree bisect: NULL cannot be
+        # compared, and NaN-keyed rows are excluded from the structure while
+        # the engine's comparison semantics may still match them — the
+        # filtered sequential fallback keeps both consistent.
+        return value is not None and isinstance(value, float) and value != value
+
     def fetched() -> Iterator[Row]:
-        iterator = index.iter_range(low, high, include_low, include_high)
+        if unsafe_bound(low) or unsafe_bound(high):
+            yield from fallback_rows()
+            return
+        iterator = (index.iter_range_desc(low, high, include_low, include_high)
+                    if descending
+                    else index.iter_range(low, high, include_low, include_high))
         try:
             first = next(iterator)
         except StopIteration:

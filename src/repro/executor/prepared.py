@@ -73,7 +73,9 @@ class CachedPlan:
     plan: planlib.PlanNode
     pushed: Dict[str, List[ast.Expression]]
     remaining: List[ast.Expression]
-    order_hint: Optional[Tuple[str, str]]
+    #: ``(qualifier, column, "asc"|"desc")`` of the interesting order the
+    #: plan was built against, or ``None``.
+    order_hint: Optional[Tuple[str, str, str]]
     #: Base tables the plan reads — poked for statistics staleness on a hit.
     tables: Tuple[str, ...] = ()
 
@@ -179,12 +181,18 @@ def bind_plan(node: planlib.PlanNode,
         pushed = [substitute_parameters(conjunct, params)
                   for conjunct in node.pushed]
         index_key = resolve_bound_value(node.index_key, params)
+        range_low = resolve_bound_value(node.range_low, params)
+        range_high = resolve_bound_value(node.range_high, params)
         if index_key is node.index_key \
+                and range_low is node.range_low \
+                and range_high is node.range_high \
                 and all(new is old for new, old in zip(pushed, node.pushed)):
             return node
         clone = copy.copy(node)
         clone.pushed = pushed
         clone.index_key = index_key
+        clone.range_low = range_low
+        clone.range_high = range_high
         return clone
     left = bind_plan(node.left, params)
     right = bind_plan(node.right, params)

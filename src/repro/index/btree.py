@@ -260,6 +260,53 @@ class BPlusTree(Generic[K, V]):
             if node is not None:
                 self._touch_read(node)
 
+    def iter_range_desc(self, low: Optional[K] = None,
+                        high: Optional[K] = None,
+                        include_low: bool = True,
+                        include_high: bool = True) -> Iterator[Tuple[K, V]]:
+        """Lazily yield (key, value) pairs of the range in *descending* order.
+
+        Leaves have no back pointer, so the traversal descends recursively
+        from the root and walks each inner node's children right-to-left,
+        pruning subtrees outside [low, high] with (deliberately widened)
+        bisect bounds on the separator keys; the exact window is re-bisected
+        inside each leaf, so the pruning can only over-visit, never skip.
+        Like :meth:`iter_range`, early-stopping consumers (ORDER BY ... DESC
+        LIMIT k) only touch the right edge of the tree.
+        """
+        yield from self._iter_desc(self._root, low, high,
+                                   include_low, include_high)
+
+    def _iter_desc(self, node: _Node, low: Optional[K], high: Optional[K],
+                   include_low: bool, include_high: bool,
+                   ) -> Iterator[Tuple[K, V]]:
+        self._touch_read(node)
+        keys = node.keys
+        if node.is_leaf:
+            start = 0
+            if low is not None:
+                start = (bisect.bisect_left(keys, low) if include_low
+                         else bisect.bisect_right(keys, low))
+            end = len(keys)
+            if high is not None:
+                end = (bisect.bisect_right(keys, high) if include_high
+                       else bisect.bisect_left(keys, high))
+            for index in range(end - 1, start - 1, -1):
+                key = keys[index]
+                for value in reversed(node.values[index]):
+                    yield key, value
+            return
+        # Children [first, last] can hold keys inside the range: a child at
+        # position i spans (keys[i-1], keys[i]].  The bounds are widened by
+        # one on each side (bisect_left for low, bisect_right for high), so
+        # boundary-equal separators never prune a child that could hold a
+        # qualifying key; the leaf-level bisect above trims exactly.
+        first = 0 if low is None else bisect.bisect_left(keys, low)
+        last = len(keys) if high is None else bisect.bisect_right(keys, high)
+        for index in range(min(last, len(node.children) - 1), first - 1, -1):
+            yield from self._iter_desc(node.children[index], low, high,
+                                       include_low, include_high)
+
     def prefix_search(self, prefix: K) -> List[Tuple[K, V]]:
         """All entries whose key starts with ``prefix``.
 

@@ -90,6 +90,27 @@ class ScanPlan:
     range_include_low: bool = True
     range_include_high: bool = True
     ordered: bool = False
+    #: Direction of an ordered delivery: descending index-key order (reverse
+    #: B-tree traversal) when true.  Only meaningful with ``ordered``.
+    descending: bool = False
+
+
+@dataclass
+class ForeignScanPlan(ScanPlan):
+    """Leaf: a scan of an attached foreign table via its provider.
+
+    Subclasses :class:`ScanPlan` so every leaf-shape check, the residual
+    attach point, and plan binding treat it like any other scan;
+    ``access_path`` is the fixed string ``"foreign"``.  ``projected`` is the
+    column subset the query needs (empty tuple = all columns) and is pushed
+    to the provider together with ``pushed``; ``pushdown`` records whether
+    the provider is expected to apply the filters at the source (EXPLAIN
+    surface — the executor re-checks the full list either way).
+    """
+
+    provider: str = ""
+    projected: Tuple[str, ...] = ()
+    pushdown: bool = True
 
 
 @dataclass
@@ -333,6 +354,12 @@ class RangeBounds:
         if self.low is None:
             self.low, self.include_low = value, inclusive
             return
+        if isinstance(value, ast.Parameter) \
+                or isinstance(self.low, ast.Parameter):
+            # A placeholder bound has no plan-time value to compare against;
+            # keep the first bound and leave the other conjunct to the
+            # residual re-check.
+            return
         cmp = compare_values(value, self.low)
         if cmp is None:
             return
@@ -344,6 +371,9 @@ class RangeBounds:
     def tighten_high(self, value: Any, inclusive: bool) -> None:
         if self.high is None:
             self.high, self.include_high = value, inclusive
+            return
+        if isinstance(value, ast.Parameter) \
+                or isinstance(self.high, ast.Parameter):
             return
         cmp = compare_values(value, self.high)
         if cmp is None:
@@ -362,33 +392,47 @@ def extract_range_bounds(conjuncts: Sequence[ast.Expression], column: str,
     Only conjuncts whose literal passes ``literal_ok`` (the type-category
     guard) participate; everything else is simply left for the residual
     re-check, which keeps the extraction conservative-but-correct.
+
+    A bound may also be an :class:`ast.Parameter` placeholder: the bound
+    value then arrives at bind time (:func:`repro.executor.prepared.bind_plan`
+    substitutes it into ``range_low``/``range_high``), and the type-category
+    guard moves to execution — the range operator falls back to a filtered
+    sequential scan when the bound value cannot be compared against the
+    index keys.
     """
+
+    def bound_of(expr: ast.Expression) -> Tuple[Any, bool]:
+        """(bound value or Parameter, usable) for one comparison operand."""
+        if isinstance(expr, ast.Literal):
+            return expr.value, literal_ok(expr.value)
+        if isinstance(expr, ast.Parameter):
+            return expr, True
+        return None, False
+
     bounds = RangeBounds()
     flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
     for conjunct in conjuncts:
         if isinstance(conjunct, ast.Between) and not conjunct.negated:
             if isinstance(conjunct.operand, ast.ColumnRef) \
-                    and _ref_matches(conjunct.operand, column, qualifier) \
-                    and isinstance(conjunct.low, ast.Literal) \
-                    and isinstance(conjunct.high, ast.Literal) \
-                    and literal_ok(conjunct.low.value) \
-                    and literal_ok(conjunct.high.value):
-                bounds.tighten_low(conjunct.low.value, True)
-                bounds.tighten_high(conjunct.high.value, True)
+                    and _ref_matches(conjunct.operand, column, qualifier):
+                low, low_ok = bound_of(conjunct.low)
+                high, high_ok = bound_of(conjunct.high)
+                if low_ok and high_ok:
+                    bounds.tighten_low(low, True)
+                    bounds.tighten_high(high, True)
             continue
         if not isinstance(conjunct, ast.BinaryOp) \
                 or conjunct.op not in ("<", "<=", ">", ">="):
             continue
         op = conjunct.op
-        if isinstance(conjunct.left, ast.ColumnRef) \
-                and isinstance(conjunct.right, ast.Literal):
-            ref, literal = conjunct.left, conjunct.right.value
-        elif isinstance(conjunct.right, ast.ColumnRef) \
-                and isinstance(conjunct.left, ast.Literal):
-            ref, literal, op = conjunct.right, conjunct.left.value, flipped[op]
+        if isinstance(conjunct.left, ast.ColumnRef):
+            ref, (literal, usable) = conjunct.left, bound_of(conjunct.right)
+        elif isinstance(conjunct.right, ast.ColumnRef):
+            ref, (literal, usable) = conjunct.right, bound_of(conjunct.left)
+            op = flipped[op]
         else:
             continue
-        if not _ref_matches(ref, column, qualifier) or not literal_ok(literal):
+        if not usable or not _ref_matches(ref, column, qualifier):
             continue
         if op == ">":
             bounds.tighten_low(literal, False)
@@ -423,7 +467,8 @@ def choose_index_range(node: ScanPlan,
                        type_category: Optional[TypeCategory],
                        order_column: Optional[str] = None,
                        base_rows: Optional[float] = None,
-                       limit_hint: Optional[int] = None) -> bool:
+                       limit_hint: Optional[int] = None,
+                       order_descending: bool = False) -> bool:
     """Pick a B-tree range scan (and/or key-order scan) for this leaf.
 
     Considers single-column B-tree indexes of the scanned table.  A
@@ -492,6 +537,9 @@ def choose_index_range(node: ScanPlan,
     node.range_include_low = bounds.include_low
     node.range_include_high = bounds.include_high
     node.ordered = ordered
+    # A descending ORDER BY is served by the same index traversed in
+    # reverse; the completeness gates above are direction-independent.
+    node.descending = ordered and order_descending
     return True
 
 
@@ -500,7 +548,8 @@ def _apply_index_access_path(node: ScanPlan,
                              type_category: Optional[TypeCategory],
                              order_column: Optional[str] = None,
                              base_rows: Optional[float] = None,
-                             limit_hint: Optional[int] = None) -> None:
+                             limit_hint: Optional[int] = None,
+                             order_descending: bool = False) -> None:
     choice = choose_index_lookup(node.table, node.qualifier, node.pushed,
                                  list_indexes, type_category)
     if choice is not None:
@@ -511,7 +560,7 @@ def _apply_index_access_path(node: ScanPlan,
         node.index_key = key_values[0] if len(key_values) == 1 else key_values
         return
     choose_index_range(node, list_indexes, type_category, order_column,
-                       base_rows, limit_hint)
+                       base_rows, limit_hint, order_descending)
 
 
 def _order_keys_for_index(index: Any, left_keys: List[ast.ColumnRef],
@@ -574,10 +623,11 @@ def plan_select_joins(from_refs: Sequence[ast.TableRef],
                       list_indexes: Optional[ListIndexes] = None,
                       strategy: str = "auto",
                       hash_max_build_rows: float = 4_000_000.0,
-                      order_hint: Optional[Tuple[str, str]] = None,
+                      order_hint: Optional[Tuple[str, ...]] = None,
                       base_row_estimate: Optional[RowEstimator] = None,
                       limit_hint: Optional[int] = None,
                       memory_budget_rows: Optional[int] = None,
+                      foreign_info: Optional[Callable[[str], Optional[Dict[str, Any]]]] = None,
                       ) -> Tuple[PlanNode, List[ast.Expression]]:
     """Build a join plan for a SELECT; returns (root, remaining residual).
 
@@ -587,12 +637,17 @@ def plan_select_joins(from_refs: Sequence[ast.TableRef],
     ``pushed`` is recorded on scan nodes (the engine applies it there) and
     drives index access-path selection via ``list_indexes``.  ``order_hint``
     is the interesting order the engine would like delivered for free — the
-    lower-cased ``(qualifier, column)`` of a single ascending ORDER BY key —
-    and biases access-path selection toward ordered range scans;
-    ``base_row_estimate`` supplies unfiltered table cardinalities for the
-    range-vs-sequential selectivity gate, and ``limit_hint`` (the query's
-    LIMIT, when present) marks top-K queries where key-order scans win
-    regardless of selectivity.
+    lower-cased ``(qualifier, column, direction)`` of a single plain-column
+    ORDER BY key, direction ``"asc"`` or ``"desc"`` — and biases access-path
+    selection toward ordered range scans; ``base_row_estimate`` supplies
+    unfiltered table cardinalities for the range-vs-sequential selectivity
+    gate, and ``limit_hint`` (the query's LIMIT, when present) marks top-K
+    queries where key-order scans win regardless of selectivity.
+
+    ``foreign_info``, when given, maps a *table name* to a descriptor dict
+    (``provider``, ``projected``, ``pushdown``) for attached foreign tables
+    (``None`` for base tables); matching leaves become
+    :class:`ForeignScanPlan` nodes and skip index access-path selection.
     """
     if strategy not in JOIN_STRATEGIES:
         raise PlanningError(
@@ -600,6 +655,16 @@ def plan_select_joins(from_refs: Sequence[ast.TableRef],
 
     def scan_node(ref: ast.TableRef) -> ScanPlan:
         qualifier = ref.effective_name.lower()
+        info = foreign_info(ref.name) if foreign_info is not None else None
+        if info is not None:
+            return ForeignScanPlan(
+                table=ref.name, qualifier=qualifier,
+                estimated_rows=row_estimate(qualifier),
+                pushed=list(pushed.get(qualifier, [])),
+                access_path="foreign",
+                provider=info.get("provider", ""),
+                projected=tuple(info.get("projected", ())),
+                pushdown=bool(info.get("pushdown", True)))
         node = ScanPlan(table=ref.name, qualifier=qualifier,
                         estimated_rows=row_estimate(qualifier),
                         pushed=list(pushed.get(qualifier, [])))
@@ -607,10 +672,13 @@ def plan_select_joins(from_refs: Sequence[ast.TableRef],
             order_column = (order_hint[1]
                             if order_hint is not None and order_hint[0] == qualifier
                             else None)
+            order_descending = (order_hint is not None and len(order_hint) > 2
+                                and order_hint[2] == "desc")
             base = (base_row_estimate(qualifier)
                     if base_row_estimate is not None else None)
             _apply_index_access_path(node, list_indexes, type_category,
-                                     order_column, base, limit_hint)
+                                     order_column, base, limit_hint,
+                                     order_descending)
         return node
 
     if strategy == "nested_loop":
@@ -860,8 +928,11 @@ _LEFT_ORDER_PRESERVING = {"hash", "nested_loop", "index_nested_loop", "cross"}
 
 def plan_delivered_order(node: PlanNode,
                          allow_spilling_hash: bool = True,
-                         ) -> Optional[Tuple[str, str]]:
-    """The ``(qualifier, column)`` whose ascending order the plan delivers.
+                         ) -> Optional[Tuple[str, str, str]]:
+    """The ``(qualifier, column, direction)`` order the plan delivers.
+
+    Direction is ``"asc"`` for an ascending key-order scan and ``"desc"``
+    for a reverse B-tree traversal.
 
     An ordered range/key-order scan establishes the order at a leaf; it
     propagates to the root while that leaf stays on the left spine of
@@ -877,7 +948,8 @@ def plan_delivered_order(node: PlanNode,
     """
     if isinstance(node, ScanPlan):
         if node.ordered and node.index_columns:
-            return node.qualifier, node.index_columns[0].lower()
+            return (node.qualifier, node.index_columns[0].lower(),
+                    "desc" if node.descending else "asc")
         return None
     if node.strategy in _LEFT_ORDER_PRESERVING:
         if node.strategy == "hash" and not allow_spilling_hash:
@@ -1041,7 +1113,7 @@ def format_range_bounds(node: ScanPlan) -> str:
 
 
 _SCAN_NODE_NAMES = {"seq": "Scan", "index_lookup": "IndexScan",
-                    "index_range": "IndexRangeScan"}
+                    "index_range": "IndexRangeScan", "foreign": "ForeignScan"}
 
 
 def plan_to_dict(node: PlanNode) -> Dict[str, Any]:
@@ -1060,6 +1132,12 @@ def plan_to_dict(node: PlanNode) -> Dict[str, Any]:
         if node.access_path == "index_range":
             result["range"] = format_range_bounds(node)
             result["ordered"] = node.ordered
+            if node.ordered:
+                result["direction"] = "desc" if node.descending else "asc"
+        if isinstance(node, ForeignScanPlan):
+            result["provider"] = node.provider
+            result["projected"] = list(node.projected)
+            result["pushdown"] = node.pushdown
         return result
     result = {
         "node": STRATEGY_LABELS[node.strategy],
@@ -1095,9 +1173,19 @@ def format_plan(node: PlanNode, indent: int = 0) -> str:
                     f"({_format_index_key(node)}) "
                     f"(est. rows={node.estimated_rows:.0f}){suffix}")
         if node.access_path == "index_range":
-            ordered = " [ordered]" if node.ordered else ""
+            ordered = ""
+            if node.ordered:
+                ordered = " [ordered desc]" if node.descending else " [ordered]"
             return (f"{pad}IndexRangeScan {label} using {node.index_name} "
                     f"({format_range_bounds(node)}){ordered} "
+                    f"(est. rows={node.estimated_rows:.0f}){suffix}")
+        if isinstance(node, ForeignScanPlan):
+            detail = f" [provider: {node.provider}]"
+            if node.projected:
+                detail += f" [columns: {', '.join(node.projected)}]"
+            if node.pushed and not node.pushdown:
+                detail += " [pushdown: off]"
+            return (f"{pad}ForeignScan {label}{detail} "
                     f"(est. rows={node.estimated_rows:.0f}){suffix}")
         return (f"{pad}Scan {label} "
                 f"(est. rows={node.estimated_rows:.0f}){suffix}")

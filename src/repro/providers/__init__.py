@@ -1,0 +1,37 @@
+"""Pluggable table providers: CSV, JSONL, and repro-database foreign tables.
+
+Importing this package registers the built-in providers in the process-wide
+:data:`~repro.providers.base.registry`; external packages add their own via
+:func:`register_provider` or the ``repro.table_providers`` entry-point
+group.  See ``docs/PROVIDERS.md`` for the provider API and the ATTACH SQL
+surface.
+"""
+
+from repro.providers.base import (DEFAULT_BATCH_SIZE, ProviderRegistry,
+                                  ProviderStatistics, TableProvider,
+                                  register_provider, registry)
+from repro.providers.csv_provider import CsvTableProvider
+from repro.providers.jsonl_provider import JsonlTableProvider
+from repro.providers.manager import AttachedTable, ForeignTableManager
+from repro.providers.repro_provider import ReproTableProvider
+
+if not registry.is_registered("csv"):
+    register_provider("csv", CsvTableProvider)
+if not registry.is_registered("jsonl"):
+    register_provider("jsonl", JsonlTableProvider)
+if not registry.is_registered("repro"):
+    register_provider("repro", ReproTableProvider)
+
+__all__ = [
+    "AttachedTable",
+    "CsvTableProvider",
+    "DEFAULT_BATCH_SIZE",
+    "ForeignTableManager",
+    "JsonlTableProvider",
+    "ProviderRegistry",
+    "ProviderStatistics",
+    "ReproTableProvider",
+    "TableProvider",
+    "register_provider",
+    "registry",
+]

@@ -1,0 +1,299 @@
+"""Pluggable table providers: foreign tables behind a uniform scan API.
+
+A :class:`TableProvider` adapts an external data source — a CSV file, a
+JSONL file, another repro database — to the engine's scan contract: it
+discovers a :class:`~repro.catalog.schema.TableSchema`, and it yields
+:class:`~repro.executor.row.RowBatch`es honoring an optional column
+projection, a list of pushed-down filter conjuncts, and a row limit.
+Providers may additionally report statistics to the cost model and accept
+writes; both are optional.
+
+Providers register by name in a :class:`ProviderRegistry`.  Registration is
+entry-point-style: built-ins register at import time via
+:func:`register_provider`, and external packages can expose a factory under
+the ``repro.table_providers`` entry-point group, which the registry loads
+lazily on first lookup.  The registry is the seam a later ``remote-repro``
+provider (scatter-gather across shards) plugs into without touching the
+planner or executor.
+
+The pushdown contract is *advisory*: a provider may apply any subset of the
+pushed filters (including none) and may over-deliver columns; the executor
+always re-checks the full conjunct list on top of the foreign scan, so a
+lazy provider is slower but never wrong.  What a provider must never do is
+drop rows that match or invent rows that do not.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple)
+
+from repro.catalog.schema import TableSchema
+from repro.core.errors import NotSupportedError, OperationalError
+from repro.executor.row import OutputSchema, RowBatch
+from repro.planner.expressions import Evaluator
+from repro.planner.planner import referenced_columns
+from repro.sql import ast
+
+#: Default batch size for provider scans when the engine does not pass one.
+DEFAULT_BATCH_SIZE = 256
+
+
+@dataclass
+class ProviderStatistics:
+    """Optional statistics a provider reports to the cost model.
+
+    ``row_count`` feeds the scan cardinality estimate; ``distinct`` maps
+    lower-cased column names to number-of-distinct-values estimates for
+    join sizing.  Missing pieces fall back to the planner's defaults.
+    """
+
+    row_count: Optional[float] = None
+    distinct: Dict[str, float] = field(default_factory=dict)
+
+
+def option_bool(options: Dict[str, Any], key: str, default: bool) -> bool:
+    """Read a boolean ATTACH option tolerantly (bool, 0/1, 'true'/'false')."""
+    value = options.get(key, default)
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return bool(value)
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in ("true", "t", "yes", "on", "1"):
+            return True
+        if lowered in ("false", "f", "no", "off", "0"):
+            return False
+    raise OperationalError(f"invalid boolean value {value!r} for option {key!r}")
+
+
+def option_int(options: Dict[str, Any], key: str, default: int) -> int:
+    value = options.get(key, default)
+    try:
+        return int(value)
+    except (TypeError, ValueError) as exc:
+        raise OperationalError(
+            f"invalid integer value {value!r} for option {key!r}") from exc
+
+
+def compile_pushed_filters(
+        names: Sequence[str],
+        filters: Sequence[ast.Expression],
+        qualifier: Optional[str] = None,
+) -> Optional[Callable[[Tuple[Any, ...]], bool]]:
+    """Compile pushed conjuncts into one predicate over value tuples.
+
+    ``names`` fixes the tuple layout the predicate reads (any subset of the
+    provider's columns, in any order).  Conjuncts that fail to compile —
+    e.g. referencing a column outside ``names`` — are silently skipped:
+    the executor re-checks the full list, so skipping only costs transfer,
+    never correctness.  Returns ``None`` when nothing could be compiled.
+    """
+    if not filters:
+        return None
+    schema = OutputSchema.from_names(list(names), qualifier)
+    evaluator = Evaluator(schema)
+    compiled = []
+    for conjunct in filters:
+        try:
+            compiled.append(evaluator.compile_values(conjunct))
+        except Exception:
+            continue
+    if not compiled:
+        return None
+    if len(compiled) == 1:
+        single = compiled[0]
+        return lambda values: bool(single(values))
+    return lambda values: all(bool(check(values)) for check in compiled)
+
+
+def filter_column_names(filters: Sequence[ast.Expression],
+                        known: Iterable[str]) -> Optional[List[str]]:
+    """Lower-cased column names the pushed filters read, or ``None`` when
+    any reference falls outside ``known`` (caller should skip pushdown)."""
+    known_lower = {name.lower() for name in known}
+    needed: List[str] = []
+    for conjunct in filters:
+        for ref in referenced_columns(conjunct):
+            lowered = ref.name.lower()
+            if lowered not in known_lower:
+                return None
+            if lowered not in needed:
+                needed.append(lowered)
+    return needed
+
+
+class TableProvider(ABC):
+    """Adapter between one external data source and the engine's scan API.
+
+    Concrete providers implement :meth:`discover_schema` and
+    :meth:`scan_batches`; :meth:`statistics`, :meth:`write_rows`, and
+    :meth:`close` have safe defaults.  A provider instance is owned by one
+    attached table and may cache open handles; it must tolerate
+    :meth:`close` being called more than once.
+    """
+
+    #: Registry name of the provider (``csv``, ``jsonl``, ``repro``, ...).
+    provider_name: str = "abstract"
+    #: Whether :meth:`write_rows` is implemented.
+    supports_write: bool = False
+
+    def __init__(self, uri: str, options: Optional[Dict[str, Any]] = None):
+        self.uri = uri
+        self.options = dict(options or {})
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def discover_schema(self) -> TableSchema:
+        """Inspect the source and return its relational schema.
+
+        Called at ATTACH time (the result is persisted in the catalog) and
+        again before scans to detect drift.  Must raise
+        :class:`OperationalError` when the source is missing or unreadable.
+        """
+
+    @abstractmethod
+    def scan_batches(self,
+                     columns: Optional[Sequence[str]] = None,
+                     pushed_filters: Sequence[ast.Expression] = (),
+                     limit: Optional[int] = None,
+                     *,
+                     qualifier: Optional[str] = None,
+                     batch_size: int = DEFAULT_BATCH_SIZE,
+                     ) -> Iterator[RowBatch]:
+        """Yield matching rows as :class:`RowBatch`es.
+
+        ``columns`` projects the output (schema order of the subset is the
+        tuple layout; ``None`` means all columns); ``pushed_filters`` are
+        single-table conjuncts the provider *may* apply at the source;
+        ``limit`` caps the number of rows produced *after* filtering.
+        ``qualifier`` is the attachment alias, needed only to resolve
+        qualified column references inside pushed filters.
+        """
+
+    # ------------------------------------------------------------------
+    def statistics(self) -> Optional[ProviderStatistics]:
+        """Source statistics for the cost model, or ``None`` for defaults."""
+        return None
+
+    def write_rows(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Append rows to the source; returns the count written."""
+        raise NotSupportedError(
+            f"table provider {self.provider_name!r} is read-only")
+
+    def close(self) -> None:
+        """Release any handles held open by the provider."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.uri!r})"
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+#: Entry-point group external packages use to ship providers.
+ENTRY_POINT_GROUP = "repro.table_providers"
+
+ProviderFactory = Callable[..., TableProvider]
+
+
+class ProviderRegistry:
+    """Name -> factory mapping for table providers.
+
+    Thread-safe; lookups lazily merge entry-point registrations so a
+    provider shipped by an installed package (``repro.table_providers``
+    group) is usable by name in ``ATTACH ... (TYPE <name>)`` without any
+    import on the caller's side.
+    """
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, ProviderFactory] = {}
+        self._lock = threading.Lock()
+        self._entry_points_loaded = False
+
+    def register(self, name: str, factory: ProviderFactory,
+                 replace: bool = False) -> None:
+        key = name.lower()
+        with self._lock:
+            if not replace and key in self._factories:
+                raise OperationalError(
+                    f"table provider {name!r} is already registered")
+            self._factories[key] = factory
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            self._factories.pop(name.lower(), None)
+
+    def names(self) -> List[str]:
+        self._load_entry_points()
+        with self._lock:
+            return sorted(self._factories)
+
+    def is_registered(self, name: str) -> bool:
+        self._load_entry_points()
+        with self._lock:
+            return name.lower() in self._factories
+
+    def create(self, name: str, uri: str,
+               options: Optional[Dict[str, Any]] = None) -> TableProvider:
+        self._load_entry_points()
+        with self._lock:
+            factory = self._factories.get(name.lower())
+        if factory is None:
+            known = ", ".join(self.names()) or "<none>"
+            raise OperationalError(
+                f"unknown table provider type {name!r} "
+                f"(registered providers: {known})")
+        return factory(uri, dict(options or {}))
+
+    # ------------------------------------------------------------------
+    def _load_entry_points(self) -> None:
+        if self._entry_points_loaded:
+            return
+        self._entry_points_loaded = True
+        try:
+            from importlib import metadata
+        except ImportError:  # pragma: no cover - py3.7 fallback
+            return
+        try:
+            entry_points = metadata.entry_points()
+        except Exception:  # pragma: no cover - defensive
+            return
+        if hasattr(entry_points, "select"):
+            selected = entry_points.select(group=ENTRY_POINT_GROUP)
+        else:  # pragma: no cover - pre-3.10 dict API
+            selected = entry_points.get(ENTRY_POINT_GROUP, [])
+        for entry_point in selected:  # pragma: no cover - env-dependent
+            try:
+                self.register(entry_point.name, entry_point.load())
+            except Exception:
+                continue
+
+
+#: Process-wide default registry; built-in providers register here on import
+#: of :mod:`repro.providers`.
+registry = ProviderRegistry()
+
+
+def register_provider(name: str, factory: Optional[ProviderFactory] = None,
+                      replace: bool = False):
+    """Register a provider factory, usable directly or as a class decorator:
+
+    ``register_provider("csv", CsvTableProvider)`` or::
+
+        @register_provider("csv")
+        class CsvTableProvider(TableProvider): ...
+    """
+    if factory is not None:
+        registry.register(name, factory, replace=replace)
+        return factory
+
+    def decorator(cls: ProviderFactory) -> ProviderFactory:
+        registry.register(name, cls, replace=replace)
+        return cls
+
+    return decorator

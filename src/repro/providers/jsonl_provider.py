@@ -1,0 +1,200 @@
+"""JSONL table provider: newline-delimited JSON objects as a foreign table.
+
+Schema discovery samples the first ``sample`` lines (default 100): column
+order is first-seen key order, and each column's type is the narrowest of
+INTEGER -> FLOAT -> BOOLEAN -> TEXT that fits every sampled value.  Keys
+absent from a line are NULL; keys beyond the sampled set are ignored at
+scan time (the schema is fixed at ATTACH).  Nested objects and arrays are
+carried as their JSON text (TEXT column).
+
+Options: ``sample`` (default 100), ``pushdown`` (default true).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.catalog.schema import Column, TableSchema
+from repro.core.errors import OperationalError
+from repro.executor.row import RowBatch
+from repro.providers.base import (DEFAULT_BATCH_SIZE, ProviderStatistics,
+                                  TableProvider, compile_pushed_filters,
+                                  option_bool, option_int)
+from repro.sql import ast
+from repro.types.datatypes import DataType
+
+
+def _value_type(value: Any) -> DataType:
+    if isinstance(value, bool):
+        return DataType.BOOLEAN
+    if isinstance(value, int):
+        return DataType.INTEGER
+    if isinstance(value, float):
+        return DataType.FLOAT
+    return DataType.TEXT
+
+
+def _widen(current: Optional[DataType], incoming: DataType) -> DataType:
+    if current is None or current is incoming:
+        return incoming
+    numeric = (DataType.INTEGER, DataType.FLOAT)
+    if current in numeric and incoming in numeric:
+        return DataType.FLOAT
+    return DataType.TEXT
+
+
+def _coerce_cell(value: Any, dtype: DataType) -> Any:
+    if value is None:
+        return None
+    if isinstance(value, (dict, list)):
+        return json.dumps(value, sort_keys=True)
+    if dtype is DataType.TEXT and not isinstance(value, str):
+        return json.dumps(value)
+    if dtype is DataType.FLOAT and isinstance(value, int) \
+            and not isinstance(value, bool):
+        return float(value)
+    return value
+
+
+class JsonlTableProvider(TableProvider):
+    """Foreign table over a local JSON-lines file."""
+
+    provider_name = "jsonl"
+
+    def __init__(self, uri: str, options: Optional[Dict[str, Any]] = None):
+        super().__init__(uri, options)
+        self.sample_rows = option_int(self.options, "sample", 100)
+        self.pushdown = option_bool(self.options, "pushdown", True)
+
+    # ------------------------------------------------------------------
+    def _open(self):
+        try:
+            return open(self.uri, "r", encoding="utf-8")
+        except OSError as exc:
+            raise OperationalError(
+                f"jsonl provider: cannot open {self.uri!r}: {exc}") from exc
+
+    def _parse_line(self, line: str, number: int) -> Dict[str, Any]:
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise OperationalError(
+                f"jsonl provider: line {number} of {self.uri!r} is not "
+                f"valid JSON (truncated or malformed file): {exc}") from exc
+        if not isinstance(record, dict):
+            raise OperationalError(
+                f"jsonl provider: line {number} of {self.uri!r} is not a "
+                f"JSON object")
+        return record
+
+    def discover_schema(self) -> TableSchema:
+        order: List[str] = []
+        types: Dict[str, Optional[DataType]] = {}
+        sampled = 0
+        with self._open() as handle:
+            for number, line in enumerate(handle, start=1):
+                if not line.strip():
+                    continue
+                if sampled >= self.sample_rows:
+                    break
+                sampled += 1
+                record = self._parse_line(line, number)
+                for key, value in record.items():
+                    if key not in types:
+                        order.append(key)
+                        types[key] = None
+                    if value is not None:
+                        types[key] = _widen(types[key], _value_type(value))
+        if not order:
+            raise OperationalError(
+                f"jsonl provider: {self.uri!r} has no records to infer a "
+                f"schema from")
+        return TableSchema(os.path.basename(self.uri) or "jsonl", [
+            Column(name, types[name] or DataType.TEXT) for name in order
+        ])
+
+    # ------------------------------------------------------------------
+    def scan_batches(self,
+                     columns: Optional[Sequence[str]] = None,
+                     pushed_filters: Sequence[ast.Expression] = (),
+                     limit: Optional[int] = None,
+                     *,
+                     qualifier: Optional[str] = None,
+                     batch_size: int = DEFAULT_BATCH_SIZE,
+                     ) -> Iterator[RowBatch]:
+        schema = self.discover_schema()
+        names = schema.column_names
+        dtype_of = {column.name: column.dtype for column in schema.columns}
+        known = {name.lower(): name for name in names}
+
+        out_names: List[str] = []
+        for name in (columns if columns else names):
+            actual = known.get(name.lower())
+            if actual is None:
+                raise OperationalError(
+                    f"jsonl provider: {self.uri!r} has no column {name!r}")
+            out_names.append(actual)
+
+        predicate = None
+        if pushed_filters and self.pushdown:
+            predicate = compile_pushed_filters(
+                out_names if columns else names, pushed_filters, qualifier)
+            predicate_names = out_names if columns else names
+        if predicate is None:
+            predicate_names = []
+
+        def batches() -> Iterator[RowBatch]:
+            remaining = limit
+            pending: List[tuple] = []
+            with self._open() as handle:
+                for number, line in enumerate(handle, start=1):
+                    if not line.strip():
+                        continue
+                    if remaining is not None and remaining <= 0:
+                        break
+                    record = self._parse_line(line, number)
+                    values = tuple(
+                        _coerce_cell(record.get(name), dtype_of[name])
+                        for name in out_names)
+                    if predicate is not None:
+                        probe = values if predicate_names is out_names else \
+                            tuple(_coerce_cell(record.get(name),
+                                               dtype_of[name])
+                                  for name in predicate_names)
+                        if not predicate(probe):
+                            continue
+                    pending.append(values)
+                    if remaining is not None:
+                        remaining -= 1
+                    if len(pending) >= batch_size:
+                        yield RowBatch(pending)
+                        pending = []
+            if pending:
+                yield RowBatch(pending)
+
+        return batches()
+
+    # ------------------------------------------------------------------
+    def statistics(self) -> Optional[ProviderStatistics]:
+        try:
+            size = os.path.getsize(self.uri)
+        except OSError:
+            return None
+        if size == 0:
+            return ProviderStatistics(row_count=0.0)
+        sampled = 0
+        sampled_bytes = 0
+        with self._open() as handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                sampled += 1
+                sampled_bytes += len(line.encode("utf-8"))
+                if sampled >= self.sample_rows:
+                    break
+        if sampled == 0 or sampled_bytes == 0:
+            return ProviderStatistics(row_count=0.0)
+        return ProviderStatistics(
+            row_count=max(float(sampled), size / (sampled_bytes / sampled)))

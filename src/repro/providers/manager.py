@@ -1,0 +1,298 @@
+"""The foreign-table manager: ATTACH/DETACH state, recovery, and scans.
+
+Mirrors the role :class:`~repro.index.manager.IndexManager` plays for
+secondary indexes: it owns the attached-table descriptors next to the
+system catalog, journals attach/detach through the transaction manager so
+they are redo-logged in the WAL and survive a reopen, and bumps the
+catalog's schema version on every change so cached plans touching foreign
+tables invalidate like they do for DDL.
+
+Provider instances are created lazily where possible: WAL recovery only
+re-registers descriptors (the persisted schema travels in the redo record),
+so recovering a database whose CSV file has since vanished succeeds — the
+scan, not the reopen, raises the typed :class:`OperationalError`.  Before
+every scan the live source schema is re-discovered and compared against
+the attached schema; any drift (renamed/retyped/reordered columns) raises
+instead of silently mis-mapping positions.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.catalog.schema import TableSchema
+from repro.core.errors import BdbmsError, CatalogError, OperationalError
+from repro.executor.row import BatchedRows, OutputSchema, RowBatch
+from repro.providers import base as providers_base
+from repro.providers.base import ProviderRegistry, TableProvider
+from repro.sql import ast
+
+
+@dataclass
+class AttachedTable:
+    """Catalog-side descriptor of one attached foreign table."""
+
+    name: str
+    uri: str
+    provider_type: str
+    options: Dict[str, Any] = field(default_factory=dict)
+    #: Source schema captured at ATTACH time (or from the WAL on recovery);
+    #: scans verify the live source still matches before trusting positions.
+    schema: Optional[TableSchema] = None
+    #: Lazily created provider instance serving this table's scans.
+    provider: Optional[TableProvider] = None
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "uri": self.uri,
+            "provider": self.provider_type,
+            "options": dict(self.options),
+            "columns": [] if self.schema is None else [
+                (column.name, column.dtype.value)
+                for column in self.schema.columns],
+        }
+
+
+class ForeignTableManager:
+    """Registry of attached foreign tables for one database/engine."""
+
+    def __init__(self, catalog, registry: Optional[ProviderRegistry] = None):
+        self.catalog = catalog
+        self.registry = registry or providers_base.registry
+        #: Transaction manager used to journal attach/detach; wired by the
+        #: engine/database after construction (same pattern as
+        #: ``catalog.journal``).
+        self.journal = None
+        self._tables: Dict[str, AttachedTable] = {}
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def has(self, name: str) -> bool:
+        with self._lock:
+            return name.lower() in self._tables
+
+    def table(self, name: str) -> AttachedTable:
+        with self._lock:
+            entry = self._tables.get(name.lower())
+        if entry is None:
+            raise CatalogError(f"no attached foreign table {name!r}")
+        return entry
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(entry.name for entry in self._tables.values())
+
+    def describe(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            entries = sorted(self._tables.values(), key=lambda e: e.name)
+        return [entry.describe() for entry in entries]
+
+    # ------------------------------------------------------------------
+    # ATTACH / DETACH
+    # ------------------------------------------------------------------
+    def attach(self, name: str, uri: str, provider_type: str,
+               options: Optional[Dict[str, Any]] = None) -> AttachedTable:
+        """Create the provider, capture its schema, and register the table."""
+        options = dict(options or {})
+        with self._lock:
+            if name.lower() in self._tables:
+                raise CatalogError(
+                    f"foreign table {name!r} is already attached")
+            if self.catalog.has_table(name):
+                raise CatalogError(
+                    f"cannot attach {name!r}: a base table with that name "
+                    f"exists")
+            provider = self.registry.create(provider_type, uri, options)
+            try:
+                schema = provider.discover_schema()
+            except OperationalError:
+                raise
+            except (BdbmsError, OSError) as exc:
+                raise OperationalError(
+                    f"attach {name!r}: schema discovery failed for "
+                    f"{uri!r}: {exc}") from exc
+            entry = AttachedTable(name=name, uri=uri,
+                                  provider_type=provider_type.lower(),
+                                  options=options, schema=schema,
+                                  provider=provider)
+            self._tables[name.lower()] = entry
+            self.catalog.bump_schema_version()
+        if self.journal is not None:
+            self.journal.note_attach(entry)
+        return entry
+
+    def detach(self, name: str) -> AttachedTable:
+        with self._lock:
+            entry = self._tables.pop(name.lower(), None)
+            if entry is None:
+                raise CatalogError(f"no attached foreign table {name!r}")
+            self.catalog.bump_schema_version()
+        self._close_entry(entry)
+        if self.journal is not None:
+            self.journal.note_detach(entry.name)
+        return entry
+
+    # ------------------------------------------------------------------
+    # WAL recovery hooks (no journaling, no source access)
+    # ------------------------------------------------------------------
+    def register_recovered(self, name: str, uri: str, provider_type: str,
+                           options: Dict[str, Any],
+                           schema: Optional[TableSchema]) -> None:
+        with self._lock:
+            self._tables[name.lower()] = AttachedTable(
+                name=name, uri=uri, provider_type=provider_type,
+                options=dict(options or {}), schema=schema)
+            self.catalog.bump_schema_version()
+
+    def forget(self, name: str) -> None:
+        with self._lock:
+            entry = self._tables.pop(name.lower(), None)
+            if entry is not None:
+                self.catalog.bump_schema_version()
+        if entry is not None:
+            self._close_entry(entry)
+
+    def close(self) -> None:
+        with self._lock:
+            entries = list(self._tables.values())
+        for entry in entries:
+            self._close_entry(entry)
+
+    @staticmethod
+    def _close_entry(entry: AttachedTable) -> None:
+        provider, entry.provider = entry.provider, None
+        if provider is not None:
+            try:
+                provider.close()
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------
+    # Scanning
+    # ------------------------------------------------------------------
+    def provider_for(self, entry: AttachedTable) -> TableProvider:
+        with self._lock:
+            if entry.provider is None:
+                entry.provider = self.registry.create(
+                    entry.provider_type, entry.uri, entry.options)
+            return entry.provider
+
+    def _check_schema(self, entry: AttachedTable,
+                      provider: TableProvider) -> TableSchema:
+        """Re-discover the live schema and verify it matches the attached
+        one; returns the attached schema (positions the planner resolved
+        against)."""
+        try:
+            live = provider.discover_schema()
+        except OperationalError:
+            raise
+        except (BdbmsError, OSError) as exc:
+            raise OperationalError(
+                f"foreign table {entry.name!r}: backing source {entry.uri!r} "
+                f"is unavailable: {exc}") from exc
+        if entry.schema is None:
+            entry.schema = live
+            return live
+        expected = [(column.name.lower(), column.dtype)
+                    for column in entry.schema.columns]
+        actual = [(column.name.lower(), column.dtype)
+                  for column in live.columns]
+        if expected != actual:
+            raise OperationalError(
+                f"foreign table {entry.name!r}: schema of {entry.uri!r} "
+                f"drifted since ATTACH (expected "
+                f"{[f'{n} {t.value}' for n, t in expected]}, found "
+                f"{[f'{n} {t.value}' for n, t in actual]}); DETACH and "
+                f"re-ATTACH to pick up the new schema")
+        return entry.schema
+
+    def scan(self, name: str, qualifier: str,
+             columns: Optional[Sequence[str]] = None,
+             pushed: Sequence[ast.Expression] = (),
+             limit: Optional[int] = None,
+             batch_size: int = providers_base.DEFAULT_BATCH_SIZE):
+        """Relation ``(OutputSchema, BatchedRows)`` over the foreign table.
+
+        ``columns`` projects (attached-schema order is preserved); the
+        provider may apply ``pushed`` at the source but the engine re-checks
+        the full list regardless.  Provider failures during iteration are
+        re-raised as :class:`OperationalError`.
+        """
+        entry = self.table(name)
+        provider = self.provider_for(entry)
+        schema = self._check_schema(entry, provider)
+        if columns:
+            known = {column.name.lower(): column.name
+                     for column in schema.columns}
+            ordered = [column.name for column in schema.columns
+                       if column.name.lower() in
+                       {name.lower() for name in columns}]
+            unknown = [name for name in columns
+                       if name.lower() not in known]
+            if unknown:
+                raise OperationalError(
+                    f"foreign table {entry.name!r} has no column(s): "
+                    f"{', '.join(sorted(unknown))}")
+            out_names = ordered
+        else:
+            out_names = schema.column_names
+        output_schema = OutputSchema.from_names(out_names, qualifier)
+
+        def batches():
+            try:
+                iterator = provider.scan_batches(
+                    columns=out_names if columns else None,
+                    pushed_filters=list(pushed), limit=limit,
+                    qualifier=qualifier, batch_size=batch_size)
+                for batch in iterator:
+                    yield batch
+            except OperationalError:
+                raise
+            except (BdbmsError, OSError, ValueError) as exc:
+                raise OperationalError(
+                    f"foreign table {entry.name!r}: scan of "
+                    f"{entry.uri!r} failed: {exc}") from exc
+
+        return output_schema, BatchedRows(batches())
+
+    # ------------------------------------------------------------------
+    # Planner support
+    # ------------------------------------------------------------------
+    def column_names(self, name: str) -> List[str]:
+        entry = self.table(name)
+        if entry.schema is None:
+            entry.schema = self._check_schema(
+                entry, self.provider_for(entry))
+        return entry.schema.column_names
+
+    def row_estimate(self, name: str, default: float = 1000.0) -> float:
+        """Provider-reported row count, or ``default`` when unavailable.
+
+        Never raises: statistics feed the cost model, and a vanished source
+        must fail at scan time with a scan-shaped error, not at plan time.
+        """
+        try:
+            entry = self.table(name)
+            provider = self.provider_for(entry)
+            stats = provider.statistics()
+        except Exception:
+            return default
+        if stats is None or stats.row_count is None:
+            return default
+        return max(1.0, float(stats.row_count))
+
+    def distinct_estimate(self, name: str, column: str) -> Optional[float]:
+        try:
+            entry = self.table(name)
+            provider = self.provider_for(entry)
+            stats = provider.statistics()
+        except Exception:
+            return None
+        if stats is None:
+            return None
+        return stats.distinct.get(column.lower())

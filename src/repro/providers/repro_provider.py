@@ -1,0 +1,184 @@
+"""Repro table provider: another repro database file, opened read-only.
+
+The provider opens the backing database lazily (first schema discovery or
+scan), runs its normal WAL recovery, and serves one of its user tables —
+*including its annotations*: each scanned batch carries the per-cell
+annotation vectors built from the remote database's own propagation index,
+so annotation identity survives the provider boundary and A-SQL operators
+downstream see exactly what a native scan of that database would.
+
+This is also the local half of the scatter-gather groundwork: a future
+``remote-repro`` provider speaks the same scan contract against a network
+peer instead of a file handle.
+
+Options: ``table`` (which user table to expose; defaults to the only user
+table, error if ambiguous), ``annotations`` (default true — when false,
+batches carry no annotation vectors), ``pushdown`` (default true).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.catalog.schema import TableSchema
+from repro.core.errors import BdbmsError, OperationalError
+from repro.executor.row import RowBatch
+from repro.providers.base import (DEFAULT_BATCH_SIZE, ProviderStatistics,
+                                  TableProvider, compile_pushed_filters,
+                                  option_bool)
+from repro.sql import ast
+
+
+class ReproTableProvider(TableProvider):
+    """Foreign table over a user table of another repro database file."""
+
+    provider_name = "repro"
+
+    def __init__(self, uri: str, options: Optional[Dict[str, Any]] = None):
+        super().__init__(uri, options)
+        self.table_option = self.options.get("table")
+        self.include_annotations = option_bool(
+            self.options, "annotations", True)
+        self.pushdown = option_bool(self.options, "pushdown", True)
+        self._database = None
+
+    # ------------------------------------------------------------------
+    def _open_database(self):
+        if self._database is None:
+            if not os.path.exists(self.uri):
+                raise OperationalError(
+                    f"repro provider: database file {self.uri!r} does not "
+                    f"exist")
+            from repro.core.database import Database
+            try:
+                self._database = Database(self.uri)
+            except OperationalError:
+                raise
+            except (BdbmsError, OSError) as exc:
+                raise OperationalError(
+                    f"repro provider: cannot open database {self.uri!r}: "
+                    f"{exc}") from exc
+        return self._database
+
+    def _table_name(self) -> str:
+        database = self._open_database()
+        # Annotation bookkeeping tables (__ann_*/__annlink_*) are internal;
+        # they never count toward the "single table" auto-pick and are not
+        # directly attachable.
+        names = [name for name in database.catalog.table_names()
+                 if not name.startswith("__")]
+        if self.table_option:
+            wanted = str(self.table_option)
+            for name in names:
+                if name.lower() == wanted.lower():
+                    return name
+            raise OperationalError(
+                f"repro provider: database {self.uri!r} has no table "
+                f"{wanted!r} (tables: {', '.join(names) or '<none>'})")
+        if len(names) == 1:
+            return names[0]
+        raise OperationalError(
+            f"repro provider: database {self.uri!r} has "
+            f"{len(names)} tables; pick one with the TABLE option "
+            f"(tables: {', '.join(names) or '<none>'})")
+
+    def discover_schema(self) -> TableSchema:
+        database = self._open_database()
+        table = database.catalog.table(self._table_name())
+        return table.schema
+
+    # ------------------------------------------------------------------
+    def scan_batches(self,
+                     columns: Optional[Sequence[str]] = None,
+                     pushed_filters: Sequence[ast.Expression] = (),
+                     limit: Optional[int] = None,
+                     *,
+                     qualifier: Optional[str] = None,
+                     batch_size: int = DEFAULT_BATCH_SIZE,
+                     ) -> Iterator[RowBatch]:
+        from repro.executor.operators import TableRowSource
+
+        database = self._open_database()
+        table_name = self._table_name()
+        try:
+            table = database.catalog.table(table_name)
+        except BdbmsError as exc:
+            raise OperationalError(str(exc)) from exc
+        names = table.schema.column_names
+        known = {name.lower(): i for i, name in enumerate(names)}
+
+        positions: List[int] = []
+        for name in (columns if columns else names):
+            position = known.get(name.lower())
+            if position is None:
+                raise OperationalError(
+                    f"repro provider: table {table_name!r} in {self.uri!r} "
+                    f"has no column {name!r}")
+            positions.append(position)
+        identity = positions == list(range(len(names)))
+
+        propagation_index = None
+        if self.include_annotations:
+            index = database.annotations.propagation_index(table_name)
+            if not index.is_empty():
+                propagation_index = index
+        source = TableRowSource(table, table_name,
+                                propagation_index=propagation_index)
+
+        predicate = None
+        if pushed_filters and self.pushdown:
+            predicate = compile_pushed_filters(
+                [names[position] for position in positions],
+                pushed_filters, qualifier)
+
+        def batches() -> Iterator[RowBatch]:
+            remaining = limit
+            with database.transactions.read_access():
+                for batch in source.iter_batches(batch_size):
+                    if remaining is not None and remaining <= 0:
+                        return
+                    if identity:
+                        values = batch.values
+                        annotations = batch.annotations
+                    else:
+                        values = [tuple(row[p] for p in positions)
+                                  for row in batch.values]
+                        annotations = None if batch.annotations is None else [
+                            [vector[p] for p in positions]
+                            for vector in batch.annotations]
+                    if predicate is not None:
+                        keep = [i for i, row in enumerate(values)
+                                if predicate(row)]
+                        if len(keep) != len(values):
+                            values = [values[i] for i in keep]
+                            if annotations is not None:
+                                annotations = [annotations[i] for i in keep]
+                    if not values:
+                        continue
+                    if remaining is not None and len(values) > remaining:
+                        values = values[:remaining]
+                        if annotations is not None:
+                            annotations = annotations[:remaining]
+                    if remaining is not None:
+                        remaining -= len(values)
+                    yield RowBatch(list(values), annotations)
+
+        return batches()
+
+    # ------------------------------------------------------------------
+    def statistics(self) -> Optional[ProviderStatistics]:
+        try:
+            database = self._open_database()
+            table = database.catalog.table(self._table_name())
+        except BdbmsError:
+            return None
+        return ProviderStatistics(row_count=float(len(table)))
+
+    def close(self) -> None:
+        if self._database is not None:
+            database, self._database = self._database, None
+            try:
+                database.close()
+            except Exception:
+                pass

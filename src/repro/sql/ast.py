@@ -9,7 +9,7 @@ directly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 
 # ---------------------------------------------------------------------------
@@ -241,6 +241,29 @@ class Update:
 class Delete:
     table: str
     where: Optional[Expression] = None
+
+
+@dataclass
+class Attach:
+    """ATTACH '<uri>' AS <name> (TYPE <provider> [, <key> <value>]...).
+
+    Registers a foreign table served by a pluggable table provider;
+    ``options`` carries the remaining key/value pairs (string, numeric,
+    boolean, or bare-identifier values) verbatim for the provider.
+    """
+
+    uri: str
+    name: str
+    provider_type: str
+    options: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Detach:
+    """DETACH <name>: unregister an attached foreign table."""
+
+    name: str
+    if_exists: bool = False
 
 
 @dataclass

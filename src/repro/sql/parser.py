@@ -152,7 +152,7 @@ class Parser:
             return self.advance().value
         if token.type is TokenType.KEYWORD and token.value in (
             "VALUE", "KEY", "CONTENT", "START", "STOP", "APPROVAL", "COLUMNS",
-            "INDEX", "ANNOTATION", "ANNOTATIONS", "TABLE",
+            "INDEX", "ANNOTATION", "ANNOTATIONS", "TABLE", "TYPE",
         ):
             return self.advance().value
         raise SqlSyntaxError(
@@ -230,9 +230,75 @@ class Parser:
             self.advance()
             self.match_keyword("TRANSACTION")
             return ast.Rollback()
+        if token.is_keyword("ATTACH"):
+            return self._parse_attach()
+        if token.is_keyword("DETACH"):
+            return self._parse_detach()
         raise SqlSyntaxError(
             f"cannot parse statement starting with {token.value!r}", token.position
         )
+
+    # -- ATTACH / DETACH --------------------------------------------------
+    def _parse_attach(self) -> ast.Attach:
+        """ATTACH '<uri>' AS <name> (TYPE <provider> [, <key> <value>]...)"""
+        self.expect_keyword("ATTACH")
+        uri = self.expect_string()
+        self.expect_keyword("AS")
+        name = self.expect_identifier()
+        self.expect_punct("(")
+        provider_type: Optional[str] = None
+        options: dict = {}
+        while True:
+            key = self._parse_option_key()
+            value = self._parse_option_value()
+            if key.lower() == "type":
+                provider_type = str(value)
+            else:
+                options[key.lower()] = value
+            if not self.match_punct(","):
+                break
+        self.expect_punct(")")
+        if provider_type is None:
+            raise SqlSyntaxError(
+                "ATTACH requires a TYPE option naming the provider "
+                "(e.g. TYPE csv)", self.peek().position)
+        return ast.Attach(uri, name, provider_type, options)
+
+    def _parse_option_key(self) -> str:
+        token = self.peek()
+        if token.type in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+            return self.advance().value
+        raise SqlSyntaxError(
+            f"expected option name, found {token.value!r}", token.position)
+
+    def _parse_option_value(self) -> Any:
+        token = self.peek()
+        if token.type is TokenType.STRING:
+            return self.advance().value
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            if any(c in token.value for c in ".eE"):
+                return float(token.value)
+            return int(token.value)
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return True
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return False
+        if token.is_keyword("NULL"):
+            self.advance()
+            return None
+        if token.type in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+            return self.advance().value
+        raise SqlSyntaxError(
+            f"expected option value, found {token.value!r}", token.position)
+
+    def _parse_detach(self) -> ast.Detach:
+        self.expect_keyword("DETACH")
+        self.match_keyword("TABLE")
+        name = self.expect_identifier()
+        return ast.Detach(name)
 
     # -- CREATE ... -------------------------------------------------------
     def _parse_create(self) -> Any:

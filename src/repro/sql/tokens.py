@@ -44,6 +44,8 @@ KEYWORDS = {
     # authorization (Section 6, Figure 11) and provenance
     "GRANT", "REVOKE", "APPROVED", "START", "STOP", "CONTENT", "APPROVAL",
     "COLUMNS",
+    # foreign tables (pluggable table providers)
+    "ATTACH", "DETACH", "TYPE",
 }
 
 #: Multi-character operators must be listed before their prefixes.

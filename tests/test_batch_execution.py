@@ -335,14 +335,21 @@ class TestSortElision:
         rows = db.query("SELECT v FROM m ORDER BY v").values()
         assert rows[0] == (None,)  # NULLs first, like the explicit sort
 
-    def test_descending_and_multi_key_orders_still_sort(self):
+    def test_descending_order_elides_via_reverse_traversal(self):
+        db = range_db()
+        explained = db.explain("SELECT id FROM m WHERE v > 10 ORDER BY v DESC")
+        assert "[sort: elided]" in explained.message
+        assert "[ordered desc]" in explained.message
+        rows = db.query("SELECT v FROM m WHERE v > 140 ORDER BY v DESC").values()
+        assert db.engine.last_sort_elided
+        assert rows == sorted(rows, reverse=True)
+
+    def test_multi_key_orders_still_sort(self):
         db = range_db()
         assert "[sort: elided]" not in db.explain(
-            "SELECT id FROM m WHERE v > 10 ORDER BY v DESC").message
-        assert "[sort: elided]" not in db.explain(
             "SELECT id FROM m WHERE v > 10 ORDER BY v, id").message
-        rows = db.query("SELECT v FROM m WHERE v > 140 ORDER BY v DESC").values()
-        assert rows == sorted(rows, reverse=True)
+        rows = db.query("SELECT v, id FROM m WHERE v > 140 ORDER BY v, id").values()
+        assert rows == sorted(rows)
 
     def test_order_propagates_through_left_joins(self):
         db = Database()

@@ -1,0 +1,145 @@
+"""Descending index traversal and parameterized range bounds.
+
+``ORDER BY col DESC`` over a B-tree-indexed column now elides the sort by
+walking the index in reverse; parameterized comparisons (``col > ?``,
+``BETWEEN ? AND ?``) keep the IndexRangeScan access path, with the concrete
+bounds bound per-execution from the cached plan template.  Both must agree
+with the naive sorted/filtered sequential path on every value shape,
+including NULL keys, NaN parameters, and bounds of the wrong type.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.planner.plan import plan_access_paths
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    cur = database.connect().cursor()
+    cur.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER, s TEXT)")
+    for i in range(120):
+        cur.execute("INSERT INTO t VALUES (?, ?, ?)",
+                    (i, (i * 37) % 120, f"s{i % 10}"))
+    cur.execute("CREATE INDEX ix_v ON t (v) USING btree")
+    yield database
+    database.close()
+
+
+def values(db, sql, params=()):
+    cur = db.connect().cursor()
+    cur.execute(sql, params)
+    return [row.values for row in cur.fetchall()]
+
+
+class TestDescendingElision:
+    def test_desc_order_elides_and_matches_naive(self, db):
+        explained = db.explain("SELECT v FROM t WHERE v > 40 ORDER BY v DESC")
+        assert "[sort: elided]" in explained.message
+        assert "[ordered desc]" in explained.message
+        got = values(db, "SELECT v FROM t WHERE v > 40 ORDER BY v DESC")
+        assert db.engine.last_sort_elided
+        assert got == sorted(got, reverse=True)
+        assert sorted(got) == sorted(
+            values(db, "SELECT v FROM t WHERE v > 40"))
+
+    def test_desc_without_filter_elides(self, db):
+        got = values(db, "SELECT v FROM t ORDER BY v DESC LIMIT 5")
+        assert got == [(119,), (118,), (117,), (116,), (115,)]
+
+    def test_desc_with_null_keys_stays_correct(self, db):
+        cur = db.connect().cursor()
+        for i in range(200, 205):
+            cur.execute("INSERT INTO t VALUES (?, NULL, 'n')", (i,))
+        asc = values(db, "SELECT v FROM t WHERE v >= 0 ORDER BY v")
+        desc = values(db, "SELECT v FROM t WHERE v >= 0 ORDER BY v DESC")
+        assert desc == asc[::-1]
+        assert (None,) not in desc
+
+    def test_desc_range_bounds_inclusive_exclusive(self, db):
+        got = values(db, "SELECT v FROM t WHERE v BETWEEN 10 AND 20 "
+                         "ORDER BY v DESC")
+        assert got == [(v,) for v in range(20, 9, -1)]
+        got = values(db, "SELECT v FROM t WHERE v > 10 AND v < 20 "
+                         "ORDER BY v DESC")
+        assert got == [(v,) for v in range(19, 10, -1)]
+
+    def test_desc_on_unindexed_column_still_sorts(self, db):
+        explained = db.explain("SELECT s FROM t ORDER BY s DESC")
+        assert "[sort: elided]" not in explained.message
+        got = values(db, "SELECT s FROM t ORDER BY s DESC")
+        assert got == sorted(got, reverse=True)
+
+
+class TestParameterizedRanges:
+    def test_param_bound_uses_index_range(self, db):
+        cur = db.connect().cursor()
+        cur.execute("SELECT v FROM t WHERE v > ?", (100,))
+        got = sorted(row.values[0] for row in cur.fetchall())
+        assert got == list(range(101, 120))
+        assert "index_range" in plan_access_paths(db.engine.last_plan)
+
+    def test_param_between_uses_index_range(self, db):
+        cur = db.connect().cursor()
+        cur.execute("SELECT v FROM t WHERE v BETWEEN ? AND ?", (30, 35))
+        got = sorted(row.values[0] for row in cur.fetchall())
+        assert got == list(range(30, 36))
+        assert "index_range" in plan_access_paths(db.engine.last_plan)
+
+    def test_cached_plan_rebinds_bounds(self, db):
+        cur = db.connect().cursor()
+        sql = "SELECT v FROM t WHERE v >= ? AND v <= ?"
+        cur.execute(sql, (10, 12))
+        first = sorted(row.values[0] for row in cur.fetchall())
+        hits_before = db.engine.plan_cache.stats.hits
+        cur.execute(sql, (110, 113))
+        second = sorted(row.values[0] for row in cur.fetchall())
+        assert db.engine.plan_cache.stats.hits == hits_before + 1
+        assert db.engine.last_plan_cached
+        assert first == [10, 11, 12]
+        assert second == [110, 111, 112, 113]
+
+    def test_desc_order_with_param_bound_elides(self, db):
+        cur = db.connect().cursor()
+        sql = "SELECT v FROM t WHERE v > ? ORDER BY v DESC"
+        for low, expect_top in ((100, 119), (50, 119), (117, 119)):
+            cur.execute(sql, (low,))
+            got = [row.values[0] for row in cur.fetchall()]
+            assert got[0] == expect_top
+            assert got == sorted(got, reverse=True)
+            assert got[-1] == low + 1
+            assert db.engine.last_sort_elided
+
+    @pytest.mark.parametrize("bound", [None, float("nan")])
+    def test_null_and_nan_params_return_empty_not_crash(self, db, bound):
+        cur = db.connect().cursor()
+        cur.execute("SELECT v FROM t WHERE v > ?", (bound,))
+        assert cur.fetchall() == []
+        cur.execute("SELECT v FROM t WHERE v BETWEEN ? AND ?", (bound, 50))
+        assert cur.fetchall() == []
+
+    def test_nan_param_after_cached_numeric_plan(self, db):
+        """The dangerous order: a sane execution populates the cache with an
+        IndexRangeScan template, then a NaN parameter rides the cached plan
+        into the range machinery."""
+        cur = db.connect().cursor()
+        sql = "SELECT v FROM t WHERE v > ? ORDER BY v DESC"
+        cur.execute(sql, (115,))
+        assert [r.values[0] for r in cur.fetchall()] == [119, 118, 117, 116]
+        cur.execute(sql, (float("nan"),))
+        assert cur.fetchall() == []
+
+    def test_mismatched_type_param_matches_naive_filter(self, db):
+        cur = db.connect().cursor()
+        cur.execute("SELECT v FROM t WHERE v > ?", ("zzz",))
+        ranged = sorted(r.values for r in cur.fetchall())
+        db.config.join_strategy = "nested_loop"
+        try:
+            cur.execute("SELECT v FROM t WHERE v + 0 > ?", ("zzz",))
+            naive = sorted(r.values for r in cur.fetchall())
+        finally:
+            db.config.join_strategy = "auto"
+        assert ranged == naive
